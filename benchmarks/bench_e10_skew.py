@@ -1,0 +1,8 @@
+"""Benchmark: regenerate experiment E10 (see DESIGN.md §4)."""
+
+from benchmarks._common import run_and_report
+
+
+def test_e10(benchmark):
+    table = run_and_report(benchmark, "E10")
+    assert table.rows

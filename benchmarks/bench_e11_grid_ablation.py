@@ -1,0 +1,8 @@
+"""Benchmark: regenerate experiment E11 (see DESIGN.md §4)."""
+
+from benchmarks._common import run_and_report
+
+
+def test_e11(benchmark):
+    table = run_and_report(benchmark, "E11")
+    assert table.rows

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate experiment E12 (see DESIGN.md §4)."""
+
+from benchmarks._common import run_and_report
+
+
+def test_e12(benchmark):
+    table = run_and_report(benchmark, "E12")
+    assert table.rows

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate experiment E13 (see DESIGN.md §4)."""
+
+from benchmarks._common import run_and_report
+
+
+def test_e13(benchmark):
+    table = run_and_report(benchmark, "E13")
+    assert table.rows

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate experiment E1 (see DESIGN.md §4)."""
+
+from benchmarks._common import run_and_report
+
+
+def test_e1(benchmark):
+    table = run_and_report(benchmark, "E1")
+    assert table.rows

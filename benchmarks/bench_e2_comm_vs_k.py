@@ -1,0 +1,8 @@
+"""Benchmark: regenerate experiment E2 (see DESIGN.md §4)."""
+
+from benchmarks._common import run_and_report
+
+
+def test_e2(benchmark):
+    table = run_and_report(benchmark, "E2")
+    assert table.rows

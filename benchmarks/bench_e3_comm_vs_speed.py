@@ -1,0 +1,8 @@
+"""Benchmark: regenerate experiment E3 (see DESIGN.md §4)."""
+
+from benchmarks._common import run_and_report
+
+
+def test_e3(benchmark):
+    table = run_and_report(benchmark, "E3")
+    assert table.rows

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate experiment E4 (see DESIGN.md §4)."""
+
+from benchmarks._common import run_and_report
+
+
+def test_e4(benchmark):
+    table = run_and_report(benchmark, "E4")
+    assert table.rows

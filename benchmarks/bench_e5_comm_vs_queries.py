@@ -1,0 +1,8 @@
+"""Benchmark: regenerate experiment E5 (see DESIGN.md §4)."""
+
+from benchmarks._common import run_and_report
+
+
+def test_e5(benchmark):
+    table = run_and_report(benchmark, "E5")
+    assert table.rows

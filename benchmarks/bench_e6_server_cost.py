@@ -1,0 +1,8 @@
+"""Benchmark: regenerate experiment E6 (see DESIGN.md §4)."""
+
+from benchmarks._common import run_and_report
+
+
+def test_e6(benchmark):
+    table = run_and_report(benchmark, "E6")
+    assert table.rows

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate experiment E7 (see DESIGN.md §4)."""
+
+from benchmarks._common import run_and_report
+
+
+def test_e7(benchmark):
+    table = run_and_report(benchmark, "E7")
+    assert table.rows

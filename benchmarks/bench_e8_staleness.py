@@ -1,0 +1,8 @@
+"""Benchmark: regenerate experiment E8 (see DESIGN.md §4)."""
+
+from benchmarks._common import run_and_report
+
+
+def test_e8(benchmark):
+    table = run_and_report(benchmark, "E8")
+    assert table.rows

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate experiment E9 (see DESIGN.md §4)."""
+
+from benchmarks._common import run_and_report
+
+
+def test_e9(benchmark):
+    table = run_and_report(benchmark, "E9")
+    assert table.rows

@@ -1,0 +1,60 @@
+"""Head-to-head: all five algorithms on one identical workload.
+
+Every algorithm sees the exact same motion (same workload seed), so the
+comparison isolates protocol behaviour: messages, bytes, broadcast
+wake-ups, server cost units, and answer exactness.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro import ResultTable, run_once
+from repro.experiments.algorithms import ALGORITHMS
+from repro.workloads import WorkloadSpec
+
+
+def main() -> None:
+    spec = WorkloadSpec(
+        n_objects=800,
+        n_queries=8,
+        k=8,
+        ticks=80,
+        warmup_ticks=10,
+        seed=2024,
+    )
+    table = ResultTable(
+        f"all algorithms on N={spec.n_objects}, Q={spec.n_queries}, "
+        f"k={spec.k} (per-tick steady state)",
+        (
+            "algorithm",
+            "msgs/tick",
+            "bytes/tick",
+            "recv/tick",
+            "units/tick",
+            "server_ms/tick",
+            "exactness",
+        ),
+    )
+    for name in sorted(ALGORITHMS):
+        m = run_once(name, spec, accuracy_every=10)
+        table.add_row(
+            {
+                "algorithm": name,
+                "msgs/tick": m.msgs_per_tick,
+                "bytes/tick": m.bytes_per_tick,
+                "recv/tick": m.receptions_per_tick,
+                "units/tick": m.units_per_tick,
+                "server_ms/tick": m.server_ms_per_tick,
+                "exactness": m.exactness,
+            }
+        )
+    print(table.render())
+    print()
+    print(
+        "recv/tick counts broadcast wake-ups: DKNN-B's hidden client cost.\n"
+        "All exactness columns must read 1.000 — every protocol here is "
+        "exact in zero-latency mode."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Analytical cost models, validated against the simulator."""
+
+from repro.analysis.models import (
+    centralized_messages_per_tick,
+    crossover_queries,
+    dead_reckoning_rate,
+    dknn_b_messages_per_repair,
+    expected_knn_distance,
+    expected_rank_gap,
+    object_density,
+    query_repair_rate,
+)
+
+__all__ = [
+    "object_density",
+    "expected_knn_distance",
+    "expected_rank_gap",
+    "dead_reckoning_rate",
+    "query_repair_rate",
+    "centralized_messages_per_tick",
+    "dknn_b_messages_per_repair",
+    "crossover_queries",
+]

@@ -1,0 +1,17 @@
+"""Centralized baselines: PER (naive periodic), SEA, CPM."""
+
+from repro.baselines.common import CentralizedServerBase, ReporterNode
+from repro.baselines.cpm import CpmServer, build_cpm_system
+from repro.baselines.periodic import PeriodicServer, build_periodic_system
+from repro.baselines.seacnn import SeaCnnServer, build_seacnn_system
+
+__all__ = [
+    "ReporterNode",
+    "CentralizedServerBase",
+    "PeriodicServer",
+    "build_periodic_system",
+    "SeaCnnServer",
+    "build_seacnn_system",
+    "CpmServer",
+    "build_cpm_system",
+]

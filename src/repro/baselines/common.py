@@ -1,0 +1,122 @@
+"""Shared machinery of the centralized baselines.
+
+All three baselines (PER / SEA / CPM) use the same *communication*
+pattern — every object streams its exact position to the server every
+tick — and differ only in server-side evaluation cost. This module
+provides the per-tick reporter node and the server base that ingests
+the stream, keeps an exact grid, tracks per-tick movements, and pushes
+answers to focal nodes; subclasses implement ``_process``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.protocol import AnswerPush, LocationUpdate
+from repro.errors import ProtocolError
+from repro.geometry import Rect
+from repro.index.grid import UniformGrid
+from repro.net.message import Message, MessageKind
+from repro.net.node import MobileNode
+from repro.server.engine import BaseServer
+from repro.server.query_table import QuerySpec
+
+__all__ = ["ReporterNode", "CentralizedServerBase"]
+
+
+class ReporterNode(MobileNode):
+    """Streams this object's exact position to the server every tick."""
+
+    def __init__(self, oid: int, fleet) -> None:
+        super().__init__(oid, fleet)
+        self.known_answers: Dict[int, List[int]] = {}
+
+    def on_tick_start(self, tick: int) -> None:
+        x, y = self.position
+        self.send_server(MessageKind.TICK_REPORT, LocationUpdate(x, y))
+
+    def on_message(self, msg: Message) -> None:
+        if msg.kind == MessageKind.ANSWER_PUSH:
+            payload = msg.payload
+            self.known_answers[payload.qid] = list(payload.ids)
+        else:
+            raise ProtocolError(
+                f"reporter node {self.oid} cannot handle {msg.kind}"
+            )
+
+
+class CentralizedServerBase(BaseServer):
+    """Ingests the per-tick position stream; subclasses evaluate queries."""
+
+    def __init__(
+        self,
+        universe: Rect,
+        grid_cells: int = 32,
+        record_history: bool = False,
+    ) -> None:
+        super().__init__(record_history=record_history)
+        self.universe = universe
+        self.grid = UniformGrid(universe, grid_cells, meter=self.meter)
+        #: (oid, old position or None, new position) received this tick.
+        self._updates: List[
+            Tuple[int, Optional[Tuple[float, float]], Tuple[float, float]]
+        ] = []
+        self._processed_tick = -1
+        self._tick = 0
+
+    # -- stream ingestion ---------------------------------------------------
+
+    def on_message(self, msg: Message) -> None:
+        if msg.kind != MessageKind.TICK_REPORT:
+            raise ProtocolError(f"centralized server cannot handle {msg.kind}")
+        payload = msg.payload
+        oid = msg.src
+        old: Optional[Tuple[float, float]]
+        if oid in self.grid:
+            old = self.grid.position_of(oid)
+            self.grid.update(oid, payload.x, payload.y)
+        else:
+            old = None
+            self.grid.insert(oid, payload.x, payload.y)
+        self._updates.append((oid, old, (payload.x, payload.y)))
+
+    # -- per-tick evaluation -------------------------------------------------
+
+    def on_tick_start(self, tick: int) -> None:
+        super().on_tick_start(tick)
+        self._tick = tick
+
+    def on_subround(self, tick: int) -> None:
+        # All reports of a tick arrive in the first delivery batch;
+        # evaluate once, then ignore the subrounds delivering pushes.
+        if self._processed_tick == tick:
+            return
+        self._processed_tick = tick
+        self._process(tick, self._updates)
+        self._updates = []
+
+    def _process(
+        self,
+        tick: int,
+        updates: List[
+            Tuple[int, Optional[Tuple[float, float]], Tuple[float, float]]
+        ],
+    ) -> None:
+        """Evaluate all queries for this tick (subclass responsibility)."""
+        raise NotImplementedError
+
+    # -- answer delivery --------------------------------------------------------
+
+    def publish_and_push(self, spec: QuerySpec, answer_ids: List[int]) -> None:
+        """Publish and, on membership change, push to the focal node."""
+        if set(self.answers.get(spec.qid, ())) != set(answer_ids):
+            self.send(
+                spec.focal_oid,
+                MessageKind.ANSWER_PUSH,
+                AnswerPush(spec.qid, tuple(answer_ids)),
+            )
+        self.publish(spec.qid, answer_ids)
+
+    def focal_position(self, spec: QuerySpec) -> Tuple[float, float]:
+        """Exact focal position (the focal object reports every tick)."""
+        return self.grid.position_of(spec.focal_oid)

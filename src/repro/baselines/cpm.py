@@ -1,0 +1,134 @@
+"""CPM: conceptual-partitioning-style incremental monitoring.
+
+Modeled on CPM [Mouratidis, Papadias, Hadjieleftheriou — SIGMOD'05]:
+the same answer-region dirty tracking as SEA, but a dirty query is
+repaired with a *bounded* re-search instead of a from-scratch best-first
+search. The bound exploits what the server already knows:
+
+* every old answer member's new distance to the new query position is
+  computable in ``k`` distance operations;
+* the true new kNN all lie within ``r = max`` of those distances
+  (the old answer supplies ``k`` objects within ``r``, so nothing
+  farther can be in the answer);
+
+so one range search of radius ``r`` plus a top-k selection is exact.
+This mirrors CPM's property of touching only the cells the update
+actually invalidated, rather than re-walking the search space.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.baselines.common import CentralizedServerBase, ReporterNode
+from repro.geometry import Rect
+from repro.index.knn import knn_search, range_search
+from repro.metrics.cost import CostMeter
+from repro.net.simulator import RoundSimulator, ZERO_LATENCY
+from repro.server.query_table import QuerySpec
+
+__all__ = ["CpmServer", "build_cpm_system"]
+
+
+class CpmServer(CentralizedServerBase):
+    """Answer-region dirty tracking + bounded incremental repair."""
+
+    def __init__(
+        self,
+        universe: Rect,
+        grid_cells: int = 32,
+        record_history: bool = False,
+    ) -> None:
+        super().__init__(universe, grid_cells, record_history=record_history)
+        self._region_cells: Dict[int, Set[Tuple[int, int]]] = {}
+        self._cell_map: Dict[Tuple[int, int], Set[int]] = {}
+        #: qid -> current answer as ascending (distance, oid).
+        self._answer: Dict[int, List[Tuple[float, int]]] = {}
+
+    def _set_region(self, qid: int, qx: float, qy: float, d_k: float) -> None:
+        new_cells = set(self.grid.cells_intersecting_circle(qx, qy, d_k))
+        old_cells = self._region_cells.get(qid, set())
+        for cell in old_cells - new_cells:
+            members = self._cell_map[cell]
+            members.discard(qid)
+            if not members:
+                del self._cell_map[cell]
+        for cell in new_cells - old_cells:
+            self._cell_map.setdefault(cell, set()).add(qid)
+        self._region_cells[qid] = new_cells
+        self.meter.charge(CostMeter.BOOKKEEPING, len(new_cells ^ old_cells))
+
+    def _repair(self, spec: QuerySpec) -> None:
+        qx, qy = self.focal_position(spec)
+        exclude = frozenset((spec.focal_oid,))
+        previous = self._answer.get(spec.qid)
+        if previous is not None and len(previous) >= spec.k:
+            # Bounded repair: the old answer members bound the new d_k.
+            bound = 0.0
+            usable = True
+            for _, oid in previous:
+                if oid not in self.grid:
+                    usable = False  # member de-registered: fall back
+                    break
+                ox, oy = self.grid.position_of(oid)
+                d = math.hypot(ox - qx, oy - qy)
+                self.meter.charge(CostMeter.DIST_CALC)
+                if d > bound:
+                    bound = d
+            if usable:
+                # Inflate the bound by a few ulps: range_search compares
+                # squared distances, which can round the farthest old
+                # member just outside an exact hypot-derived radius.
+                bound += 1e-9 * (bound + 1.0)
+                cands = range_search(
+                    self.grid, qx, qy, bound, exclude=exclude, meter=self.meter
+                )
+                result = cands[: spec.k]
+            else:
+                result = knn_search(
+                    self.grid, qx, qy, spec.k, exclude=exclude, meter=self.meter
+                )
+        else:
+            result = knn_search(
+                self.grid, qx, qy, spec.k, exclude=exclude, meter=self.meter
+            )
+        self._answer[spec.qid] = list(result)
+        d_k = result[-1][0] if result else 0.0
+        self._set_region(spec.qid, qx, qy, d_k)
+        self.publish_and_push(spec, [oid for _, oid in result])
+
+    def _process(self, tick, updates) -> None:
+        dirty: Set[int] = set()
+        for spec in self.queries:
+            if spec.qid not in self._region_cells:
+                dirty.add(spec.qid)
+        for oid, old, new in updates:
+            for qid in self.queries.queries_of_focal(oid):
+                if old is None or old != new:
+                    dirty.add(qid)
+            if old == new:
+                continue
+            self.meter.charge(CostMeter.BOOKKEEPING)
+            if old is not None:
+                old_cell = self.grid.cell_of(old[0], old[1])
+                dirty.update(self._cell_map.get(old_cell, ()))
+            new_cell = self.grid.cell_of(new[0], new[1])
+            dirty.update(self._cell_map.get(new_cell, ()))
+        for qid in dirty:
+            self._repair(self.queries.get(qid))
+
+
+def build_cpm_system(
+    fleet,
+    specs: Sequence[QuerySpec],
+    grid_cells: int = 32,
+    latency: str = ZERO_LATENCY,
+    record_history: bool = False,
+) -> RoundSimulator:
+    """Build a ready-to-run CPM system."""
+    server = CpmServer(fleet.universe, grid_cells, record_history=record_history)
+    for spec in specs:
+        server.register_query(spec)
+    mobiles = [ReporterNode(oid, fleet) for oid in range(fleet.n)]
+    return RoundSimulator(fleet, server, mobiles, latency=latency)

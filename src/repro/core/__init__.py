@@ -1,0 +1,64 @@
+"""The paper's core contribution: distributed processing of moving kNN
+queries on moving objects (point-to-point and broadcast variants)."""
+
+from repro.core.builder import build_dknn_system
+from repro.core.client import DknnMobileNode
+from repro.core.params import BroadcastParams, DknnParams
+from repro.core.protocol import (
+    BAND_ANSWER,
+    BAND_OUTSIDER,
+    BAND_QUERY_CIRCLE,
+    AnswerPush,
+    BroadcastInstall,
+    CollectRequest,
+    InstallBand,
+    LocationUpdate,
+    ProbeReply,
+    ProbeRequest,
+    RevokeBand,
+    ViolationReport,
+)
+from repro.core.geocast_variant import (
+    DknnGeocastServer,
+    GeocastMobileNode,
+    GeocastParams,
+    build_geocast_system,
+)
+from repro.core.range_monitor import (
+    RangeBroadcastServer,
+    RangeMobileNode,
+    RangeQuerySpec,
+    build_range_system,
+)
+from repro.core.regions import Installation, plan_installation
+from repro.core.server import DknnServer
+
+__all__ = [
+    "DknnParams",
+    "BroadcastParams",
+    "DknnServer",
+    "DknnMobileNode",
+    "build_dknn_system",
+    "GeocastParams",
+    "DknnGeocastServer",
+    "GeocastMobileNode",
+    "build_geocast_system",
+    "RangeQuerySpec",
+    "RangeBroadcastServer",
+    "RangeMobileNode",
+    "build_range_system",
+    "Installation",
+    "plan_installation",
+    "LocationUpdate",
+    "ProbeRequest",
+    "ProbeReply",
+    "InstallBand",
+    "RevokeBand",
+    "ViolationReport",
+    "AnswerPush",
+    "CollectRequest",
+    "BroadcastInstall",
+    "BAND_ANSWER",
+    "BAND_OUTSIDER",
+    "BAND_QUERY_CIRCLE",
+]

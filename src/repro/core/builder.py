@@ -1,0 +1,53 @@
+"""Wire a complete DKNN system (server + one node per object) together."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.client import DknnMobileNode
+from repro.core.params import DknnParams
+from repro.core.server import DknnServer
+from repro.errors import ProtocolError
+from repro.net.simulator import ONE_TICK_LATENCY, ZERO_LATENCY, RoundSimulator
+from repro.server.query_table import QuerySpec
+
+__all__ = ["build_dknn_system"]
+
+
+def build_dknn_system(
+    fleet,
+    specs: Sequence[QuerySpec],
+    params: Optional[DknnParams] = None,
+    latency: str = ZERO_LATENCY,
+    record_history: bool = False,
+) -> RoundSimulator:
+    """Build a ready-to-run simulator for the point-to-point protocol.
+
+    One :class:`DknnMobileNode` is created per fleet object; focal
+    objects are ordinary nodes that additionally receive query circles.
+    In one-tick-latency mode the planner margin is widened by the
+    fleet's max speed automatically (positions are one tick staler).
+    """
+    if params is None:
+        params = DknnParams()
+    for spec in specs:
+        if not 0 <= spec.focal_oid < fleet.n:
+            raise ProtocolError(
+                f"query {spec.qid}: focal object {spec.focal_oid} "
+                f"not in fleet of {fleet.n}"
+            )
+    if latency == ONE_TICK_LATENCY and params.latency_slack == 0.0:
+        params = DknnParams(
+            theta=params.theta,
+            s_cap=params.s_cap,
+            grid_cells=params.grid_cells,
+            latency_slack=fleet.max_speed,
+            incremental=params.incremental,
+        )
+    server = DknnServer(fleet.universe, params, record_history=record_history)
+    for spec in specs:
+        server.register_query(spec)
+    mobiles = [
+        DknnMobileNode(oid, fleet, theta=params.theta) for oid in range(fleet.n)
+    ]
+    return RoundSimulator(fleet, server, mobiles, latency=latency)

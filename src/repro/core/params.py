@@ -1,0 +1,95 @@
+"""Tunable parameters of the DKNN protocol variants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+
+__all__ = ["DknnParams", "BroadcastParams"]
+
+
+@dataclass(frozen=True)
+class DknnParams:
+    """Parameters of the point-to-point DKNN protocol.
+
+    Attributes
+    ----------
+    theta:
+        Dead-reckoning tolerance: an object reports when it has drifted
+        more than this from its last report. Smaller values mean more
+        uplink traffic but fewer probes (the E9 ablation).
+    s_cap:
+        Maximum safe-circle radius granted to the query (and band slack
+        granted to objects). The effective value per installation is
+        capped by half the k/k+1 distance gap.
+    grid_cells:
+        Side length (in cells) of the server's grid over reported
+        positions.
+    latency_slack:
+        Extra uncertainty added to ``theta`` in the planner's margin.
+        Zero for zero-latency runs; set to the fleet's max speed when
+        messages take a tick (positions are one tick staler).
+    incremental:
+        Enable *light repairs*: a repair triggered purely by object
+        band violations (anchor unchanged) touches only the current
+        answer plus the violators instead of re-probing and
+        re-installing the whole candidate zone. Falls back to a full
+        repair whenever the light conditions fail. The E13 ablation
+        measures the saving.
+    """
+
+    theta: float = 100.0
+    s_cap: float = 50.0
+    grid_cells: int = 32
+    latency_slack: float = 0.0
+    incremental: bool = True
+
+    def __post_init__(self) -> None:
+        if self.theta < 0:
+            raise ProtocolError(f"negative theta {self.theta}")
+        if self.s_cap < 0:
+            raise ProtocolError(f"negative s_cap {self.s_cap}")
+        if self.grid_cells < 1:
+            raise ProtocolError(f"grid_cells must be >= 1, got {self.grid_cells}")
+        if self.latency_slack < 0:
+            raise ProtocolError(f"negative latency_slack {self.latency_slack}")
+
+    @property
+    def uncertainty(self) -> float:
+        """Server-side bound on |true - reported| position error."""
+        return self.theta + self.latency_slack
+
+
+@dataclass(frozen=True)
+class BroadcastParams:
+    """Parameters of the broadcast DKNN variant (DKNN-B).
+
+    Attributes
+    ----------
+    s_cap:
+        As in :class:`DknnParams`.
+    initial_collect_radius:
+        First collect radius for a query with no history. Doubled until
+        the collect returns at least ``k + 1`` replies.
+    collect_slack:
+        Multiplier applied to the previous threshold when choosing the
+        next repair's collect radius.
+    """
+
+    s_cap: float = 50.0
+    initial_collect_radius: float = 1000.0
+    collect_slack: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.s_cap < 0:
+            raise ProtocolError(f"negative s_cap {self.s_cap}")
+        if self.initial_collect_radius <= 0:
+            raise ProtocolError(
+                f"initial_collect_radius must be positive, "
+                f"got {self.initial_collect_radius}"
+            )
+        if self.collect_slack <= 1.0:
+            raise ProtocolError(
+                f"collect_slack must exceed 1.0, got {self.collect_slack}"
+            )

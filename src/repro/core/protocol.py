@@ -1,0 +1,311 @@
+"""Wire payloads of the DKNN protocol.
+
+Each payload is a tiny immutable record with an explicit
+``wire_size()`` under the fixed-width model of
+:mod:`repro.net.message`: 8 bytes per float, 4 per int. Band kinds are
+encoded as one int on the wire.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "BAND_ANSWER",
+    "BAND_OUTSIDER",
+    "BAND_QUERY_CIRCLE",
+    "LocationUpdate",
+    "ProbeRequest",
+    "ProbeReply",
+    "InstallBand",
+    "RevokeBand",
+    "ViolationReport",
+    "AnswerPush",
+    "CollectRequest",
+    "CollectReply",
+    "BroadcastInstall",
+    "GeocastInstall",
+]
+
+BAND_ANSWER = 0
+BAND_OUTSIDER = 1
+BAND_QUERY_CIRCLE = 2
+
+_BAND_KINDS = (BAND_ANSWER, BAND_OUTSIDER, BAND_QUERY_CIRCLE)
+
+
+class LocationUpdate:
+    """Dead-reckoning report: the sender's exact position."""
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float) -> None:
+        self.x = float(x)
+        self.y = float(y)
+
+    def wire_size(self) -> int:
+        return 16
+
+    def __repr__(self) -> str:
+        return f"LocationUpdate({self.x:g}, {self.y:g})"
+
+
+class ProbeRequest:
+    """Server asks one object for its exact position right now."""
+
+    __slots__ = ()
+
+    def wire_size(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "ProbeRequest()"
+
+
+class ProbeReply:
+    """Exact position, in response to a probe or a collect."""
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float) -> None:
+        self.x = float(x)
+        self.y = float(y)
+
+    def wire_size(self) -> int:
+        return 16
+
+    def __repr__(self) -> str:
+        return f"ProbeReply({self.x:g}, {self.y:g})"
+
+
+class InstallBand:
+    """Install one safe region for one query on the receiving object.
+
+    ``band`` selects the predicate (answer / outsider / query circle);
+    the anchor is the query position frozen at installation; ``radius``
+    may be ``inf`` for never-violated bands (trivial answers).
+    """
+
+    __slots__ = ("qid", "band", "ax", "ay", "radius")
+
+    def __init__(
+        self, qid: int, band: int, ax: float, ay: float, radius: float
+    ) -> None:
+        if band not in _BAND_KINDS:
+            raise ProtocolError(f"unknown band kind {band}")
+        if radius < 0:
+            raise ProtocolError(f"negative band radius {radius}")
+        self.qid = qid
+        self.band = band
+        self.ax = float(ax)
+        self.ay = float(ay)
+        self.radius = float(radius)
+
+    def wire_size(self) -> int:
+        return 4 + 4 + 24
+
+    def __repr__(self) -> str:
+        return (
+            f"InstallBand(q{self.qid}, band={self.band}, "
+            f"anchor=({self.ax:g}, {self.ay:g}), r={self.radius:g})"
+        )
+
+
+class RevokeBand:
+    """Remove the region installed for ``qid`` on the receiving object."""
+
+    __slots__ = ("qid",)
+
+    def __init__(self, qid: int) -> None:
+        self.qid = qid
+
+    def wire_size(self) -> int:
+        return 4
+
+    def __repr__(self) -> str:
+        return f"RevokeBand(q{self.qid})"
+
+
+class ViolationReport:
+    """An object crossed its band (or the focal node left its circle).
+
+    Carries the sender's exact position so the server need not probe
+    the violator again. ``epoch`` stamps which installation generation
+    the violated region belonged to; the geocast variant uses it to
+    drop reports against long-replaced regions (epoch -1 = unused).
+    """
+
+    __slots__ = ("qid", "x", "y", "epoch")
+
+    def __init__(self, qid: int, x: float, y: float, epoch: int = -1) -> None:
+        self.qid = qid
+        self.x = float(x)
+        self.y = float(y)
+        self.epoch = epoch
+
+    def wire_size(self) -> int:
+        return 20 + (4 if self.epoch >= 0 else 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"ViolationReport(q{self.qid}, ({self.x:g}, {self.y:g})"
+            + (f", e{self.epoch})" if self.epoch >= 0 else ")")
+        )
+
+
+class AnswerPush:
+    """The current answer ids, pushed to the query's focal node."""
+
+    __slots__ = ("qid", "ids")
+
+    def __init__(self, qid: int, ids: Tuple[int, ...]) -> None:
+        self.qid = qid
+        self.ids = tuple(ids)
+
+    def wire_size(self) -> int:
+        return 4 + 4 * len(self.ids)
+
+    def __repr__(self) -> str:
+        return f"AnswerPush(q{self.qid}, {list(self.ids)})"
+
+
+class CollectReply:
+    """Positive response to a collect: qid plus exact position."""
+
+    __slots__ = ("qid", "x", "y")
+
+    def __init__(self, qid: int, x: float, y: float) -> None:
+        self.qid = qid
+        self.x = float(x)
+        self.y = float(y)
+
+    def wire_size(self) -> int:
+        return 20
+
+    def __repr__(self) -> str:
+        return f"CollectReply(q{self.qid}, ({self.x:g}, {self.y:g}))"
+
+
+class CollectRequest:
+    """Broadcast: every object within ``radius`` of the point replies."""
+
+    __slots__ = ("qid", "cx", "cy", "radius")
+
+    def __init__(self, qid: int, cx: float, cy: float, radius: float) -> None:
+        if radius < 0:
+            raise ProtocolError(f"negative collect radius {radius}")
+        self.qid = qid
+        self.cx = float(cx)
+        self.cy = float(cy)
+        self.radius = float(radius)
+
+    def wire_size(self) -> int:
+        return 4 + 24
+
+    def covers(self, x: float, y: float) -> bool:
+        """Geocast coverage: exactly the collect circle."""
+        dx = x - self.cx
+        dy = y - self.cy
+        return dx * dx + dy * dy <= self.radius * self.radius
+
+    def __repr__(self) -> str:
+        return (
+            f"CollectRequest(q{self.qid}, ({self.cx:g}, {self.cy:g}), "
+            f"r={self.radius:g})"
+        )
+
+
+class BroadcastInstall:
+    """Broadcast: the full monitoring state of one query.
+
+    Every object hears it and monitors itself: answer members against
+    the inner band, everyone else against the outer band. The focal
+    node additionally monitors the query circle of radius ``s``.
+    """
+
+    __slots__ = ("qid", "ax", "ay", "threshold", "s", "answer_ids")
+
+    def __init__(
+        self,
+        qid: int,
+        ax: float,
+        ay: float,
+        threshold: float,
+        s: float,
+        answer_ids: Tuple[int, ...],
+    ) -> None:
+        if threshold < 0:
+            raise ProtocolError(f"negative threshold {threshold}")
+        if s < 0:
+            raise ProtocolError(f"negative safe radius {s}")
+        if not math.isinf(threshold) and s > threshold:
+            raise ProtocolError(
+                f"safe radius {s} exceeds threshold {threshold}"
+            )
+        self.qid = qid
+        self.ax = float(ax)
+        self.ay = float(ay)
+        self.threshold = float(threshold)
+        self.s = float(s)
+        self.answer_ids = tuple(answer_ids)
+
+    def wire_size(self) -> int:
+        return 4 + 32 + 4 * len(self.answer_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"BroadcastInstall(q{self.qid}, anchor=({self.ax:g}, "
+            f"{self.ay:g}), t={self.threshold:g}, s={self.s:g}, "
+            f"answer={list(self.answer_ids)})"
+        )
+
+
+class GeocastInstall(BroadcastInstall):
+    """Area-scoped install: a :class:`BroadcastInstall` delivered only
+    inside the coverage circle of radius ``cover`` around the anchor.
+
+    ``epoch`` is the per-query installation generation; mobile nodes
+    ignore installs older than what they hold, and the server ignores
+    violations stamped with superseded epochs. Coverage must be at
+    least ``threshold + s + lease * v_max`` so that any object outside
+    it provably cannot reach the outer band before the next renewal
+    (the lease argument — see repro.core.geocast_variant).
+    """
+
+    __slots__ = ("cover", "epoch")
+
+    def __init__(
+        self,
+        qid: int,
+        ax: float,
+        ay: float,
+        threshold: float,
+        s: float,
+        answer_ids: Tuple[int, ...],
+        cover: float,
+        epoch: int,
+    ) -> None:
+        super().__init__(qid, ax, ay, threshold, s, answer_ids)
+        if cover < 0:
+            raise ProtocolError(f"negative cover radius {cover}")
+        if epoch < 0:
+            raise ProtocolError(f"negative epoch {epoch}")
+        self.cover = float(cover)
+        self.epoch = epoch
+
+    def covers(self, x: float, y: float) -> bool:
+        dx = x - self.ax
+        dy = y - self.ay
+        return dx * dx + dy * dy <= self.cover * self.cover
+
+    def wire_size(self) -> int:
+        return super().wire_size() + 8 + 4
+
+    def __repr__(self) -> str:
+        return (
+            f"GeocastInstall(q{self.qid}, e{self.epoch}, t={self.threshold:g}, "
+            f"s={self.s:g}, cover={self.cover:g})"
+        )

@@ -1,0 +1,614 @@
+"""Server-side logic of the point-to-point DKNN protocol.
+
+The server keeps a dead-reckoning :class:`ObjectTable` (positions known
+to within ``theta``), and per query a small state machine:
+
+``IDLE``
+    Nothing owed. Once per tick the *planner* runs: it scans, over
+    **reported** positions, for uninformed objects within the monitor
+    zone ``t + s_eff + uncertainty`` of the anchor. Any hit is probed;
+    a probe landing inside ``t + s_eff`` (a true encroacher) triggers a
+    repair, otherwise the object gets an outsider band and joins the
+    informed set.
+
+``WAIT_FOCAL`` / ``WAIT_CANDS`` / ``WAIT_PLANNER``
+    Blocked on outstanding probes (answered within the tick in
+    zero-latency mode).
+
+A repair re-derives everything from exact positions:
+
+1. ensure the focal node's exact position is known (probe if stale);
+2. over reported positions, find the ``k+1`` nearest and set the probe
+   radius ``R = r_{k+1} + 2*uncertainty + s_cap`` — a radius provably
+   containing the true top ``k+1`` *and* the post-repair monitor zone;
+3. probe every candidate in ``R`` whose position is stale this tick;
+4. run :func:`~repro.core.regions.plan_installation` on exact
+   distances, install answer/outsider bands anchored at the exact query
+   position, the query safe circle, revoke bands of objects no longer
+   informed, and push the answer to the focal node if it changed.
+
+Exactness (zero-latency mode): by the band invariant in
+:mod:`repro.core.regions`, between repairs the published answer remains
+a valid kNN set; each repair re-establishes it from exact positions.
+Property and integration tests check the published answer against
+brute force over ground truth at every tick.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.params import DknnParams
+from repro.core.protocol import (
+    BAND_ANSWER,
+    BAND_OUTSIDER,
+    BAND_QUERY_CIRCLE,
+    AnswerPush,
+    InstallBand,
+    ProbeRequest,
+    RevokeBand,
+)
+from repro.core.regions import Installation, plan_installation
+from repro.errors import ProtocolError
+from repro.geometry import Rect, dist
+from repro.index.knn import knn_search, range_search
+from repro.metrics.cost import CostMeter
+from repro.net.message import Message, MessageKind
+from repro.server.engine import BaseServer
+from repro.server.object_table import ObjectTable
+from repro.server.query_table import QuerySpec
+
+__all__ = ["DknnServer"]
+
+_IDLE = "idle"
+_WAIT_FOCAL = "wait_focal"
+_WAIT_CANDS = "wait_cands"
+_WAIT_PLANNER = "wait_planner"
+_WAIT_LIGHT = "wait_light"
+
+
+class _QueryState:
+    """Mutable per-query protocol state."""
+
+    __slots__ = (
+        "spec",
+        "install",
+        "informed",
+        "phase",
+        "dirty",
+        "pending",
+        "cand_ids",
+        "planner_new",
+        "planner_tick",
+        "violators",
+        "light_ok",
+        "light_violators",
+    )
+
+    def __init__(self, spec: QuerySpec) -> None:
+        self.spec = spec
+        self.install: Optional[Installation] = None
+        self.informed: Set[int] = set()
+        self.phase = _IDLE
+        self.dirty = True  # forces the initial installation
+        self.pending: Set[int] = set()
+        self.cand_ids: List[int] = []
+        self.planner_new: List[int] = []
+        self.planner_tick = -1
+        #: objects whose band violation marked this query dirty.
+        self.violators: Set[int] = set()
+        #: True while every dirty trigger this round is light-repairable.
+        self.light_ok = False
+        #: violators being handled by the in-flight light repair.
+        self.light_violators: Set[int] = set()
+
+
+class DknnServer(BaseServer):
+    """Central coordinator of the distributed MkNN protocol."""
+
+    def __init__(
+        self,
+        universe: Rect,
+        params: DknnParams = DknnParams(),
+        record_history: bool = False,
+    ) -> None:
+        super().__init__(record_history=record_history)
+        self.params = params
+        self.table = ObjectTable(
+            universe, params.grid_cells, params.theta, meter=self.meter
+        )
+        self._states: Dict[int, _QueryState] = {}
+        self._tick = 0
+        self._probes_in_flight: Set[int] = set()
+        #: repairs performed per query (light + full), and the light
+        #: subset (the E13 ablation reports the ratio).
+        self.repair_count: Dict[int, int] = {}
+        self.light_repair_count: Dict[int, int] = {}
+
+    # -- registration -----------------------------------------------------
+
+    def register_query(self, spec: QuerySpec) -> None:
+        super().register_query(spec)
+        self._states[spec.qid] = _QueryState(spec)
+        self.repair_count[spec.qid] = 0
+        self.light_repair_count[spec.qid] = 0
+
+    # -- message handling ----------------------------------------------------
+
+    def on_message(self, msg: Message) -> None:
+        kind = msg.kind
+        payload = msg.payload
+        if kind in (MessageKind.LOCATION_UPDATE, MessageKind.PROBE_REPLY):
+            self.table.report(msg.src, payload.x, payload.y, self._tick)
+            self._probes_in_flight.discard(msg.src)
+        elif kind in (MessageKind.VIOLATION, MessageKind.QUERY_MOVE):
+            self.table.report(msg.src, payload.x, payload.y, self._tick)
+            state = self._states.get(payload.qid)
+            if state is None:
+                raise ProtocolError(
+                    f"violation for unknown query {payload.qid}"
+                )
+            if not state.dirty:
+                # First trigger this round decides repairability;
+                # object violations start light, anything else doesn't.
+                state.light_ok = kind == MessageKind.VIOLATION
+            elif kind == MessageKind.QUERY_MOVE:
+                state.light_ok = False
+            state.dirty = True
+            if kind == MessageKind.VIOLATION:
+                state.violators.add(msg.src)
+        else:
+            raise ProtocolError(f"server cannot handle {kind}")
+
+    # -- per-subround driving -----------------------------------------------
+
+    def on_tick_start(self, tick: int) -> None:
+        super().on_tick_start(tick)
+        self._tick = tick
+
+    def on_subround(self, tick: int) -> None:
+        self._tick = tick
+        for state in self._states.values():
+            self._advance(state, tick)
+
+    def busy(self) -> bool:
+        # Unfinished repairs keep the zero-latency subround loop alive;
+        # a repair that cannot progress then fails loudly at the
+        # engine's subround cap instead of silently going stale.
+        return any(
+            st.dirty or st.phase != _IDLE for st in self._states.values()
+        )
+
+    # -- state machine -----------------------------------------------------
+
+    def _advance(self, st: _QueryState, tick: int) -> None:
+        table = self.table
+        focal = st.spec.focal_oid
+        # Loop until the state blocks on outstanding probes or finishes
+        # the tick's obligations.
+        while True:
+            if st.phase == _IDLE:
+                light = (
+                    st.dirty
+                    and st.light_ok
+                    and self.params.incremental
+                    and st.install is not None
+                    and not math.isinf(st.install.threshold)
+                )
+                if light:
+                    # The light path needs this tick's silent-object
+                    # guarantee re-established first: run the planner
+                    # against the *old* installation before deciding
+                    # the swap from the violator + answer pool alone.
+                    if st.planner_tick != tick:
+                        st.planner_tick = tick
+                        if not self._planner(st, tick):
+                            return  # blocked; WAIT_PLANNER resumes us
+                        if not st.light_ok:
+                            continue  # encroacher: escalate to full
+                    st.dirty = False
+                    violators = set(st.violators)
+                    st.violators = set()
+                    st.light_ok = False
+                    if not self._begin_light(st, violators, tick):
+                        return  # blocked on answer probes
+                    if not self._finalize_light(st, tick):
+                        st.dirty = True  # infeasible: escalate to full
+                        continue
+                    return
+                if st.dirty:
+                    st.dirty = False
+                    st.light_ok = False
+                    st.violators = set()
+                    if focal not in table:
+                        # Focal has never reported (first tick ordering):
+                        # stay dirty until it appears.
+                        st.dirty = True
+                        return
+                    if not table.is_fresh(focal, tick):
+                        self._probe(focal)
+                        st.pending = {focal}
+                        st.phase = _WAIT_FOCAL
+                        return
+                    if not self._select_candidates(st, tick):
+                        return  # blocked on candidate probes (or trivial)
+                    self._finalize(st, tick)
+                    return
+                if st.planner_tick != tick:
+                    st.planner_tick = tick
+                    if not self._planner(st, tick):
+                        return  # blocked on planner probes
+                    continue  # planner may have marked the query dirty
+                return
+            if st.phase == _WAIT_LIGHT:
+                if any(not table.is_fresh(o, tick) for o in st.pending):
+                    return
+                if not self._finalize_light(st, tick):
+                    st.dirty = True
+                    st.phase = _IDLE
+                    continue
+                return
+            if st.phase == _WAIT_FOCAL:
+                if not table.is_fresh(focal, tick):
+                    return
+                if not self._select_candidates(st, tick):
+                    return
+                self._finalize(st, tick)
+                return
+            if st.phase == _WAIT_CANDS:
+                if any(not table.is_fresh(o, tick) for o in st.pending):
+                    return
+                self._finalize(st, tick)
+                return
+            if st.phase == _WAIT_PLANNER:
+                if any(not table.is_fresh(o, tick) for o in st.pending):
+                    return
+                self._resolve_planner(st, tick)
+                if st.dirty:
+                    continue  # an encroacher forced a repair
+                return
+            raise ProtocolError(f"unknown phase {st.phase}")
+
+    # -- repair pipeline -------------------------------------------------------
+
+    def _probe(self, oid: int) -> None:
+        """Ask ``oid`` for its exact position, once per outstanding need.
+
+        Two queries wanting the same object's position in the same
+        round share a single probe: both block on the object's
+        freshness, which the one reply establishes.
+        """
+        if self.table.is_fresh(oid, self._tick):
+            return
+        if oid in self._probes_in_flight:
+            return
+        self._probes_in_flight.add(oid)
+        self.send(oid, MessageKind.PROBE, ProbeRequest())
+
+    def _select_candidates(self, st: _QueryState, tick: int) -> bool:
+        """Choose the probe set; returns False when blocked or trivial.
+
+        On the trivial path (fewer than ``k+1`` known objects) this
+        finalizes directly and returns False so the caller stops.
+        """
+        spec = st.spec
+        table = self.table
+        qx, qy = table.last_position(spec.focal_oid)
+        exclude = frozenset((spec.focal_oid,))
+        reported = knn_search(
+            table.grid, qx, qy, spec.k + 1, exclude=exclude, meter=self.meter
+        )
+        if len(reported) <= spec.k:
+            self._finalize_trivial(st, reported, (qx, qy), tick)
+            return False
+        r_k1 = reported[-1][0]
+        radius = r_k1 + 2.0 * self.params.uncertainty + self.params.s_cap
+        cands = range_search(
+            table.grid, qx, qy, radius, exclude=exclude, meter=self.meter
+        )
+        st.cand_ids = [oid for _, oid in cands]
+        stale = [o for o in st.cand_ids if not table.is_fresh(o, tick)]
+        if stale:
+            for oid in stale:
+                self._probe(oid)
+            st.pending = set(stale)
+            st.phase = _WAIT_CANDS
+            return False
+        st.phase = _WAIT_CANDS  # all fresh: fall straight through
+        return True
+
+    def _finalize_trivial(
+        self,
+        st: _QueryState,
+        reported: List[Tuple[float, int]],
+        anchor: Tuple[float, float],
+        tick: int,
+    ) -> None:
+        """Fewer objects than ``k``: everyone is the answer, forever
+        (until the population changes, which this server doesn't
+        support mid-run). No bands are needed — there is nothing that
+        could displace an answer member."""
+        inst = Installation(
+            anchor=anchor,
+            answer=tuple(reported),
+            outsiders=(),
+            threshold=math.inf,
+            s_eff=self.params.s_cap,
+        )
+        self._install(st, inst, tick)
+        st.phase = _IDLE
+
+    def _finalize(self, st: _QueryState, tick: int) -> None:
+        spec = st.spec
+        table = self.table
+        qx, qy = table.last_position(spec.focal_oid)
+        exact: List[Tuple[float, int]] = []
+        for oid in st.cand_ids:
+            ox, oy = table.last_position(oid)
+            exact.append((dist(ox, oy, qx, qy), oid))
+            self.meter.charge(CostMeter.DIST_CALC)
+        exact.sort()
+        inst = plan_installation((qx, qy), exact, spec.k, self.params.s_cap)
+        self._install(st, inst, tick)
+        st.phase = _IDLE
+
+    def _install(self, st: _QueryState, inst: Installation, tick: int) -> None:
+        """Send bands/revokes/answer for a fresh installation."""
+        qid = st.spec.qid
+        focal = st.spec.focal_oid
+        ax, ay = inst.anchor
+        trivial = math.isinf(inst.threshold)
+        # A trivial installation (everyone is the answer, nothing can
+        # displace them) needs no bands at all — any leftover bands
+        # from earlier installations are revoked below.
+        # Otherwise, outsider bands go only to candidates inside the
+        # monitor zone: anything farther is covered by the per-tick
+        # planner, so banding it would waste a downlink.
+        if trivial:
+            banded_outsiders: Tuple[int, ...] = ()
+        else:
+            banded_outsiders = inst.outsiders_within(
+                inst.monitor_radius(self.params.uncertainty)
+            )
+        new_informed = (
+            set() if trivial else set(inst.answer_ids) | set(banded_outsiders)
+        )
+        if not trivial:
+            for oid in inst.answer_ids:
+                self.send(
+                    oid,
+                    MessageKind.INSTALL_REGION,
+                    InstallBand(
+                        qid, BAND_ANSWER, ax, ay, inst.answer_band_radius
+                    ),
+                )
+            for oid in banded_outsiders:
+                self.send(
+                    oid,
+                    MessageKind.INSTALL_REGION,
+                    InstallBand(
+                        qid, BAND_OUTSIDER, ax, ay, inst.outsider_band_radius
+                    ),
+                )
+            self.send(
+                focal,
+                MessageKind.INSTALL_REGION,
+                InstallBand(qid, BAND_QUERY_CIRCLE, ax, ay, inst.s_eff),
+            )
+        for oid in st.informed - new_informed:
+            self.send(oid, MessageKind.REVOKE_REGION, RevokeBand(qid))
+        if trivial and st.install is not None and not math.isinf(
+            st.install.threshold
+        ):
+            # The focal node still holds a query circle from the prior
+            # non-trivial installation; nothing will ever replace it on
+            # the trivial path, so take it down explicitly.
+            self.send(focal, MessageKind.REVOKE_REGION, RevokeBand(qid))
+        st.informed = new_informed
+        old_answer = set(self.answers.get(qid, ()))
+        new_ids = list(inst.answer_ids)
+        if old_answer != set(new_ids):
+            self.send(focal, MessageKind.ANSWER_PUSH, AnswerPush(qid, tuple(new_ids)))
+        self.publish(qid, new_ids)
+        st.install = inst
+        st.pending = set()
+        st.cand_ids = []
+        self.repair_count[qid] += 1
+        self.meter.charge(CostMeter.REPAIR)
+
+    # -- light (incremental) repairs ------------------------------------------
+
+    def _begin_light(
+        self, st: _QueryState, violators: Set[int], tick: int
+    ) -> bool:
+        """Stage a light repair: pool = current answer + violators.
+
+        Violators carried their exact positions in their reports;
+        answer members may need probing. Returns False while blocked.
+        """
+        assert st.install is not None
+        pool = set(st.install.answer_ids) | violators
+        st.light_violators = violators
+        st.cand_ids = sorted(pool)
+        stale = [
+            o
+            for o in st.cand_ids + [st.spec.focal_oid]
+            if not self.table.is_fresh(o, tick)
+        ]
+        if stale:
+            for oid in stale:
+                self._probe(oid)
+            st.pending = set(stale)
+            st.phase = _WAIT_LIGHT
+            return False
+        return True
+
+    def _finalize_light(self, st: _QueryState, tick: int) -> bool:
+        """Re-rank the pool and swap bands minimally.
+
+        Soundness: after this tick's planner pass, every object outside
+        the pool — intact outsiders, planner-banded entrants, and the
+        still-silent — is at true distance >= t_old + s_old from the
+        anchor. The pool therefore contains the true kNN, and any new
+        threshold t' with ``t' + s <= t_old + s_old`` keeps every
+        untouched band sufficient. Returns False when no such t' exists
+        (the caller escalates to a full repair).
+        """
+        inst = st.install
+        assert inst is not None
+        spec = st.spec
+        table = self.table
+        ax, ay = inst.anchor
+        t_old, s_old = inst.threshold, inst.s_eff
+        exact: List[Tuple[float, int]] = []
+        for oid in st.cand_ids:
+            ox, oy = table.last_position(oid)
+            exact.append((dist(ox, oy, ax, ay), oid))
+            self.meter.charge(CostMeter.DIST_CALC)
+        exact.sort()
+        st.pending = set()
+        st.cand_ids = []
+        st.phase = _IDLE
+        if len(exact) < spec.k:
+            return False  # population shrank below k: full repair
+        new_answer = exact[: spec.k]
+        dropped = exact[spec.k:]
+        # The new bands must fit strictly inside the old ones so every
+        # untouched band keeps implying the new invariant:
+        #   answers <= t' - s_b, with t' - s_b >= t_old - s_old;
+        #   dropped/outsiders >= t' + s_b, with t' + s_b <= t_old + s_old.
+        lower = max(t_old - s_old, new_answer[-1][0])
+        upper = min(t_old + s_old, dropped[0][0] if dropped else math.inf)
+        if upper < lower:
+            return False  # the swap does not fit inside the old bands
+        s_new = min(self.params.s_cap, (upper - lower) / 2.0)
+        # The query stays anchored at A; its current drift must fit the
+        # new band slack (the focal was probed in _begin_light).
+        fx, fy = table.last_position(spec.focal_oid)
+        drift = dist(fx, fy, ax, ay)
+        self.meter.charge(CostMeter.DIST_CALC)
+        if drift > s_new:
+            return False  # not enough slack to absorb the query drift
+        t_new = (lower + upper) / 2.0
+        qid = spec.qid
+        old_answer = set(inst.answer_ids)
+        new_ids = [oid for _, oid in new_answer]
+        new_set = set(new_ids)
+        for d, oid in new_answer:
+            if oid not in old_answer or oid in st.light_violators:
+                # Entrants need an answer band; violators staying in
+                # the answer need theirs re-armed (a violated band
+                # stays silent until re-installed).
+                self.send(
+                    oid,
+                    MessageKind.INSTALL_REGION,
+                    InstallBand(qid, BAND_ANSWER, ax, ay, t_new - s_new),
+                )
+        for d, oid in dropped:
+            # Everyone dropped from the pool either just left the
+            # answer or violated inward without making the cut; both
+            # need a (re-armed) outsider band at the new boundary.
+            self.send(
+                oid,
+                MessageKind.INSTALL_REGION,
+                InstallBand(qid, BAND_OUTSIDER, ax, ay, t_new + s_new),
+            )
+        # Refresh (and re-arm) the query circle at the new slack.
+        self.send(
+            spec.focal_oid,
+            MessageKind.INSTALL_REGION,
+            InstallBand(qid, BAND_QUERY_CIRCLE, ax, ay, s_new),
+        )
+        if old_answer != new_set:
+            self.send(
+                spec.focal_oid,
+                MessageKind.ANSWER_PUSH,
+                AnswerPush(qid, tuple(new_ids)),
+            )
+        self.publish(qid, new_ids)
+        # Encroacher-derived pool members were uninformed until now.
+        st.informed.update(new_set)
+        st.informed.update(oid for _, oid in dropped)
+        st.light_violators = set()
+        st.install = Installation(
+            anchor=inst.anchor,
+            answer=tuple(new_answer),
+            outsiders=tuple(dropped),
+            threshold=t_new,
+            s_eff=s_new,
+        )
+        self.repair_count[qid] += 1
+        self.light_repair_count[qid] += 1
+        self.meter.charge(CostMeter.REPAIR)
+        return True
+
+    # -- planner (silent-object safety) ------------------------------------
+
+    def _planner(self, st: _QueryState, tick: int) -> bool:
+        """Scan for uninformed objects near the boundary; returns False
+        when blocked on probes."""
+        inst = st.install
+        if inst is None or math.isinf(inst.threshold):
+            return True
+        table = self.table
+        zone = inst.monitor_radius(self.params.uncertainty)
+        ax, ay = inst.anchor
+        exclude = frozenset((st.spec.focal_oid,))
+        hits = range_search(
+            table.grid, ax, ay, zone, exclude=exclude, meter=self.meter
+        )
+        new = [oid for _, oid in hits if oid not in st.informed]
+        if not new:
+            return True
+        st.planner_new = new
+        stale = [o for o in new if not table.is_fresh(o, tick)]
+        if stale:
+            for oid in stale:
+                self._probe(oid)
+            st.pending = set(stale)
+            st.phase = _WAIT_PLANNER
+            return False
+        self._resolve_planner(st, tick)
+        return True
+
+    def _resolve_planner(self, st: _QueryState, tick: int) -> None:
+        """All planner probes answered: band the harmless, repair on
+        true encroachers."""
+        inst = st.install
+        if inst is None:
+            raise ProtocolError("planner resolution without installation")
+        table = self.table
+        ax, ay = inst.anchor
+        boundary = inst.outsider_band_radius
+        encroachers: List[int] = []
+        harmless: List[int] = []
+        for oid in st.planner_new:
+            ox, oy = table.last_position(oid)
+            d = dist(ox, oy, ax, ay)
+            self.meter.charge(CostMeter.DIST_CALC)
+            if d < boundary:
+                encroachers.append(oid)
+            else:
+                harmless.append(oid)
+        st.pending = set()
+        st.planner_new = []
+        st.phase = _IDLE
+        if encroachers:
+            # Encroachers are exactly-known entrants: they qualify for
+            # the light path unless a heavier trigger (query move) is
+            # already pending this round.
+            if not st.dirty:
+                st.light_ok = True
+            st.violators.update(encroachers)
+            st.dirty = True
+            return
+        qid = st.spec.qid
+        for oid in harmless:
+            self.send(
+                oid,
+                MessageKind.INSTALL_REGION,
+                InstallBand(qid, BAND_OUTSIDER, ax, ay, boundary),
+            )
+            st.informed.add(oid)
+            self.meter.charge(CostMeter.BOOKKEEPING)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric argument (negative radius, empty rect, ...)."""
+
+
+class MobilityError(ReproError):
+    """Invalid mobility-model configuration or trace."""
+
+
+class NetworkError(ReproError):
+    """Simulated-network misuse (unknown node, closed channel, ...)."""
+
+
+class IndexError_(ReproError):
+    """Spatial-index misuse (point outside universe, unknown id, ...)."""
+
+
+class ProtocolError(ReproError):
+    """Violation of the DKNN protocol state machine."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification."""
+
+
+class ExperimentError(ReproError):
+    """Experiment-harness configuration error."""

@@ -1,0 +1,23 @@
+"""Experiment harness: algorithm registry, runner, tables, experiments."""
+
+from repro.experiments.algorithms import ALGORITHMS, build_system
+from repro.experiments.registry import (
+    DEFAULT_SPEC,
+    EXPERIMENTS,
+    QUICK_SPEC,
+    run_experiment,
+)
+from repro.experiments.runner import Measurement, run_once
+from repro.experiments.tables import ResultTable
+
+__all__ = [
+    "ALGORITHMS",
+    "build_system",
+    "Measurement",
+    "run_once",
+    "ResultTable",
+    "EXPERIMENTS",
+    "run_experiment",
+    "DEFAULT_SPEC",
+    "QUICK_SPEC",
+]

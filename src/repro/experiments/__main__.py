@@ -1,0 +1,66 @@
+"""Command-line experiment driver.
+
+Usage::
+
+    python -m repro.experiments E1 E5        # selected experiments
+    python -m repro.experiments --all        # everything
+    python -m repro.experiments --all --quick --csv results/
+
+``--quick`` shrinks workloads for a fast smoke pass; ``--csv DIR``
+additionally writes one CSV per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))})",
+    )
+    parser.add_argument("--all", action="store_true", help="run everything")
+    parser.add_argument(
+        "--quick", action="store_true", help="shrunken smoke-sized runs"
+    )
+    parser.add_argument(
+        "--csv", metavar="DIR", help="also write one CSV per experiment"
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.all else [n.upper() for n in args.experiments]
+    if not names:
+        parser.error("give experiment ids or --all")
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    if args.csv:
+        os.makedirs(args.csv, exist_ok=True)
+
+    for name in names:
+        _, description = EXPERIMENTS[name]
+        print(f"== {name}: {description} ==")
+        t0 = time.perf_counter()
+        table = run_experiment(name, quick=args.quick)
+        elapsed = time.perf_counter() - t0
+        print(table.render())
+        print(f"({elapsed:.1f}s)\n")
+        if args.csv:
+            table.to_csv(os.path.join(args.csv, f"{name.lower()}.csv"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""Uniform construction interface over all five algorithms.
+
+Every entry takes ``(fleet, specs, latency, record_history, **params)``
+and returns a ready :class:`~repro.net.simulator.RoundSimulator`. The
+``params`` accepted per algorithm:
+
+========= =====================================================
+DKNN-P    theta, s_cap, grid_cells, incremental
+DKNN-B    s_cap, initial_collect_radius, collect_slack
+DKNN-G    s_cap, initial_collect_radius, collect_slack, lease_ticks
+PER       grid_cells, period
+SEA       grid_cells
+CPM       grid_cells
+========= =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.baselines import (
+    build_cpm_system,
+    build_periodic_system,
+    build_seacnn_system,
+)
+from repro.core import BroadcastParams, DknnParams
+from repro.core.broadcast_variant import build_broadcast_system
+from repro.core.builder import build_dknn_system
+from repro.core.geocast_variant import GeocastParams, build_geocast_system
+from repro.errors import ExperimentError
+from repro.net.simulator import RoundSimulator, ZERO_LATENCY
+from repro.server.query_table import QuerySpec
+
+__all__ = ["ALGORITHMS", "build_system", "DISTRIBUTED", "CENTRALIZED"]
+
+#: Algorithm families, for experiment grouping.
+DISTRIBUTED = ("DKNN-P", "DKNN-B", "DKNN-G")
+CENTRALIZED = ("PER", "SEA", "CPM")
+
+
+def _build_dknn_p(fleet, specs, latency, record_history, **params):
+    dp = DknnParams(
+        theta=params.pop("theta", 100.0),
+        s_cap=params.pop("s_cap", 50.0),
+        grid_cells=params.pop("grid_cells", 32),
+        incremental=params.pop("incremental", True),
+    )
+    _reject_leftovers("DKNN-P", params)
+    return build_dknn_system(
+        fleet, specs, dp, latency=latency, record_history=record_history
+    )
+
+
+def _build_dknn_b(fleet, specs, latency, record_history, **params):
+    bp = BroadcastParams(
+        s_cap=params.pop("s_cap", 50.0),
+        initial_collect_radius=params.pop("initial_collect_radius", 1000.0),
+        collect_slack=params.pop("collect_slack", 1.5),
+    )
+    _reject_leftovers("DKNN-B", params)
+    return build_broadcast_system(
+        fleet, specs, bp, latency=latency, record_history=record_history
+    )
+
+
+def _build_dknn_g(fleet, specs, latency, record_history, **params):
+    gp = GeocastParams(
+        s_cap=params.pop("s_cap", 50.0),
+        initial_collect_radius=params.pop("initial_collect_radius", 1000.0),
+        collect_slack=params.pop("collect_slack", 1.5),
+        lease_ticks=params.pop("lease_ticks", 10),
+    )
+    _reject_leftovers("DKNN-G", params)
+    return build_geocast_system(
+        fleet, specs, gp, latency=latency, record_history=record_history
+    )
+
+
+def _build_per(fleet, specs, latency, record_history, **params):
+    grid_cells = params.pop("grid_cells", 32)
+    period = params.pop("period", 1)
+    _reject_leftovers("PER", params)
+    return build_periodic_system(
+        fleet,
+        specs,
+        grid_cells=grid_cells,
+        period=period,
+        latency=latency,
+        record_history=record_history,
+    )
+
+
+def _build_sea(fleet, specs, latency, record_history, **params):
+    grid_cells = params.pop("grid_cells", 32)
+    _reject_leftovers("SEA", params)
+    return build_seacnn_system(
+        fleet,
+        specs,
+        grid_cells=grid_cells,
+        latency=latency,
+        record_history=record_history,
+    )
+
+
+def _build_cpm(fleet, specs, latency, record_history, **params):
+    grid_cells = params.pop("grid_cells", 32)
+    _reject_leftovers("CPM", params)
+    return build_cpm_system(
+        fleet,
+        specs,
+        grid_cells=grid_cells,
+        latency=latency,
+        record_history=record_history,
+    )
+
+
+def _reject_leftovers(name: str, params: Dict) -> None:
+    if params:
+        raise ExperimentError(
+            f"{name} got unknown parameters {sorted(params)}"
+        )
+
+
+ALGORITHMS: Dict[str, Callable[..., RoundSimulator]] = {
+    "DKNN-P": _build_dknn_p,
+    "DKNN-B": _build_dknn_b,
+    "DKNN-G": _build_dknn_g,
+    "PER": _build_per,
+    "SEA": _build_sea,
+    "CPM": _build_cpm,
+}
+
+
+def build_system(
+    algorithm: str,
+    fleet,
+    specs: Sequence[QuerySpec],
+    latency: str = ZERO_LATENCY,
+    record_history: bool = False,
+    **params,
+) -> RoundSimulator:
+    """Build any registered algorithm by name."""
+    builder = ALGORITHMS.get(algorithm)
+    if builder is None:
+        raise ExperimentError(
+            f"unknown algorithm {algorithm!r}; "
+            f"expected one of {sorted(ALGORITHMS)}"
+        )
+    return builder(fleet, list(specs), latency, record_history, **params)

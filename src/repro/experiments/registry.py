@@ -1,0 +1,553 @@
+"""The experiment registry: one entry per reproduced table/figure.
+
+Each experiment function takes ``quick`` (small sizes, for tests and
+benchmark smoke runs) and returns a :class:`ResultTable` whose rows are
+the series the paper-era figure plots. DESIGN.md §4 maps experiment ids
+to their paper analogues and states the expected shapes; EXPERIMENTS.md
+records the measured outcomes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.experiments.runner import Measurement, run_once
+from repro.experiments.tables import ResultTable
+from repro.net.simulator import ONE_TICK_LATENCY, ZERO_LATENCY
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["EXPERIMENTS", "run_experiment", "DEFAULT_SPEC", "QUICK_SPEC"]
+
+#: Steady-state defaults (DESIGN.md §4), scaled to pure-Python runtime.
+DEFAULT_SPEC = WorkloadSpec(
+    n_objects=2000,
+    n_queries=16,
+    k=8,
+    ticks=120,
+    warmup_ticks=10,
+    seed=42,
+)
+
+#: Shrunk sizes for test/benchmark smoke runs of the same code paths.
+QUICK_SPEC = WorkloadSpec(
+    n_objects=300,
+    n_queries=4,
+    k=4,
+    ticks=40,
+    warmup_ticks=5,
+    seed=42,
+)
+
+_ALL = ("DKNN-B", "DKNN-G", "DKNN-P", "PER", "SEA", "CPM")
+
+_COMM_COLUMNS = (
+    "algorithm",
+    "msgs/tick",
+    "uplink/tick",
+    "downlink/tick",
+    "bcast/tick",
+    "bytes/tick",
+    "exactness",
+)
+
+
+def _base(quick: bool) -> WorkloadSpec:
+    return QUICK_SPEC if quick else DEFAULT_SPEC
+
+
+def _comm_rows(
+    table: ResultTable,
+    axis: str,
+    value,
+    spec: WorkloadSpec,
+    algorithms: Iterable[str] = _ALL,
+    accuracy_every: int = 10,
+    alg_params: Optional[Dict[str, Dict]] = None,
+) -> List[Measurement]:
+    out = []
+    for name in algorithms:
+        params = (alg_params or {}).get(name, {})
+        m = run_once(
+            name, spec, accuracy_every=accuracy_every, alg_params=params
+        )
+        table.add_row(
+            {
+                axis: value,
+                "algorithm": name,
+                "msgs/tick": m.msgs_per_tick,
+                "uplink/tick": m.uplink_per_tick,
+                "downlink/tick": m.downlink_per_tick,
+                "bcast/tick": m.broadcast_per_tick,
+                "bytes/tick": m.bytes_per_tick,
+                "exactness": m.exactness,
+            }
+        )
+        out.append(m)
+    return out
+
+
+# -- E1: communication vs population size ---------------------------------
+
+
+def e1_comm_vs_n(quick: bool = False) -> ResultTable:
+    """Messages per tick as the object population grows.
+
+    Expected shape: centralized traffic ~= N (one report per object per
+    tick); DKNN-B flat (density near queries is what matters); DKNN-P
+    sublinear (dead-reckoning term scales with N, repairs do not).
+    """
+    base = _base(quick)
+    ns = (200, 400) if quick else (500, 1000, 2000, 4000)
+    table = ResultTable("E1: communication vs N", ("N",) + _COMM_COLUMNS)
+    for n in ns:
+        _comm_rows(table, "N", n, base.but(n_objects=n))
+    return table
+
+
+# -- E2: communication vs k -------------------------------------------------
+
+
+def e2_comm_vs_k(quick: bool = False) -> ResultTable:
+    """Messages per tick as the answer size k grows.
+
+    Expected: centralized flat in k; distributed grows mildly (more
+    bands, tighter gaps, larger collects).
+    """
+    base = _base(quick)
+    ks = (2, 8) if quick else (1, 2, 4, 8, 16, 32)
+    table = ResultTable("E2: communication vs k", ("k",) + _COMM_COLUMNS)
+    for k in ks:
+        _comm_rows(table, "k", k, base.but(k=k))
+    return table
+
+
+# -- E3: communication vs object speed ---------------------------------------
+
+
+def e3_comm_vs_speed(quick: bool = False) -> ResultTable:
+    """Messages per tick as objects speed up (queries at default speed).
+
+    Expected: centralized flat (they pay N regardless); distributed
+    grows (more dead-reckoning updates, more band violations).
+    """
+    base = _base(quick)
+    speeds = (25, 100) if quick else (10, 25, 50, 100, 200)
+    table = ResultTable(
+        "E3: communication vs object speed", ("v_obj",) + _COMM_COLUMNS
+    )
+    for v in speeds:
+        spec = base.but(speed_min=v * 0.5, speed_max=float(v))
+        _comm_rows(table, "v_obj", v, spec)
+    return table
+
+
+# -- E4: communication vs query speed -----------------------------------------
+
+
+def e4_comm_vs_query_speed(quick: bool = False) -> ResultTable:
+    """Messages per tick as the query focal objects speed up.
+
+    Expected: distributed methods degrade with query speed (each query
+    safe-circle exit forces a repair); centralized flat. The Vq=0
+    column shows the distributed methods at their best.
+    """
+    base = _base(quick)
+    speeds = (0, 50) if quick else (0, 10, 50, 100, 200)
+    table = ResultTable(
+        "E4: communication vs query speed", ("v_query",) + _COMM_COLUMNS
+    )
+    for v in speeds:
+        _comm_rows(table, "v_query", v, base.but(query_speed=float(v)))
+    return table
+
+
+# -- E5: communication vs number of queries -----------------------------------
+
+
+def e5_comm_vs_queries(quick: bool = False) -> ResultTable:
+    """Messages per tick as concurrent queries multiply.
+
+    Expected: centralized flat in Q at the ~N level (the stream is
+    shared); distributed linear in Q — the crossover between the two
+    regimes is the core capacity trade-off of the paper.
+    """
+    base = _base(quick)
+    qs = (1, 8) if quick else (1, 4, 16, 64)
+    table = ResultTable(
+        "E5: communication vs number of queries", ("Q",) + _COMM_COLUMNS
+    )
+    for q in qs:
+        _comm_rows(table, "Q", q, base.but(n_queries=q))
+    return table
+
+
+# -- E6: server cost vs population --------------------------------------------
+
+
+def e6_server_cost_vs_n(quick: bool = False) -> ResultTable:
+    """Server cost (abstract units and wall ms) as N grows.
+
+    Expected: PER ~ N*Q distance units; SEA/CPM lower via dirty
+    tracking (CPM <= SEA); the distributed servers touch only objects
+    near queries, far below any centralized engine.
+    """
+    base = _base(quick)
+    ns = (200, 400) if quick else (500, 1000, 2000, 4000)
+    table = ResultTable(
+        "E6: server cost vs N",
+        ("N", "algorithm", "units/tick", "server_ms/tick", "exactness"),
+    )
+    for n in ns:
+        for name in _ALL:
+            m = run_once(name, base.but(n_objects=n), accuracy_every=20)
+            table.add_row(
+                {
+                    "N": n,
+                    "algorithm": name,
+                    "units/tick": m.units_per_tick,
+                    "server_ms/tick": m.server_ms_per_tick,
+                    "exactness": m.exactness,
+                }
+            )
+    return table
+
+
+# -- E7: message breakdown table -----------------------------------------------
+
+
+def e7_message_breakdown(quick: bool = False) -> ResultTable:
+    """Per-kind message/byte breakdown at the default configuration.
+
+    Expected: centralized traffic is all tick reports; DKNN-P splits
+    into dead-reckoning updates, probes and installs; DKNN-B into
+    collects, replies and broadcast installs. Broadcast receptions
+    expose DKNN-B's hidden client-side cost.
+    """
+    spec = _base(quick)
+    table = ResultTable(
+        "E7: message breakdown (defaults)",
+        ("algorithm", "kind", "msgs/tick", "bytes/tick", "recv/tick"),
+    )
+    for name in _ALL:
+        m = run_once(name, spec, accuracy_every=20)
+        for kind in sorted(m.per_kind_msgs):
+            table.add_row(
+                {
+                    "algorithm": name,
+                    "kind": kind,
+                    "msgs/tick": m.per_kind_msgs[kind],
+                    "bytes/tick": m.per_kind_bytes[kind],
+                }
+            )
+        table.add_row(
+            {
+                "algorithm": name,
+                "kind": "TOTAL",
+                "msgs/tick": m.msgs_per_tick,
+                "bytes/tick": m.bytes_per_tick,
+                "recv/tick": m.receptions_per_tick,
+            }
+        )
+    return table
+
+
+# -- E8: staleness under delay / sampling ---------------------------------------
+
+
+def e8_staleness(quick: bool = False) -> ResultTable:
+    """Answer quality when exactness is given up.
+
+    Two ways to trade freshness for cost: PER with a re-evaluation
+    period (sampling) and any protocol under one-tick message latency.
+    Expected: overlap decays with the period; one-tick latency costs a
+    few percent; zero-latency rows stay at 1.0.
+    """
+    base = _base(quick).but(n_objects=200 if quick else 1000)
+    table = ResultTable(
+        "E8: staleness (mean overlap with true answer)",
+        ("configuration", "msgs/tick", "exactness", "overlap"),
+    )
+    periods = (1, 5) if quick else (1, 2, 5, 10, 20)
+    for period in periods:
+        m = run_once(
+            "PER", base, accuracy_every=2, alg_params={"period": period}
+        )
+        table.add_row(
+            {
+                "configuration": f"PER period={period}",
+                "msgs/tick": m.msgs_per_tick,
+                "exactness": m.exactness,
+                "overlap": m.mean_overlap,
+            }
+        )
+    for name in ("DKNN-P", "DKNN-B"):
+        for latency, label in (
+            (ZERO_LATENCY, "zero-latency"),
+            (ONE_TICK_LATENCY, "1-tick latency"),
+        ):
+            m = run_once(name, base, latency=latency, accuracy_every=2)
+            table.add_row(
+                {
+                    "configuration": f"{name} {label}",
+                    "msgs/tick": m.msgs_per_tick,
+                    "exactness": m.exactness,
+                    "overlap": m.mean_overlap,
+                }
+            )
+    return table
+
+
+# -- E9: dead-reckoning / safe-margin ablation -----------------------------------
+
+
+def e9_theta_ablation(quick: bool = False) -> ResultTable:
+    """DKNN-P sensitivity to theta and s_cap (design ablation).
+
+    Expected: traffic is U-shaped in theta (tiny theta floods updates,
+    huge theta floods probes) and improves then flattens in s_cap.
+    """
+    base = _base(quick)
+    table = ResultTable(
+        "E9: DKNN-P theta / s_cap ablation",
+        (
+            "theta",
+            "s_cap",
+            "msgs/tick",
+            "uplink/tick",
+            "downlink/tick",
+            "exactness",
+        ),
+    )
+    thetas = (50, 200) if quick else (25, 50, 100, 200, 400)
+    for theta in thetas:
+        m = run_once(
+            "DKNN-P",
+            base,
+            accuracy_every=10,
+            alg_params={"theta": float(theta), "s_cap": 50.0},
+        )
+        table.add_row(
+            {
+                "theta": theta,
+                "s_cap": 50,
+                "msgs/tick": m.msgs_per_tick,
+                "uplink/tick": m.uplink_per_tick,
+                "downlink/tick": m.downlink_per_tick,
+                "exactness": m.exactness,
+            }
+        )
+    s_caps = (10, 100) if quick else (0, 10, 50, 100, 200)
+    for s_cap in s_caps:
+        m = run_once(
+            "DKNN-P",
+            base,
+            accuracy_every=10,
+            alg_params={"theta": 100.0, "s_cap": float(s_cap)},
+        )
+        table.add_row(
+            {
+                "theta": 100,
+                "s_cap": s_cap,
+                "msgs/tick": m.msgs_per_tick,
+                "uplink/tick": m.uplink_per_tick,
+                "downlink/tick": m.downlink_per_tick,
+                "exactness": m.exactness,
+            }
+        )
+    return table
+
+
+# -- E10: skewed object distributions ----------------------------------------------
+
+
+def e10_skew(quick: bool = False) -> ResultTable:
+    """Communication under non-uniform motion models.
+
+    Expected: skew (hotspots, road corridors) tightens kNN gaps near
+    dense areas, so the distributed methods repair more often there;
+    centralized traffic is distribution-independent.
+    """
+    base = _base(quick)
+    mobilities = (
+        ("random_waypoint", "road_network")
+        if quick
+        else (
+            "random_waypoint",
+            "random_direction",
+            "gaussian_cluster",
+            "road_network",
+        )
+    )
+    table = ResultTable(
+        "E10: communication vs object distribution",
+        ("mobility",) + _COMM_COLUMNS,
+    )
+    for mobility in mobilities:
+        _comm_rows(
+            table, "mobility", mobility, base.but(mobility=mobility)
+        )
+    return table
+
+
+# -- E11: server grid granularity ablation ----------------------------------------
+
+
+def e11_grid_ablation(quick: bool = False) -> ResultTable:
+    """Index-granularity ablation for the grid-based servers.
+
+    Expected: server units are U-shaped in cells-per-side (too coarse
+    scans too many objects per cell; too fine walks too many cells);
+    communication is unaffected.
+    """
+    base = _base(quick)
+    cell_counts = (8, 32) if quick else (8, 16, 32, 64, 128)
+    table = ResultTable(
+        "E11: grid granularity ablation",
+        ("cells", "algorithm", "units/tick", "server_ms/tick", "msgs/tick"),
+    )
+    for cells in cell_counts:
+        for name in ("DKNN-P", "SEA", "CPM"):
+            m = run_once(
+                name,
+                base,
+                accuracy_every=20,
+                alg_params={"grid_cells": cells},
+            )
+            table.add_row(
+                {
+                    "cells": cells,
+                    "algorithm": name,
+                    "units/tick": m.units_per_tick,
+                    "server_ms/tick": m.server_ms_per_tick,
+                    "msgs/tick": m.msgs_per_tick,
+                }
+            )
+    return table
+
+
+# -- E12: client wake-ups — broadcast vs geocast (extension) --------------------
+
+
+def e12_wakeups(quick: bool = False) -> ResultTable:
+    """Client-side radio wake-ups: the hidden cost of broadcasting.
+
+    DKNN-B wakes every radio on every collect/install; DKNN-G scopes
+    both to coverage circles at the price of periodic lease renewals.
+    Sweeps the lease to expose the renewal/coverage trade-off.
+    Expected: DKNN-G receptions are a small fraction of DKNN-B's and
+    rise slowly with the lease (wider coverage circles), while message
+    counts stay comparable.
+    """
+    base = _base(quick)
+    table = ResultTable(
+        "E12: client wake-ups, broadcast vs geocast",
+        (
+            "configuration",
+            "msgs/tick",
+            "recv/tick",
+            "bcast+geo/tick",
+            "exactness",
+        ),
+    )
+    m = run_once("DKNN-B", base, accuracy_every=10)
+    table.add_row(
+        {
+            "configuration": "DKNN-B (global broadcast)",
+            "msgs/tick": m.msgs_per_tick,
+            "recv/tick": m.receptions_per_tick,
+            "bcast+geo/tick": m.broadcast_per_tick + m.geocast_per_tick,
+            "exactness": m.exactness,
+        }
+    )
+    leases = (5, 20) if quick else (2, 5, 10, 20, 40)
+    for lease in leases:
+        m = run_once(
+            "DKNN-G", base, accuracy_every=10,
+            alg_params={"lease_ticks": lease},
+        )
+        table.add_row(
+            {
+                "configuration": f"DKNN-G lease={lease}",
+                "msgs/tick": m.msgs_per_tick,
+                "recv/tick": m.receptions_per_tick,
+                "bcast+geo/tick": m.broadcast_per_tick + m.geocast_per_tick,
+                "exactness": m.exactness,
+            }
+        )
+    return table
+
+
+# -- E13: incremental (light) repair ablation ------------------------------------
+
+
+def e13_light_repairs(quick: bool = False) -> ResultTable:
+    """DKNN-P with and without light repairs, across query speeds.
+
+    A light repair swaps one entrant against the current answer with a
+    handful of messages; it applies when the anchor holds (no query
+    circle exit). Expected: large message/server savings for static
+    and slow queries, shrinking as query speed forces full re-anchoring
+    repairs.
+    """
+    base = _base(quick)
+    table = ResultTable(
+        "E13: DKNN-P light-repair ablation",
+        (
+            "v_query",
+            "incremental",
+            "msgs/tick",
+            "units/tick",
+            "light/full repairs",
+            "exactness",
+        ),
+    )
+    speeds = (0, 50) if quick else (0, 10, 50, 150)
+    for v in speeds:
+        spec = base.but(query_speed=float(v))
+        for incremental in (False, True):
+            m = run_once(
+                "DKNN-P",
+                spec,
+                accuracy_every=10,
+                alg_params={"incremental": incremental},
+            )
+            table.add_row(
+                {
+                    "v_query": v,
+                    "incremental": incremental,
+                    "msgs/tick": m.msgs_per_tick,
+                    "units/tick": m.units_per_tick,
+                    "light/full repairs": m.extra.get("light_ratio", ""),
+                    "exactness": m.exactness,
+                }
+            )
+    return table
+
+
+EXPERIMENTS: Dict[str, Tuple[Callable[[bool], ResultTable], str]] = {
+    "E1": (e1_comm_vs_n, "communication vs population size"),
+    "E2": (e2_comm_vs_k, "communication vs k"),
+    "E3": (e3_comm_vs_speed, "communication vs object speed"),
+    "E4": (e4_comm_vs_query_speed, "communication vs query speed"),
+    "E5": (e5_comm_vs_queries, "communication vs number of queries"),
+    "E6": (e6_server_cost_vs_n, "server cost vs population size"),
+    "E7": (e7_message_breakdown, "per-kind message breakdown"),
+    "E8": (e8_staleness, "staleness under sampling / latency"),
+    "E9": (e9_theta_ablation, "theta and s_cap ablation"),
+    "E10": (e10_skew, "communication vs object distribution"),
+    "E11": (e11_grid_ablation, "grid granularity ablation"),
+    "E12": (e12_wakeups, "client wake-ups: broadcast vs geocast"),
+    "E13": (e13_light_repairs, "incremental (light) repair ablation"),
+}
+
+
+def run_experiment(name: str, quick: bool = False) -> ResultTable:
+    """Run one registered experiment by id (e.g. ``"E1"``)."""
+    key = name.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; expected one of "
+            f"{sorted(EXPERIMENTS)}"
+        )
+    fn, _ = EXPERIMENTS[key]
+    return fn(quick)

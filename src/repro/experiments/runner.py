@@ -1,0 +1,175 @@
+"""Run one (algorithm, workload) pair and measure everything.
+
+Measurements exclude a configurable warmup window so the one-time
+registration burst (every algorithm pays an O(N) bootstrap) does not
+pollute steady-state rates — the quantity the paper-era figures plot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ExperimentError
+from repro.index.bruteforce import brute_knn_ids
+from repro.metrics.accuracy import AccuracyTracker
+from repro.net.simulator import ZERO_LATENCY
+from repro.experiments.algorithms import build_system
+from repro.workloads.generator import build_workload
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["Measurement", "run_once"]
+
+
+@dataclass
+class Measurement:
+    """Steady-state rates of one run (per tick, post-warmup)."""
+
+    algorithm: str
+    spec: WorkloadSpec
+    ticks_measured: int
+    msgs_per_tick: float
+    uplink_per_tick: float
+    downlink_per_tick: float
+    broadcast_per_tick: float
+    geocast_per_tick: float
+    bytes_per_tick: float
+    receptions_per_tick: float
+    units_per_tick: float
+    server_ms_per_tick: float
+    wall_seconds: float
+    exactness: float
+    mean_overlap: float
+    per_kind_msgs: Dict[str, float] = field(default_factory=dict)
+    per_kind_bytes: Dict[str, float] = field(default_factory=dict)
+    repairs_per_tick: Optional[float] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for result tables."""
+        return {
+            "algorithm": self.algorithm,
+            "msgs/tick": self.msgs_per_tick,
+            "uplink/tick": self.uplink_per_tick,
+            "downlink/tick": self.downlink_per_tick,
+            "bcast/tick": self.broadcast_per_tick,
+            "bytes/tick": self.bytes_per_tick,
+            "recv/tick": self.receptions_per_tick,
+            "units/tick": self.units_per_tick,
+            "server_ms/tick": self.server_ms_per_tick,
+            "exactness": self.exactness,
+            "overlap": self.mean_overlap,
+        }
+
+
+def run_once(
+    algorithm: str,
+    spec: WorkloadSpec,
+    latency: str = ZERO_LATENCY,
+    accuracy_every: int = 10,
+    alg_params: Optional[Dict] = None,
+) -> Measurement:
+    """Build, warm up, run, and measure one configuration.
+
+    ``accuracy_every`` controls how often (in ticks) the published
+    answers are checked against brute force over ground truth; 0
+    disables checking (exactness/overlap report as 1.0).
+    """
+    if accuracy_every < 0:
+        raise ExperimentError(f"negative accuracy_every {accuracy_every}")
+    fleet, queries = build_workload(spec)
+    sim = build_system(
+        algorithm, fleet, queries, latency=latency, **(alg_params or {})
+    )
+    server = sim.server
+
+    # Warmup: run the registration burst out of the measured window.
+    sim.run(spec.warmup_ticks)
+    comm_mark = sim.channel.stats.snapshot()
+    units_mark = server.meter.snapshot()
+    server_s_mark = sim.server_seconds
+    repairs_mark = (
+        sum(server.repair_count.values())
+        if hasattr(server, "repair_count")
+        else None
+    )
+
+    tracker = AccuracyTracker()
+
+    def observe(s) -> None:
+        if accuracy_every == 0:
+            return
+        if s.tick % accuracy_every != 0:
+            return
+        positions = fleet.positions
+        for q in queries:
+            qx, qy = positions[q.focal_oid]
+            exclude = frozenset((q.focal_oid,))
+            truth = brute_knn_ids(positions, qx, qy, q.k, exclude)
+            tracker.observe(
+                positions,
+                qx,
+                qy,
+                q.k,
+                server.answers[q.qid],
+                truth,
+                exclude,
+            )
+
+    measured = spec.ticks - spec.warmup_ticks
+    t0 = time.perf_counter()
+    sim.run(measured, on_tick=observe)
+    wall = time.perf_counter() - t0
+
+    comm = sim.channel.stats.delta_since(comm_mark)
+    units = server.meter.delta_since(units_mark)
+    server_s = sim.server_seconds - server_s_mark
+    repairs = None
+    if repairs_mark is not None:
+        repairs = (
+            sum(server.repair_count.values()) - repairs_mark
+        ) / measured
+
+    if accuracy_every and tracker.checked:
+        exactness = tracker.exactness
+        overlap = tracker.mean_overlap
+    else:
+        exactness = 1.0
+        overlap = 1.0
+
+    extra: Dict[str, object] = {}
+    if hasattr(server, "light_repair_count"):
+        light = sum(server.light_repair_count.values())
+        full = sum(server.repair_count.values()) - light
+        extra["light_ratio"] = f"{light}/{full}"
+    if hasattr(server, "renewals"):
+        extra["renewals"] = server.renewals
+
+    return Measurement(
+        algorithm=algorithm,
+        spec=spec,
+        ticks_measured=measured,
+        msgs_per_tick=comm.total_messages / measured,
+        uplink_per_tick=comm.uplink_messages / measured,
+        downlink_per_tick=comm.downlink_messages / measured,
+        broadcast_per_tick=comm.broadcast_messages / measured,
+        geocast_per_tick=comm.geocast_messages / measured,
+        bytes_per_tick=comm.total_bytes / measured,
+        receptions_per_tick=comm.broadcast_receptions / measured,
+        units_per_tick=units.total / measured,
+        server_ms_per_tick=1000.0 * server_s / measured,
+        wall_seconds=wall,
+        exactness=exactness,
+        mean_overlap=overlap,
+        per_kind_msgs={
+            kind: row["messages"] / measured
+            for kind, row in comm.per_kind_table().items()
+        },
+        per_kind_bytes={
+            kind: row["bytes"] / measured
+            for kind, row in comm.per_kind_table().items()
+        },
+        repairs_per_tick=repairs,
+        extra=extra,
+    )

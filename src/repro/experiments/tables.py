@@ -1,0 +1,85 @@
+"""Paper-style result tables: aligned ASCII rendering plus CSV export."""
+
+from __future__ import annotations
+
+import csv
+import math
+from typing import Any, Dict, List, Sequence
+
+from repro.errors import ExperimentError
+
+__all__ = ["ResultTable", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Human-friendly cell formatting."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+class ResultTable:
+    """Ordered columns, appended rows, pretty printing."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ExperimentError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[Dict[str, Any]] = []
+
+    def add_row(self, row: Dict[str, Any]) -> None:
+        """Append a row; unknown keys are rejected, missing ones blank."""
+        unknown = set(row) - set(self.columns)
+        if unknown:
+            raise ExperimentError(
+                f"row has columns {sorted(unknown)} not in table "
+                f"{self.columns}"
+            )
+        self.rows.append(dict(row))
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ExperimentError(f"no column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def render(self) -> str:
+        """Aligned ASCII table with a title rule."""
+        cells = [
+            [format_value(row.get(col, "")) for col in self.columns]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        sep = "  "
+        header = sep.join(col.ljust(w) for col, w in zip(self.columns, widths))
+        rule = "-" * len(header)
+        lines = [self.title, rule, header, rule]
+        for r in cells:
+            lines.append(sep.join(v.rjust(w) for v, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self, path: str) -> None:
+        with open(path, "w", newline="") as f:
+            writer = csv.DictWriter(f, fieldnames=self.columns)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow({c: row.get(c, "") for c in self.columns})
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,36 @@
+"""Geometry kernel: points, rectangles, circles, annuli, safe regions."""
+
+from repro.geometry.circle import Annulus, Circle
+from repro.geometry.point import (
+    Point,
+    clamp,
+    dist,
+    dist2,
+    dist_points,
+    midpoint,
+    translate_toward,
+)
+from repro.geometry.rect import Rect
+from repro.geometry.region import (
+    AnswerBand,
+    OutsiderBand,
+    QuerySafeCircle,
+    SafeRegion,
+)
+
+__all__ = [
+    "Point",
+    "Rect",
+    "Circle",
+    "Annulus",
+    "SafeRegion",
+    "AnswerBand",
+    "OutsiderBand",
+    "QuerySafeCircle",
+    "dist",
+    "dist2",
+    "dist_points",
+    "midpoint",
+    "clamp",
+    "translate_toward",
+]

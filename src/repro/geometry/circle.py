@@ -1,0 +1,140 @@
+"""Circles and annuli — the shapes safe regions are made of."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.point import dist
+from repro.geometry.rect import Rect
+
+__all__ = ["Circle", "Annulus"]
+
+
+class Circle:
+    """A closed disk with center ``(cx, cy)`` and radius ``r >= 0``."""
+
+    __slots__ = ("cx", "cy", "r")
+
+    def __init__(self, cx: float, cy: float, r: float) -> None:
+        if r < 0:
+            raise GeometryError(f"negative radius {r}")
+        object.__setattr__(self, "cx", float(cx))
+        object.__setattr__(self, "cy", float(cy))
+        object.__setattr__(self, "r", float(r))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Circle is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circle):
+            return NotImplemented
+        return (self.cx, self.cy, self.r) == (other.cx, other.cy, other.r)
+
+    def __hash__(self) -> int:
+        return hash((self.cx, self.cy, self.r))
+
+    def __repr__(self) -> str:
+        return f"Circle(({self.cx:g}, {self.cy:g}), r={self.r:g})"
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.cx, self.cy)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True if ``(x, y)`` lies in the closed disk."""
+        dx = x - self.cx
+        dy = y - self.cy
+        return dx * dx + dy * dy <= self.r * self.r
+
+    def contains_circle(self, other: "Circle") -> bool:
+        """True if ``other`` lies entirely inside this disk."""
+        return dist(self.cx, self.cy, other.cx, other.cy) + other.r <= self.r
+
+    def intersects_circle(self, other: "Circle") -> bool:
+        """True if the two closed disks share at least one point."""
+        return dist(self.cx, self.cy, other.cx, other.cy) <= self.r + other.r
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """True if the disk and the closed rectangle share a point."""
+        return rect.min_dist(self.cx, self.cy) <= self.r
+
+    def contains_rect(self, rect: Rect) -> bool:
+        """True if the rectangle lies entirely inside the disk."""
+        return rect.max_dist(self.cx, self.cy) <= self.r
+
+    def bounding_rect(self) -> Rect:
+        """The minimum bounding rectangle of the disk."""
+        return Rect(
+            self.cx - self.r, self.cy - self.r, self.cx + self.r, self.cy + self.r
+        )
+
+    def expanded(self, margin: float) -> "Circle":
+        """A concentric disk with radius grown by ``margin`` (floored at 0)."""
+        return Circle(self.cx, self.cy, max(0.0, self.r + margin))
+
+    def distance_to_center(self, x: float, y: float) -> float:
+        """Euclidean distance from ``(x, y)`` to the disk center."""
+        return dist(x, y, self.cx, self.cy)
+
+
+class Annulus:
+    """A closed annulus: points at distance in ``[inner, outer]`` from center.
+
+    ``inner == 0`` degenerates to a disk; ``outer == inf`` is permitted and
+    means "everything farther than ``inner``" (used for outsider bands).
+    """
+
+    __slots__ = ("cx", "cy", "inner", "outer")
+
+    def __init__(self, cx: float, cy: float, inner: float, outer: float) -> None:
+        if inner < 0:
+            raise GeometryError(f"negative inner radius {inner}")
+        if outer < inner:
+            raise GeometryError(f"annulus outer {outer} < inner {inner}")
+        object.__setattr__(self, "cx", float(cx))
+        object.__setattr__(self, "cy", float(cy))
+        object.__setattr__(self, "inner", float(inner))
+        object.__setattr__(self, "outer", float(outer))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Annulus is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Annulus):
+            return NotImplemented
+        return (self.cx, self.cy, self.inner, self.outer) == (
+            other.cx,
+            other.cy,
+            other.inner,
+            other.outer,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.cx, self.cy, self.inner, self.outer))
+
+    def __repr__(self) -> str:
+        return (
+            f"Annulus(({self.cx:g}, {self.cy:g}), "
+            f"[{self.inner:g}, {self.outer:g}])"
+        )
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.cx, self.cy)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True if ``(x, y)`` lies inside the closed annulus."""
+        d2 = (x - self.cx) ** 2 + (y - self.cy) ** 2
+        if d2 < self.inner * self.inner:
+            return False
+        if math.isinf(self.outer):
+            return True
+        return d2 <= self.outer * self.outer
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """True if the annulus and closed rectangle share a point."""
+        lo = rect.min_dist(self.cx, self.cy)
+        hi = rect.max_dist(self.cx, self.cy)
+        return hi >= self.inner and lo <= self.outer

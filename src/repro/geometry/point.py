@@ -1,0 +1,125 @@
+"""2-D points and distance algebra.
+
+The hot paths of the simulator work on bare ``(x, y)`` float pairs for
+speed; :class:`Point` is a thin immutable wrapper used at API boundaries
+where readability matters more than nanoseconds. The module-level
+functions (:func:`dist`, :func:`dist2`, ...) accept bare coordinates and
+are what the inner loops call.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Tuple
+
+from repro.errors import GeometryError
+
+__all__ = [
+    "Point",
+    "dist",
+    "dist2",
+    "dist_points",
+    "midpoint",
+    "clamp",
+    "translate_toward",
+]
+
+
+def dist2(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Squared Euclidean distance between ``(x1, y1)`` and ``(x2, y2)``."""
+    dx = x1 - x2
+    dy = y1 - y2
+    return dx * dx + dy * dy
+
+
+def dist(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Euclidean distance between ``(x1, y1)`` and ``(x2, y2)``."""
+    return math.hypot(x1 - x2, y1 - y2)
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp ``value`` into the closed interval ``[lo, hi]``."""
+    if lo > hi:
+        raise GeometryError(f"empty clamp interval [{lo}, {hi}]")
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return value
+
+
+class Point:
+    """An immutable 2-D point.
+
+    Supports tuple unpacking (``x, y = p``), equality, hashing, and the
+    small vector algebra the protocol layers need.
+    """
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float) -> None:
+        object.__setattr__(self, "x", float(x))
+        object.__setattr__(self, "y", float(y))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Point is immutable")
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Point):
+            return self.x == other.x and self.y == other.y
+        if isinstance(other, tuple) and len(other) == 2:
+            return (self.x, self.y) == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y))
+
+    def __repr__(self) -> str:
+        return f"Point({self.x:g}, {self.y:g})"
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return the point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def distance2_to(self, other: "Point") -> float:
+        """Squared Euclidean distance to ``other``."""
+        return dist2(self.x, self.y, other.x, other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+
+def dist_points(a: Point, b: Point) -> float:
+    """Euclidean distance between two :class:`Point` objects."""
+    return a.distance_to(b)
+
+
+def midpoint(x1: float, y1: float, x2: float, y2: float) -> Tuple[float, float]:
+    """Midpoint of the segment between the two coordinates."""
+    return ((x1 + x2) / 2.0, (y1 + y2) / 2.0)
+
+
+def translate_toward(
+    x: float, y: float, tx: float, ty: float, step: float
+) -> Tuple[float, float]:
+    """Move ``(x, y)`` toward ``(tx, ty)`` by at most ``step``.
+
+    If the target is closer than ``step``, lands exactly on the target.
+    ``step`` must be non-negative.
+    """
+    if step < 0:
+        raise GeometryError(f"negative step {step}")
+    d = dist(x, y, tx, ty)
+    if d <= step or d == 0.0:
+        return (tx, ty)
+    f = step / d
+    return (x + (tx - x) * f, y + (ty - y) * f)

@@ -1,0 +1,73 @@
+"""Brute-force reference implementations.
+
+These are the oracles the whole repository is tested against: every
+algorithm's answer must equal :func:`brute_knn` over the ground-truth
+fleet positions. They are deliberately simple — correctness over speed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, FrozenSet, List, Sequence, Tuple
+
+from repro.errors import IndexError_
+
+__all__ = ["brute_knn", "brute_range", "brute_knn_ids"]
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+def brute_knn(
+    positions: Sequence[Tuple[float, float]],
+    qx: float,
+    qy: float,
+    k: int,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> List[Tuple[float, int]]:
+    """Exact kNN over ``positions`` (indexed by object id).
+
+    Returns up to ``k`` ``(distance, oid)`` pairs, ascending by
+    ``(distance, oid)`` — the canonical tie-break used across the
+    library.
+    """
+    if k < 1:
+        raise IndexError_(f"k must be >= 1, got {k}")
+    scored = [
+        (math.hypot(x - qx, y - qy), oid)
+        for oid, (x, y) in enumerate(positions)
+        if oid not in exclude
+    ]
+    scored.sort()
+    return scored[:k]
+
+
+def brute_knn_ids(
+    positions: Sequence[Tuple[float, float]],
+    qx: float,
+    qy: float,
+    k: int,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> List[int]:
+    """Ids only, in ascending ``(distance, oid)`` order."""
+    return [oid for _, oid in brute_knn(positions, qx, qy, k, exclude)]
+
+
+def brute_range(
+    positions: Sequence[Tuple[float, float]],
+    cx: float,
+    cy: float,
+    r: float,
+    exclude: AbstractSet[int] = _EMPTY,
+) -> List[Tuple[float, int]]:
+    """All objects within distance ``r``, ascending ``(distance, oid)``."""
+    if r < 0:
+        raise IndexError_(f"negative radius {r}")
+    hits = []
+    for oid, (x, y) in enumerate(positions):
+        if oid in exclude:
+            continue
+        d = math.hypot(x - cx, y - cy)
+        if d <= r:
+            hits.append((d, oid))
+    hits.sort()
+    return hits

@@ -1,0 +1,184 @@
+"""Uniform grid index over object positions.
+
+The standard server-side structure of the continuous-query literature
+(SINA, SEA-CNN, CPM all build on it): the universe is divided into
+``cells x cells`` equal cells; each cell holds the ids of the objects
+currently inside it, and a reverse map gives each object's position.
+Updates are O(1); range and kNN searches visit cells in order of
+distance from the query point.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.errors import IndexError_
+from repro.geometry import Rect
+from repro.metrics.cost import CostMeter, charge
+
+__all__ = ["UniformGrid"]
+
+Cell = Tuple[int, int]
+
+
+class UniformGrid:
+    """A ``cells x cells`` uniform grid over a rectangular universe."""
+
+    def __init__(
+        self,
+        universe: Rect,
+        cells: int,
+        meter: Optional[CostMeter] = None,
+    ) -> None:
+        if cells < 1:
+            raise IndexError_(f"grid needs >= 1 cell per side, got {cells}")
+        if universe.width <= 0 or universe.height <= 0:
+            raise IndexError_(f"degenerate universe {universe}")
+        self.universe = universe
+        self.cells = cells
+        self.meter = meter
+        self._cell_w = universe.width / cells
+        self._cell_h = universe.height / cells
+        self._buckets: Dict[Cell, Set[int]] = {}
+        self._positions: Dict[int, Tuple[float, float]] = {}
+
+    # -- geometry -----------------------------------------------------------
+
+    def cell_of(self, x: float, y: float) -> Cell:
+        """The cell containing ``(x, y)``; boundary points clamp inward."""
+        u = self.universe
+        if not u.contains_point(x, y):
+            raise IndexError_(f"point ({x}, {y}) outside universe {u}")
+        ci = min(int((x - u.xmin) / self._cell_w), self.cells - 1)
+        cj = min(int((y - u.ymin) / self._cell_h), self.cells - 1)
+        return (ci, cj)
+
+    def cell_rect(self, cell: Cell) -> Rect:
+        """The closed rectangle covered by ``cell``."""
+        ci, cj = cell
+        if not (0 <= ci < self.cells and 0 <= cj < self.cells):
+            raise IndexError_(f"cell {cell} out of range")
+        u = self.universe
+        return Rect(
+            u.xmin + ci * self._cell_w,
+            u.ymin + cj * self._cell_h,
+            u.xmin + (ci + 1) * self._cell_w,
+            u.ymin + (cj + 1) * self._cell_h,
+        )
+
+    def cell_min_dist(self, cell: Cell, x: float, y: float) -> float:
+        """Min distance from ``(x, y)`` to the cell rectangle (0 inside)."""
+        ci, cj = cell
+        u = self.universe
+        xmin = u.xmin + ci * self._cell_w
+        ymin = u.ymin + cj * self._cell_h
+        dx = 0.0
+        if x < xmin:
+            dx = xmin - x
+        elif x > xmin + self._cell_w:
+            dx = x - (xmin + self._cell_w)
+        dy = 0.0
+        if y < ymin:
+            dy = ymin - y
+        elif y > ymin + self._cell_h:
+            dy = y - (ymin + self._cell_h)
+        return math.hypot(dx, dy)
+
+    # -- maintenance ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._positions
+
+    def insert(self, oid: int, x: float, y: float) -> None:
+        """Add a new object; raises if the id is already present."""
+        if oid in self._positions:
+            raise IndexError_(f"object {oid} already indexed")
+        cell = self.cell_of(x, y)
+        self._buckets.setdefault(cell, set()).add(oid)
+        self._positions[oid] = (x, y)
+        charge(self.meter, CostMeter.INDEX_UPDATE)
+
+    def remove(self, oid: int) -> None:
+        """Remove an object; raises if absent."""
+        pos = self._positions.pop(oid, None)
+        if pos is None:
+            raise IndexError_(f"object {oid} not indexed")
+        cell = self.cell_of(pos[0], pos[1])
+        bucket = self._buckets[cell]
+        bucket.discard(oid)
+        if not bucket:
+            del self._buckets[cell]
+        charge(self.meter, CostMeter.INDEX_UPDATE)
+
+    def update(self, oid: int, x: float, y: float) -> None:
+        """Move an object to a new position; raises if absent."""
+        old = self._positions.get(oid)
+        if old is None:
+            raise IndexError_(f"object {oid} not indexed")
+        old_cell = self.cell_of(old[0], old[1])
+        new_cell = self.cell_of(x, y)
+        if old_cell != new_cell:
+            bucket = self._buckets[old_cell]
+            bucket.discard(oid)
+            if not bucket:
+                del self._buckets[old_cell]
+            self._buckets.setdefault(new_cell, set()).add(oid)
+        self._positions[oid] = (x, y)
+        charge(self.meter, CostMeter.INDEX_UPDATE)
+
+    def upsert(self, oid: int, x: float, y: float) -> None:
+        """Insert or update, whichever applies."""
+        if oid in self._positions:
+            self.update(oid, x, y)
+        else:
+            self.insert(oid, x, y)
+
+    def position_of(self, oid: int) -> Tuple[float, float]:
+        """The indexed position of ``oid``; raises if absent."""
+        pos = self._positions.get(oid)
+        if pos is None:
+            raise IndexError_(f"object {oid} not indexed")
+        return pos
+
+    def ids(self) -> Iterator[int]:
+        """All indexed object ids."""
+        return iter(self._positions)
+
+    def objects_in_cell(self, cell: Cell) -> Set[int]:
+        """Ids currently bucketed in ``cell`` (empty set if none)."""
+        return self._buckets.get(cell, set())
+
+    # -- search support -------------------------------------------------------
+
+    def cells_intersecting_circle(
+        self, cx: float, cy: float, r: float
+    ) -> Iterator[Cell]:
+        """Yield every cell whose rectangle intersects the disk.
+
+        Iterates only the bounding box of the disk, so cost is
+        proportional to the disk area in cells, not the whole grid.
+        """
+        if r < 0:
+            raise IndexError_(f"negative radius {r}")
+        u = self.universe
+        # Clamp both ends into the grid: a point on the max boundary
+        # indexes one past the last cell, which must fold back in.
+        last = self.cells - 1
+        lo_i = min(max(int((cx - r - u.xmin) / self._cell_w), 0), last)
+        hi_i = min(max(int((cx + r - u.xmin) / self._cell_w), 0), last)
+        lo_j = min(max(int((cy - r - u.ymin) / self._cell_h), 0), last)
+        hi_j = min(max(int((cy + r - u.ymin) / self._cell_h), 0), last)
+        for ci in range(lo_i, hi_i + 1):
+            for cj in range(lo_j, hi_j + 1):
+                cell = (ci, cj)
+                charge(self.meter, CostMeter.CELL_VISIT)
+                if self.cell_min_dist(cell, cx, cy) <= r:
+                    yield cell
+
+    def nonempty_cells(self) -> Iterable[Cell]:
+        """Cells currently holding at least one object."""
+        return self._buckets.keys()

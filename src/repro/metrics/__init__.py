@@ -1,0 +1,16 @@
+"""Metrics: simulated server cost units and answer-quality tracking.
+
+Communication accounting lives with the channel, in
+:class:`repro.net.stats.CommStats`.
+"""
+
+from repro.metrics.accuracy import AccuracyTracker, is_valid_knn, overlap_fraction
+from repro.metrics.cost import CostMeter, charge
+
+__all__ = [
+    "CostMeter",
+    "charge",
+    "AccuracyTracker",
+    "is_valid_knn",
+    "overlap_fraction",
+]

@@ -1,0 +1,117 @@
+"""Answer-quality metrics.
+
+Correctness of a kNN answer is judged *tie-tolerantly*: an answer is
+valid iff no excluded object is strictly closer than an included one.
+With continuous coordinates exact ties are measure-zero, but the safe
+regions place objects exactly on band boundaries, so the canonical
+``(distance, oid)`` tie-break of the brute-force oracle is too strict a
+comparison for protocol answers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, FrozenSet, Iterable, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["is_valid_knn", "overlap_fraction", "AccuracyTracker"]
+
+_EMPTY: FrozenSet[int] = frozenset()
+# Absolute + relative tie tolerance: the safe-region predicates carry a
+# ~1e-9 relative slack (see repro.geometry.region.REGION_EPS), so a
+# protocol answer may be "wrong" by up to a few 1e-9 of the distance
+# scale without any band having fired. That is float noise, not a
+# protocol error.
+_TIE_EPS = 1e-9
+_TIE_REL = 4e-9
+
+
+def is_valid_knn(
+    positions: Sequence[Tuple[float, float]],
+    qx: float,
+    qy: float,
+    k: int,
+    answer_ids: Iterable[int],
+    exclude: AbstractSet[int] = _EMPTY,
+) -> bool:
+    """True iff ``answer_ids`` is a valid kNN set of ``(qx, qy)``.
+
+    Valid means: correct cardinality (``min(k, eligible)``), no
+    duplicates, no excluded ids, and the farthest included object is no
+    farther (modulo a tie epsilon) than the nearest non-included one.
+    """
+    ids = list(answer_ids)
+    idset = set(ids)
+    if len(idset) != len(ids):
+        return False
+    if idset & set(exclude):
+        return False
+    eligible = len(positions) - len(set(exclude))
+    if len(ids) != min(k, eligible):
+        return False
+    if not ids:
+        return eligible == 0
+    d_max = max(
+        math.hypot(positions[o][0] - qx, positions[o][1] - qy) for o in idset
+    )
+    d_min = math.inf
+    for oid, (x, y) in enumerate(positions):
+        if oid in idset or oid in exclude:
+            continue
+        d = math.hypot(x - qx, y - qy)
+        if d < d_min:
+            d_min = d
+    return d_max <= d_min + _TIE_EPS + _TIE_REL * d_max
+
+
+def overlap_fraction(truth_ids: Iterable[int], got_ids: Iterable[int]) -> float:
+    """|truth ∩ got| / |truth| — the staleness-tolerant accuracy of E8.
+
+    An empty truth set counts as fully matched.
+    """
+    truth = set(truth_ids)
+    got = set(got_ids)
+    if not truth:
+        return 1.0
+    return len(truth & got) / len(truth)
+
+
+class AccuracyTracker:
+    """Accumulates per-(tick, query) answer quality during a run."""
+
+    def __init__(self) -> None:
+        self.checked = 0
+        self.valid = 0
+        self.overlap_sum = 0.0
+
+    def observe(
+        self,
+        positions: Sequence[Tuple[float, float]],
+        qx: float,
+        qy: float,
+        k: int,
+        answer_ids: Iterable[int],
+        truth_ids: Iterable[int],
+        exclude: AbstractSet[int] = _EMPTY,
+    ) -> None:
+        """Record one (tick, query) observation."""
+        ids = list(answer_ids)
+        self.checked += 1
+        if is_valid_knn(positions, qx, qy, k, ids, exclude):
+            self.valid += 1
+        self.overlap_sum += overlap_fraction(truth_ids, ids)
+
+    @property
+    def exactness(self) -> float:
+        """Fraction of observations that were valid kNN sets."""
+        if self.checked == 0:
+            raise ReproError("no observations recorded")
+        return self.valid / self.checked
+
+    @property
+    def mean_overlap(self) -> float:
+        """Mean overlap with the canonical answer (1.0 = always fresh)."""
+        if self.checked == 0:
+            raise ReproError("no observations recorded")
+        return self.overlap_sum / self.checked

@@ -1,0 +1,74 @@
+"""Simulated server-CPU accounting.
+
+Pure-Python wall-clock is a poor proxy for the paper-era C++ testbeds,
+so algorithms additionally charge abstract *cost units* to a
+:class:`CostMeter` for the operations that dominate server CPU in this
+literature: grid-cell visits, per-object distance computations, heap
+operations, and bookkeeping updates. Unit counts are
+implementation-language independent, which is what makes the E6 server
+cost comparison meaningful (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional
+
+__all__ = ["CostMeter", "charge"]
+
+
+class CostMeter:
+    """Mutable counter of abstract server work units, by category."""
+
+    #: Categories used by the library. Free-form strings are allowed,
+    #: but sticking to these keeps experiment tables comparable.
+    CELL_VISIT = "cell_visit"
+    DIST_CALC = "dist_calc"
+    HEAP_OP = "heap_op"
+    INDEX_UPDATE = "index_update"
+    BOOKKEEPING = "bookkeeping"
+    REPAIR = "repair"
+
+    def __init__(self) -> None:
+        self.units: Counter = Counter()
+
+    def charge(self, category: str, units: int = 1) -> None:
+        """Add ``units`` of work in ``category``."""
+        self.units[category] += units
+
+    @property
+    def total(self) -> int:
+        """Total units across every category."""
+        return sum(self.units.values())
+
+    def of(self, category: str) -> int:
+        return self.units[category]
+
+    def merge(self, other: "CostMeter") -> None:
+        self.units.update(other.units)
+
+    def snapshot(self) -> "CostMeter":
+        copy = CostMeter()
+        copy.units = Counter(self.units)
+        return copy
+
+    def delta_since(self, earlier: "CostMeter") -> "CostMeter":
+        d = CostMeter()
+        d.units = self.units - earlier.units
+        return d
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.units)
+
+    def __repr__(self) -> str:
+        return f"CostMeter(total={self.total}, {dict(self.units)})"
+
+
+def charge(meter: Optional[CostMeter], category: str, units: int = 1) -> None:
+    """Charge ``meter`` if one is attached; no-op otherwise.
+
+    Hot paths call this so metering stays optional without branching at
+    every call site.
+    """
+    if meter is not None:
+        meter.units[category] += units

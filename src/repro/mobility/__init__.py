@@ -1,0 +1,34 @@
+"""Mobility substrate: movement models, the fleet, trace record/replay."""
+
+from repro.mobility.base import MobilityModel, Mover
+from repro.mobility.fleet import Fleet
+from repro.mobility.gaussian_cluster import GaussianClusterModel, GaussianClusterMover
+from repro.mobility.random_direction import RandomDirectionModel, RandomDirectionMover
+from repro.mobility.random_waypoint import RandomWaypointModel, RandomWaypointMover
+from repro.mobility.road_network import (
+    RoadNetworkModel,
+    RoadNetworkMover,
+    build_grid_network,
+)
+from repro.mobility.stationary import LinearMover, StationaryMover
+from repro.mobility.trace import ReplayFleet, Trace, record_trace
+
+__all__ = [
+    "Mover",
+    "MobilityModel",
+    "Fleet",
+    "RandomWaypointModel",
+    "RandomWaypointMover",
+    "RandomDirectionModel",
+    "RandomDirectionMover",
+    "GaussianClusterModel",
+    "GaussianClusterMover",
+    "RoadNetworkModel",
+    "RoadNetworkMover",
+    "build_grid_network",
+    "StationaryMover",
+    "LinearMover",
+    "Trace",
+    "ReplayFleet",
+    "record_trace",
+]

@@ -1,0 +1,61 @@
+"""Mobility-model interfaces.
+
+A :class:`Mover` drives one object: it produces the object's initial
+position and then one position per tick. A :class:`MobilityModel` is a
+factory of movers, one per object, so per-object state (current
+waypoint, heading, pause counter, ...) lives in the mover.
+
+Every mover declares a ``max_speed``: the largest per-tick displacement
+it will ever produce. The DKNN protocol's correctness margins are built
+from the fleet-wide maximum of these, so :class:`repro.mobility.fleet.Fleet`
+verifies the declaration on every tick.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Tuple
+
+from repro.errors import MobilityError
+from repro.geometry import Rect
+
+__all__ = ["Mover", "MobilityModel"]
+
+
+class Mover(abc.ABC):
+    """Drives a single object: one position per tick, bounded speed."""
+
+    def __init__(self, universe: Rect, max_speed: float) -> None:
+        if max_speed < 0:
+            raise MobilityError(f"negative max_speed {max_speed}")
+        self.universe = universe
+        self.max_speed = float(max_speed)
+
+    @abc.abstractmethod
+    def start(self, rng: random.Random) -> Tuple[float, float]:
+        """Return the object's initial position (inside the universe)."""
+
+    @abc.abstractmethod
+    def step(
+        self, x: float, y: float, rng: random.Random
+    ) -> Tuple[float, float]:
+        """Return the next position, at most ``max_speed`` away."""
+
+
+class MobilityModel(abc.ABC):
+    """Factory of per-object :class:`Mover` instances."""
+
+    def __init__(self, universe: Rect) -> None:
+        if universe.width <= 0 or universe.height <= 0:
+            raise MobilityError(f"degenerate universe {universe}")
+        self.universe = universe
+
+    @abc.abstractmethod
+    def make_mover(self, rng: random.Random) -> Mover:
+        """Create a fresh mover for one object."""
+
+    @property
+    @abc.abstractmethod
+    def max_speed(self) -> float:
+        """Upper bound on any mover's per-tick displacement."""

@@ -1,0 +1,103 @@
+"""The classic random-waypoint mobility model.
+
+Each object repeatedly picks a uniform random destination in the
+universe, travels toward it in a straight line at a per-trip speed drawn
+from ``[speed_min, speed_max]``, optionally pauses on arrival, then
+picks a new destination.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.errors import MobilityError
+from repro.geometry import Rect, translate_toward
+from repro.mobility.base import MobilityModel, Mover
+
+__all__ = ["RandomWaypointModel", "RandomWaypointMover"]
+
+
+class RandomWaypointMover(Mover):
+    """One object under random-waypoint motion."""
+
+    def __init__(
+        self,
+        universe: Rect,
+        speed_min: float,
+        speed_max: float,
+        pause_max: int,
+    ) -> None:
+        super().__init__(universe, max_speed=speed_max)
+        self.speed_min = speed_min
+        self.speed_max = speed_max
+        self.pause_max = pause_max
+        self._target: Tuple[float, float] = (0.0, 0.0)
+        self._speed = 0.0
+        self._pause_left = 0
+
+    def _random_point(self, rng: random.Random) -> Tuple[float, float]:
+        u = self.universe
+        return (rng.uniform(u.xmin, u.xmax), rng.uniform(u.ymin, u.ymax))
+
+    def _new_trip(self, rng: random.Random) -> None:
+        self._target = self._random_point(rng)
+        self._speed = rng.uniform(self.speed_min, self.speed_max)
+
+    def start(self, rng: random.Random) -> Tuple[float, float]:
+        pos = self._random_point(rng)
+        self._new_trip(rng)
+        return pos
+
+    def step(self, x: float, y: float, rng: random.Random) -> Tuple[float, float]:
+        if self._pause_left > 0:
+            self._pause_left -= 1
+            return (x, y)
+        nx, ny = translate_toward(x, y, self._target[0], self._target[1], self._speed)
+        if (nx, ny) == self._target:
+            if self.pause_max > 0:
+                self._pause_left = rng.randint(0, self.pause_max)
+            self._new_trip(rng)
+        return (nx, ny)
+
+
+class RandomWaypointModel(MobilityModel):
+    """Factory for :class:`RandomWaypointMover` objects.
+
+    Parameters
+    ----------
+    universe:
+        The bounded region objects move in.
+    speed_min, speed_max:
+        Per-trip speed is drawn uniformly from this range (distance
+        units per tick). ``speed_max`` is the fleet's hard speed bound.
+    pause_max:
+        Maximum pause (in ticks) at each waypoint; 0 disables pauses.
+    """
+
+    def __init__(
+        self,
+        universe: Rect,
+        speed_min: float = 25.0,
+        speed_max: float = 50.0,
+        pause_max: int = 0,
+    ) -> None:
+        super().__init__(universe)
+        if speed_min < 0 or speed_max < speed_min:
+            raise MobilityError(
+                f"invalid speed range [{speed_min}, {speed_max}]"
+            )
+        if pause_max < 0:
+            raise MobilityError(f"negative pause_max {pause_max}")
+        self.speed_min = float(speed_min)
+        self.speed_max = float(speed_max)
+        self.pause_max = int(pause_max)
+
+    @property
+    def max_speed(self) -> float:
+        return self.speed_max
+
+    def make_mover(self, rng: random.Random) -> RandomWaypointMover:
+        return RandomWaypointMover(
+            self.universe, self.speed_min, self.speed_max, self.pause_max
+        )

@@ -1,0 +1,162 @@
+"""Road-network-constrained mobility over a synthetic grid of streets.
+
+This substitutes for the road-network traces (e.g. the Brinkhoff
+Oldenburg generator) used by paper-era evaluations: objects are
+constrained to a planar graph of streets, which concentrates them on
+1-D corridors — the property the skew/road experiments exercise.
+
+The network is a ``rows x cols`` grid graph built with :mod:`networkx`,
+with intersection coordinates jittered so streets are not perfectly
+axis-aligned. Each object travels along edges at a per-object speed and
+picks a random next street at every intersection, avoiding immediate
+U-turns when it can.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.errors import MobilityError
+from repro.geometry import Rect, dist
+from repro.mobility.base import MobilityModel, Mover
+
+__all__ = ["RoadNetworkModel", "RoadNetworkMover", "build_grid_network"]
+
+NodeId = Tuple[int, int]
+
+
+def build_grid_network(
+    universe: Rect, rows: int, cols: int, jitter: float, seed: int
+) -> "nx.Graph":
+    """Build a jittered grid street network spanning ``universe``.
+
+    Nodes carry a ``pos`` attribute ``(x, y)``; edges carry ``length``.
+    """
+    if rows < 2 or cols < 2:
+        raise MobilityError(f"grid must be at least 2x2, got {rows}x{cols}")
+    rng = random.Random(seed)
+    graph = nx.grid_2d_graph(rows, cols)
+    dx = universe.width / (cols - 1)
+    dy = universe.height / (rows - 1)
+    max_jitter = min(dx, dy) * jitter
+    for (r, c) in graph.nodes:
+        x = universe.xmin + c * dx
+        y = universe.ymin + r * dy
+        # Keep boundary intersections pinned so the network spans the
+        # universe exactly and no street leaves it.
+        if 0 < r < rows - 1 and 0 < c < cols - 1:
+            x += rng.uniform(-max_jitter, max_jitter)
+            y += rng.uniform(-max_jitter, max_jitter)
+        graph.nodes[(r, c)]["pos"] = (x, y)
+    for u, v in graph.edges:
+        pu = graph.nodes[u]["pos"]
+        pv = graph.nodes[v]["pos"]
+        graph.edges[u, v]["length"] = dist(pu[0], pu[1], pv[0], pv[1])
+    return graph
+
+
+class RoadNetworkMover(Mover):
+    """One object traveling along the street graph."""
+
+    def __init__(
+        self,
+        universe: Rect,
+        graph: "nx.Graph",
+        positions: Dict[NodeId, Tuple[float, float]],
+        speed_min: float,
+        speed_max: float,
+    ) -> None:
+        super().__init__(universe, max_speed=speed_max)
+        self._graph = graph
+        self._pos = positions
+        self.speed_min = speed_min
+        self.speed_max = speed_max
+        self._from: NodeId = (0, 0)
+        self._to: NodeId = (0, 0)
+        self._traveled = 0.0
+        self._speed = 0.0
+
+    def _edge_length(self, u: NodeId, v: NodeId) -> float:
+        return self._graph.edges[u, v]["length"]
+
+    def _point_on_edge(self) -> Tuple[float, float]:
+        ux, uy = self._pos[self._from]
+        vx, vy = self._pos[self._to]
+        length = self._edge_length(self._from, self._to)
+        f = 0.0 if length == 0 else min(1.0, self._traveled / length)
+        return (ux + (vx - ux) * f, uy + (vy - uy) * f)
+
+    def _choose_next(self, rng: random.Random) -> None:
+        arrived_at = self._to
+        came_from = self._from
+        neighbors: List[NodeId] = list(self._graph.neighbors(arrived_at))
+        options = [n for n in neighbors if n != came_from]
+        if not options:
+            options = neighbors  # dead end: U-turn is the only move
+        self._from = arrived_at
+        self._to = rng.choice(options)
+        self._traveled = 0.0
+
+    def start(self, rng: random.Random) -> Tuple[float, float]:
+        self._from = rng.choice(list(self._graph.nodes))
+        self._to = rng.choice(list(self._graph.neighbors(self._from)))
+        self._traveled = rng.uniform(0.0, self._edge_length(self._from, self._to))
+        self._speed = rng.uniform(self.speed_min, self.speed_max)
+        return self._point_on_edge()
+
+    def step(self, x: float, y: float, rng: random.Random) -> Tuple[float, float]:
+        remaining = self._speed
+        while remaining > 0:
+            length = self._edge_length(self._from, self._to)
+            to_corner = length - self._traveled
+            if remaining < to_corner:
+                self._traveled += remaining
+                remaining = 0.0
+            else:
+                remaining -= to_corner
+                self._choose_next(rng)
+        return self._point_on_edge()
+
+
+class RoadNetworkModel(MobilityModel):
+    """Factory for street-constrained movers over a shared grid network."""
+
+    def __init__(
+        self,
+        universe: Rect,
+        rows: int = 12,
+        cols: int = 12,
+        jitter: float = 0.2,
+        speed_min: float = 25.0,
+        speed_max: float = 50.0,
+        seed: int = 7,
+    ) -> None:
+        super().__init__(universe)
+        if speed_min < 0 or speed_max < speed_min:
+            raise MobilityError(
+                f"invalid speed range [{speed_min}, {speed_max}]"
+            )
+        if not 0 <= jitter < 0.5:
+            raise MobilityError(f"jitter must be in [0, 0.5), got {jitter}")
+        self.graph = build_grid_network(universe, rows, cols, jitter, seed)
+        self._positions: Dict[NodeId, Tuple[float, float]] = {
+            n: self.graph.nodes[n]["pos"] for n in self.graph.nodes
+        }
+        self.speed_min = float(speed_min)
+        self.speed_max = float(speed_max)
+
+    @property
+    def max_speed(self) -> float:
+        return self.speed_max
+
+    def make_mover(self, rng: random.Random) -> RoadNetworkMover:
+        return RoadNetworkMover(
+            self.universe,
+            self.graph,
+            self._positions,
+            self.speed_min,
+            self.speed_max,
+        )

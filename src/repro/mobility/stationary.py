@@ -1,0 +1,70 @@
+"""Trivial movers: stationary objects and fixed linear drift.
+
+Used for query focal points with speed 0 (static queries as a special
+case of moving ones) and for deterministic protocol tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.errors import MobilityError
+from repro.geometry import Rect
+from repro.mobility.base import Mover
+
+__all__ = ["StationaryMover", "LinearMover"]
+
+
+class StationaryMover(Mover):
+    """An object that never moves from its start position."""
+
+    def __init__(self, universe: Rect, x: float, y: float) -> None:
+        super().__init__(universe, max_speed=0.0)
+        if not universe.contains_point(x, y):
+            raise MobilityError(f"start ({x}, {y}) outside universe {universe}")
+        self._start = (float(x), float(y))
+
+    def start(self, rng: random.Random) -> Tuple[float, float]:
+        return self._start
+
+    def step(self, x: float, y: float, rng: random.Random) -> Tuple[float, float]:
+        return (x, y)
+
+
+class LinearMover(Mover):
+    """Constant-velocity motion with reflection at universe walls."""
+
+    def __init__(
+        self, universe: Rect, x: float, y: float, vx: float, vy: float
+    ) -> None:
+        speed = (vx * vx + vy * vy) ** 0.5
+        super().__init__(universe, max_speed=speed)
+        if not universe.contains_point(x, y):
+            raise MobilityError(f"start ({x}, {y}) outside universe {universe}")
+        self._start = (float(x), float(y))
+        self._vx = float(vx)
+        self._vy = float(vy)
+
+    def start(self, rng: random.Random) -> Tuple[float, float]:
+        return self._start
+
+    def step(self, x: float, y: float, rng: random.Random) -> Tuple[float, float]:
+        u = self.universe
+        nx = x + self._vx
+        ny = y + self._vy
+        if nx < u.xmin:
+            nx = u.xmin + (u.xmin - nx)
+            self._vx = -self._vx
+        elif nx > u.xmax:
+            nx = u.xmax - (nx - u.xmax)
+            self._vx = -self._vx
+        if ny < u.ymin:
+            ny = u.ymin + (u.ymin - ny)
+            self._vy = -self._vy
+        elif ny > u.ymax:
+            ny = u.ymax - (ny - u.ymax)
+            self._vy = -self._vy
+        nx = min(max(nx, u.xmin), u.xmax)
+        ny = min(max(ny, u.ymin), u.ymax)
+        return (nx, ny)

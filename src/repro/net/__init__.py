@@ -1,0 +1,33 @@
+"""Network substrate: messages, channel, nodes, synchronous simulator."""
+
+from repro.net.channel import Channel
+from repro.net.message import (
+    BROADCAST_ID,
+    GEOCAST_ID,
+    HEADER_BYTES,
+    SERVER_ID,
+    Message,
+    MessageKind,
+    payload_size,
+)
+from repro.net.node import MobileNode, Node, ServerNodeBase
+from repro.net.simulator import ONE_TICK_LATENCY, ZERO_LATENCY, RoundSimulator
+from repro.net.stats import CommStats
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "payload_size",
+    "SERVER_ID",
+    "BROADCAST_ID",
+    "GEOCAST_ID",
+    "HEADER_BYTES",
+    "CommStats",
+    "Channel",
+    "Node",
+    "MobileNode",
+    "ServerNodeBase",
+    "RoundSimulator",
+    "ZERO_LATENCY",
+    "ONE_TICK_LATENCY",
+]

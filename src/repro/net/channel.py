@@ -1,0 +1,119 @@
+"""The simulated communication medium.
+
+A :class:`Channel` connects the server node and all mobile nodes. It
+queues messages on send, records them in :class:`CommStats`, and hands
+them out to the simulator's delivery loop. Point-to-point messages
+address a single node id; ``BROADCAST_ID`` fans out to every registered
+node except the sender and the server.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Set
+
+from repro.errors import NetworkError
+from repro.net.message import BROADCAST_ID, GEOCAST_ID, Message, MessageKind
+from repro.net.stats import CommStats
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """Message queue with accounting between server and mobile nodes."""
+
+    def __init__(self) -> None:
+        self.stats = CommStats()
+        self._queue: Deque[Message] = deque()
+        self._registered: Set[int] = set()
+        self._tick = 0
+
+    # -- membership ---------------------------------------------------------
+
+    def register(self, node_id: int) -> None:
+        """Declare a node id as addressable (server uses SERVER_ID)."""
+        if node_id in (BROADCAST_ID, GEOCAST_ID):
+            raise NetworkError(f"{node_id} is not a node address")
+        if node_id in self._registered:
+            raise NetworkError(f"node {node_id} already registered")
+        self._registered.add(node_id)
+
+    def is_registered(self, node_id: int) -> bool:
+        return node_id in self._registered
+
+    @property
+    def node_ids(self) -> Set[int]:
+        return set(self._registered)
+
+    # -- time ----------------------------------------------------------------
+
+    def begin_tick(self, tick: int) -> None:
+        """Advance the channel clock (stamped onto sent messages)."""
+        self._tick = tick
+
+    # -- traffic ---------------------------------------------------------------
+
+    def send(
+        self, kind: MessageKind, src: int, dst: int, payload: Any = None
+    ) -> Message:
+        """Queue a message and account for it; returns the message."""
+        if src not in self._registered:
+            raise NetworkError(f"unknown sender {src}")
+        if dst not in (BROADCAST_ID, GEOCAST_ID) and dst not in self._registered:
+            raise NetworkError(f"unknown destination {dst}")
+        msg = Message(kind, src, dst, payload, sent_tick=self._tick)
+        self.stats.record_send(msg)
+        self._queue.append(msg)
+        return msg
+
+    def pending(self) -> int:
+        """Number of queued, undelivered messages."""
+        return len(self._queue)
+
+    def collect(self) -> List[Message]:
+        """Drain and return all queued messages (delivery accounting).
+
+        Broadcast messages are returned once; the delivery loop is
+        responsible for handing them to every node. Reception counts
+        are recorded here.
+        """
+        drained = list(self._queue)
+        self._queue.clear()
+        for msg in drained:
+            if msg.dst == BROADCAST_ID:
+                receivers = len(self._registered) - 1  # everyone but sender
+                self.stats.record_delivery(msg, receivers=max(receivers, 0))
+            elif msg.dst == GEOCAST_ID:
+                pass  # the simulator records coverage-based receptions
+            else:
+                self.stats.record_delivery(msg, receivers=1)
+        return drained
+
+    def collect_sent_before(self, tick: int) -> List[Message]:
+        """Drain only messages sent strictly before ``tick``.
+
+        Used by latency mode: messages take one full tick to arrive.
+        """
+        ready: List[Message] = []
+        later: Deque[Message] = deque()
+        for msg in self._queue:
+            if msg.sent_tick < tick:
+                ready.append(msg)
+            else:
+                later.append(msg)
+        self._queue = later
+        for msg in ready:
+            if msg.dst == BROADCAST_ID:
+                self.stats.record_delivery(
+                    msg, receivers=max(len(self._registered) - 1, 0)
+                )
+            elif msg.dst == GEOCAST_ID:
+                pass  # the simulator records coverage-based receptions
+            else:
+                self.stats.record_delivery(msg, receivers=1)
+        return ready
+
+    # -- snapshots -----------------------------------------------------------
+
+    def stats_snapshot(self) -> CommStats:
+        return self.stats.snapshot()

@@ -1,0 +1,132 @@
+"""Message vocabulary and wire-size model of the simulated network.
+
+Message kinds cover both the distributed protocol (probes, region
+installs, violations) and the centralized baselines (per-tick location
+streams). Sizes follow a simple fixed-width wire model — an 8-byte
+header plus 8 bytes per float and 4 bytes per int in the payload — so
+byte counts are deterministic and comparable across algorithms.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Tuple
+
+__all__ = [
+    "MessageKind",
+    "Message",
+    "SERVER_ID",
+    "BROADCAST_ID",
+    "GEOCAST_ID",
+    "payload_size",
+    "HEADER_BYTES",
+]
+
+# Reserved node addresses. Object nodes use their non-negative object id.
+SERVER_ID = -1
+BROADCAST_ID = -2
+# Geocast: delivered by the physical layer to every node whose *true*
+# position lies inside the payload's coverage circle (radio coverage of
+# an area). The payload must implement ``covers(x, y) -> bool``.
+GEOCAST_ID = -3
+
+HEADER_BYTES = 8
+
+
+class MessageKind(enum.Enum):
+    """Every message type any algorithm in this repository sends."""
+
+    # Shared / dead-reckoning layer (uplink).
+    LOCATION_UPDATE = "location_update"
+    # Centralized baselines: every object, every tick (uplink).
+    TICK_REPORT = "tick_report"
+    # Server asks an object for its exact current position (downlink).
+    PROBE = "probe"
+    # Object answers a probe (uplink).
+    PROBE_REPLY = "probe_reply"
+    # Server installs a safe region / threshold band (downlink).
+    INSTALL_REGION = "install_region"
+    # Server cancels a previously installed region (downlink).
+    REVOKE_REGION = "revoke_region"
+    # Object reports it violated its region (uplink).
+    VIOLATION = "violation"
+    # Query focal node reports it left its safe circle (uplink).
+    QUERY_MOVE = "query_move"
+    # Server pushes the (changed) answer to the query node (downlink).
+    ANSWER_PUSH = "answer_push"
+    # Broadcast variant: one radio broadcast installs the threshold
+    # for everyone (downlink broadcast).
+    BROADCAST_INSTALL = "broadcast_install"
+    # Broadcast variant: server asks every object within a radius of a
+    # point to report its exact position (downlink broadcast).
+    COLLECT = "collect"
+    # Broadcast variant: a positive response to a COLLECT (uplink).
+    COLLECT_REPLY = "collect_reply"
+
+
+def payload_size(payload: Any) -> int:
+    """Bytes of a payload under the fixed-width wire model.
+
+    Floats cost 8, ints/bools 4, strings their UTF-8 length; tuples,
+    lists, sets and dicts cost the sum of their elements. ``None`` is
+    free. Protocol payload objects may advertise their own size via a
+    ``wire_size()`` method.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, bool):
+        return 4
+    if isinstance(payload, float):
+        return 8
+    if isinstance(payload, int):
+        return 4
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return sum(payload_size(v) for v in payload)
+    if isinstance(payload, dict):
+        return sum(payload_size(k) + payload_size(v) for k, v in payload.items())
+    wire_size = getattr(payload, "wire_size", None)
+    if callable(wire_size):
+        return int(wire_size())
+    raise TypeError(f"cannot size payload of type {type(payload).__name__}")
+
+
+class Message:
+    """One simulated network message."""
+
+    __slots__ = ("kind", "src", "dst", "payload", "size", "sent_tick")
+
+    def __init__(
+        self,
+        kind: MessageKind,
+        src: int,
+        dst: int,
+        payload: Any = None,
+        sent_tick: int = 0,
+    ) -> None:
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = HEADER_BYTES + payload_size(payload)
+        self.sent_tick = sent_tick
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({self.kind.value}, {self.src}->{self.dst}, "
+            f"{self.size}B, t={self.sent_tick})"
+        )
+
+    def direction(self) -> str:
+        """``uplink``, ``downlink``, ``broadcast`` or ``geocast``."""
+        if self.dst == BROADCAST_ID:
+            return "broadcast"
+        if self.dst == GEOCAST_ID:
+            return "geocast"
+        if self.dst == SERVER_ID:
+            return "uplink"
+        return "downlink"
+
+    def endpoints(self) -> Tuple[int, int]:
+        return (self.src, self.dst)

@@ -1,0 +1,167 @@
+"""The synchronous round engine.
+
+Each tick proceeds in phases:
+
+1. the fleet moves (ground truth advances);
+2. every node's ``on_tick_start`` runs (mobile nodes inspect their own
+   position and may transmit; the server runs per-tick planning);
+3. queued messages are delivered and handlers may respond, repeating
+   until the exchange quiesces (**zero-latency mode**: messages cross
+   the network within the tick, the mode in which answers are provably
+   exact) or exactly one delivery pass runs (**latency mode**: every
+   message takes one tick, exposing answer staleness, measured by E8);
+4. every node's ``on_tick_end`` runs (the server finalizes and publishes
+   per-query answers).
+
+The engine also meters server wall-clock time: every server handler
+invocation is timed, giving the "server CPU" axis of E6 without
+instrumenting the algorithms themselves.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import NetworkError
+from repro.net.channel import Channel
+from repro.net.message import BROADCAST_ID, GEOCAST_ID, SERVER_ID, Message
+from repro.net.node import MobileNode, Node, ServerNodeBase
+
+__all__ = ["RoundSimulator", "ZERO_LATENCY", "ONE_TICK_LATENCY"]
+
+ZERO_LATENCY = "zero"
+ONE_TICK_LATENCY = "one_tick"
+
+# A protocol exchange (violation -> repair -> probes -> replies ->
+# installs) needs a handful of hops — collect-radius doubling can take
+# a couple dozen; anything deeper indicates a protocol loop and should
+# fail loudly.
+_MAX_SUBROUNDS = 64
+
+
+class RoundSimulator:
+    """Drives the fleet, the nodes and the channel in lockstep."""
+
+    def __init__(
+        self,
+        fleet,
+        server: ServerNodeBase,
+        mobiles: Sequence[MobileNode],
+        channel: Optional[Channel] = None,
+        latency: str = ZERO_LATENCY,
+    ) -> None:
+        if latency not in (ZERO_LATENCY, ONE_TICK_LATENCY):
+            raise NetworkError(f"unknown latency mode {latency!r}")
+        self.fleet = fleet
+        self.channel = channel if channel is not None else Channel()
+        self.server = server
+        self.mobiles = list(mobiles)
+        self.latency = latency
+        self.server_seconds = 0.0
+        self._nodes_by_id: Dict[int, Node] = {}
+        if server._channel is None:
+            server.attach(self.channel)
+        self._nodes_by_id[SERVER_ID] = server
+        for node in self.mobiles:
+            if node._channel is None:
+                node.attach(self.channel)
+            if node.node_id in self._nodes_by_id:
+                raise NetworkError(f"duplicate node id {node.node_id}")
+            self._nodes_by_id[node.node_id] = node
+        self.tick = 0
+
+    # -- delivery -------------------------------------------------------------
+
+    def _deliver(self, messages: List[Message]) -> None:
+        for msg in messages:
+            if msg.dst == BROADCAST_ID:
+                for node_id, node in self._nodes_by_id.items():
+                    if node_id == msg.src:
+                        continue
+                    self._dispatch(node, msg)
+            elif msg.dst == GEOCAST_ID:
+                # Physical-layer delivery: radio coverage of an area.
+                # Reaches every mobile node whose *true* position lies
+                # inside the payload's coverage region right now.
+                covers = getattr(msg.payload, "covers", None)
+                if covers is None:
+                    raise NetworkError(
+                        f"geocast payload {msg.payload!r} has no covers()"
+                    )
+                receivers = 0
+                for node in self.mobiles:
+                    x, y = self.fleet.positions[node.oid]
+                    if covers(x, y):
+                        receivers += 1
+                        self._dispatch(node, msg)
+                self.channel.stats.record_delivery(msg, receivers=receivers)
+            else:
+                node = self._nodes_by_id.get(msg.dst)
+                if node is None:
+                    raise NetworkError(f"message to unknown node {msg.dst}")
+                self._dispatch(node, msg)
+
+    def _dispatch(self, node: Node, msg: Message) -> None:
+        if node.node_id == SERVER_ID:
+            t0 = time.perf_counter()
+            node.on_message(msg)
+            self.server_seconds += time.perf_counter() - t0
+        else:
+            node.on_message(msg)
+
+    # -- stepping ---------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance ground truth and run one full protocol round."""
+        self.fleet.advance()
+        self.tick = self.fleet.tick
+        self.channel.begin_tick(self.tick)
+
+        for node in self.mobiles:
+            node.on_tick_start(self.tick)
+        t0 = time.perf_counter()
+        self.server.on_tick_start(self.tick)
+        self.server_seconds += time.perf_counter() - t0
+
+        if self.latency == ZERO_LATENCY:
+            subrounds = 0
+            while True:
+                subrounds += 1
+                if subrounds > _MAX_SUBROUNDS:
+                    raise NetworkError(
+                        "protocol did not quiesce within "
+                        f"{_MAX_SUBROUNDS} subrounds at tick {self.tick}"
+                    )
+                self._deliver(self.channel.collect())
+                t0 = time.perf_counter()
+                self.server.on_subround(self.tick)
+                self.server_seconds += time.perf_counter() - t0
+                if not self.channel.pending() and not self.server.busy():
+                    break
+        else:
+            self._deliver(self.channel.collect_sent_before(self.tick))
+            t0 = time.perf_counter()
+            self.server.on_subround(self.tick)
+            self.server_seconds += time.perf_counter() - t0
+            # Replies queued this subround stay in flight until the
+            # next tick — that is the point of latency mode.
+
+        for node in self.mobiles:
+            node.on_tick_end(self.tick)
+        t0 = time.perf_counter()
+        self.server.on_tick_end(self.tick)
+        self.server_seconds += time.perf_counter() - t0
+
+    def run(
+        self,
+        ticks: int,
+        on_tick: Optional[Callable[["RoundSimulator"], None]] = None,
+    ) -> None:
+        """Run ``ticks`` rounds, invoking ``on_tick`` after each."""
+        if ticks < 0:
+            raise NetworkError(f"negative tick count {ticks}")
+        for _ in range(ticks):
+            self.step()
+            if on_tick is not None:
+                on_tick(self)

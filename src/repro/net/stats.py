@@ -1,0 +1,126 @@
+"""Communication accounting.
+
+Every message sent through the channel is recorded here, broken down by
+kind and by direction (uplink / downlink / broadcast). A broadcast
+counts as *one* transmitted message (one radio broadcast) regardless of
+receiver count; receptions are tracked separately because some cost
+models charge per listener wake-up.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+from repro.net.message import Message, MessageKind
+
+__all__ = ["CommStats"]
+
+
+class CommStats:
+    """Mutable counters of simulated network traffic."""
+
+    def __init__(self) -> None:
+        self.sent_by_kind: Counter = Counter()
+        self.bytes_by_kind: Counter = Counter()
+        self.sent_by_direction: Counter = Counter()
+        self.bytes_by_direction: Counter = Counter()
+        self.broadcast_receptions: int = 0
+        self.delivered: int = 0
+
+    # -- recording --------------------------------------------------------
+
+    def record_send(self, msg: Message) -> None:
+        self.sent_by_kind[msg.kind] += 1
+        self.bytes_by_kind[msg.kind] += msg.size
+        direction = msg.direction()
+        self.sent_by_direction[direction] += 1
+        self.bytes_by_direction[direction] += msg.size
+
+    def record_delivery(self, msg: Message, receivers: int = 1) -> None:
+        self.delivered += receivers
+        if msg.direction() in ("broadcast", "geocast"):
+            self.broadcast_receptions += receivers
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def total_messages(self) -> int:
+        """Messages transmitted (a broadcast counts once)."""
+        return sum(self.sent_by_kind.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_kind.values())
+
+    @property
+    def uplink_messages(self) -> int:
+        return self.sent_by_direction["uplink"]
+
+    @property
+    def downlink_messages(self) -> int:
+        return self.sent_by_direction["downlink"]
+
+    @property
+    def broadcast_messages(self) -> int:
+        return self.sent_by_direction["broadcast"]
+
+    @property
+    def geocast_messages(self) -> int:
+        return self.sent_by_direction["geocast"]
+
+    def messages_of(self, kind: MessageKind) -> int:
+        return self.sent_by_kind[kind]
+
+    def bytes_of(self, kind: MessageKind) -> int:
+        return self.bytes_by_kind[kind]
+
+    def per_kind_table(self) -> Dict[str, Dict[str, int]]:
+        """``{kind: {"messages": m, "bytes": b}}`` for reporting."""
+        return {
+            kind.value: {
+                "messages": self.sent_by_kind[kind],
+                "bytes": self.bytes_by_kind[kind],
+            }
+            for kind in MessageKind
+            if self.sent_by_kind[kind]
+        }
+
+    # -- combination ---------------------------------------------------------
+
+    def merge(self, other: "CommStats") -> None:
+        """Fold another stats object into this one."""
+        self.sent_by_kind.update(other.sent_by_kind)
+        self.bytes_by_kind.update(other.bytes_by_kind)
+        self.sent_by_direction.update(other.sent_by_direction)
+        self.bytes_by_direction.update(other.bytes_by_direction)
+        self.broadcast_receptions += other.broadcast_receptions
+        self.delivered += other.delivered
+
+    def snapshot(self) -> "CommStats":
+        """An independent copy (for per-window deltas)."""
+        copy = CommStats()
+        copy.merge(self)
+        return copy
+
+    def delta_since(self, earlier: "CommStats") -> "CommStats":
+        """Traffic recorded after ``earlier`` was snapshotted."""
+        d = CommStats()
+        d.sent_by_kind = self.sent_by_kind - earlier.sent_by_kind
+        d.bytes_by_kind = self.bytes_by_kind - earlier.bytes_by_kind
+        d.sent_by_direction = self.sent_by_direction - earlier.sent_by_direction
+        d.bytes_by_direction = (
+            self.bytes_by_direction - earlier.bytes_by_direction
+        )
+        d.broadcast_receptions = (
+            self.broadcast_receptions - earlier.broadcast_receptions
+        )
+        d.delivered = self.delivered - earlier.delivered
+        return d
+
+    def __repr__(self) -> str:
+        return (
+            f"CommStats(msgs={self.total_messages}, bytes={self.total_bytes}, "
+            f"up={self.uplink_messages}, down={self.downlink_messages}, "
+            f"bcast={self.broadcast_messages})"
+        )

@@ -1,0 +1,7 @@
+"""Server substrate: object/query tables and shared server scaffolding."""
+
+from repro.server.engine import BaseServer
+from repro.server.object_table import ObjectTable
+from repro.server.query_table import QuerySpec, QueryTable
+
+__all__ = ["ObjectTable", "QuerySpec", "QueryTable", "BaseServer"]

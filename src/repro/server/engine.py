@@ -1,0 +1,62 @@
+"""Shared server scaffolding used by every algorithm.
+
+:class:`BaseServer` owns the pieces every server variant needs — the
+query table, a cost meter, and the published-answer map — and defines
+the small protocol every algorithm's server follows:
+
+* ``register_query`` before the simulation starts;
+* ``answers[qid]`` always holds the most recent published answer as a
+  list of object ids (ascending ``(distance, oid)`` where the algorithm
+  knows distances);
+* ``answer_history`` optionally records per-tick answers for accuracy
+  evaluation (enabled via ``record_history``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ProtocolError
+from repro.metrics.cost import CostMeter
+from repro.net.node import ServerNodeBase
+from repro.server.query_table import QuerySpec, QueryTable
+
+__all__ = ["BaseServer"]
+
+
+class BaseServer(ServerNodeBase):
+    """Common state and answer-publication plumbing for servers."""
+
+    def __init__(self, record_history: bool = False) -> None:
+        super().__init__()
+        self.queries = QueryTable()
+        self.meter = CostMeter()
+        self.answers: Dict[int, List[int]] = {}
+        self.record_history = record_history
+        #: qid -> list of (tick, answer ids) snapshots, if recording.
+        self.answer_history: Dict[int, List[tuple]] = {}
+        self._started = False
+
+    def register_query(self, spec: QuerySpec) -> None:
+        """Register a continuous query; only allowed before the run."""
+        if self._started:
+            raise ProtocolError(
+                "register_query after the simulation started is not "
+                "supported by this server"
+            )
+        self.queries.register(spec)
+        self.answers[spec.qid] = []
+        if self.record_history:
+            self.answer_history[spec.qid] = []
+
+    def publish(self, qid: int, answer_ids: List[int]) -> None:
+        """Record ``answer_ids`` as the current answer of ``qid``."""
+        self.answers[qid] = list(answer_ids)
+
+    def on_tick_start(self, tick: int) -> None:
+        self._started = True
+
+    def on_tick_end(self, tick: int) -> None:
+        if self.record_history:
+            for qid, answer in self.answers.items():
+                self.answer_history[qid].append((tick, list(answer)))

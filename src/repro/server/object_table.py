@@ -1,0 +1,122 @@
+"""The server's (imperfect) knowledge of object positions.
+
+Under the dead-reckoning contract, each object reports whenever it has
+drifted more than ``theta`` from its last report, so the table's
+per-object error is bounded by ``theta`` at the end of every round
+(plus one tick of motion, ``v_max``, when messages take a tick to
+arrive). The table keeps:
+
+* last reported position, indexed in a :class:`UniformGrid` for
+  range/kNN queries over *reported* positions;
+* the previous reported position (baselines use it to undo effects of a
+  move);
+* the tick of the last report, and per-tick *freshness* — whether an
+  exact position for this tick is already known (saving probes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import IndexError_
+from repro.geometry import Rect
+from repro.index.grid import UniformGrid
+from repro.metrics.cost import CostMeter, charge
+
+__all__ = ["ObjectTable"]
+
+
+class ObjectTable:
+    """Last-reported object positions plus dead-reckoning bookkeeping."""
+
+    def __init__(
+        self,
+        universe: Rect,
+        grid_cells: int,
+        theta: float,
+        meter: Optional[CostMeter] = None,
+    ) -> None:
+        if theta < 0:
+            raise IndexError_(f"negative theta {theta}")
+        self.universe = universe
+        self.theta = float(theta)
+        self.meter = meter
+        self.grid = UniformGrid(universe, grid_cells, meter=meter)
+        self._report_tick: Dict[int, int] = {}
+        self._previous: Dict[int, Tuple[float, float]] = {}
+        self._fresh_tick: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._report_tick)
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._report_tick
+
+    def ids(self) -> Iterator[int]:
+        return iter(self._report_tick)
+
+    # -- updates ----------------------------------------------------------
+
+    def report(self, oid: int, x: float, y: float, tick: int) -> None:
+        """Record a position report from ``oid`` at ``tick``.
+
+        A report carries the object's exact position, so it also marks
+        the object fresh for this tick.
+        """
+        if oid in self._report_tick:
+            self._previous[oid] = self.grid.position_of(oid)
+            self.grid.update(oid, x, y)
+        else:
+            self._previous[oid] = (x, y)
+            self.grid.insert(oid, x, y)
+        self._report_tick[oid] = tick
+        self._fresh_tick[oid] = tick
+        charge(self.meter, CostMeter.BOOKKEEPING)
+
+    def forget(self, oid: int) -> None:
+        """Drop an object (de-registration)."""
+        if oid not in self._report_tick:
+            raise IndexError_(f"object {oid} not known to server")
+        self.grid.remove(oid)
+        del self._report_tick[oid]
+        del self._previous[oid]
+        self._fresh_tick.pop(oid, None)
+
+    # -- views ------------------------------------------------------------
+
+    def last_position(self, oid: int) -> Tuple[float, float]:
+        """Most recent reported position (error <= theta at round end)."""
+        return self.grid.position_of(oid)
+
+    def previous_position(self, oid: int) -> Tuple[float, float]:
+        """The reported position before the latest one."""
+        pos = self._previous.get(oid)
+        if pos is None:
+            raise IndexError_(f"object {oid} not known to server")
+        return pos
+
+    def report_tick_of(self, oid: int) -> int:
+        tick = self._report_tick.get(oid)
+        if tick is None:
+            raise IndexError_(f"object {oid} not known to server")
+        return tick
+
+    def is_fresh(self, oid: int, tick: int) -> bool:
+        """True if an exact position for ``tick`` is already known."""
+        return self._fresh_tick.get(oid) == tick
+
+    def mark_fresh(self, oid: int, x: float, y: float, tick: int) -> None:
+        """Record an exact position learned via a probe reply.
+
+        Equivalent to a report — the position is exact — but kept as a
+        separate entry point so callers signal intent.
+        """
+        self.report(oid, x, y, tick)
+
+    def uncertainty_bound(self, extra: float = 0.0) -> float:
+        """Max distance between a true and a reported position.
+
+        ``extra`` adds slack for message latency (one tick of motion in
+        one-tick-latency mode).
+        """
+        return self.theta + extra

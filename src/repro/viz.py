@@ -1,0 +1,105 @@
+"""Terminal visualization of a simulation snapshot.
+
+Renders the universe as an ASCII grid: objects as dots, query focal
+points as ``Q``, current answer members as ``*``, and (optionally) the
+outline of a query's threshold band. Meant for examples, debugging and
+docs — a picture of what the protocol is maintaining.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.geometry import Rect, dist
+
+__all__ = ["render_world", "render_query"]
+
+_EMPTY = " "
+_OBJECT = "."
+_ANSWER = "*"
+_FOCAL = "Q"
+_BAND = "o"
+
+
+def _cell_of(
+    x: float, y: float, universe: Rect, width: int, height: int
+) -> Tuple[int, int]:
+    cx = min(int((x - universe.xmin) / universe.width * width), width - 1)
+    cy = min(int((y - universe.ymin) / universe.height * height), height - 1)
+    return cx, height - 1 - cy  # rows top-down
+
+
+def render_world(
+    universe: Rect,
+    positions: Sequence[Tuple[float, float]],
+    focal_ids: Iterable[int] = (),
+    answer_ids: Iterable[int] = (),
+    width: int = 72,
+    height: int = 24,
+) -> str:
+    """ASCII map of the fleet: ``.`` objects, ``Q`` focals, ``*`` answers."""
+    if width < 2 or height < 2:
+        raise ReproError("canvas must be at least 2x2")
+    canvas: List[List[str]] = [[_EMPTY] * width for _ in range(height)]
+    focals = set(focal_ids)
+    answers = set(answer_ids)
+    for oid, (x, y) in enumerate(positions):
+        if oid in focals:
+            continue  # drawn last, on top
+        cx, cy = _cell_of(x, y, universe, width, height)
+        glyph = _ANSWER if oid in answers else _OBJECT
+        if canvas[cy][cx] in (_EMPTY, _OBJECT):
+            canvas[cy][cx] = glyph
+    for oid in focals:
+        x, y = positions[oid]
+        cx, cy = _cell_of(x, y, universe, width, height)
+        canvas[cy][cx] = _FOCAL
+    border = "+" + "-" * width + "+"
+    lines = [border]
+    lines.extend("|" + "".join(row) + "|" for row in canvas)
+    lines.append(border)
+    return "\n".join(lines)
+
+
+def render_query(
+    universe: Rect,
+    positions: Sequence[Tuple[float, float]],
+    focal_oid: int,
+    answer_ids: Iterable[int],
+    threshold: Optional[float] = None,
+    anchor: Optional[Tuple[float, float]] = None,
+    width: int = 72,
+    height: int = 24,
+) -> str:
+    """One query's world view, with its threshold circle sketched.
+
+    Cells whose center sits within half a cell of the threshold radius
+    around the anchor are drawn as ``o`` — the band the silent objects
+    are guaranteed to respect.
+    """
+    base = render_world(
+        universe,
+        positions,
+        focal_ids=(focal_oid,),
+        answer_ids=answer_ids,
+        width=width,
+        height=height,
+    )
+    if threshold is None or anchor is None:
+        return base
+    if threshold <= 0 or not (threshold < float("inf")):
+        return base
+    rows = [list(line) for line in base.splitlines()]
+    cell_w = universe.width / width
+    cell_h = universe.height / height
+    tol = max(cell_w, cell_h)
+    for cy in range(height):
+        for cx in range(width):
+            x = universe.xmin + (cx + 0.5) * cell_w
+            y = universe.ymin + (height - cy - 0.5) * cell_h
+            if abs(dist(x, y, anchor[0], anchor[1]) - threshold) <= tol / 2:
+                row = rows[cy + 1]  # +1 skips the border line
+                if row[cx + 1] == _EMPTY:
+                    row[cx + 1] = _BAND
+    return "\n".join("".join(r) for r in rows)

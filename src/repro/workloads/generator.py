@@ -1,0 +1,89 @@
+"""Turn a :class:`WorkloadSpec` into a fleet and query specs."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.errors import WorkloadError
+from repro.geometry import Rect
+from repro.mobility import (
+    Fleet,
+    GaussianClusterModel,
+    MobilityModel,
+    Mover,
+    RandomDirectionModel,
+    RandomWaypointModel,
+    RoadNetworkModel,
+    StationaryMover,
+)
+from repro.server.query_table import QuerySpec
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["build_workload", "make_mobility_model"]
+
+
+def make_mobility_model(spec: WorkloadSpec, universe: Rect) -> MobilityModel:
+    """Instantiate the population's mobility model from the spec."""
+    opts = dict(spec.mobility_options)
+    common = dict(speed_min=spec.speed_min, speed_max=spec.speed_max)
+    if spec.mobility == "random_waypoint":
+        return RandomWaypointModel(universe, **common, **opts)
+    if spec.mobility == "random_direction":
+        return RandomDirectionModel(universe, **common, **opts)
+    if spec.mobility == "gaussian_cluster":
+        return GaussianClusterModel(universe, **common, **opts)
+    if spec.mobility == "road_network":
+        return RoadNetworkModel(universe, **common, **opts)
+    raise WorkloadError(f"unknown mobility {spec.mobility!r}")
+
+
+def _make_focal_movers(
+    spec: WorkloadSpec, universe: Rect
+) -> List[Mover]:
+    """Movers for the dedicated focal objects.
+
+    ``query_speed == 0`` yields stationary focal points scattered
+    uniformly (seeded independently of the population).
+    """
+    rng = random.Random(spec.seed + 10_007)
+    movers: List[Mover] = []
+    if spec.query_speed == 0:
+        for _ in range(spec.n_queries):
+            movers.append(
+                StationaryMover(
+                    universe,
+                    rng.uniform(universe.xmin, universe.xmax),
+                    rng.uniform(universe.ymin, universe.ymax),
+                )
+            )
+        return movers
+    model = RandomWaypointModel(
+        universe,
+        speed_min=spec.query_speed * 0.5,
+        speed_max=spec.query_speed,
+        pause_max=0,
+    )
+    for _ in range(spec.n_queries):
+        movers.append(model.make_mover(rng))
+    return movers
+
+
+def build_workload(spec: WorkloadSpec) -> Tuple[Fleet, List[QuerySpec]]:
+    """Build the fleet and the query list for one run.
+
+    Focal objects occupy ids ``n_objects .. population-1``; query ``i``
+    is anchored at focal object ``n_objects + i``.
+    """
+    size = spec.universe_size
+    universe = Rect(0.0, 0.0, size, size)
+    model = make_mobility_model(spec, universe)
+    focal_movers = _make_focal_movers(spec, universe)
+    fleet = Fleet.from_model(
+        model, spec.n_objects, seed=spec.seed, extra_movers=focal_movers
+    )
+    queries = [
+        QuerySpec(qid=i, focal_oid=spec.n_objects + i, k=spec.k)
+        for i in range(spec.n_queries)
+    ]
+    return fleet, queries

@@ -1,0 +1,86 @@
+"""Workload specifications: one declarative record per experiment run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict
+
+from repro.errors import WorkloadError
+
+__all__ = ["WorkloadSpec", "MOBILITY_MODELS"]
+
+#: Mobility model names accepted by the generator.
+MOBILITY_MODELS = (
+    "random_waypoint",
+    "random_direction",
+    "gaussian_cluster",
+    "road_network",
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything needed to build a reproducible simulation input.
+
+    The fleet holds ``n_objects`` model-driven objects plus
+    ``n_queries`` dedicated focal objects (ids ``n_objects ..``)
+    moving at ``query_speed`` (0 = static queries). Focal objects are
+    ordinary population members for every *other* query.
+
+    Attributes mirror the experiment axes of DESIGN.md §4.
+    """
+
+    n_objects: int = 2000
+    n_queries: int = 16
+    k: int = 8
+    universe_size: float = 10_000.0
+    speed_min: float = 25.0
+    speed_max: float = 50.0
+    query_speed: float = 50.0
+    ticks: int = 200
+    warmup_ticks: int = 5
+    seed: int = 42
+    mobility: str = "random_waypoint"
+    mobility_options: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1:
+            raise WorkloadError(f"n_objects must be >= 1, got {self.n_objects}")
+        if self.n_queries < 1:
+            raise WorkloadError(f"n_queries must be >= 1, got {self.n_queries}")
+        if self.k < 1:
+            raise WorkloadError(f"k must be >= 1, got {self.k}")
+        if self.universe_size <= 0:
+            raise WorkloadError(
+                f"universe_size must be positive, got {self.universe_size}"
+            )
+        if not 0 <= self.speed_min <= self.speed_max:
+            raise WorkloadError(
+                f"invalid speed range [{self.speed_min}, {self.speed_max}]"
+            )
+        if self.query_speed < 0:
+            raise WorkloadError(f"negative query_speed {self.query_speed}")
+        if self.ticks < 1:
+            raise WorkloadError(f"ticks must be >= 1, got {self.ticks}")
+        if not 0 <= self.warmup_ticks < self.ticks:
+            raise WorkloadError(
+                f"warmup_ticks must be in [0, ticks), got {self.warmup_ticks}"
+            )
+        if self.mobility not in MOBILITY_MODELS:
+            raise WorkloadError(
+                f"unknown mobility {self.mobility!r}; "
+                f"expected one of {MOBILITY_MODELS}"
+            )
+
+    def but(self, **changes: Any) -> "WorkloadSpec":
+        """A copy with some fields replaced (sweep convenience)."""
+        return replace(self, **changes)
+
+    @property
+    def population(self) -> int:
+        """Total fleet size: objects plus dedicated focal objects."""
+        return self.n_objects + self.n_queries
+
+    @property
+    def max_speed(self) -> float:
+        return max(self.speed_max, self.query_speed)

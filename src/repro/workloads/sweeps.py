@@ -1,0 +1,17 @@
+"""Parameter-sweep helpers for the experiment registry."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Tuple
+
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["sweep"]
+
+
+def sweep(
+    base: WorkloadSpec, field: str, values: Iterable[Any]
+) -> Iterator[Tuple[Any, WorkloadSpec]]:
+    """Yield ``(value, spec-with-field-set)`` pairs for a 1-D sweep."""
+    for value in values:
+        yield value, base.but(**{field: value})

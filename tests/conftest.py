@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry import Rect
+from repro.mobility import Fleet, RandomWaypointModel
+
+
+@pytest.fixture
+def universe() -> Rect:
+    return Rect(0.0, 0.0, 10_000.0, 10_000.0)
+
+
+@pytest.fixture
+def small_universe() -> Rect:
+    return Rect(0.0, 0.0, 1_000.0, 1_000.0)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def small_fleet(universe) -> Fleet:
+    """60 objects under random waypoint in the big universe."""
+    model = RandomWaypointModel(universe, speed_min=20.0, speed_max=40.0)
+    return Fleet.from_model(model, 60, seed=99)

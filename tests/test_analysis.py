@@ -1,0 +1,121 @@
+"""The analytical models must match the simulator to small factors."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    centralized_messages_per_tick,
+    crossover_queries,
+    dead_reckoning_rate,
+    dknn_b_messages_per_repair,
+    expected_knn_distance,
+    expected_rank_gap,
+    object_density,
+    query_repair_rate,
+)
+from repro.errors import ReproError
+from repro.experiments import run_once
+from repro.index import brute_knn
+from repro.workloads import WorkloadSpec, build_workload
+
+
+class TestClosedForms:
+    def test_density(self):
+        assert object_density(100, 10.0) == 1.0
+
+    def test_knn_distance_grows_with_k(self):
+        rho = object_density(1000, 10_000)
+        assert expected_knn_distance(8, rho) > expected_knn_distance(2, rho)
+
+    def test_knn_distance_shrinks_with_density(self):
+        assert expected_knn_distance(4, 1e-4) > expected_knn_distance(4, 1e-3)
+
+    def test_gap_shrinks_with_density(self):
+        assert expected_rank_gap(4, 1e-5) > expected_rank_gap(4, 1e-4)
+
+    def test_dead_reckoning_limits(self):
+        assert dead_reckoning_rate(0.0, 100.0) == 0.0
+        assert dead_reckoning_rate(50.0, 0.0) == 1.0
+        assert dead_reckoning_rate(1e9, 1.0) == 1.0  # capped at 1/tick
+
+    def test_repair_rate_caps_at_one(self):
+        rho = object_density(100_000, 1_000)
+        assert query_repair_rate(8, rho, 500, 500, 50) == 1.0
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ReproError):
+            object_density(0, 10)
+        with pytest.raises(ReproError):
+            expected_knn_distance(0, 1.0)
+        with pytest.raises(ReproError):
+            dead_reckoning_rate(-1, 10)
+        with pytest.raises(ReproError):
+            centralized_messages_per_tick(0)
+
+    def test_crossover_positive_and_monotone_in_population(self):
+        rho = object_density(2000, 10_000)
+        q1 = crossover_queries(2000, 8, rho, 50, 37, 50)
+        q2 = crossover_queries(4000, 8, rho, 50, 37, 50)
+        assert 0 < q1 < q2
+
+
+class TestEmpiricalValidation:
+    """Predictions within a factor ~2 of the measured simulator rates."""
+
+    SPEC = WorkloadSpec(
+        n_objects=800, n_queries=4, k=8, seed=77, ticks=80, warmup_ticks=10
+    )
+
+    def test_knn_distance_prediction(self):
+        fleet, queries = build_workload(self.SPEC)
+        for _ in range(20):
+            fleet.advance()
+        rho = object_density(self.SPEC.population, self.SPEC.universe_size)
+        predicted = expected_knn_distance(self.SPEC.k, rho)
+        measured = []
+        for q in queries:
+            qx, qy = fleet.positions[q.focal_oid]
+            result = brute_knn(
+                fleet.positions, qx, qy, self.SPEC.k, {q.focal_oid}
+            )
+            measured.append(result[-1][0])
+        mean_measured = sum(measured) / len(measured)
+        assert predicted / 2 < mean_measured < predicted * 2
+
+    def test_dead_reckoning_prediction(self):
+        theta = 100.0
+        m = run_once(
+            "DKNN-P", self.SPEC, accuracy_every=0,
+            alg_params={"theta": theta},
+        )
+        mean_speed = (self.SPEC.speed_min + self.SPEC.speed_max) / 2
+        predicted = dead_reckoning_rate(mean_speed, theta) * self.SPEC.population
+        measured = m.per_kind_msgs.get("location_update", 0.0)
+        assert predicted / 2.5 < measured < predicted * 2.5
+
+    def test_centralized_prediction_is_exact(self):
+        m = run_once("PER", self.SPEC, accuracy_every=0)
+        assert m.uplink_per_tick == centralized_messages_per_tick(
+            self.SPEC.population
+        )
+
+    def test_dknn_b_per_repair_prediction(self):
+        m = run_once("DKNN-B", self.SPEC, accuracy_every=0)
+        rho = object_density(self.SPEC.population, self.SPEC.universe_size)
+        predicted = dknn_b_messages_per_repair(self.SPEC.k, rho, 1.5, 50.0)
+        assert m.repairs_per_tick is not None and m.repairs_per_tick > 0
+        measured = m.msgs_per_tick / m.repairs_per_tick
+        assert predicted / 2.5 < measured < predicted * 2.5
+
+    def test_distributed_beats_centralized_below_crossover(self):
+        rho = object_density(self.SPEC.population, self.SPEC.universe_size)
+        q_star = crossover_queries(
+            self.SPEC.population, self.SPEC.k, rho,
+            self.SPEC.query_speed,
+            (self.SPEC.speed_min + self.SPEC.speed_max) / 2,
+        )
+        assert self.SPEC.n_queries < q_star  # we are under the crossover...
+        m_d = run_once("DKNN-B", self.SPEC, accuracy_every=0)
+        m_c = run_once("PER", self.SPEC, accuracy_every=0)
+        assert m_d.msgs_per_tick < m_c.msgs_per_tick  # ...so distributed wins

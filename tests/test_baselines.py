@@ -1,0 +1,142 @@
+"""Behavioral tests for the centralized baselines (beyond exactness)."""
+
+import pytest
+
+from repro.baselines import (
+    build_cpm_system,
+    build_periodic_system,
+    build_seacnn_system,
+)
+from repro.errors import ProtocolError
+from repro.geometry import Rect
+from repro.mobility import Fleet, RandomWaypointModel, StationaryMover
+from repro.net.message import MessageKind
+from repro.server import QuerySpec
+from repro.workloads import build_workload, WorkloadSpec
+
+
+def _fleet_and_queries(n=80, q=2, k=5, seed=9, query_speed=50.0):
+    spec = WorkloadSpec(
+        n_objects=n, n_queries=q, k=k, seed=seed, ticks=10,
+        warmup_ticks=1, query_speed=query_speed,
+    )
+    return build_workload(spec)
+
+
+class TestCommunicationPattern:
+    def test_every_object_reports_every_tick(self):
+        fleet, queries = _fleet_and_queries()
+        sim = build_periodic_system(fleet, queries)
+        sim.run(10)
+        reports = sim.channel.stats.messages_of(MessageKind.TICK_REPORT)
+        assert reports == fleet.n * 10
+
+    def test_baselines_share_the_same_uplink_cost(self):
+        counts = []
+        for build in (
+            build_periodic_system,
+            build_seacnn_system,
+            build_cpm_system,
+        ):
+            fleet, queries = _fleet_and_queries()
+            sim = build(fleet, queries)
+            sim.run(10)
+            counts.append(sim.channel.stats.uplink_messages)
+        assert counts[0] == counts[1] == counts[2]
+
+    def test_answer_push_only_on_membership_change(self):
+        # Static everything: after the first answer, no more pushes.
+        universe = Rect(0, 0, 10_000, 10_000)
+        import random
+
+        rng = random.Random(1)
+        movers = [
+            StationaryMover(universe, rng.uniform(0, 10_000), rng.uniform(0, 10_000))
+            for _ in range(30)
+        ]
+        fleet = Fleet(movers)
+        queries = [QuerySpec(qid=0, focal_oid=0, k=4)]
+        sim = build_periodic_system(fleet, queries)
+        sim.run(10)
+        pushes = sim.channel.stats.messages_of(MessageKind.ANSWER_PUSH)
+        assert pushes == 1
+
+
+class TestServerCostOrdering:
+    def test_dirty_tracking_beats_naive_rescan(self):
+        """With static queries and mostly-pausing objects, SEA and CPM
+        skip quiet queries; PER rescans everything."""
+        spec = WorkloadSpec(
+            n_objects=300,
+            n_queries=8,
+            k=5,
+            seed=11,
+            ticks=30,
+            warmup_ticks=1,
+            query_speed=0.0,
+            mobility_options={"pause_max": 20},
+        )
+        units = {}
+        for name, build in (
+            ("PER", build_periodic_system),
+            ("SEA", build_seacnn_system),
+            ("CPM", build_cpm_system),
+        ):
+            fleet, queries = build_workload(spec)
+            sim = build(fleet, queries)
+            sim.run(30)
+            units[name] = sim.server.meter.total
+        assert units["SEA"] < units["PER"]
+        assert units["CPM"] < units["PER"]
+
+
+class TestPeriodic:
+    def test_invalid_period_raises(self):
+        fleet, queries = _fleet_and_queries()
+        with pytest.raises(ProtocolError):
+            build_periodic_system(fleet, queries, period=0)
+
+    def test_period_skips_evaluations(self):
+        fleet, queries = _fleet_and_queries()
+        sim = build_periodic_system(fleet, queries, period=5)
+        sim.run(1)
+        first = list(sim.server.answers[queries[0].qid])
+        assert first  # evaluated at tick 1
+        sim.run(3)  # ticks 2-4: no re-evaluation
+        assert sim.server.answers[queries[0].qid] == first
+
+    def test_unknown_message_kind_raises(self):
+        fleet, queries = _fleet_and_queries()
+        sim = build_periodic_system(fleet, queries)
+        from repro.net.message import Message, SERVER_ID
+
+        with pytest.raises(ProtocolError):
+            sim.server.on_message(
+                Message(MessageKind.VIOLATION, 0, SERVER_ID, None)
+            )
+
+
+class TestRegistrationDiscipline:
+    def test_register_after_start_raises(self):
+        fleet, queries = _fleet_and_queries()
+        sim = build_periodic_system(fleet, queries)
+        sim.run(1)
+        with pytest.raises(ProtocolError):
+            sim.server.register_query(QuerySpec(qid=99, focal_oid=0, k=2))
+
+    def test_duplicate_qid_raises(self):
+        fleet, queries = _fleet_and_queries()
+        sim = build_periodic_system(fleet, queries)
+        with pytest.raises(ProtocolError):
+            sim.server.register_query(queries[0])
+
+
+class TestAnswerHistory:
+    def test_history_recorded_per_tick(self):
+        fleet, queries = _fleet_and_queries()
+        sim = build_periodic_system(fleet, queries, record_history=True)
+        sim.run(7)
+        history = sim.server.answer_history[queries[0].qid]
+        assert len(history) == 7
+        assert history[0][0] == 1 and history[-1][0] == 7
+        assert all(len(ids) == queries[0].k for _, ids in history)

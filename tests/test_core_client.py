@@ -1,0 +1,190 @@
+"""Unit tests for the DKNN object-side node, driven by hand."""
+
+import pytest
+
+from repro.core.client import DknnMobileNode
+from repro.core.protocol import (
+    BAND_ANSWER,
+    BAND_OUTSIDER,
+    BAND_QUERY_CIRCLE,
+    AnswerPush,
+    InstallBand,
+    ProbeRequest,
+    RevokeBand,
+)
+from repro.errors import ProtocolError
+from repro.geometry import AnswerBand, OutsiderBand, QuerySafeCircle
+from repro.net.channel import Channel
+from repro.net.message import Message, MessageKind, SERVER_ID
+
+
+class FakeFleet:
+    def __init__(self, positions):
+        self.positions = positions
+
+
+@pytest.fixture
+def rig():
+    """A node at a controllable position plus an attached channel."""
+    fleet = FakeFleet({0: (0.0, 0.0)})
+    node = DknnMobileNode(0, fleet, theta=50.0)
+    channel = Channel()
+    channel.register(SERVER_ID)
+    node.attach(channel)
+    return fleet, node, channel
+
+
+def _sent(channel):
+    return channel.collect()
+
+
+def _install(node, qid, band, ax, ay, radius):
+    node.on_message(
+        Message(
+            MessageKind.INSTALL_REGION,
+            SERVER_ID,
+            0,
+            InstallBand(qid, band, ax, ay, radius),
+        )
+    )
+
+
+class TestDeadReckoning:
+    def test_first_tick_always_reports(self, rig):
+        fleet, node, channel = rig
+        node.on_tick_start(1)
+        msgs = _sent(channel)
+        assert [m.kind for m in msgs] == [MessageKind.LOCATION_UPDATE]
+
+    def test_silent_within_theta(self, rig):
+        fleet, node, channel = rig
+        node.on_tick_start(1)
+        _sent(channel)
+        fleet.positions[0] = (30.0, 0.0)  # drift 30 < theta 50
+        node.on_tick_start(2)
+        assert _sent(channel) == []
+
+    def test_reports_when_drift_exceeds_theta(self, rig):
+        fleet, node, channel = rig
+        node.on_tick_start(1)
+        _sent(channel)
+        fleet.positions[0] = (51.0, 0.0)
+        node.on_tick_start(2)
+        msgs = _sent(channel)
+        assert [m.kind for m in msgs] == [MessageKind.LOCATION_UPDATE]
+        assert msgs[0].payload.x == 51.0
+
+    def test_drift_origin_resets_after_any_transmission(self, rig):
+        fleet, node, channel = rig
+        node.on_tick_start(1)
+        _sent(channel)
+        fleet.positions[0] = (40.0, 0.0)
+        node.on_message(Message(MessageKind.PROBE, SERVER_ID, 0, ProbeRequest()))
+        _sent(channel)  # probe reply carries (40, 0)
+        fleet.positions[0] = (80.0, 0.0)  # only 40 from last transmitted
+        node.on_tick_start(2)
+        assert _sent(channel) == []
+
+
+class TestBands:
+    def test_violation_reported_once_per_episode(self, rig):
+        fleet, node, channel = rig
+        node.on_tick_start(1)
+        _sent(channel)
+        _install(node, 5, BAND_ANSWER, 0, 0, 100)
+        fleet.positions[0] = (150.0, 0.0)
+        node.on_tick_start(2)
+        kinds = [m.kind for m in _sent(channel)]
+        assert MessageKind.VIOLATION in kinds
+        node.on_tick_start(3)
+        assert MessageKind.VIOLATION not in [m.kind for m in _sent(channel)]
+
+    def test_reinstall_rearms_violation(self, rig):
+        fleet, node, channel = rig
+        node.on_tick_start(1)
+        _sent(channel)
+        _install(node, 5, BAND_ANSWER, 0, 0, 100)
+        fleet.positions[0] = (150.0, 0.0)
+        node.on_tick_start(2)
+        _sent(channel)
+        _install(node, 5, BAND_ANSWER, 150, 0, 100)
+        fleet.positions[0] = (300.0, 0.0)
+        node.on_tick_start(3)
+        assert MessageKind.VIOLATION in [m.kind for m in _sent(channel)]
+
+    def test_outsider_band_violates_inward(self, rig):
+        fleet, node, channel = rig
+        fleet.positions[0] = (200.0, 0.0)
+        node.on_tick_start(1)
+        _sent(channel)
+        _install(node, 5, BAND_OUTSIDER, 0, 0, 100)
+        fleet.positions[0] = (50.0, 0.0)
+        node.on_tick_start(2)
+        assert MessageKind.VIOLATION in [m.kind for m in _sent(channel)]
+
+    def test_query_circle_violation_uses_query_move_kind(self, rig):
+        fleet, node, channel = rig
+        node.on_tick_start(1)
+        _sent(channel)
+        _install(node, 5, BAND_QUERY_CIRCLE, 0, 0, 30)
+        fleet.positions[0] = (31.0, 0.0)
+        node.on_tick_start(2)
+        assert MessageKind.QUERY_MOVE in [m.kind for m in _sent(channel)]
+
+    def test_region_types_map_correctly(self, rig):
+        fleet, node, channel = rig
+        _install(node, 1, BAND_ANSWER, 0, 0, 10)
+        _install(node, 2, BAND_OUTSIDER, 0, 0, 10)
+        _install(node, 3, BAND_QUERY_CIRCLE, 0, 0, 10)
+        assert isinstance(node.regions[1], AnswerBand)
+        assert isinstance(node.regions[2], OutsiderBand)
+        assert isinstance(node.regions[3], QuerySafeCircle)
+
+    def test_revoke_removes_region(self, rig):
+        fleet, node, channel = rig
+        _install(node, 5, BAND_ANSWER, 0, 0, 100)
+        node.on_message(
+            Message(MessageKind.REVOKE_REGION, SERVER_ID, 0, RevokeBand(5))
+        )
+        assert 5 not in node.regions
+
+    def test_revoke_of_unknown_region_is_noop(self, rig):
+        fleet, node, channel = rig
+        node.on_message(
+            Message(MessageKind.REVOKE_REGION, SERVER_ID, 0, RevokeBand(9))
+        )
+        assert node.regions == {}
+
+
+class TestMessages:
+    def test_probe_reply_carries_position(self, rig):
+        fleet, node, channel = rig
+        fleet.positions[0] = (12.0, 34.0)
+        node.on_message(Message(MessageKind.PROBE, SERVER_ID, 0, ProbeRequest()))
+        msgs = _sent(channel)
+        assert msgs[0].kind == MessageKind.PROBE_REPLY
+        assert (msgs[0].payload.x, msgs[0].payload.y) == (12.0, 34.0)
+
+    def test_answer_push_stored(self, rig):
+        fleet, node, channel = rig
+        node.on_message(
+            Message(MessageKind.ANSWER_PUSH, SERVER_ID, 0, AnswerPush(3, (7, 8)))
+        )
+        assert node.known_answers[3] == [7, 8]
+
+    def test_unknown_kind_raises(self, rig):
+        fleet, node, channel = rig
+        with pytest.raises(ProtocolError):
+            node.on_message(Message(MessageKind.COLLECT, SERVER_ID, 0, None))
+
+    def test_bad_install_payload_raises(self, rig):
+        fleet, node, channel = rig
+        with pytest.raises(ProtocolError):
+            node.on_message(
+                Message(MessageKind.INSTALL_REGION, SERVER_ID, 0, "junk")
+            )
+
+    def test_negative_theta_raises(self, rig):
+        fleet, _, _ = rig
+        with pytest.raises(ProtocolError):
+            DknnMobileNode(0, fleet, theta=-1.0)

@@ -1,0 +1,123 @@
+"""Tests of DKNN-P's incremental (light) repair path."""
+
+import pytest
+
+from repro.core import DknnParams, build_dknn_system
+from repro.net.message import MessageKind
+from repro.workloads import WorkloadSpec, build_workload
+from tests.helpers import ExactnessChecker
+
+STATIC_Q = WorkloadSpec(
+    n_objects=300,
+    n_queries=4,
+    k=6,
+    seed=19,
+    ticks=10,
+    warmup_ticks=1,
+    query_speed=0.0,
+)
+
+
+def _run(spec, incremental, ticks=80):
+    fleet, queries = build_workload(spec)
+    sim = build_dknn_system(
+        fleet, queries, DknnParams(incremental=incremental)
+    )
+    checker = ExactnessChecker(fleet, queries)
+    sim.run(ticks, on_tick=checker)
+    checker.assert_clean()
+    return sim
+
+
+class TestLightRepairFires:
+    def test_light_repairs_happen_for_static_queries(self):
+        sim = _run(STATIC_Q, incremental=True)
+        assert sum(sim.server.light_repair_count.values()) > 0
+
+    def test_disabled_flag_means_zero_light_repairs(self):
+        sim = _run(STATIC_Q, incremental=False)
+        assert sum(sim.server.light_repair_count.values()) == 0
+
+    def test_light_subset_of_total_repairs(self):
+        sim = _run(STATIC_Q, incremental=True)
+        for qid, light in sim.server.light_repair_count.items():
+            assert light <= sim.server.repair_count[qid]
+
+
+class TestLightRepairSaves:
+    def test_messages_and_units_do_not_regress(self):
+        with_light = _run(STATIC_Q, incremental=True)
+        without = _run(STATIC_Q, incremental=False)
+        assert (
+            with_light.channel.stats.total_messages
+            <= without.channel.stats.total_messages * 1.05
+        )
+        assert with_light.server.meter.total < without.server.meter.total
+
+    def test_server_cost_drops_markedly_for_static_queries(self):
+        with_light = _run(STATIC_Q, incremental=True)
+        without = _run(STATIC_Q, incremental=False)
+        assert with_light.server.meter.total < without.server.meter.total * 0.9
+
+
+class TestLightRepairExactness:
+    """The dangerous corners: exactness must hold wherever light
+    repairs interleave with full repairs and planner traffic."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_exact_over_seeds(self, seed):
+        _run(STATIC_Q.but(seed=seed), incremental=True, ticks=60)
+
+    @pytest.mark.parametrize("query_speed", [5.0, 30.0, 120.0])
+    def test_exact_with_moving_queries(self, query_speed):
+        _run(
+            STATIC_Q.but(query_speed=query_speed, seed=23),
+            incremental=True,
+            ticks=60,
+        )
+
+    def test_exact_with_tiny_population(self):
+        _run(
+            STATIC_Q.but(n_objects=8, k=6, seed=29),
+            incremental=True,
+            ticks=60,
+        )
+
+    def test_exact_with_fast_objects(self):
+        _run(
+            STATIC_Q.but(speed_min=100.0, speed_max=200.0, seed=31),
+            incremental=True,
+            ticks=60,
+        )
+
+    def test_exact_with_zero_s_cap(self):
+        fleet, queries = build_workload(STATIC_Q.but(seed=37))
+        sim = build_dknn_system(
+            fleet, queries, DknnParams(incremental=True, s_cap=0.0)
+        )
+        checker = ExactnessChecker(fleet, queries)
+        sim.run(60, on_tick=checker)
+        checker.assert_clean()
+
+
+class TestLightRepairMechanics:
+    def test_query_circle_refreshed_on_light_repair(self):
+        """Every light repair re-installs the focal's circle, so query
+        circle installs must be at least the light repair count."""
+        sim = _run(STATIC_Q, incremental=True)
+        light = sum(sim.server.light_repair_count.values())
+        installs = sim.channel.stats.messages_of(MessageKind.INSTALL_REGION)
+        assert installs >= light  # one circle per light repair minimum
+
+    def test_no_range_search_growth_from_light_repairs(self):
+        """Light repairs skip candidate range searches, so cell visits
+        per repair must drop when they dominate."""
+        with_light = _run(STATIC_Q, incremental=True)
+        without = _run(STATIC_Q, incremental=False)
+        from repro.metrics.cost import CostMeter
+
+        lr = sum(with_light.server.light_repair_count.values())
+        if lr > 20:  # only meaningful when the path actually fired
+            assert with_light.server.meter.of(
+                CostMeter.CELL_VISIT
+            ) < without.server.meter.of(CostMeter.CELL_VISIT)

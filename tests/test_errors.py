@@ -1,0 +1,51 @@
+"""The exception hierarchy: one catchable root, distinct families."""
+
+import pytest
+
+from repro.errors import (
+    ExperimentError,
+    GeometryError,
+    IndexError_,
+    MobilityError,
+    NetworkError,
+    ProtocolError,
+    ReproError,
+    WorkloadError,
+)
+
+FAMILIES = [
+    GeometryError,
+    MobilityError,
+    NetworkError,
+    IndexError_,
+    ProtocolError,
+    WorkloadError,
+    ExperimentError,
+]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_all_derive_from_repro_error(family):
+    assert issubclass(family, ReproError)
+    with pytest.raises(ReproError):
+        raise family("boom")
+
+
+def test_families_are_distinct():
+    assert len(set(FAMILIES)) == len(FAMILIES)
+
+
+def test_library_raises_only_repro_errors_on_bad_input():
+    from repro.geometry import Rect
+    from repro.index import UniformGrid
+
+    with pytest.raises(ReproError):
+        Rect(1, 0, 0, 1)
+    with pytest.raises(ReproError):
+        UniformGrid(Rect(0, 0, 1, 1), 0)
+
+
+def test_index_error_does_not_shadow_builtin():
+    # IndexError_ deliberately avoids clobbering the builtin IndexError.
+    assert IndexError_ is not IndexError
+    assert not issubclass(IndexError_, IndexError)

@@ -1,0 +1,54 @@
+"""The examples are part of the public deliverable: they must run.
+
+Each example is executed in-process (runpy) with stdout captured; we
+assert it completes and prints its headline lines.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_quickstart(capsys):
+    out = _run_example("quickstart.py", capsys)
+    assert "answer valid    : True" in out
+    assert "total messages" in out
+
+
+@pytest.mark.slow
+def test_taxi_dispatch(capsys):
+    out = _run_example("taxi_dispatch.py", capsys)
+    assert "communication saved" in out
+    assert "dispatch-list changes" in out
+
+
+@pytest.mark.slow
+def test_road_network_patrol(capsys):
+    out = _run_example("road_network_patrol.py", capsys)
+    assert "audited answers: 40/40 valid" in out
+
+
+@pytest.mark.slow
+def test_protocol_comparison(capsys):
+    out = _run_example("protocol_comparison.py", capsys)
+    for name in ("DKNN-B", "DKNN-G", "DKNN-P", "PER", "SEA", "CPM"):
+        assert name in out
+
+
+@pytest.mark.slow
+def test_geofence_and_capacity(capsys):
+    out = _run_example("geofence_and_capacity.py", capsys)
+    assert "audits with any mismatch      : 0" in out
+    assert "crossover" in out

@@ -1,0 +1,165 @@
+"""Tests of the experiment harness: tables, runner, registry."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ALGORITHMS,
+    EXPERIMENTS,
+    ResultTable,
+    run_experiment,
+    run_once,
+)
+from repro.experiments.algorithms import build_system
+from repro.workloads import WorkloadSpec, build_workload
+
+SMALL = WorkloadSpec(
+    n_objects=120, n_queries=2, k=4, ticks=25, warmup_ticks=5, seed=3
+)
+
+
+class TestResultTable:
+    def test_requires_columns(self):
+        with pytest.raises(ExperimentError):
+            ResultTable("t", [])
+
+    def test_add_row_rejects_unknown_columns(self):
+        t = ResultTable("t", ["a"])
+        with pytest.raises(ExperimentError):
+            t.add_row({"b": 1})
+
+    def test_missing_columns_render_blank(self):
+        t = ResultTable("t", ["a", "b"])
+        t.add_row({"a": 1})
+        assert "1" in t.render()
+
+    def test_column_extraction(self):
+        t = ResultTable("t", ["a"])
+        t.add_row({"a": 1})
+        t.add_row({"a": 2})
+        assert t.column("a") == [1, 2]
+        with pytest.raises(ExperimentError):
+            t.column("zz")
+
+    def test_render_contains_title_and_values(self):
+        t = ResultTable("My Table", ["x", "y"])
+        t.add_row({"x": 1500.0, "y": 0.123456})
+        out = t.render()
+        assert "My Table" in out
+        assert "1,500" in out
+        assert "0.123" in out
+
+    def test_csv_roundtrip(self, tmp_path):
+        t = ResultTable("t", ["a", "b"])
+        t.add_row({"a": 1, "b": "x"})
+        path = tmp_path / "out.csv"
+        t.to_csv(str(path))
+        content = path.read_text()
+        assert content.splitlines()[0] == "a,b"
+        assert content.splitlines()[1] == "1,x"
+
+
+class TestRunner:
+    def test_measurement_fields_populated(self):
+        m = run_once("DKNN-B", SMALL, accuracy_every=5)
+        assert m.algorithm == "DKNN-B"
+        assert m.ticks_measured == 20
+        assert m.msgs_per_tick > 0
+        assert m.exactness == 1.0
+        assert m.mean_overlap == 1.0
+        assert m.repairs_per_tick is not None
+        assert m.per_kind_msgs
+        row = m.as_row()
+        assert row["algorithm"] == "DKNN-B"
+
+    def test_accuracy_can_be_disabled(self):
+        m = run_once("PER", SMALL, accuracy_every=0)
+        assert m.exactness == 1.0  # reported as unchecked default
+
+    def test_negative_accuracy_interval_raises(self):
+        with pytest.raises(ExperimentError):
+            run_once("PER", SMALL, accuracy_every=-1)
+
+    def test_alg_params_forwarded(self):
+        m1 = run_once("DKNN-P", SMALL, accuracy_every=0,
+                      alg_params={"theta": 10.0})
+        m2 = run_once("DKNN-P", SMALL, accuracy_every=0,
+                      alg_params={"theta": 2000.0})
+        # Tiny theta floods dead-reckoning updates.
+        assert m1.per_kind_msgs.get("location_update", 0) > m2.per_kind_msgs.get(
+            "location_update", 0
+        )
+
+    def test_centralized_msgs_match_population(self):
+        m = run_once("PER", SMALL, accuracy_every=0)
+        assert m.uplink_per_tick == SMALL.population
+
+
+class TestAlgorithmsRegistry:
+    def test_all_five_registered(self):
+        assert set(ALGORITHMS) == {
+            "DKNN-P", "DKNN-B", "DKNN-G", "PER", "SEA", "CPM"
+        }
+
+    def test_unknown_algorithm_raises(self):
+        fleet, queries = build_workload(SMALL)
+        with pytest.raises(ExperimentError):
+            build_system("FancyNewThing", fleet, queries)
+
+    def test_unknown_params_rejected(self):
+        fleet, queries = build_workload(SMALL)
+        with pytest.raises(ExperimentError):
+            build_system("PER", fleet, queries, warp_factor=9)
+
+
+class TestExperimentRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+            "E11", "E12", "E13",
+        }
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_case_insensitive_lookup(self):
+        table = run_experiment("e7", quick=True)
+        assert table.rows
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+    def test_quick_mode_runs(self, name):
+        table = run_experiment(name, quick=True)
+        assert table.rows
+        assert table.render()
+
+
+class TestExpectedShapes:
+    """Quick-mode sanity checks of the headline claims."""
+
+    def test_e1_distributed_beats_centralized(self):
+        table = run_experiment("E1", quick=True)
+        rows = table.rows
+        per = {r["N"]: r for r in rows if r["algorithm"] == "PER"}
+        dkb = {r["N"]: r for r in rows if r["algorithm"] == "DKNN-B"}
+        for n in per:
+            assert dkb[n]["msgs/tick"] < per[n]["msgs/tick"]
+
+    def test_e1_centralized_traffic_tracks_population(self):
+        table = run_experiment("E1", quick=True)
+        per = {
+            r["N"]: r["msgs/tick"]
+            for r in table.rows
+            if r["algorithm"] == "PER"
+        }
+        ns = sorted(per)
+        assert per[ns[-1]] > per[ns[0]] * 1.5
+
+    def test_cli_entrypoint(self, capsys, tmp_path):
+        from repro.experiments.__main__ import main
+
+        assert main(["E7", "--quick", "--csv", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "E7" in out
+        assert (tmp_path / "e7.csv").exists()

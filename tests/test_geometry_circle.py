@@ -1,0 +1,99 @@
+"""Unit tests for repro.geometry.circle."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Annulus, Circle, Rect
+
+
+class TestCircle:
+    def test_negative_radius_raises(self):
+        with pytest.raises(GeometryError):
+            Circle(0, 0, -1)
+
+    def test_zero_radius_contains_center_only(self):
+        c = Circle(2, 3, 0)
+        assert c.contains_point(2, 3)
+        assert not c.contains_point(2, 3.001)
+
+    def test_contains_point_boundary(self):
+        assert Circle(0, 0, 5).contains_point(3, 4)
+
+    def test_contains_point_outside(self):
+        assert not Circle(0, 0, 5).contains_point(3.1, 4)
+
+    def test_contains_circle(self):
+        assert Circle(0, 0, 10).contains_circle(Circle(3, 0, 7))
+        assert not Circle(0, 0, 10).contains_circle(Circle(3, 0, 8))
+
+    def test_intersects_circle_touching(self):
+        assert Circle(0, 0, 3).intersects_circle(Circle(7, 0, 4))
+
+    def test_intersects_circle_disjoint(self):
+        assert not Circle(0, 0, 3).intersects_circle(Circle(8, 0, 4))
+
+    def test_intersects_rect(self):
+        assert Circle(0, 0, 5).intersects_rect(Rect(4, 0, 10, 10))
+        assert not Circle(0, 0, 5).intersects_rect(Rect(4, 4, 10, 10))
+
+    def test_contains_rect(self):
+        assert Circle(5, 5, 8).contains_rect(Rect(3, 3, 7, 7))
+        assert not Circle(5, 5, 2).contains_rect(Rect(3, 3, 7, 7))
+
+    def test_bounding_rect(self):
+        assert Circle(5, 5, 2).bounding_rect() == Rect(3, 3, 7, 7)
+
+    def test_expanded(self):
+        assert Circle(0, 0, 5).expanded(3).r == 8
+
+    def test_expanded_floors_at_zero(self):
+        assert Circle(0, 0, 5).expanded(-9).r == 0
+
+    def test_immutable_and_hashable(self):
+        c = Circle(1, 2, 3)
+        with pytest.raises(AttributeError):
+            c.r = 4
+        assert len({c, Circle(1, 2, 3)}) == 1
+
+    def test_distance_to_center(self):
+        assert Circle(0, 0, 1).distance_to_center(3, 4) == 5.0
+
+
+class TestAnnulus:
+    def test_invalid_radii_raise(self):
+        with pytest.raises(GeometryError):
+            Annulus(0, 0, -1, 5)
+        with pytest.raises(GeometryError):
+            Annulus(0, 0, 5, 3)
+
+    def test_contains_point_in_band(self):
+        a = Annulus(0, 0, 2, 5)
+        assert a.contains_point(3, 0)
+        assert a.contains_point(0, 2)  # inner boundary
+        assert a.contains_point(5, 0)  # outer boundary
+
+    def test_excludes_hole_and_outside(self):
+        a = Annulus(0, 0, 2, 5)
+        assert not a.contains_point(1, 0)
+        assert not a.contains_point(5.1, 0)
+
+    def test_infinite_outer(self):
+        a = Annulus(0, 0, 2, math.inf)
+        assert a.contains_point(1e12, 0)
+        assert not a.contains_point(1, 0)
+
+    def test_degenerate_disk(self):
+        a = Annulus(0, 0, 0, 5)
+        assert a.contains_point(0, 0)
+
+    def test_intersects_rect(self):
+        a = Annulus(0, 0, 2, 5)
+        assert a.intersects_rect(Rect(3, 0, 4, 1))
+        assert not a.intersects_rect(Rect(-1, -1, 1, 1))  # inside the hole
+        assert not a.intersects_rect(Rect(6, 6, 9, 9))  # beyond the outer
+
+    def test_equality_and_hash(self):
+        assert Annulus(0, 0, 1, 2) == Annulus(0, 0, 1, 2)
+        assert len({Annulus(0, 0, 1, 2), Annulus(0, 0, 1, 2)}) == 1

@@ -1,0 +1,156 @@
+"""The central correctness claim, tested end to end:
+
+in zero-latency mode, every algorithm publishes a valid kNN answer for
+every query at every tick — across mobility models, k values, query
+speeds, and edge populations.
+"""
+
+import pytest
+
+from repro.experiments.algorithms import ALGORITHMS, build_system
+from repro.geometry import Rect
+from repro.mobility import Fleet, RandomWaypointModel, StationaryMover
+from repro.server import QuerySpec
+from repro.workloads import WorkloadSpec, build_workload
+from tests.helpers import ExactnessChecker
+
+ALL = sorted(ALGORITHMS)
+TICKS = 60
+
+
+def _run(algorithm, spec: WorkloadSpec, ticks=TICKS, **alg_params):
+    fleet, queries = build_workload(spec)
+    sim = build_system(algorithm, fleet, queries, **alg_params)
+    checker = ExactnessChecker(fleet, queries)
+    sim.run(ticks, on_tick=checker)
+    checker.assert_clean()
+    return sim
+
+
+BASE = WorkloadSpec(
+    n_objects=150,
+    n_queries=3,
+    k=5,
+    ticks=TICKS,
+    warmup_ticks=1,
+    seed=7,
+    universe_size=10_000.0,
+)
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+def test_exact_on_default_workload(algorithm):
+    _run(algorithm, BASE)
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+@pytest.mark.parametrize("k", [1, 2, 9])
+def test_exact_across_k(algorithm, k):
+    _run(algorithm, BASE.but(k=k, seed=20 + k))
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+def test_exact_with_static_queries(algorithm):
+    _run(algorithm, BASE.but(query_speed=0.0, seed=31))
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+def test_exact_with_fast_queries(algorithm):
+    _run(algorithm, BASE.but(query_speed=200.0, seed=32))
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+def test_exact_with_fast_objects(algorithm):
+    _run(algorithm, BASE.but(speed_min=100.0, speed_max=200.0, seed=33))
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+@pytest.mark.parametrize(
+    "mobility", ["random_direction", "gaussian_cluster", "road_network"]
+)
+def test_exact_across_mobility_models(algorithm, mobility):
+    _run(algorithm, BASE.but(mobility=mobility, seed=40, ticks=40), ticks=40)
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+def test_exact_when_population_barely_exceeds_k(algorithm):
+    # k = 5 with 6 objects + 2 focals: constant answer churn at the gap.
+    _run(algorithm, BASE.but(n_objects=6, n_queries=2, k=5, seed=50))
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+def test_exact_when_population_below_k(algorithm):
+    # Fewer eligible objects than k: the trivial-installation path.
+    _run(algorithm, BASE.but(n_objects=3, n_queries=1, k=8, seed=51))
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+def test_exact_with_many_queries_sharing_focals(algorithm):
+    spec = BASE.but(n_objects=80, n_queries=1, seed=52)
+    fleet, queries = build_workload(spec)
+    # Two extra queries anchored at ordinary population objects, one of
+    # them carrying two queries with different k.
+    queries = list(queries) + [
+        QuerySpec(qid=10, focal_oid=0, k=3),
+        QuerySpec(qid=11, focal_oid=0, k=7),
+        QuerySpec(qid=12, focal_oid=5, k=4),
+    ]
+    sim = build_system(algorithm, fleet, queries)
+    checker = ExactnessChecker(fleet, queries)
+    sim.run(TICKS, on_tick=checker)
+    checker.assert_clean()
+
+
+@pytest.mark.parametrize("algorithm", ["DKNN-P", "DKNN-B", "DKNN-G"])
+def test_exact_with_parked_population(algorithm):
+    """All objects static, query moves through them."""
+    universe = Rect(0, 0, 10_000, 10_000)
+    import random
+
+    rng = random.Random(3)
+    movers = [
+        StationaryMover(
+            universe, rng.uniform(0, 10_000), rng.uniform(0, 10_000)
+        )
+        for _ in range(60)
+    ]
+    query_mover = RandomWaypointModel(universe, 80, 120).make_mover(rng)
+    fleet = Fleet(movers + [query_mover], seed=4)
+    queries = [QuerySpec(qid=0, focal_oid=60, k=6)]
+    sim = build_system(algorithm, fleet, queries)
+    checker = ExactnessChecker(fleet, queries)
+    sim.run(TICKS, on_tick=checker)
+    checker.assert_clean()
+
+
+@pytest.mark.parametrize("algorithm", ["DKNN-P"])
+def test_exact_with_extreme_thetas(algorithm):
+    for theta in (1.0, 5000.0):
+        _run(algorithm, BASE.but(seed=60), theta=theta)
+
+
+@pytest.mark.parametrize("algorithm", ["DKNN-P", "DKNN-B", "DKNN-G"])
+def test_exact_with_zero_s_cap(algorithm):
+    _run(algorithm, BASE.but(seed=61), s_cap=0.0)
+
+
+def test_per_with_period_is_stale_but_valid_on_eval_ticks():
+    spec = BASE.but(seed=62)
+    fleet, queries = build_workload(spec)
+    sim = build_system("PER", fleet, queries, period=5)
+    from repro.metrics.accuracy import is_valid_knn
+
+    valid_on_eval = []
+    def check(s):
+        # (tick - 1) % 5 == 0 are evaluation ticks.
+        if (s.tick - 1) % 5 == 0:
+            for q in queries:
+                qx, qy = fleet.positions[q.focal_oid]
+                valid_on_eval.append(
+                    is_valid_knn(
+                        fleet.positions, qx, qy, q.k,
+                        s.server.answers[q.qid], {q.focal_oid},
+                    )
+                )
+    sim.run(TICKS, on_tick=check)
+    assert valid_on_eval and all(valid_on_eval)

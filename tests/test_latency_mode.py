@@ -1,0 +1,58 @@
+"""One-tick-latency behavior: answers may go stale, never wrong-shaped.
+
+Zero-latency mode is where exactness is proven; latency mode is the E8
+measurement. These tests pin down the contract: the protocols keep
+running (no deadlock, no protocol error), answers keep roughly tracking
+the truth, and the zero-latency configuration dominates.
+"""
+
+import pytest
+
+from repro.experiments import run_once
+from repro.experiments.algorithms import build_system
+from repro.net.simulator import ONE_TICK_LATENCY
+from repro.workloads import WorkloadSpec, build_workload
+
+SPEC = WorkloadSpec(
+    n_objects=200, n_queries=2, k=5, seed=71, ticks=60, warmup_ticks=10
+)
+
+DISTRIBUTED = ["DKNN-P", "DKNN-B", "DKNN-G"]
+
+
+@pytest.mark.parametrize("algorithm", DISTRIBUTED)
+def test_latency_mode_runs_to_completion(algorithm):
+    fleet, queries = build_workload(SPEC)
+    sim = build_system(algorithm, fleet, queries, latency=ONE_TICK_LATENCY)
+    sim.run(40)
+    for q in queries:
+        answer = sim.server.answers[q.qid]
+        assert len(answer) == q.k
+        assert len(set(answer)) == q.k
+        assert q.focal_oid not in answer
+
+
+@pytest.mark.parametrize("algorithm", DISTRIBUTED)
+def test_latency_answers_track_truth_closely(algorithm):
+    m = run_once(algorithm, SPEC, latency=ONE_TICK_LATENCY, accuracy_every=3)
+    # Staleness costs some exactness but the answers remain close.
+    assert m.mean_overlap > 0.75
+
+
+def test_zero_latency_dominates_one_tick():
+    fresh = run_once("DKNN-B", SPEC, accuracy_every=3)
+    stale = run_once(
+        "DKNN-B", SPEC, latency=ONE_TICK_LATENCY, accuracy_every=3
+    )
+    assert fresh.mean_overlap >= stale.mean_overlap
+    assert fresh.exactness == 1.0
+
+
+def test_per_period_trades_messages_for_overlap():
+    dense = run_once("PER", SPEC, accuracy_every=3, alg_params={"period": 1})
+    sparse = run_once(
+        "PER", SPEC, accuracy_every=3, alg_params={"period": 10}
+    )
+    # Same uplink stream, fewer pushes; the loss shows in overlap.
+    assert sparse.mean_overlap < dense.mean_overlap
+    assert dense.exactness == 1.0

@@ -1,0 +1,124 @@
+"""Unit tests for cost metering and accuracy metrics."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics import (
+    AccuracyTracker,
+    CostMeter,
+    charge,
+    is_valid_knn,
+    overlap_fraction,
+)
+
+
+class TestCostMeter:
+    def test_charge_accumulates(self):
+        m = CostMeter()
+        m.charge(CostMeter.DIST_CALC)
+        m.charge(CostMeter.DIST_CALC, 4)
+        assert m.of(CostMeter.DIST_CALC) == 5
+        assert m.total == 5
+
+    def test_categories_independent(self):
+        m = CostMeter()
+        m.charge(CostMeter.DIST_CALC)
+        m.charge(CostMeter.CELL_VISIT, 2)
+        assert m.of(CostMeter.DIST_CALC) == 1
+        assert m.of(CostMeter.CELL_VISIT) == 2
+        assert m.total == 3
+
+    def test_snapshot_and_delta(self):
+        m = CostMeter()
+        m.charge("a", 3)
+        snap = m.snapshot()
+        m.charge("a", 2)
+        m.charge("b", 1)
+        d = m.delta_since(snap)
+        assert d.of("a") == 2 and d.of("b") == 1 and d.total == 3
+
+    def test_merge(self):
+        a, b = CostMeter(), CostMeter()
+        a.charge("x", 1)
+        b.charge("x", 2)
+        a.merge(b)
+        assert a.of("x") == 3
+
+    def test_as_dict(self):
+        m = CostMeter()
+        m.charge("x", 2)
+        assert m.as_dict() == {"x": 2}
+
+    def test_module_level_charge_tolerates_none(self):
+        charge(None, "anything")  # must not raise
+        m = CostMeter()
+        charge(m, "y", 7)
+        assert m.of("y") == 7
+
+
+class TestIsValidKnn:
+    POS = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]
+
+    def test_canonical_answer_is_valid(self):
+        assert is_valid_knn(self.POS, 0, 0, 2, [0, 1])
+
+    def test_wrong_member_is_invalid(self):
+        assert not is_valid_knn(self.POS, 0, 0, 2, [0, 3])
+
+    def test_wrong_cardinality_is_invalid(self):
+        assert not is_valid_knn(self.POS, 0, 0, 2, [0])
+        assert not is_valid_knn(self.POS, 0, 0, 2, [0, 1, 2])
+
+    def test_duplicates_are_invalid(self):
+        assert not is_valid_knn(self.POS, 0, 0, 2, [0, 0])
+
+    def test_excluded_member_is_invalid(self):
+        assert not is_valid_knn(self.POS, 0, 0, 2, [0, 1], exclude={0})
+
+    def test_exclusion_shrinks_eligible_set(self):
+        assert is_valid_knn(self.POS, 0, 0, 2, [1, 2], exclude={0})
+
+    def test_tie_tolerance(self):
+        pos = [(1.0, 0.0), (0.0, 1.0), (5.0, 0.0)]
+        # Objects 0 and 1 are equidistant: either is a valid 1-NN.
+        assert is_valid_knn(pos, 0, 0, 1, [0])
+        assert is_valid_knn(pos, 0, 0, 1, [1])
+
+    def test_k_larger_than_population(self):
+        assert is_valid_knn(self.POS, 0, 0, 10, [0, 1, 2, 3])
+        assert not is_valid_knn(self.POS, 0, 0, 10, [0, 1, 2])
+
+    def test_empty_everything(self):
+        assert is_valid_knn([(0.0, 0.0)], 0, 0, 3, [], exclude={0})
+
+
+class TestOverlap:
+    def test_full_overlap(self):
+        assert overlap_fraction([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_partial_overlap(self):
+        assert overlap_fraction([1, 2, 3, 4], [1, 2, 9, 10]) == 0.5
+
+    def test_no_overlap(self):
+        assert overlap_fraction([1], [2]) == 0.0
+
+    def test_empty_truth_counts_as_match(self):
+        assert overlap_fraction([], [5]) == 1.0
+
+
+class TestAccuracyTracker:
+    def test_tracks_valid_and_overlap(self):
+        t = AccuracyTracker()
+        pos = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]
+        t.observe(pos, 0, 0, 1, [0], [0])
+        t.observe(pos, 0, 0, 1, [2], [0])
+        assert t.checked == 2
+        assert t.exactness == 0.5
+        assert t.mean_overlap == 0.5
+
+    def test_empty_tracker_raises(self):
+        t = AccuracyTracker()
+        with pytest.raises(ReproError):
+            t.exactness
+        with pytest.raises(ReproError):
+            t.mean_overlap

@@ -1,0 +1,136 @@
+"""Unit tests for the Fleet."""
+
+import random
+
+import pytest
+
+from repro.errors import MobilityError
+from repro.geometry import Rect, dist
+from repro.mobility import (
+    Fleet,
+    RandomWaypointModel,
+    StationaryMover,
+)
+from repro.mobility.base import Mover
+
+
+class TestConstruction:
+    def test_empty_fleet_raises(self):
+        with pytest.raises(MobilityError):
+            Fleet([])
+
+    def test_from_model_size(self, universe):
+        fleet = Fleet.from_model(RandomWaypointModel(universe), 25, seed=1)
+        assert fleet.n == 25
+        assert len(fleet.positions) == 25
+
+    def test_from_model_zero_objects_raises(self, universe):
+        with pytest.raises(MobilityError):
+            Fleet.from_model(RandomWaypointModel(universe), 0)
+
+    def test_mixed_universes_raise(self, universe, small_universe):
+        movers = [
+            StationaryMover(universe, 1, 1),
+            StationaryMover(small_universe, 1, 1),
+        ]
+        with pytest.raises(MobilityError):
+            Fleet(movers)
+
+    def test_extra_movers_get_trailing_ids(self, universe):
+        extra = [StationaryMover(universe, 5, 5)]
+        fleet = Fleet.from_model(
+            RandomWaypointModel(universe), 10, seed=1, extra_movers=extra
+        )
+        assert fleet.n == 11
+        assert fleet.position_of(10) == (5.0, 5.0)
+        assert fleet.max_speed_of(10) == 0.0
+
+
+class TestAdvance:
+    def test_tick_counter(self, small_fleet):
+        assert small_fleet.tick == 0
+        small_fleet.advance()
+        small_fleet.advance()
+        assert small_fleet.tick == 2
+
+    def test_positions_stay_inside_universe(self, small_fleet):
+        for _ in range(50):
+            small_fleet.advance()
+            for x, y in small_fleet.positions:
+                assert small_fleet.universe.contains_point(x, y)
+
+    def test_max_speed_respected(self, small_fleet):
+        for _ in range(50):
+            before = list(small_fleet.positions)
+            small_fleet.advance()
+            for (x1, y1), (x2, y2) in zip(before, small_fleet.positions):
+                assert dist(x1, y1, x2, y2) <= small_fleet.max_speed + 1e-6
+
+    def test_determinism(self, universe):
+        def run():
+            fleet = Fleet.from_model(
+                RandomWaypointModel(universe), 20, seed=77
+            )
+            for _ in range(30):
+                fleet.advance()
+            return list(fleet.positions)
+
+        assert run() == run()
+
+    def test_different_seeds_differ(self, universe):
+        a = Fleet.from_model(RandomWaypointModel(universe), 20, seed=1)
+        b = Fleet.from_model(RandomWaypointModel(universe), 20, seed=2)
+        assert a.positions != b.positions
+
+
+class TestSafetyEnforcement:
+    def test_lying_mover_is_caught(self, universe):
+        class Liar(Mover):
+            def __init__(self):
+                super().__init__(universe, max_speed=1.0)
+
+            def start(self, rng):
+                return (0.0, 0.0)
+
+            def step(self, x, y, rng):
+                return (x + 100.0, y)  # far beyond declared max_speed
+
+        fleet = Fleet([Liar()])
+        with pytest.raises(MobilityError):
+            fleet.advance()
+
+    def test_escaping_mover_is_caught(self, universe):
+        class Escaper(Mover):
+            def __init__(self):
+                super().__init__(universe, max_speed=1e9)
+
+            def start(self, rng):
+                return (0.0, 0.0)
+
+            def step(self, x, y, rng):
+                return (-5.0, 0.0)
+
+        fleet = Fleet([Escaper()])
+        with pytest.raises(MobilityError):
+            fleet.advance()
+
+    def test_start_outside_universe_is_caught(self, universe):
+        class BadStart(Mover):
+            def __init__(self):
+                super().__init__(universe, max_speed=1.0)
+
+            def start(self, rng):
+                return (-1.0, 0.0)
+
+            def step(self, x, y, rng):
+                return (x, y)
+
+        with pytest.raises(MobilityError):
+            Fleet([BadStart()])
+
+    def test_fleet_max_speed_is_max_over_movers(self, universe):
+        movers = [
+            StationaryMover(universe, 1, 1),
+            RandomWaypointModel(universe, 10, 35).make_mover(random.Random(0)),
+        ]
+        assert Fleet(movers).max_speed == 35.0

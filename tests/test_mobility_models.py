@@ -1,0 +1,211 @@
+"""Unit tests for the mobility models."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import MobilityError
+from repro.geometry import Rect, dist
+from repro.mobility import (
+    GaussianClusterModel,
+    LinearMover,
+    RandomDirectionModel,
+    RandomWaypointModel,
+    RoadNetworkModel,
+    StationaryMover,
+    build_grid_network,
+)
+
+MODELS = [
+    lambda u: RandomWaypointModel(u, 10, 30, pause_max=3),
+    lambda u: RandomDirectionModel(u, 10, 30),
+    lambda u: GaussianClusterModel(u, n_hotspots=4, sigma=200, speed_min=10, speed_max=30),
+    lambda u: RoadNetworkModel(u, rows=6, cols=6, speed_min=10, speed_max=30),
+]
+
+
+@pytest.mark.parametrize("factory", MODELS)
+def test_mover_respects_universe_and_speed(universe, factory):
+    model = factory(universe)
+    rng = random.Random(5)
+    mover = model.make_mover(rng)
+    x, y = mover.start(rng)
+    assert universe.contains_point(x, y)
+    for _ in range(300):
+        nx, ny = mover.step(x, y, rng)
+        assert universe.contains_point(nx, ny)
+        assert dist(x, y, nx, ny) <= model.max_speed + 1e-6
+        x, y = nx, ny
+
+
+@pytest.mark.parametrize("factory", MODELS)
+def test_model_is_deterministic_given_seed(universe, factory):
+    def trajectory():
+        model = factory(universe)
+        rng = random.Random(42)
+        mover = model.make_mover(rng)
+        pos = mover.start(rng)
+        out = [pos]
+        for _ in range(50):
+            pos = mover.step(pos[0], pos[1], rng)
+            out.append(pos)
+        return out
+
+    assert trajectory() == trajectory()
+
+
+class TestRandomWaypoint:
+    def test_invalid_speed_range(self, universe):
+        with pytest.raises(MobilityError):
+            RandomWaypointModel(universe, 30, 10)
+
+    def test_negative_pause_raises(self, universe):
+        with pytest.raises(MobilityError):
+            RandomWaypointModel(universe, 1, 2, pause_max=-1)
+
+    def test_pausing_produces_repeated_positions(self):
+        small = Rect(0, 0, 500, 500)
+        model = RandomWaypointModel(small, 50, 50, pause_max=10)
+        rng = random.Random(0)
+        mover = model.make_mover(rng)
+        pos = mover.start(rng)
+        repeats = 0
+        for _ in range(500):
+            nxt = mover.step(pos[0], pos[1], rng)
+            if nxt == pos:
+                repeats += 1
+            pos = nxt
+        assert repeats > 0
+
+    def test_zero_speed_objects_never_move_off_waypoint_line(self, universe):
+        model = RandomWaypointModel(universe, 0, 0)
+        rng = random.Random(0)
+        mover = model.make_mover(rng)
+        pos = mover.start(rng)
+        assert mover.step(pos[0], pos[1], rng) == pos
+
+
+class TestRandomDirection:
+    def test_invalid_leg_range(self, universe):
+        with pytest.raises(MobilityError):
+            RandomDirectionModel(universe, 1, 2, leg_min=5, leg_max=2)
+
+    def test_speed_too_large_for_universe(self):
+        small = Rect(0, 0, 10, 10)
+        with pytest.raises(MobilityError):
+            RandomDirectionModel(small, 1, 50)
+
+
+class TestGaussianCluster:
+    def test_objects_cluster_near_hotspots(self, universe):
+        model = GaussianClusterModel(
+            universe, n_hotspots=3, sigma=150, speed_min=20, speed_max=40, seed=3
+        )
+        rng = random.Random(7)
+        positions = []
+        for _ in range(150):
+            mover = model.make_mover(rng)
+            pos = mover.start(rng)
+            for _ in range(30):
+                pos = mover.step(pos[0], pos[1], rng)
+            positions.append(pos)
+        near = sum(
+            1
+            for (x, y) in positions
+            if any(dist(x, y, hx, hy) < 4 * 150 for hx, hy in model.hotspots)
+        )
+        assert near / len(positions) > 0.9
+
+    def test_zipf_skews_assignment(self, universe):
+        model = GaussianClusterModel(
+            universe, n_hotspots=5, zipf_s=2.0, seed=3
+        )
+        rng = random.Random(7)
+        first = model.hotspots[0]
+        assigned_first = sum(
+            1 for _ in range(300) if model.make_mover(rng).hotspot == first
+        )
+        assert assigned_first > 300 / 5  # far above uniform share
+
+    def test_invalid_params(self, universe):
+        with pytest.raises(MobilityError):
+            GaussianClusterModel(universe, n_hotspots=0)
+        with pytest.raises(MobilityError):
+            GaussianClusterModel(universe, sigma=0)
+        with pytest.raises(MobilityError):
+            GaussianClusterModel(universe, zipf_s=-1)
+
+
+class TestRoadNetwork:
+    def test_grid_network_spans_universe(self, universe):
+        g = build_grid_network(universe, 5, 5, jitter=0.1, seed=1)
+        xs = [g.nodes[n]["pos"][0] for n in g.nodes]
+        ys = [g.nodes[n]["pos"][1] for n in g.nodes]
+        assert min(xs) == universe.xmin and max(xs) == universe.xmax
+        assert min(ys) == universe.ymin and max(ys) == universe.ymax
+
+    def test_edges_have_lengths(self, universe):
+        g = build_grid_network(universe, 4, 4, jitter=0.0, seed=1)
+        for u, v in g.edges:
+            assert g.edges[u, v]["length"] > 0
+
+    def test_too_small_grid_raises(self, universe):
+        with pytest.raises(MobilityError):
+            build_grid_network(universe, 1, 5, jitter=0.0, seed=1)
+
+    def test_invalid_jitter(self, universe):
+        with pytest.raises(MobilityError):
+            RoadNetworkModel(universe, jitter=0.7)
+
+    def test_positions_stay_on_network_edges(self, universe):
+        model = RoadNetworkModel(universe, rows=4, cols=4, jitter=0.0, seed=2)
+        rng = random.Random(9)
+        mover = model.make_mover(rng)
+        pos = mover.start(rng)
+        g = model.graph
+        for _ in range(100):
+            pos = mover.step(pos[0], pos[1], rng)
+            on_edge = False
+            for u, v in g.edges:
+                ux, uy = g.nodes[u]["pos"]
+                vx, vy = g.nodes[v]["pos"]
+                seg = dist(ux, uy, vx, vy)
+                if (
+                    abs(dist(ux, uy, *pos) + dist(*pos, vx, vy) - seg)
+                    < 1e-6
+                ):
+                    on_edge = True
+                    break
+            assert on_edge
+
+
+class TestTrivialMovers:
+    def test_stationary_never_moves(self, universe):
+        mover = StationaryMover(universe, 100, 200)
+        rng = random.Random(0)
+        pos = mover.start(rng)
+        assert pos == (100.0, 200.0)
+        assert mover.step(*pos, rng) == pos
+        assert mover.max_speed == 0.0
+
+    def test_stationary_outside_universe_raises(self, universe):
+        with pytest.raises(MobilityError):
+            StationaryMover(universe, -5, 0)
+
+    def test_linear_moves_at_constant_velocity(self, universe):
+        mover = LinearMover(universe, 100, 100, 3, 4)
+        rng = random.Random(0)
+        pos = mover.start(rng)
+        nxt = mover.step(*pos, rng)
+        assert nxt == (103.0, 104.0)
+        assert mover.max_speed == pytest.approx(5.0)
+
+    def test_linear_reflects_at_walls(self):
+        small = Rect(0, 0, 10, 10)
+        mover = LinearMover(small, 9, 5, 3, 0)
+        rng = random.Random(0)
+        pos = mover.start(rng)
+        for _ in range(50):
+            pos = mover.step(*pos, rng)
+            assert small.contains_point(*pos)

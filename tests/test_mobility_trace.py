@@ -1,0 +1,94 @@
+"""Unit tests for trace record / save / load / replay."""
+
+import pytest
+
+from repro.errors import MobilityError
+from repro.geometry import Rect
+from repro.mobility import Fleet, RandomWaypointModel, ReplayFleet, Trace, record_trace
+
+
+@pytest.fixture
+def recorded(universe):
+    fleet = Fleet.from_model(
+        RandomWaypointModel(universe, 20, 40), 15, seed=3
+    )
+    return record_trace(fleet, 20)
+
+
+class TestRecord:
+    def test_frame_count_includes_initial(self, recorded):
+        assert recorded.ticks == 21
+
+    def test_object_count(self, recorded):
+        assert recorded.n == 15
+
+    def test_negative_ticks_raise(self, universe):
+        fleet = Fleet.from_model(RandomWaypointModel(universe), 3, seed=1)
+        with pytest.raises(MobilityError):
+            record_trace(fleet, -1)
+
+    def test_max_step_bounded_by_model_speed(self, recorded):
+        assert recorded.max_step() <= 40.0 + 1e-6
+
+
+class TestValidation:
+    def test_empty_frames_raise(self, universe):
+        with pytest.raises(MobilityError):
+            Trace(universe, [])
+
+    def test_ragged_frames_raise(self, universe):
+        with pytest.raises(MobilityError):
+            Trace(universe, [[(0.0, 0.0)], [(0.0, 0.0), (1.0, 1.0)]])
+
+    def test_empty_objects_raise(self, universe):
+        with pytest.raises(MobilityError):
+            Trace(universe, [[]])
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip_exact(self, recorded, tmp_path):
+        path = str(tmp_path / "trace.csv")
+        recorded.save_csv(path)
+        loaded = Trace.load_csv(path)
+        assert loaded.universe == recorded.universe
+        assert loaded.frames == recorded.frames
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("tick,oid,x,y\n0,0,1.0,2.0\n")
+        with pytest.raises(MobilityError):
+            Trace.load_csv(str(path))
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(MobilityError):
+            Trace.load_csv(str(path))
+
+
+class TestReplay:
+    def test_replay_matches_recording(self, universe):
+        fleet = Fleet.from_model(
+            RandomWaypointModel(universe, 20, 40), 10, seed=8
+        )
+        trace = record_trace(fleet, 15)
+        replay = trace.replay()
+        assert isinstance(replay, ReplayFleet)
+        for tick in range(15):
+            assert list(replay.positions) == trace.frames[tick]
+            replay.advance()
+        assert list(replay.positions) == trace.frames[15]
+
+    def test_replay_freezes_after_end(self, recorded):
+        replay = recorded.replay()
+        for _ in range(recorded.ticks + 5):
+            replay.advance()
+        assert list(replay.positions) == recorded.frames[-1]
+        assert replay.tick == recorded.ticks + 5
+
+    def test_replay_exposes_fleet_interface(self, recorded):
+        replay = recorded.replay()
+        assert replay.n == recorded.n
+        assert replay.max_speed == recorded.max_step()
+        assert replay.position_of(0) == recorded.frames[0][0]
+        assert replay.max_speed_of(3) == replay.max_speed

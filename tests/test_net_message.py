@@ -1,0 +1,126 @@
+"""Unit tests for the message vocabulary and wire-size model."""
+
+import pytest
+
+from repro.core.protocol import (
+    AnswerPush,
+    BroadcastInstall,
+    CollectReply,
+    CollectRequest,
+    InstallBand,
+    LocationUpdate,
+    ProbeReply,
+    ProbeRequest,
+    RevokeBand,
+    ViolationReport,
+    BAND_ANSWER,
+)
+from repro.errors import ProtocolError
+from repro.net.message import (
+    BROADCAST_ID,
+    HEADER_BYTES,
+    SERVER_ID,
+    Message,
+    MessageKind,
+    payload_size,
+)
+
+
+class TestPayloadSize:
+    def test_none_is_free(self):
+        assert payload_size(None) == 0
+
+    def test_float_costs_eight(self):
+        assert payload_size(1.5) == 8
+
+    def test_int_costs_four(self):
+        assert payload_size(7) == 4
+
+    def test_bool_costs_four(self):
+        assert payload_size(True) == 4
+
+    def test_string_costs_utf8_length(self):
+        assert payload_size("abc") == 3
+
+    def test_tuple_sums_elements(self):
+        assert payload_size((1.0, 2.0, 3)) == 20
+
+    def test_dict_sums_keys_and_values(self):
+        assert payload_size({1: 2.0}) == 12
+
+    def test_object_with_wire_size(self):
+        assert payload_size(LocationUpdate(1, 2)) == 16
+
+    def test_unsizable_object_raises(self):
+        with pytest.raises(TypeError):
+            payload_size(object())
+
+
+class TestMessage:
+    def test_size_includes_header(self):
+        msg = Message(MessageKind.LOCATION_UPDATE, 3, SERVER_ID, LocationUpdate(1, 2))
+        assert msg.size == HEADER_BYTES + 16
+
+    def test_direction_uplink(self):
+        msg = Message(MessageKind.VIOLATION, 3, SERVER_ID)
+        assert msg.direction() == "uplink"
+
+    def test_direction_downlink(self):
+        msg = Message(MessageKind.PROBE, SERVER_ID, 3)
+        assert msg.direction() == "downlink"
+
+    def test_direction_broadcast(self):
+        msg = Message(MessageKind.COLLECT, SERVER_ID, BROADCAST_ID)
+        assert msg.direction() == "broadcast"
+
+    def test_endpoints(self):
+        msg = Message(MessageKind.PROBE, SERVER_ID, 3)
+        assert msg.endpoints() == (SERVER_ID, 3)
+
+
+class TestProtocolPayloads:
+    def test_probe_request_is_empty(self):
+        assert ProbeRequest().wire_size() == 0
+
+    def test_probe_reply_size(self):
+        assert ProbeReply(1, 2).wire_size() == 16
+
+    def test_install_band_size(self):
+        assert InstallBand(1, BAND_ANSWER, 0, 0, 10).wire_size() == 32
+
+    def test_install_band_rejects_unknown_kind(self):
+        with pytest.raises(ProtocolError):
+            InstallBand(1, 99, 0, 0, 10)
+
+    def test_install_band_rejects_negative_radius(self):
+        with pytest.raises(ProtocolError):
+            InstallBand(1, BAND_ANSWER, 0, 0, -1)
+
+    def test_revoke_size(self):
+        assert RevokeBand(1).wire_size() == 4
+
+    def test_violation_size(self):
+        assert ViolationReport(1, 2, 3).wire_size() == 20
+
+    def test_answer_push_scales_with_k(self):
+        assert AnswerPush(1, (1, 2, 3)).wire_size() == 4 + 12
+
+    def test_collect_request_size_and_validation(self):
+        assert CollectRequest(1, 0, 0, 100).wire_size() == 28
+        with pytest.raises(ProtocolError):
+            CollectRequest(1, 0, 0, -5)
+
+    def test_collect_reply_size(self):
+        assert CollectReply(1, 2, 3).wire_size() == 20
+
+    def test_broadcast_install_scales_with_answer(self):
+        b = BroadcastInstall(1, 0, 0, 100, 10, (1, 2))
+        assert b.wire_size() == 4 + 32 + 8
+
+    def test_broadcast_install_rejects_s_above_threshold(self):
+        with pytest.raises(ProtocolError):
+            BroadcastInstall(1, 0, 0, 10, 20, (1,))
+
+    def test_broadcast_install_allows_infinite_threshold(self):
+        b = BroadcastInstall(1, 0, 0, float("inf"), 10, (1,))
+        assert b.threshold == float("inf")

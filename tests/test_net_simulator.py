@@ -1,0 +1,141 @@
+"""Unit tests for the synchronous round engine."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.mobility import Fleet, StationaryMover
+from repro.net.message import MessageKind, SERVER_ID
+from repro.net.node import MobileNode, ServerNodeBase
+from repro.net.simulator import (
+    ONE_TICK_LATENCY,
+    ZERO_LATENCY,
+    RoundSimulator,
+)
+
+
+def _static_fleet(universe, n=3):
+    movers = [StationaryMover(universe, 10.0 * (i + 1), 10.0) for i in range(n)]
+    return Fleet(movers)
+
+
+class EchoServer(ServerNodeBase):
+    """Replies to every LOCATION_UPDATE with a PROBE (for hop tests)."""
+
+    def __init__(self):
+        super().__init__()
+        self.received = []
+        self.subround_calls = 0
+
+    def on_message(self, msg):
+        self.received.append(msg)
+        if msg.kind == MessageKind.LOCATION_UPDATE:
+            self.send(msg.src, MessageKind.PROBE, None)
+
+    def on_subround(self, tick):
+        self.subround_calls += 1
+
+
+class ChattyMobile(MobileNode):
+    """Sends one update at tick start; records probes it gets back."""
+
+    def __init__(self, oid, fleet):
+        super().__init__(oid, fleet)
+        self.probes = 0
+
+    def on_tick_start(self, tick):
+        self.send_server(MessageKind.LOCATION_UPDATE, None)
+
+    def on_message(self, msg):
+        assert msg.kind == MessageKind.PROBE
+        self.probes += 1
+
+
+class TestZeroLatency:
+    def test_round_trip_within_tick(self, universe):
+        fleet = _static_fleet(universe)
+        server = EchoServer()
+        mobiles = [ChattyMobile(i, fleet) for i in range(fleet.n)]
+        sim = RoundSimulator(fleet, server, mobiles, latency=ZERO_LATENCY)
+        sim.step()
+        assert len(server.received) == 3
+        assert all(m.probes == 1 for m in mobiles)
+
+    def test_subround_called_at_least_once_per_tick(self, universe):
+        fleet = _static_fleet(universe)
+        server = EchoServer()
+        sim = RoundSimulator(fleet, server, [], latency=ZERO_LATENCY)
+        sim.run(4)
+        assert server.subround_calls >= 4
+
+    def test_non_quiescent_protocol_raises(self, universe):
+        class PingPongServer(ServerNodeBase):
+            def on_message(self, msg):
+                self.send(msg.src, MessageKind.PROBE, None)
+
+        class PingPongMobile(MobileNode):
+            def on_tick_start(self, tick):
+                self.send_server(MessageKind.LOCATION_UPDATE, None)
+
+            def on_message(self, msg):
+                self.send_server(MessageKind.LOCATION_UPDATE, None)
+
+        fleet = _static_fleet(universe, 1)
+        sim = RoundSimulator(
+            fleet, PingPongServer(), [PingPongMobile(0, fleet)]
+        )
+        with pytest.raises(NetworkError):
+            sim.step()
+
+
+class TestOneTickLatency:
+    def test_messages_arrive_next_tick(self, universe):
+        fleet = _static_fleet(universe)
+        server = EchoServer()
+        mobiles = [ChattyMobile(i, fleet) for i in range(fleet.n)]
+        sim = RoundSimulator(fleet, server, mobiles, latency=ONE_TICK_LATENCY)
+        sim.step()
+        assert len(server.received) == 0  # still in flight
+        sim.step()
+        assert len(server.received) == 3  # tick-1 updates land at tick 2
+        assert all(m.probes == 0 for m in mobiles)  # replies still in flight
+        sim.step()
+        assert all(m.probes == 1 for m in mobiles)
+
+
+class TestConstruction:
+    def test_unknown_latency_raises(self, universe):
+        fleet = _static_fleet(universe)
+        with pytest.raises(NetworkError):
+            RoundSimulator(fleet, EchoServer(), [], latency="warp")
+
+    def test_duplicate_node_ids_raise(self, universe):
+        fleet = _static_fleet(universe)
+        a = ChattyMobile(0, fleet)
+        b = MobileNode(0, fleet)
+        from repro.net.channel import Channel
+
+        ch = Channel()
+        a.attach(ch)
+        with pytest.raises(NetworkError):
+            RoundSimulator(fleet, EchoServer(), [a, b], channel=ch)
+
+    def test_negative_run_raises(self, universe):
+        fleet = _static_fleet(universe)
+        sim = RoundSimulator(fleet, EchoServer(), [])
+        with pytest.raises(NetworkError):
+            sim.run(-1)
+
+    def test_server_seconds_accumulate(self, universe):
+        fleet = _static_fleet(universe)
+        server = EchoServer()
+        mobiles = [ChattyMobile(i, fleet) for i in range(fleet.n)]
+        sim = RoundSimulator(fleet, server, mobiles)
+        sim.run(3)
+        assert sim.server_seconds > 0
+
+    def test_on_tick_callback(self, universe):
+        fleet = _static_fleet(universe)
+        sim = RoundSimulator(fleet, EchoServer(), [])
+        seen = []
+        sim.run(5, on_tick=lambda s: seen.append(s.tick))
+        assert seen == [1, 2, 3, 4, 5]

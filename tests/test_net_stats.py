@@ -1,0 +1,95 @@
+"""Unit tests for communication accounting."""
+
+from repro.net.message import BROADCAST_ID, SERVER_ID, Message, MessageKind
+from repro.net.stats import CommStats
+
+
+def _up(kind=MessageKind.LOCATION_UPDATE, size_payload=None):
+    return Message(kind, 1, SERVER_ID, size_payload)
+
+
+def _down(kind=MessageKind.PROBE):
+    return Message(kind, SERVER_ID, 1)
+
+
+def _bcast(kind=MessageKind.COLLECT):
+    return Message(kind, SERVER_ID, BROADCAST_ID)
+
+
+class TestRecording:
+    def test_counts_by_direction(self):
+        st = CommStats()
+        st.record_send(_up())
+        st.record_send(_up())
+        st.record_send(_down())
+        st.record_send(_bcast())
+        assert st.uplink_messages == 2
+        assert st.downlink_messages == 1
+        assert st.broadcast_messages == 1
+        assert st.total_messages == 4
+
+    def test_bytes_accumulate(self):
+        st = CommStats()
+        m = _up(size_payload=(1.0, 2.0))
+        st.record_send(m)
+        assert st.total_bytes == m.size
+
+    def test_per_kind_counts(self):
+        st = CommStats()
+        st.record_send(_up(MessageKind.VIOLATION))
+        st.record_send(_up(MessageKind.VIOLATION))
+        assert st.messages_of(MessageKind.VIOLATION) == 2
+        assert st.messages_of(MessageKind.PROBE) == 0
+
+    def test_broadcast_counts_once_but_receptions_fan_out(self):
+        st = CommStats()
+        b = _bcast()
+        st.record_send(b)
+        st.record_delivery(b, receivers=50)
+        assert st.total_messages == 1
+        assert st.broadcast_receptions == 50
+        assert st.delivered == 50
+
+    def test_per_kind_table_skips_zero_rows(self):
+        st = CommStats()
+        st.record_send(_up())
+        table = st.per_kind_table()
+        assert set(table) == {"location_update"}
+        assert table["location_update"]["messages"] == 1
+
+
+class TestCombination:
+    def test_merge(self):
+        a, b = CommStats(), CommStats()
+        a.record_send(_up())
+        b.record_send(_down())
+        a.merge(b)
+        assert a.total_messages == 2
+
+    def test_snapshot_is_independent(self):
+        st = CommStats()
+        st.record_send(_up())
+        snap = st.snapshot()
+        st.record_send(_up())
+        assert snap.total_messages == 1
+        assert st.total_messages == 2
+
+    def test_delta_since(self):
+        st = CommStats()
+        st.record_send(_up())
+        mark = st.snapshot()
+        st.record_send(_down())
+        st.record_send(_bcast())
+        delta = st.delta_since(mark)
+        assert delta.total_messages == 2
+        assert delta.uplink_messages == 0
+        assert delta.downlink_messages == 1
+        assert delta.broadcast_messages == 1
+
+    def test_conservation_sent_equals_delivered_point_to_point(self):
+        st = CommStats()
+        for _ in range(5):
+            m = _up()
+            st.record_send(m)
+            st.record_delivery(m)
+        assert st.delivered == st.total_messages

@@ -1,0 +1,139 @@
+"""Property-based end-to-end tests of the protocols.
+
+Hypothesis generates small random worlds (population, k, speeds, seeds)
+and the full simulation must publish valid kNN answers at every tick
+for both distributed variants. These tests are the strongest guard the
+repository has: they explore the corner where the k/k+1 gap collapses,
+populations hover around k, and queries outrun objects.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regions import plan_installation
+from repro.errors import ProtocolError
+from repro.experiments.algorithms import build_system
+from repro.workloads import WorkloadSpec, build_workload
+from tests.helpers import ExactnessChecker
+
+import math
+
+world = st.fixed_dictionaries(
+    {
+        "n_objects": st.integers(min_value=2, max_value=60),
+        "n_queries": st.integers(min_value=1, max_value=3),
+        "k": st.integers(min_value=1, max_value=8),
+        "speed_max": st.floats(min_value=1.0, max_value=300.0),
+        "query_speed": st.floats(min_value=0.0, max_value=300.0),
+        "seed": st.integers(min_value=0, max_value=10_000),
+    }
+)
+
+
+def _spec(w) -> WorkloadSpec:
+    return WorkloadSpec(
+        n_objects=w["n_objects"],
+        n_queries=w["n_queries"],
+        k=w["k"],
+        speed_min=w["speed_max"] * 0.3,
+        speed_max=w["speed_max"],
+        query_speed=w["query_speed"],
+        universe_size=3_000.0,
+        ticks=16,
+        warmup_ticks=1,
+        seed=w["seed"],
+    )
+
+
+@given(world)
+@settings(max_examples=25, deadline=None)
+def test_dknn_p_exact_on_random_worlds(w):
+    spec = _spec(w)
+    fleet, queries = build_workload(spec)
+    sim = build_system("DKNN-P", fleet, queries, theta=60.0, s_cap=30.0)
+    checker = ExactnessChecker(fleet, queries)
+    sim.run(15, on_tick=checker)
+    checker.assert_clean()
+
+
+@given(world)
+@settings(max_examples=25, deadline=None)
+def test_dknn_b_exact_on_random_worlds(w):
+    spec = _spec(w)
+    fleet, queries = build_workload(spec)
+    sim = build_system("DKNN-B", fleet, queries)
+    checker = ExactnessChecker(fleet, queries)
+    sim.run(15, on_tick=checker)
+    checker.assert_clean()
+
+
+@given(world)
+@settings(max_examples=25, deadline=None)
+def test_dknn_g_exact_on_random_worlds(w):
+    spec = _spec(w)
+    fleet, queries = build_workload(spec)
+    sim = build_system("DKNN-G", fleet, queries, lease_ticks=4)
+    checker = ExactnessChecker(fleet, queries)
+    sim.run(15, on_tick=checker)
+    checker.assert_clean()
+
+
+@given(world)
+@settings(max_examples=10, deadline=None)
+def test_centralized_exact_on_random_worlds(w):
+    spec = _spec(w)
+    for name in ("SEA", "CPM"):
+        fleet, queries = build_workload(spec)
+        sim = build_system(name, fleet, queries)
+        checker = ExactnessChecker(fleet, queries)
+        sim.run(15, on_tick=checker)
+        checker.assert_clean()
+
+
+# -- installation-planning properties -----------------------------------------
+
+distances = st.lists(
+    st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(distances, st.integers(1, 10), st.floats(0, 1e3, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_plan_installation_invariants(dists, k, s_cap):
+    cands = [(d, i) for i, d in enumerate(sorted(dists))]
+    inst = plan_installation((0.0, 0.0), cands, k, s_cap)
+    # Answer is the k nearest (prefix of the sorted candidates).
+    assert inst.answer == tuple(cands[: min(k, len(cands))])
+    assert inst.s_eff <= s_cap + 1e-12
+    if math.isinf(inst.threshold):
+        assert len(cands) <= k
+        assert inst.outsiders == ()
+    else:
+        d_k = cands[k - 1][0]
+        d_k1 = cands[k][0]
+        # Bands are installable: answers inside, outsiders outside.
+        assert d_k <= inst.answer_band_radius + 1e-9
+        assert inst.outsider_band_radius <= d_k1 + 1e-9
+        # The threshold separates the bands by 2 * s_eff (float-close).
+        assert math.isclose(
+            inst.outsider_band_radius - inst.answer_band_radius,
+            2 * inst.s_eff,
+            rel_tol=1e-9,
+            abs_tol=1e-6,
+        )
+        # Monitor zone covers the outsider boundary.
+        assert inst.monitor_radius(10.0) >= inst.outsider_band_radius
+
+
+@given(st.integers(0, 10))
+def test_plan_installation_rejects_bad_k(extra):
+    with pytest_raises_protocol():
+        plan_installation((0, 0), [(1.0, 0)], 0, 1.0)
+
+
+def pytest_raises_protocol():
+    import pytest
+
+    return pytest.raises(ProtocolError)

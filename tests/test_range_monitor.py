@@ -1,0 +1,131 @@
+"""Tests for continuous range monitoring (the framework extension)."""
+
+import math
+
+import pytest
+
+from repro.core.range_monitor import (
+    RangeInstall,
+    RangeQuerySpec,
+    ZONE_GRAY,
+    ZONE_INNER,
+    ZONE_OUTER,
+    build_range_system,
+)
+from repro.errors import ProtocolError
+from repro.index import brute_range
+from repro.workloads import WorkloadSpec, build_workload
+
+_BOUNDARY_EPS = 1e-5
+
+
+def _range_exact(fleet, rqueries, sim, failures):
+    """Tie-tolerant range check: disagreements allowed only for objects
+    sitting within float noise of the boundary."""
+    for rq in rqueries:
+        qx, qy = fleet.positions[rq.focal_oid]
+        truth = {
+            o
+            for _, o in brute_range(
+                fleet.positions, qx, qy, rq.radius, {rq.focal_oid}
+            )
+        }
+        got = set(sim.server.answers[rq.qid])
+        for oid in truth ^ got:
+            ox, oy = fleet.positions[oid]
+            d = math.hypot(ox - qx, oy - qy)
+            if abs(d - rq.radius) > _BOUNDARY_EPS * (1 + rq.radius):
+                failures.append((sim.tick, rq.qid, oid, d, rq.radius))
+
+
+def _run(spec, radius=1500.0, s_margin=50.0, ticks=60):
+    fleet, kqueries = build_workload(spec)
+    rqueries = [
+        RangeQuerySpec(qid=i, focal_oid=q.focal_oid, radius=radius)
+        for i, q in enumerate(kqueries)
+    ]
+    sim = build_range_system(fleet, rqueries, s_margin=s_margin)
+    failures = []
+    sim.run(ticks, on_tick=lambda s: _range_exact(fleet, rqueries, s, failures))
+    assert not failures, failures[:3]
+    return sim
+
+
+BASE = WorkloadSpec(
+    n_objects=200, n_queries=2, k=1, seed=41, ticks=10, warmup_ticks=1
+)
+
+
+class TestSpecs:
+    def test_invalid_radius_raises(self):
+        with pytest.raises(ProtocolError):
+            RangeQuerySpec(qid=1, focal_oid=0, radius=0.0)
+
+    def test_invalid_margin_raises(self):
+        with pytest.raises(ProtocolError):
+            RangeInstall(1, 0, 0, radius=100.0, s=100.0)
+
+    def test_focal_outside_fleet_raises(self):
+        fleet, _ = build_workload(BASE)
+        with pytest.raises(ProtocolError):
+            build_range_system(
+                fleet, [RangeQuerySpec(qid=0, focal_oid=9999, radius=10.0)]
+            )
+
+
+class TestZoneClassification:
+    INSTALL = RangeInstall(1, 0.0, 0.0, radius=100.0, s=10.0)
+
+    def test_inner(self):
+        assert self.INSTALL.zone_of(50, 0) == ZONE_INNER
+        assert self.INSTALL.zone_of(90, 0) == ZONE_INNER
+
+    def test_gray(self):
+        assert self.INSTALL.zone_of(95, 0) == ZONE_GRAY
+        assert self.INSTALL.zone_of(105, 0) == ZONE_GRAY
+
+    def test_outer(self):
+        assert self.INSTALL.zone_of(110, 0) == ZONE_OUTER
+        assert self.INSTALL.zone_of(500, 500) == ZONE_OUTER
+
+
+class TestExactness:
+    def test_default_workload(self):
+        _run(BASE)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_across_seeds(self, seed):
+        _run(BASE.but(seed=seed))
+
+    def test_static_queries(self):
+        _run(BASE.but(query_speed=0.0, seed=43))
+
+    def test_fast_queries(self):
+        _run(BASE.but(query_speed=180.0, seed=44))
+
+    def test_small_radius_empty_answers_possible(self):
+        sim = _run(BASE.but(seed=45), radius=200.0)
+        # With a 200-unit radius over this density most answers are empty
+        # at some point; the run stays exact regardless.
+
+    def test_zero_margin(self):
+        _run(BASE.but(seed=46), s_margin=0.0)
+
+    def test_large_radius_mass_membership(self):
+        _run(BASE.but(n_objects=80, seed=47), radius=6000.0)
+
+
+class TestCost:
+    def test_cheaper_than_centralized_streaming(self):
+        sim = _run(BASE.but(seed=48), ticks=50)
+        population = BASE.population
+        assert sim.channel.stats.total_messages < population * 50 / 2
+
+    def test_gray_streaming_scales_with_margin(self):
+        thin = _run(BASE.but(seed=49), s_margin=10.0, ticks=40)
+        thick = _run(BASE.but(seed=49), s_margin=200.0, ticks=40)
+        from repro.net.message import MessageKind
+
+        assert thin.channel.stats.messages_of(
+            MessageKind.VIOLATION
+        ) < thick.channel.stats.messages_of(MessageKind.VIOLATION)

@@ -1,0 +1,133 @@
+"""Unit tests for the server-side object and query tables."""
+
+import pytest
+
+from repro.errors import IndexError_, ProtocolError
+from repro.server import ObjectTable, QuerySpec, QueryTable
+
+
+@pytest.fixture
+def table(universe):
+    return ObjectTable(universe, grid_cells=10, theta=100.0)
+
+
+class TestObjectTable:
+    def test_negative_theta_raises(self, universe):
+        with pytest.raises(IndexError_):
+            ObjectTable(universe, 10, theta=-1)
+
+    def test_report_inserts_then_updates(self, table):
+        table.report(1, 100, 100, tick=1)
+        assert 1 in table
+        assert table.last_position(1) == (100, 100)
+        table.report(1, 200, 200, tick=2)
+        assert table.last_position(1) == (200, 200)
+        assert table.previous_position(1) == (100, 100)
+        assert len(table) == 1
+
+    def test_first_report_has_self_as_previous(self, table):
+        table.report(1, 100, 100, tick=1)
+        assert table.previous_position(1) == (100, 100)
+
+    def test_report_tick_tracking(self, table):
+        table.report(1, 100, 100, tick=3)
+        assert table.report_tick_of(1) == 3
+
+    def test_freshness_is_per_tick(self, table):
+        table.report(1, 100, 100, tick=3)
+        assert table.is_fresh(1, 3)
+        assert not table.is_fresh(1, 4)
+
+    def test_mark_fresh_via_probe(self, table):
+        table.report(1, 100, 100, tick=1)
+        table.mark_fresh(1, 110, 110, tick=5)
+        assert table.is_fresh(1, 5)
+        assert table.last_position(1) == (110, 110)
+
+    def test_unknown_object_raises(self, table):
+        with pytest.raises(IndexError_):
+            table.last_position(9)
+        with pytest.raises(IndexError_):
+            table.previous_position(9)
+        with pytest.raises(IndexError_):
+            table.report_tick_of(9)
+
+    def test_forget(self, table):
+        table.report(1, 100, 100, tick=1)
+        table.forget(1)
+        assert 1 not in table
+        with pytest.raises(IndexError_):
+            table.forget(1)
+
+    def test_uncertainty_bound(self, table):
+        assert table.uncertainty_bound() == 100.0
+        assert table.uncertainty_bound(extra=50.0) == 150.0
+
+    def test_grid_reflects_reports(self, table):
+        table.report(1, 100, 100, tick=1)
+        table.report(2, 9900, 9900, tick=1)
+        assert set(table.grid.ids()) == {1, 2}
+
+    def test_ids(self, table):
+        table.report(3, 1, 1, tick=0)
+        table.report(5, 2, 2, tick=0)
+        assert set(table.ids()) == {3, 5}
+
+
+class TestQuerySpec:
+    def test_invalid_k_raises(self):
+        with pytest.raises(ProtocolError):
+            QuerySpec(qid=1, focal_oid=0, k=0)
+
+    def test_invalid_focal_raises(self):
+        with pytest.raises(ProtocolError):
+            QuerySpec(qid=1, focal_oid=-1, k=2)
+
+    def test_frozen(self):
+        spec = QuerySpec(qid=1, focal_oid=0, k=2)
+        with pytest.raises(Exception):
+            spec.k = 3
+
+
+class TestQueryTable:
+    def test_register_and_get(self):
+        qt = QueryTable()
+        spec = QuerySpec(qid=1, focal_oid=7, k=3)
+        qt.register(spec)
+        assert qt.get(1) is spec
+        assert 1 in qt
+        assert len(qt) == 1
+
+    def test_duplicate_registration_raises(self):
+        qt = QueryTable()
+        qt.register(QuerySpec(qid=1, focal_oid=7, k=3))
+        with pytest.raises(ProtocolError):
+            qt.register(QuerySpec(qid=1, focal_oid=8, k=3))
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ProtocolError):
+            QueryTable().get(4)
+
+    def test_queries_of_focal(self):
+        qt = QueryTable()
+        qt.register(QuerySpec(qid=1, focal_oid=7, k=3))
+        qt.register(QuerySpec(qid=2, focal_oid=7, k=5))
+        qt.register(QuerySpec(qid=3, focal_oid=8, k=5))
+        assert sorted(qt.queries_of_focal(7)) == [1, 2]
+        assert qt.queries_of_focal(99) == []
+
+    def test_deregister(self):
+        qt = QueryTable()
+        qt.register(QuerySpec(qid=1, focal_oid=7, k=3))
+        spec = qt.deregister(1)
+        assert spec.qid == 1
+        assert 1 not in qt
+        assert qt.queries_of_focal(7) == []
+        with pytest.raises(ProtocolError):
+            qt.deregister(1)
+
+    def test_iteration(self):
+        qt = QueryTable()
+        qt.register(QuerySpec(qid=1, focal_oid=7, k=3))
+        qt.register(QuerySpec(qid=2, focal_oid=8, k=3))
+        assert {s.qid for s in qt} == {1, 2}
