@@ -1,0 +1,13 @@
+"""Benchmark: regenerate experiment E14 (robustness under faults)."""
+
+from benchmarks._common import run_and_report
+
+
+def test_e14(benchmark):
+    table = run_and_report(benchmark, "E14")
+    assert table.rows
+    # The zero-fault rows must show zero fault-layer activity.
+    for row in table.rows:
+        if row["fault"] == "drop=0":
+            assert row["retransmits/tick"] == 0.0
+            assert row["dropped/tick"] == 0.0

@@ -117,6 +117,14 @@ class CentralizedServerBase(BaseServer):
             )
         self.publish(spec.qid, answer_ids)
 
-    def focal_position(self, spec: QuerySpec) -> Tuple[float, float]:
-        """Exact focal position (the focal object reports every tick)."""
+    def focal_position(self, spec: QuerySpec) -> Optional[Tuple[float, float]]:
+        """Last reported focal position, or None if never heard from.
+
+        A None is only possible on a lossy network (reports stream
+        every tick, so the first one normally lands at tick 1); the
+        caller skips the query for the tick and the stale answer
+        stands.
+        """
+        if spec.focal_oid not in self.grid:
+            return None
         return self.grid.position_of(spec.focal_oid)

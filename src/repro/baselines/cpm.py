@@ -19,12 +19,13 @@ actually invalidated, rather than re-walking the search space.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.baselines.common import CentralizedServerBase, ReporterNode
 from repro.geometry import Rect
 from repro.index.knn import knn_search, range_search
 from repro.metrics.cost import CostMeter
+from repro.net.faults import FaultPlan
 from repro.net.simulator import RoundSimulator, ZERO_LATENCY
 from repro.server.query_table import QuerySpec
 
@@ -60,7 +61,10 @@ class CpmServer(CentralizedServerBase):
         self.meter.charge(CostMeter.BOOKKEEPING, len(new_cells ^ old_cells))
 
     def _repair(self, spec: QuerySpec) -> None:
-        qx, qy = self.focal_position(spec)
+        focal = self.focal_position(spec)
+        if focal is None:
+            return  # focal report lost so far; stale answer stands
+        qx, qy = focal
         exclude = frozenset((spec.focal_oid,))
         previous = self._answer.get(spec.qid)
         if previous is not None and len(previous) >= spec.k:
@@ -125,10 +129,13 @@ def build_cpm_system(
     grid_cells: int = 32,
     latency: str = ZERO_LATENCY,
     record_history: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> RoundSimulator:
     """Build a ready-to-run CPM system."""
     server = CpmServer(fleet.universe, grid_cells, record_history=record_history)
     for spec in specs:
         server.register_query(spec)
     mobiles = [ReporterNode(oid, fleet) for oid in range(fleet.n)]
-    return RoundSimulator(fleet, server, mobiles, latency=latency)
+    return RoundSimulator(
+        fleet, server, mobiles, latency=latency, faults=faults
+    )

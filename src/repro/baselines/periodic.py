@@ -15,12 +15,13 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.baselines.common import CentralizedServerBase, ReporterNode
 from repro.errors import ProtocolError
 from repro.geometry import Rect
 from repro.metrics.cost import CostMeter
+from repro.net.faults import FaultPlan
 from repro.net.simulator import RoundSimulator, ZERO_LATENCY
 from repro.server.query_table import QuerySpec
 
@@ -46,7 +47,10 @@ class PeriodicServer(CentralizedServerBase):
         if (tick - 1) % self.period != 0:
             return
         for spec in self.queries:
-            qx, qy = self.focal_position(spec)
+            focal = self.focal_position(spec)
+            if focal is None:
+                continue  # focal report lost so far; stale answer stands
+            qx, qy = focal
             # Naive scan: distance to every object, keep the k best.
             best: List[Tuple[float, int]] = []
             for oid in self.grid.ids():
@@ -70,6 +74,7 @@ def build_periodic_system(
     period: int = 1,
     latency: str = ZERO_LATENCY,
     record_history: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> RoundSimulator:
     """Build a ready-to-run PER system."""
     server = PeriodicServer(
@@ -78,4 +83,6 @@ def build_periodic_system(
     for spec in specs:
         server.register_query(spec)
     mobiles = [ReporterNode(oid, fleet) for oid in range(fleet.n)]
-    return RoundSimulator(fleet, server, mobiles, latency=latency)
+    return RoundSimulator(
+        fleet, server, mobiles, latency=latency, faults=faults
+    )

@@ -13,12 +13,13 @@ nothing).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from repro.baselines.common import CentralizedServerBase, ReporterNode
 from repro.geometry import Rect
 from repro.index.knn import knn_search
 from repro.metrics.cost import CostMeter
+from repro.net.faults import FaultPlan
 from repro.net.simulator import RoundSimulator, ZERO_LATENCY
 from repro.server.query_table import QuerySpec
 
@@ -79,7 +80,10 @@ class SeaCnnServer(CentralizedServerBase):
             dirty.update(self._cell_map.get(new_cell, ()))
         for qid in dirty:
             spec = self.queries.get(qid)
-            qx, qy = self.focal_position(spec)
+            focal = self.focal_position(spec)
+            if focal is None:
+                continue  # focal report lost so far; stale answer stands
+            qx, qy = focal
             result = knn_search(
                 self.grid,
                 qx,
@@ -99,6 +103,7 @@ def build_seacnn_system(
     grid_cells: int = 32,
     latency: str = ZERO_LATENCY,
     record_history: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> RoundSimulator:
     """Build a ready-to-run SEA system."""
     server = SeaCnnServer(
@@ -107,4 +112,6 @@ def build_seacnn_system(
     for spec in specs:
         server.register_query(spec)
     mobiles = [ReporterNode(oid, fleet) for oid in range(fleet.n)]
-    return RoundSimulator(fleet, server, mobiles, latency=latency)
+    return RoundSimulator(
+        fleet, server, mobiles, latency=latency, faults=faults
+    )

@@ -44,6 +44,7 @@ from repro.errors import ProtocolError
 from repro.geometry import Rect, dist
 from repro.geometry.region import REGION_EPS
 from repro.metrics.cost import CostMeter
+from repro.net.faults import FaultPlan
 from repro.net.message import Message, MessageKind
 from repro.net.node import MobileNode
 from repro.net.simulator import RoundSimulator, ZERO_LATENCY
@@ -329,6 +330,7 @@ def build_broadcast_system(
     params: Optional[BroadcastParams] = None,
     latency: str = ZERO_LATENCY,
     record_history: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> RoundSimulator:
     """Build a ready-to-run simulator for the broadcast protocol."""
     if params is None:
@@ -350,4 +352,6 @@ def build_broadcast_system(
         BroadcastMobileNode(oid, fleet, my_qids=qids_by_focal.get(oid, ()))
         for oid in range(fleet.n)
     ]
-    return RoundSimulator(fleet, server, mobiles, latency=latency)
+    return RoundSimulator(
+        fleet, server, mobiles, latency=latency, faults=faults
+    )

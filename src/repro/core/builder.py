@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Optional, Sequence
 
 from repro.core.client import DknnMobileNode
 from repro.core.params import DknnParams
 from repro.core.server import DknnServer
 from repro.errors import ProtocolError
+from repro.net.faults import FaultPlan
 from repro.net.simulator import ONE_TICK_LATENCY, ZERO_LATENCY, RoundSimulator
 from repro.server.query_table import QuerySpec
 
@@ -20,6 +22,7 @@ def build_dknn_system(
     params: Optional[DknnParams] = None,
     latency: str = ZERO_LATENCY,
     record_history: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> RoundSimulator:
     """Build a ready-to-run simulator for the point-to-point protocol.
 
@@ -27,6 +30,10 @@ def build_dknn_system(
     objects are ordinary nodes that additionally receive query circles.
     In one-tick-latency mode the planner margin is widened by the
     fleet's max speed automatically (positions are one tick staler).
+    When ``params.fault_tolerant`` is set, mobile nodes are built with
+    the matching ack/heartbeat/re-report behavior; pass ``faults`` to
+    actually perturb the network (a hardened system on a perfect
+    network stays exact).
     """
     if params is None:
         params = DknnParams()
@@ -37,17 +44,19 @@ def build_dknn_system(
                 f"not in fleet of {fleet.n}"
             )
     if latency == ONE_TICK_LATENCY and params.latency_slack == 0.0:
-        params = DknnParams(
-            theta=params.theta,
-            s_cap=params.s_cap,
-            grid_cells=params.grid_cells,
-            latency_slack=fleet.max_speed,
-            incremental=params.incremental,
-        )
+        params = dataclasses.replace(params, latency_slack=fleet.max_speed)
     server = DknnServer(fleet.universe, params, record_history=record_history)
     for spec in specs:
         server.register_query(spec)
+    ft = params.fault_tolerant
     mobiles = [
-        DknnMobileNode(oid, fleet, theta=params.theta) for oid in range(fleet.n)
+        DknnMobileNode(
+            oid,
+            fleet,
+            theta=params.theta,
+            ack_installs=ft,
+            violation_retry=params.violation_retry if ft else 0,
+        )
+        for oid in range(fleet.n)
     ]
-    return RoundSimulator(fleet, server, mobiles, latency=latency)
+    return RoundSimulator(fleet, server, mobiles, latency=latency, faults=faults)

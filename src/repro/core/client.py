@@ -13,6 +13,21 @@ three local, message-free checks against its own position:
 It answers probes immediately and applies installs/revokes. Any message
 that carries this node's own position doubles as a dead-reckoning
 report, so the node resets its drift origin whenever it transmits one.
+
+**Fault-tolerant mode** (``ack_installs=True``, built by
+:func:`~repro.core.builder.build_dknn_system` when the server params
+say so) adds the client half of the self-healing protocol:
+
+* every epoch-stamped install is acknowledged with ``INSTALL_ACK`` and
+  deduplicated by ``(qid, epoch)`` — a retransmitted or duplicated
+  install re-acks without re-arming an already-reported band;
+* installs carry a *lease*: while the node holds any region it sends a
+  cheap heartbeat (an ordinary ``LOCATION_UPDATE``) one tick before
+  the lease would expire, so the server can tell "silent and safe"
+  from "crashed";
+* a reported violation whose repair (re-install or revoke) does not
+  arrive within ``violation_retry`` ticks is re-reported — a single
+  lost uplink cannot strand a query.
 """
 
 from __future__ import annotations
@@ -34,6 +49,7 @@ from repro.core.protocol import (
     BAND_OUTSIDER,
     BAND_QUERY_CIRCLE,
     AnswerPush,
+    InstallAck,
     InstallBand,
     LocationUpdate,
     ProbeReply,
@@ -53,11 +69,22 @@ _BAND_CLASSES = {
 class DknnMobileNode(MobileNode):
     """One mobile object (possibly also a query focal point)."""
 
-    def __init__(self, oid: int, fleet, theta: float) -> None:
+    def __init__(
+        self,
+        oid: int,
+        fleet,
+        theta: float,
+        ack_installs: bool = False,
+        violation_retry: int = 0,
+    ) -> None:
         super().__init__(oid, fleet)
         if theta < 0:
             raise ProtocolError(f"negative theta {theta}")
+        if violation_retry < 0:
+            raise ProtocolError(f"negative violation_retry {violation_retry}")
         self.theta = float(theta)
+        self.ack_installs = ack_installs
+        self.violation_retry = violation_retry
         #: qid -> installed region (band or query circle).
         self.regions: Dict[int, SafeRegion] = {}
         #: qids whose violation was already reported this episode.
@@ -66,11 +93,21 @@ class DknnMobileNode(MobileNode):
         self._last_sent: Optional[Tuple[float, float]] = None
         #: answers known locally (pushed by the server), per query.
         self.known_answers: Dict[int, List[int]] = {}
+        # -- fault-tolerant state (inert unless ack_installs) -------------
+        #: newest install epoch applied per query (duplicate filter).
+        self._install_epochs: Dict[int, int] = {}
+        #: tick each outstanding violation report was last sent.
+        self._violation_sent: Dict[int, int] = {}
+        #: heartbeat interval learned from installs (0 = no lease).
+        self._lease = 0
+        self._cur_tick = 0
+        self._last_uplink_tick = 0
 
     # -- transmission helpers ------------------------------------------------
 
     def _mark_sent(self) -> None:
         self._last_sent = self.position
+        self._last_uplink_tick = self._cur_tick
 
     def _send_location_update(self) -> None:
         x, y = self.position
@@ -86,11 +123,14 @@ class DknnMobileNode(MobileNode):
         )
         self.send_server(kind, ViolationReport(qid, x, y))
         self._reported.add(qid)
+        if self.violation_retry:
+            self._violation_sent[qid] = self._cur_tick
         self._mark_sent()
 
     # -- per-tick local checks --------------------------------------------
 
     def on_tick_start(self, tick: int) -> None:
+        self._cur_tick = tick
         x, y = self.position
         if self._last_sent is None or (
             dist(x, y, self._last_sent[0], self._last_sent[1]) > self.theta
@@ -101,8 +141,51 @@ class DknnMobileNode(MobileNode):
                 continue
             if region.violated(x, y):
                 self._send_violation(qid)
+        if self.violation_retry:
+            self._retry_violations(tick, x, y)
+        if (
+            self._lease > 0
+            and self.regions
+            and tick - self._last_uplink_tick >= max(1, self._lease // 2)
+        ):
+            # Lease refresh: a cheap heartbeat, sent twice per lease so
+            # a single lost one does not get this node suspected of
+            # crashing. Doubles as a position report, like every uplink.
+            self._send_location_update()
+
+    def _retry_violations(self, tick: int, x: float, y: float) -> None:
+        """Re-report violations whose repair never arrived."""
+        for qid in sorted(self._reported):
+            region = self.regions.get(qid)
+            if region is None:
+                continue
+            sent = self._violation_sent.get(qid)
+            if sent is None or tick - sent < self.violation_retry:
+                continue
+            if not region.violated(x, y):
+                # Drifted back inside with no repair in sight: assume
+                # the report was lost and re-arm the episode entirely,
+                # or a later re-violation would never be reported.
+                self._reported.discard(qid)
+                self._violation_sent.pop(qid, None)
+                continue
+            self._reported.discard(qid)  # re-arm so _send_violation re-adds
+            self._send_violation(qid)
+            self.channel.stats.record_retransmit(
+                MessageKind.QUERY_MOVE
+                if isinstance(region, QuerySafeCircle)
+                else MessageKind.VIOLATION
+            )
 
     # -- message handling --------------------------------------------------
+
+    def _apply_install(self, payload: InstallBand) -> None:
+        region_cls = _BAND_CLASSES[payload.band]
+        self.regions[payload.qid] = region_cls(
+            payload.ax, payload.ay, payload.radius
+        )
+        self._reported.discard(payload.qid)
+        self._violation_sent.pop(payload.qid, None)
 
     def on_message(self, msg: Message) -> None:
         if msg.kind == MessageKind.PROBE:
@@ -113,17 +196,30 @@ class DknnMobileNode(MobileNode):
             payload = msg.payload
             if not isinstance(payload, InstallBand):
                 raise ProtocolError(f"bad INSTALL_REGION payload {payload!r}")
-            region_cls = _BAND_CLASSES[payload.band]
-            self.regions[payload.qid] = region_cls(
-                payload.ax, payload.ay, payload.radius
-            )
-            self._reported.discard(payload.qid)
+            if self.ack_installs and payload.epoch >= 0:
+                held = self._install_epochs.get(payload.qid, -1)
+                if payload.epoch > held:
+                    self._install_epochs[payload.qid] = payload.epoch
+                    if payload.lease > 0:
+                        self._lease = payload.lease
+                    self._apply_install(payload)
+                # epoch <= held: duplicate or stale retransmit — the
+                # region (and its reported/armed state) is left alone.
+                self.send_server(
+                    MessageKind.INSTALL_ACK,
+                    InstallAck(payload.qid, payload.epoch),
+                )
+                # An ack carries no position, so it does not reset the
+                # dead-reckoning origin (no _mark_sent).
+                return
+            self._apply_install(payload)
         elif msg.kind == MessageKind.REVOKE_REGION:
             payload = msg.payload
             if not isinstance(payload, RevokeBand):
                 raise ProtocolError(f"bad REVOKE_REGION payload {payload!r}")
             self.regions.pop(payload.qid, None)
             self._reported.discard(payload.qid)
+            self._violation_sent.pop(payload.qid, None)
         elif msg.kind == MessageKind.ANSWER_PUSH:
             payload = msg.payload
             if not isinstance(payload, AnswerPush):

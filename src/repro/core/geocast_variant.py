@@ -46,6 +46,7 @@ from repro.errors import ProtocolError
 from repro.geometry import Rect, dist
 from repro.geometry.region import REGION_EPS
 from repro.metrics.cost import CostMeter
+from repro.net.faults import FaultPlan
 from repro.net.message import Message, MessageKind
 from repro.net.simulator import RoundSimulator, ZERO_LATENCY
 from repro.server.query_table import QuerySpec
@@ -282,6 +283,7 @@ def build_geocast_system(
     params: Optional[GeocastParams] = None,
     latency: str = ZERO_LATENCY,
     record_history: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> RoundSimulator:
     """Build a ready-to-run simulator for the geocast protocol."""
     if params is None:
@@ -303,4 +305,6 @@ def build_geocast_system(
         GeocastMobileNode(oid, fleet, my_qids=qids_by_focal.get(oid, ()))
         for oid in range(fleet.n)
     ]
-    return RoundSimulator(fleet, server, mobiles, latency=latency)
+    return RoundSimulator(
+        fleet, server, mobiles, latency=latency, faults=faults
+    )

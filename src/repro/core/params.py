@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ProtocolError
+from repro.errors import LeaseError, ProtocolError
 
 __all__ = ["DknnParams", "BroadcastParams"]
 
@@ -37,6 +37,26 @@ class DknnParams:
         re-installing the whole candidate zone. Falls back to a full
         repair whenever the light conditions fail. The E13 ablation
         measures the saving.
+    fault_tolerant:
+        Enable the self-healing protocol extensions (designed for runs
+        under a :class:`~repro.net.faults.FaultPlan`): epoch-stamped,
+        acknowledged installs with server retransmission; per-tick
+        probe retransmission; installation leases with client
+        heartbeats and server-side crash suspicion; and client-side
+        violation re-reports. Off by default — with it off, the
+        protocol's message stream is byte-identical to the seed.
+    ack_timeout:
+        Ticks the server waits for an ``INSTALL_ACK`` (or a probe
+        reply) before retransmitting. Only used when fault tolerant.
+    lease_ticks:
+        Installation lease: an object holding a region must be heard
+        from within this many ticks or the server suspects it crashed,
+        evicts it, and re-plans. Clients refresh one tick early.
+        Only used when fault tolerant.
+    violation_retry:
+        Ticks a client waits for a repair (a new install or a revoke)
+        after reporting a violation before re-reporting it. Only used
+        when fault tolerant.
     """
 
     theta: float = 100.0
@@ -44,6 +64,10 @@ class DknnParams:
     grid_cells: int = 32
     latency_slack: float = 0.0
     incremental: bool = True
+    fault_tolerant: bool = False
+    ack_timeout: int = 2
+    lease_ticks: int = 8
+    violation_retry: int = 2
 
     def __post_init__(self) -> None:
         if self.theta < 0:
@@ -54,6 +78,16 @@ class DknnParams:
             raise ProtocolError(f"grid_cells must be >= 1, got {self.grid_cells}")
         if self.latency_slack < 0:
             raise ProtocolError(f"negative latency_slack {self.latency_slack}")
+        if self.ack_timeout < 1:
+            raise LeaseError(f"ack_timeout must be >= 1, got {self.ack_timeout}")
+        if self.lease_ticks < 2:
+            raise LeaseError(
+                f"lease_ticks must be >= 2, got {self.lease_ticks}"
+            )
+        if self.violation_retry < 1:
+            raise LeaseError(
+                f"violation_retry must be >= 1, got {self.violation_retry}"
+            )
 
     @property
     def uncertainty(self) -> float:

@@ -21,6 +21,7 @@ __all__ = [
     "ProbeRequest",
     "ProbeReply",
     "InstallBand",
+    "InstallAck",
     "RevokeBand",
     "ViolationReport",
     "AnswerPush",
@@ -87,31 +88,72 @@ class InstallBand:
     ``band`` selects the predicate (answer / outsider / query circle);
     the anchor is the query position frozen at installation; ``radius``
     may be ``inf`` for never-violated bands (trivial answers).
+
+    In fault-tolerant mode the install additionally carries ``epoch``
+    (a server-monotonic installation sequence number the receiver acks
+    and dedupes by) and ``lease`` (the heartbeat interval, in ticks,
+    the receiver must refresh within). Both ride the wire only when
+    set (``epoch`` >= 0), so non-hardened runs pay zero extra bytes.
     """
 
-    __slots__ = ("qid", "band", "ax", "ay", "radius")
+    __slots__ = ("qid", "band", "ax", "ay", "radius", "epoch", "lease")
 
     def __init__(
-        self, qid: int, band: int, ax: float, ay: float, radius: float
+        self,
+        qid: int,
+        band: int,
+        ax: float,
+        ay: float,
+        radius: float,
+        epoch: int = -1,
+        lease: int = 0,
     ) -> None:
         if band not in _BAND_KINDS:
             raise ProtocolError(f"unknown band kind {band}")
         if radius < 0:
             raise ProtocolError(f"negative band radius {radius}")
+        if lease < 0:
+            raise ProtocolError(f"negative lease {lease}")
         self.qid = qid
         self.band = band
         self.ax = float(ax)
         self.ay = float(ay)
         self.radius = float(radius)
+        self.epoch = epoch
+        self.lease = lease
 
     def wire_size(self) -> int:
-        return 4 + 4 + 24
+        return 4 + 4 + 24 + (8 if self.epoch >= 0 else 0)
 
     def __repr__(self) -> str:
+        tail = f", e{self.epoch}, L{self.lease}" if self.epoch >= 0 else ""
         return (
             f"InstallBand(q{self.qid}, band={self.band}, "
-            f"anchor=({self.ax:g}, {self.ay:g}), r={self.radius:g})"
+            f"anchor=({self.ax:g}, {self.ay:g}), r={self.radius:g}{tail})"
         )
+
+
+class InstallAck:
+    """Receiver confirms one epoch-stamped install (fault-tolerant mode).
+
+    The server retransmits an install until the matching ack arrives;
+    the ack echoes ``(qid, epoch)`` so late acks for superseded
+    installs are recognized and ignored.
+    """
+
+    __slots__ = ("qid", "epoch")
+
+    def __init__(self, qid: int, epoch: int) -> None:
+        if epoch < 0:
+            raise ProtocolError(f"negative ack epoch {epoch}")
+        self.qid = qid
+        self.epoch = epoch
+
+    def wire_size(self) -> int:
+        return 8
+
+    def __repr__(self) -> str:
+        return f"InstallAck(q{self.qid}, e{self.epoch})"
 
 
 class RevokeBand:

@@ -35,6 +35,7 @@ from repro.errors import ProtocolError
 from repro.geometry import Rect, dist
 from repro.geometry.region import REGION_EPS
 from repro.metrics.cost import CostMeter
+from repro.net.faults import FaultPlan
 from repro.net.message import Message, MessageKind
 from repro.net.node import MobileNode
 from repro.net.simulator import RoundSimulator, ZERO_LATENCY
@@ -393,6 +394,7 @@ def build_range_system(
     s_margin: float = 50.0,
     latency: str = ZERO_LATENCY,
     record_history: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> RoundSimulator:
     """Build a ready-to-run continuous-range monitoring system."""
     for spec in specs:
@@ -412,4 +414,6 @@ def build_range_system(
         RangeMobileNode(oid, fleet, my_qids=qids_by_focal.get(oid, ()))
         for oid in range(fleet.n)
     ]
-    return RoundSimulator(fleet, server, mobiles, latency=latency)
+    return RoundSimulator(
+        fleet, server, mobiles, latency=latency, faults=faults
+    )

@@ -45,6 +45,7 @@ from repro.core.protocol import (
     BAND_OUTSIDER,
     BAND_QUERY_CIRCLE,
     AnswerPush,
+    InstallAck,
     InstallBand,
     ProbeRequest,
     RevokeBand,
@@ -84,6 +85,7 @@ class _QueryState:
         "violators",
         "light_ok",
         "light_violators",
+        "focal_down",
     )
 
     def __init__(self, spec: QuerySpec) -> None:
@@ -102,6 +104,10 @@ class _QueryState:
         self.light_ok = False
         #: violators being handled by the in-flight light repair.
         self.light_violators: Set[int] = set()
+        #: fault-tolerant mode: the focal node is suspected crashed;
+        #: the query is frozen (last answer stands, marked degraded)
+        #: until the focal is heard from again.
+        self.focal_down = False
 
 
 class DknnServer(BaseServer):
@@ -125,6 +131,26 @@ class DknnServer(BaseServer):
         #: subset (the E13 ablation reports the ratio).
         self.repair_count: Dict[int, int] = {}
         self.light_repair_count: Dict[int, int] = {}
+        # -- fault-tolerant state (inert unless params.fault_tolerant) ----
+        self._ft = params.fault_tolerant
+        #: global monotonic install sequence; later installs always win
+        #: the client-side epoch dedupe, across all queries.
+        self._install_seq = 0
+        #: (oid, qid) -> (payload, last_sent_tick) for unacked installs.
+        self._unacked: Dict[Tuple[int, int], Tuple[InstallBand, int]] = {}
+        #: probe bookkeeping: last / first send tick per outstanding probe.
+        self._probe_sent: Dict[int, int] = {}
+        self._probe_first: Dict[int, int] = {}
+        #: last tick each object was heard from (any uplink).
+        self._last_heard: Dict[int, int] = {}
+        #: objects suspected crashed (lease expired or probes unanswered).
+        self._suspected: Set[int] = set()
+        #: last tick a revival probe was sent to a suspected object.
+        self._suspect_probe: Dict[int, int] = {}
+        #: qid -> True when this tick's published answer carries no
+        #: exactness guarantee (focal down, repair incomplete, installs
+        #: outstanding, or a suspected object still in the answer).
+        self.degraded: Dict[int, bool] = {}
 
     # -- registration -----------------------------------------------------
 
@@ -133,15 +159,31 @@ class DknnServer(BaseServer):
         self._states[spec.qid] = _QueryState(spec)
         self.repair_count[spec.qid] = 0
         self.light_repair_count[spec.qid] = 0
+        self.degraded[spec.qid] = False
 
     # -- message handling ----------------------------------------------------
 
     def on_message(self, msg: Message) -> None:
         kind = msg.kind
         payload = msg.payload
+        if self._ft:
+            self._last_heard[msg.src] = self._tick
+            if msg.src in self._suspected:
+                self._revive(msg.src)
+        if kind == MessageKind.INSTALL_ACK:
+            if not isinstance(payload, InstallAck):
+                raise ProtocolError(f"bad INSTALL_ACK payload {payload!r}")
+            entry = self._unacked.get((msg.src, payload.qid))
+            if entry is not None and entry[0].epoch == payload.epoch:
+                del self._unacked[(msg.src, payload.qid)]
+            # A mismatched epoch is a late ack for a superseded
+            # install: keep retransmitting the current one.
+            return
         if kind in (MessageKind.LOCATION_UPDATE, MessageKind.PROBE_REPLY):
             self.table.report(msg.src, payload.x, payload.y, self._tick)
             self._probes_in_flight.discard(msg.src)
+            self._probe_sent.pop(msg.src, None)
+            self._probe_first.pop(msg.src, None)
         elif kind in (MessageKind.VIOLATION, MessageKind.QUERY_MOVE):
             self.table.report(msg.src, payload.x, payload.y, self._tick)
             state = self._states.get(payload.qid)
@@ -166,19 +208,176 @@ class DknnServer(BaseServer):
     def on_tick_start(self, tick: int) -> None:
         super().on_tick_start(tick)
         self._tick = tick
+        if self._ft:
+            self._ft_tick(tick)
+
+    def on_tick_end(self, tick: int) -> None:
+        for qid, st in self._states.items():
+            self.degraded[qid] = bool(
+                st.focal_down
+                or st.dirty
+                or st.phase != _IDLE
+                or any(key[1] == qid for key in self._unacked)
+                or (
+                    self._suspected
+                    and self._suspected.intersection(self.answers.get(qid, ()))
+                )
+            )
+        super().on_tick_end(tick)
 
     def on_subround(self, tick: int) -> None:
         self._tick = tick
         for state in self._states.values():
+            if state.focal_down:
+                continue
             self._advance(state, tick)
 
     def busy(self) -> bool:
         # Unfinished repairs keep the zero-latency subround loop alive;
         # a repair that cannot progress then fails loudly at the
         # engine's subround cap instead of silently going stale.
+        # Frozen (focal-down) queries don't hold the loop: nothing can
+        # progress them until the focal is heard from again.
         return any(
-            st.dirty or st.phase != _IDLE for st in self._states.values()
+            (st.dirty or st.phase != _IDLE) and not st.focal_down
+            for st in self._states.values()
         )
+
+    # -- fault tolerance ---------------------------------------------------
+
+    def _ft_tick(self, tick: int) -> None:
+        """Per-tick self-healing: lease sweep, then retransmissions."""
+        self._lease_sweep(tick)
+        timeout = self.params.ack_timeout
+        lease = self.params.lease_ticks
+        for key in sorted(self._unacked):
+            payload, sent = self._unacked[key]
+            if tick - sent >= timeout:
+                self._unacked[key] = (payload, tick)
+                self.send(key[0], MessageKind.INSTALL_REGION, payload)
+                self.channel.stats.record_retransmit(
+                    MessageKind.INSTALL_REGION
+                )
+        for oid in sorted(self._probes_in_flight):
+            first = self._probe_first.get(oid, tick)
+            if tick - first > lease:
+                # Repeated probes unanswered for a whole lease: treat
+                # like an expired lease even if the object never held
+                # a region (it may have been down from the start).
+                self._suspect(oid, tick)
+                continue
+            if tick - self._probe_sent.get(oid, tick) >= timeout:
+                self._probe_sent[oid] = tick
+                self.send(oid, MessageKind.PROBE, ProbeRequest())
+                self.channel.stats.record_retransmit(MessageKind.PROBE)
+        for oid in sorted(self._suspected):
+            # Periodic revival probe: a live-but-suspected node (long
+            # blackout, lost heartbeats) answers and is welcomed back.
+            if tick - self._suspect_probe.get(oid, tick) >= lease:
+                self._suspect_probe[oid] = tick
+                self.send(oid, MessageKind.PROBE, ProbeRequest())
+                self.channel.stats.record_retransmit(MessageKind.PROBE)
+
+    def _lease_sweep(self, tick: int) -> None:
+        """Suspect every leased object silent for more than the lease.
+
+        Only objects that hold a region (and focals holding a query
+        circle) are lease-bound — they heartbeat one tick before
+        expiry, so silence beyond the lease means crash or partition.
+        """
+        lease = self.params.lease_ticks
+        tracked: Set[int] = set()
+        for st in self._states.values():
+            tracked |= st.informed
+            if st.install is not None and not math.isinf(st.install.threshold):
+                tracked.add(st.spec.focal_oid)
+        for oid in sorted(tracked):
+            if oid in self._suspected:
+                continue
+            if tick - self._last_heard.get(oid, 0) > lease:
+                self._suspect(oid, tick)
+
+    def _suspect(self, oid: int, tick: int) -> None:
+        """Evict a presumed-crashed object and re-plan around it."""
+        if oid in self._suspected:
+            return
+        self._suspected.add(oid)
+        self._suspect_probe[oid] = tick
+        self._probes_in_flight.discard(oid)
+        self._probe_sent.pop(oid, None)
+        self._probe_first.pop(oid, None)
+        for key in [k for k in self._unacked if k[0] == oid]:
+            del self._unacked[key]
+        for st in self._states.values():
+            affected = False
+            if st.spec.focal_oid == oid:
+                st.focal_down = True
+            if oid in st.informed:
+                # Evict without a revoke: if the node is actually alive
+                # it keeps its region (still sound — the band predicate
+                # did not change) and keeps heartbeating, which is what
+                # revives it.
+                st.informed.discard(oid)
+                affected = True
+            if oid in self.answers.get(st.spec.qid, ()):
+                affected = True
+            if (
+                oid in st.pending
+                or oid in st.cand_ids
+                or oid in st.planner_new
+            ):
+                # An in-flight repair is waiting on the dead: restart
+                # it from scratch (minus the suspect) next subround.
+                st.pending = set()
+                st.cand_ids = []
+                st.planner_new = []
+                st.phase = _IDLE
+                affected = True
+            if affected and not st.focal_down:
+                st.dirty = True
+                st.light_ok = False
+                st.violators = set()
+
+    def _revive(self, oid: int) -> None:
+        """A suspected object spoke: welcome it back.
+
+        A revived focal un-freezes its queries with a full repair. For
+        an ordinary object nothing is forced: its report just landed in
+        the table, so the per-tick planner — the silent-object safety
+        net — re-probes and re-bands it if it is anywhere near a
+        boundary, exactly as for any uninformed newcomer.
+        """
+        self._suspected.discard(oid)
+        self._suspect_probe.pop(oid, None)
+        for st in self._states.values():
+            if st.spec.focal_oid == oid:
+                st.focal_down = False
+                st.dirty = True
+                st.light_ok = False
+                st.violators = set()
+
+    def _search_exclude(self, focal: int) -> frozenset:
+        """Index-search exclusion set: the focal plus any suspects."""
+        if self._ft and self._suspected:
+            return frozenset(self._suspected | {focal})
+        return frozenset((focal,))
+
+    def _send_band(
+        self, oid: int, qid: int, band: int, ax: float, ay: float,
+        radius: float,
+    ) -> None:
+        """Send one install; in fault-tolerant mode stamp it with a
+        fresh epoch + the lease and register it for retransmission."""
+        if self._ft:
+            payload = InstallBand(
+                qid, band, ax, ay, radius,
+                epoch=self._install_seq, lease=self.params.lease_ticks,
+            )
+            self._install_seq += 1
+            self._unacked[(oid, qid)] = (payload, self._tick)
+        else:
+            payload = InstallBand(qid, band, ax, ay, radius)
+        self.send(oid, MessageKind.INSTALL_REGION, payload)
 
     # -- state machine -----------------------------------------------------
 
@@ -242,7 +441,7 @@ class DknnServer(BaseServer):
                     continue  # planner may have marked the query dirty
                 return
             if st.phase == _WAIT_LIGHT:
-                if any(not table.is_fresh(o, tick) for o in st.pending):
+                if self._await_fresh(st.pending, tick):
                     return
                 if not self._finalize_light(st, tick):
                     st.dirty = True
@@ -250,19 +449,19 @@ class DknnServer(BaseServer):
                     continue
                 return
             if st.phase == _WAIT_FOCAL:
-                if not table.is_fresh(focal, tick):
+                if self._await_fresh((focal,), tick):
                     return
                 if not self._select_candidates(st, tick):
                     return
                 self._finalize(st, tick)
                 return
             if st.phase == _WAIT_CANDS:
-                if any(not table.is_fresh(o, tick) for o in st.pending):
+                if self._await_fresh(st.pending, tick):
                     return
                 self._finalize(st, tick)
                 return
             if st.phase == _WAIT_PLANNER:
-                if any(not table.is_fresh(o, tick) for o in st.pending):
+                if self._await_fresh(st.pending, tick):
                     return
                 self._resolve_planner(st, tick)
                 if st.dirty:
@@ -271,6 +470,22 @@ class DknnServer(BaseServer):
             raise ProtocolError(f"unknown phase {st.phase}")
 
     # -- repair pipeline -------------------------------------------------------
+
+    def _await_fresh(self, oids, tick: int) -> bool:
+        """True while any of ``oids`` lacks a fresh position.
+
+        In fault-tolerant mode stale stragglers are re-probed: a tick
+        may have ended mid-wait (stall-break on a lost message), which
+        expires the per-tick freshness of members whose replies *did*
+        arrive — without a new probe they would block the wait forever.
+        """
+        stale = sorted(o for o in oids if not self.table.is_fresh(o, tick))
+        if not stale:
+            return False
+        if self._ft:
+            for oid in stale:
+                self._probe(oid)
+        return True
 
     def _probe(self, oid: int) -> None:
         """Ask ``oid`` for its exact position, once per outstanding need.
@@ -284,6 +499,9 @@ class DknnServer(BaseServer):
         if oid in self._probes_in_flight:
             return
         self._probes_in_flight.add(oid)
+        if self._ft:
+            self._probe_sent[oid] = self._tick
+            self._probe_first[oid] = self._tick
         self.send(oid, MessageKind.PROBE, ProbeRequest())
 
     def _select_candidates(self, st: _QueryState, tick: int) -> bool:
@@ -295,7 +513,7 @@ class DknnServer(BaseServer):
         spec = st.spec
         table = self.table
         qx, qy = table.last_position(spec.focal_oid)
-        exclude = frozenset((spec.focal_oid,))
+        exclude = self._search_exclude(spec.focal_oid)
         reported = knn_search(
             table.grid, qx, qy, spec.k + 1, exclude=exclude, meter=self.meter
         )
@@ -376,27 +594,18 @@ class DknnServer(BaseServer):
         )
         if not trivial:
             for oid in inst.answer_ids:
-                self.send(
-                    oid,
-                    MessageKind.INSTALL_REGION,
-                    InstallBand(
-                        qid, BAND_ANSWER, ax, ay, inst.answer_band_radius
-                    ),
+                self._send_band(
+                    oid, qid, BAND_ANSWER, ax, ay, inst.answer_band_radius
                 )
             for oid in banded_outsiders:
-                self.send(
-                    oid,
-                    MessageKind.INSTALL_REGION,
-                    InstallBand(
-                        qid, BAND_OUTSIDER, ax, ay, inst.outsider_band_radius
-                    ),
+                self._send_band(
+                    oid, qid, BAND_OUTSIDER, ax, ay, inst.outsider_band_radius
                 )
-            self.send(
-                focal,
-                MessageKind.INSTALL_REGION,
-                InstallBand(qid, BAND_QUERY_CIRCLE, ax, ay, inst.s_eff),
+            self._send_band(
+                focal, qid, BAND_QUERY_CIRCLE, ax, ay, inst.s_eff
             )
         for oid in st.informed - new_informed:
+            self._unacked.pop((oid, qid), None)
             self.send(oid, MessageKind.REVOKE_REGION, RevokeBand(qid))
         if trivial and st.install is not None and not math.isinf(
             st.install.threshold
@@ -404,6 +613,7 @@ class DknnServer(BaseServer):
             # The focal node still holds a query circle from the prior
             # non-trivial installation; nothing will ever replace it on
             # the trivial path, so take it down explicitly.
+            self._unacked.pop((focal, qid), None)
             self.send(focal, MessageKind.REVOKE_REGION, RevokeBand(qid))
         st.informed = new_informed
         old_answer = set(self.answers.get(qid, ()))
@@ -429,6 +639,9 @@ class DknnServer(BaseServer):
         """
         assert st.install is not None
         pool = set(st.install.answer_ids) | violators
+        if self._ft and self._suspected:
+            pool -= self._suspected
+            violators = violators - self._suspected
         st.light_violators = violators
         st.cand_ids = sorted(pool)
         stale = [
@@ -500,25 +713,15 @@ class DknnServer(BaseServer):
                 # Entrants need an answer band; violators staying in
                 # the answer need theirs re-armed (a violated band
                 # stays silent until re-installed).
-                self.send(
-                    oid,
-                    MessageKind.INSTALL_REGION,
-                    InstallBand(qid, BAND_ANSWER, ax, ay, t_new - s_new),
-                )
+                self._send_band(oid, qid, BAND_ANSWER, ax, ay, t_new - s_new)
         for d, oid in dropped:
             # Everyone dropped from the pool either just left the
             # answer or violated inward without making the cut; both
             # need a (re-armed) outsider band at the new boundary.
-            self.send(
-                oid,
-                MessageKind.INSTALL_REGION,
-                InstallBand(qid, BAND_OUTSIDER, ax, ay, t_new + s_new),
-            )
+            self._send_band(oid, qid, BAND_OUTSIDER, ax, ay, t_new + s_new)
         # Refresh (and re-arm) the query circle at the new slack.
-        self.send(
-            spec.focal_oid,
-            MessageKind.INSTALL_REGION,
-            InstallBand(qid, BAND_QUERY_CIRCLE, ax, ay, s_new),
+        self._send_band(
+            spec.focal_oid, qid, BAND_QUERY_CIRCLE, ax, ay, s_new
         )
         if old_answer != new_set:
             self.send(
@@ -554,7 +757,7 @@ class DknnServer(BaseServer):
         table = self.table
         zone = inst.monitor_radius(self.params.uncertainty)
         ax, ay = inst.anchor
-        exclude = frozenset((st.spec.focal_oid,))
+        exclude = self._search_exclude(st.spec.focal_oid)
         hits = range_search(
             table.grid, ax, ay, zone, exclude=exclude, meter=self.meter
         )
@@ -605,10 +808,6 @@ class DknnServer(BaseServer):
             return
         qid = st.spec.qid
         for oid in harmless:
-            self.send(
-                oid,
-                MessageKind.INSTALL_REGION,
-                InstallBand(qid, BAND_OUTSIDER, ax, ay, boundary),
-            )
+            self._send_band(oid, qid, BAND_OUTSIDER, ax, ay, boundary)
             st.informed.add(oid)
             self.meter.charge(CostMeter.BOOKKEEPING)

@@ -1,7 +1,25 @@
 """Exception hierarchy for the repro library.
 
 Every error raised by the library derives from :class:`ReproError`, so
-callers can catch one type to handle any library failure.
+callers can catch one type to handle any library failure. The hierarchy
+is shallow and layer-aligned::
+
+    ReproError
+    +-- GeometryError       invalid geometric arguments
+    +-- MobilityError       invalid mobility model / trace
+    +-- NetworkError        simulated-network misuse
+    +-- FaultError          fault-injection plan misuse
+    |   +-- LeaseError      lease / timeout configuration errors
+    +-- IndexError_         spatial-index misuse
+    +-- ProtocolError       DKNN protocol state-machine violations
+    +-- WorkloadError       invalid workload specification
+    +-- ExperimentError     experiment-harness configuration errors
+
+:class:`FaultError` is deliberately *not* a :class:`NetworkError`: a
+malformed :class:`~repro.net.faults.FaultPlan` is a configuration bug
+in the experiment, not a condition of the simulated network, and
+callers that retry around transient ``NetworkError`` conditions must
+never swallow one.
 """
 
 from __future__ import annotations
@@ -21,6 +39,14 @@ class MobilityError(ReproError):
 
 class NetworkError(ReproError):
     """Simulated-network misuse (unknown node, closed channel, ...)."""
+
+
+class FaultError(ReproError):
+    """Invalid fault-injection configuration (bad probability, window)."""
+
+
+class LeaseError(FaultError):
+    """Invalid lease / retransmit-timeout configuration."""
 
 
 class IndexError_(ReproError):

@@ -5,13 +5,18 @@ and returns a ready :class:`~repro.net.simulator.RoundSimulator`. The
 ``params`` accepted per algorithm:
 
 ========= =====================================================
-DKNN-P    theta, s_cap, grid_cells, incremental
+DKNN-P    theta, s_cap, grid_cells, incremental, fault_tolerant,
+          ack_timeout, lease_ticks, violation_retry
 DKNN-B    s_cap, initial_collect_radius, collect_slack
 DKNN-G    s_cap, initial_collect_radius, collect_slack, lease_ticks
 PER       grid_cells, period
 SEA       grid_cells
 CPM       grid_cells
 ========= =====================================================
+
+All algorithms additionally accept ``faults`` (a
+:class:`~repro.net.faults.FaultPlan`) to run over a lossy network;
+only fault-tolerant DKNN-P actively heals around it.
 """
 
 from __future__ import annotations
@@ -39,19 +44,30 @@ CENTRALIZED = ("PER", "SEA", "CPM")
 
 
 def _build_dknn_p(fleet, specs, latency, record_history, **params):
+    faults = params.pop("faults", None)
     dp = DknnParams(
         theta=params.pop("theta", 100.0),
         s_cap=params.pop("s_cap", 50.0),
         grid_cells=params.pop("grid_cells", 32),
         incremental=params.pop("incremental", True),
+        fault_tolerant=params.pop("fault_tolerant", False),
+        ack_timeout=params.pop("ack_timeout", 2),
+        lease_ticks=params.pop("lease_ticks", 8),
+        violation_retry=params.pop("violation_retry", 2),
     )
     _reject_leftovers("DKNN-P", params)
     return build_dknn_system(
-        fleet, specs, dp, latency=latency, record_history=record_history
+        fleet,
+        specs,
+        dp,
+        latency=latency,
+        record_history=record_history,
+        faults=faults,
     )
 
 
 def _build_dknn_b(fleet, specs, latency, record_history, **params):
+    faults = params.pop("faults", None)
     bp = BroadcastParams(
         s_cap=params.pop("s_cap", 50.0),
         initial_collect_radius=params.pop("initial_collect_radius", 1000.0),
@@ -59,11 +75,17 @@ def _build_dknn_b(fleet, specs, latency, record_history, **params):
     )
     _reject_leftovers("DKNN-B", params)
     return build_broadcast_system(
-        fleet, specs, bp, latency=latency, record_history=record_history
+        fleet,
+        specs,
+        bp,
+        latency=latency,
+        record_history=record_history,
+        faults=faults,
     )
 
 
 def _build_dknn_g(fleet, specs, latency, record_history, **params):
+    faults = params.pop("faults", None)
     gp = GeocastParams(
         s_cap=params.pop("s_cap", 50.0),
         initial_collect_radius=params.pop("initial_collect_radius", 1000.0),
@@ -72,11 +94,17 @@ def _build_dknn_g(fleet, specs, latency, record_history, **params):
     )
     _reject_leftovers("DKNN-G", params)
     return build_geocast_system(
-        fleet, specs, gp, latency=latency, record_history=record_history
+        fleet,
+        specs,
+        gp,
+        latency=latency,
+        record_history=record_history,
+        faults=faults,
     )
 
 
 def _build_per(fleet, specs, latency, record_history, **params):
+    faults = params.pop("faults", None)
     grid_cells = params.pop("grid_cells", 32)
     period = params.pop("period", 1)
     _reject_leftovers("PER", params)
@@ -87,10 +115,12 @@ def _build_per(fleet, specs, latency, record_history, **params):
         period=period,
         latency=latency,
         record_history=record_history,
+        faults=faults,
     )
 
 
 def _build_sea(fleet, specs, latency, record_history, **params):
+    faults = params.pop("faults", None)
     grid_cells = params.pop("grid_cells", 32)
     _reject_leftovers("SEA", params)
     return build_seacnn_system(
@@ -99,10 +129,12 @@ def _build_sea(fleet, specs, latency, record_history, **params):
         grid_cells=grid_cells,
         latency=latency,
         record_history=record_history,
+        faults=faults,
     )
 
 
 def _build_cpm(fleet, specs, latency, record_history, **params):
+    faults = params.pop("faults", None)
     grid_cells = params.pop("grid_cells", 32)
     _reject_leftovers("CPM", params)
     return build_cpm_system(
@@ -111,6 +143,7 @@ def _build_cpm(fleet, specs, latency, record_history, **params):
         grid_cells=grid_cells,
         latency=latency,
         record_history=record_history,
+        faults=faults,
     )
 
 

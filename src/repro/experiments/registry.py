@@ -13,6 +13,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.experiments.runner import Measurement, run_once
 from repro.experiments.tables import ResultTable
+from repro.net.faults import FaultPlan
 from repro.net.simulator import ONE_TICK_LATENCY, ZERO_LATENCY
 from repro.workloads.spec import WorkloadSpec
 
@@ -524,6 +525,108 @@ def e13_light_repairs(quick: bool = False) -> ResultTable:
     return table
 
 
+# -- E14: robustness under network faults (extension) ---------------------------
+
+
+def e14_faults(quick: bool = False) -> ResultTable:
+    """Accuracy and traffic under lossy channels and node crashes.
+
+    Sweeps the per-message drop rate, then a crash fraction, comparing
+    hardened DKNN-P (acks, leases, retransmits) against plain DKNN-P
+    and the PER baseline on identical fault plans. Expected: plain
+    DKNN-P falls off a cliff with loss (one lost repair message can
+    strand a query until an unrelated event heals it); hardened DKNN-P
+    degrades gracefully at a modest retransmit premium and its
+    ``healthy`` annotation stays honest; PER degrades linearly (each
+    lost report only stales one object by one period). The drop=0 rows
+    double as a bit-identity check: the fault layer adds zero traffic.
+    """
+    base = _base(quick).but(
+        n_objects=200 if quick else 1000, seed=97
+    )
+    ft_params = {
+        "fault_tolerant": True,
+        "ack_timeout": 2,
+        "lease_ticks": 8,
+        "violation_retry": 2,
+    }
+    configs = (
+        ("DKNN-P/FT", "DKNN-P", ft_params),
+        ("DKNN-P", "DKNN-P", {}),
+        ("PER", "PER", {}),
+    )
+    table = ResultTable(
+        "E14: robustness under faults",
+        (
+            "fault",
+            "configuration",
+            "msgs/tick",
+            "retransmits/tick",
+            "dropped/tick",
+            "exactness",
+            "overlap",
+            "degraded_frac",
+            "healthy_exactness",
+        ),
+    )
+
+    def row(fault_label, label, m):
+        table.add_row(
+            {
+                "fault": fault_label,
+                "configuration": label,
+                "msgs/tick": m.msgs_per_tick,
+                "retransmits/tick": m.extra.get("retransmits/tick", 0.0),
+                "dropped/tick": m.extra.get("dropped/tick", 0.0),
+                "exactness": m.exactness,
+                "overlap": m.mean_overlap,
+                "degraded_frac": m.extra.get("degraded_frac", 0.0),
+                "healthy_exactness": m.extra.get("healthy_exactness", ""),
+            }
+        )
+
+    drop_rates = (0.0, 0.05, 0.2) if quick else (0.0, 0.01, 0.05, 0.1, 0.2)
+    for drop in drop_rates:
+        plan = (
+            None
+            if drop == 0.0
+            else FaultPlan(
+                seed=7, drop_uplink=drop, drop_downlink=drop
+            )
+        )
+        for label, name, params in configs:
+            m = run_once(
+                name,
+                base,
+                accuracy_every=2,
+                alg_params=dict(params),
+                faults=plan,
+            )
+            row(f"drop={drop:g}", label, m)
+    crash_fracs = (0.05,) if quick else (0.02, 0.1)
+    for frac in crash_fracs:
+        n_crash = max(1, int(base.n_objects * frac))
+        # Crash the first objects (ids are uniform in space, so which
+        # ids die is immaterial); stagger the crash ticks across the
+        # measured window.
+        t0, t1 = base.warmup_ticks + 2, base.ticks - 10
+        crashes = [
+            (oid, t0 + (oid * max(1, (t1 - t0) // n_crash)) % max(1, t1 - t0))
+            for oid in range(n_crash)
+        ]
+        plan = FaultPlan(seed=11, crashes=crashes)
+        for label, name, params in configs:
+            m = run_once(
+                name,
+                base,
+                accuracy_every=2,
+                alg_params=dict(params),
+                faults=plan,
+            )
+            row(f"crash={frac:g}", label, m)
+    return table
+
+
 EXPERIMENTS: Dict[str, Tuple[Callable[[bool], ResultTable], str]] = {
     "E1": (e1_comm_vs_n, "communication vs population size"),
     "E2": (e2_comm_vs_k, "communication vs k"),
@@ -538,6 +641,7 @@ EXPERIMENTS: Dict[str, Tuple[Callable[[bool], ResultTable], str]] = {
     "E11": (e11_grid_ablation, "grid granularity ablation"),
     "E12": (e12_wakeups, "client wake-ups: broadcast vs geocast"),
     "E13": (e13_light_repairs, "incremental (light) repair ablation"),
+    "E14": (e14_faults, "robustness under network faults"),
 }
 
 

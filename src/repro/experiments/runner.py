@@ -14,6 +14,7 @@ from typing import Dict, Optional
 from repro.errors import ExperimentError
 from repro.index.bruteforce import brute_knn_ids
 from repro.metrics.accuracy import AccuracyTracker
+from repro.net.faults import FaultPlan
 from repro.net.simulator import ZERO_LATENCY
 from repro.experiments.algorithms import build_system
 from repro.workloads.generator import build_workload
@@ -69,18 +70,27 @@ def run_once(
     latency: str = ZERO_LATENCY,
     accuracy_every: int = 10,
     alg_params: Optional[Dict] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> Measurement:
     """Build, warm up, run, and measure one configuration.
 
     ``accuracy_every`` controls how often (in ticks) the published
     answers are checked against brute force over ground truth; 0
-    disables checking (exactness/overlap report as 1.0).
+    disables checking (exactness/overlap report as 1.0). ``faults``
+    runs the system over a lossy / churning network; when the server
+    annotates its answers (DKNN-P's ``degraded`` map), accuracy is
+    additionally reported conditioned on the annotation.
     """
     if accuracy_every < 0:
         raise ExperimentError(f"negative accuracy_every {accuracy_every}")
     fleet, queries = build_workload(spec)
     sim = build_system(
-        algorithm, fleet, queries, latency=latency, **(alg_params or {})
+        algorithm,
+        fleet,
+        queries,
+        latency=latency,
+        faults=faults,
+        **(alg_params or {}),
     )
     server = sim.server
 
@@ -96,6 +106,8 @@ def run_once(
     )
 
     tracker = AccuracyTracker()
+
+    degraded_map = getattr(server, "degraded", None)
 
     def observe(s) -> None:
         if accuracy_every == 0:
@@ -115,6 +127,11 @@ def run_once(
                 server.answers[q.qid],
                 truth,
                 exclude,
+                degraded=(
+                    bool(degraded_map.get(q.qid))
+                    if degraded_map is not None
+                    else False
+                ),
             )
 
     measured = spec.ticks - spec.warmup_ticks
@@ -145,6 +162,16 @@ def run_once(
         extra["light_ratio"] = f"{light}/{full}"
     if hasattr(server, "renewals"):
         extra["renewals"] = server.renewals
+    if faults is not None and faults.enabled:
+        extra["dropped/tick"] = comm.dropped / measured
+        extra["dup/tick"] = comm.duplicated / measured
+        extra["delayed/tick"] = comm.delayed / measured
+        extra["retransmits/tick"] = comm.retransmits / measured
+    if accuracy_every and tracker.checked and tracker.degraded_checked:
+        extra["degraded_frac"] = tracker.degraded_fraction
+        healthy = tracker.checked - tracker.degraded_checked
+        if healthy:
+            extra["healthy_exactness"] = tracker.healthy_exactness
 
     return Measurement(
         algorithm=algorithm,

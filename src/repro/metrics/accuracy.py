@@ -78,12 +78,24 @@ def overlap_fraction(truth_ids: Iterable[int], got_ids: Iterable[int]) -> float:
 
 
 class AccuracyTracker:
-    """Accumulates per-(tick, query) answer quality during a run."""
+    """Accumulates per-(tick, query) answer quality during a run.
+
+    Observations may be flagged *degraded* (the protocol itself knows
+    the answer carried no guarantee at that tick — mid-repair, lost
+    installs outstanding, focal suspected crashed). Aggregates over
+    all observations are unchanged by the flag; the ``healthy_*`` /
+    ``degraded_*`` properties condition on it, so a faulty run can
+    report "exact on every healthy tick" separately from the overall
+    accuracy under fire.
+    """
 
     def __init__(self) -> None:
         self.checked = 0
         self.valid = 0
         self.overlap_sum = 0.0
+        self.degraded_checked = 0
+        self.degraded_valid = 0
+        self.degraded_overlap_sum = 0.0
 
     def observe(
         self,
@@ -94,13 +106,21 @@ class AccuracyTracker:
         answer_ids: Iterable[int],
         truth_ids: Iterable[int],
         exclude: AbstractSet[int] = _EMPTY,
+        degraded: bool = False,
     ) -> None:
         """Record one (tick, query) observation."""
         ids = list(answer_ids)
+        valid = is_valid_knn(positions, qx, qy, k, ids, exclude)
+        overlap = overlap_fraction(truth_ids, ids)
         self.checked += 1
-        if is_valid_knn(positions, qx, qy, k, ids, exclude):
+        if valid:
             self.valid += 1
-        self.overlap_sum += overlap_fraction(truth_ids, ids)
+        self.overlap_sum += overlap
+        if degraded:
+            self.degraded_checked += 1
+            if valid:
+                self.degraded_valid += 1
+            self.degraded_overlap_sum += overlap
 
     @property
     def exactness(self) -> float:
@@ -115,3 +135,31 @@ class AccuracyTracker:
         if self.checked == 0:
             raise ReproError("no observations recorded")
         return self.overlap_sum / self.checked
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Fraction of observations the protocol flagged degraded."""
+        if self.checked == 0:
+            raise ReproError("no observations recorded")
+        return self.degraded_checked / self.checked
+
+    @property
+    def healthy_exactness(self) -> float:
+        """Exactness over the ticks the protocol claimed were healthy.
+
+        The self-healing claim is that this stays at (or very near)
+        1.0: the protocol may degrade under fire, but it *knows* when
+        it has. The one blind spot is a violation report lost within
+        the last ``violation_retry`` ticks — the server cannot know a
+        message it never saw existed until the client retries."""
+        healthy = self.checked - self.degraded_checked
+        if healthy == 0:
+            raise ReproError("no healthy observations recorded")
+        return (self.valid - self.degraded_valid) / healthy
+
+    @property
+    def degraded_exactness(self) -> float:
+        """Exactness over the flagged ticks alone."""
+        if self.degraded_checked == 0:
+            raise ReproError("no degraded observations recorded")
+        return self.degraded_valid / self.degraded_checked

@@ -1,6 +1,7 @@
-"""Network substrate: messages, channel, nodes, synchronous simulator."""
+"""Network substrate: messages, channel, nodes, faults, simulator."""
 
 from repro.net.channel import Channel
+from repro.net.faults import FaultPlan, FaultyChannel
 from repro.net.message import (
     BROADCAST_ID,
     GEOCAST_ID,
@@ -24,6 +25,8 @@ __all__ = [
     "HEADER_BYTES",
     "CommStats",
     "Channel",
+    "FaultPlan",
+    "FaultyChannel",
     "Node",
     "MobileNode",
     "ServerNodeBase",

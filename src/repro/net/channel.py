@@ -4,7 +4,15 @@ A :class:`Channel` connects the server node and all mobile nodes. It
 queues messages on send, records them in :class:`CommStats`, and hands
 them out to the simulator's delivery loop. Point-to-point messages
 address a single node id; ``BROADCAST_ID`` fans out to every registered
-node except the sender and the server.
+node **except the sender** — the server included, when a mobile node
+is the one broadcasting. (In practice only the server broadcasts, so
+the receiver count equals the mobile population.) Reception accounting
+here and delivery in :meth:`~repro.net.simulator.RoundSimulator._deliver`
+share that semantic; ``tests/test_net_simulator.py`` pins it.
+
+Lossy/faulty behavior lives in :class:`~repro.net.faults.FaultyChannel`,
+a subclass that perturbs ``send`` and overrides the per-message
+delivery-accounting hooks; this base class is perfectly reliable.
 """
 
 from __future__ import annotations
@@ -79,14 +87,7 @@ class Channel:
         """
         drained = list(self._queue)
         self._queue.clear()
-        for msg in drained:
-            if msg.dst == BROADCAST_ID:
-                receivers = len(self._registered) - 1  # everyone but sender
-                self.stats.record_delivery(msg, receivers=max(receivers, 0))
-            elif msg.dst == GEOCAST_ID:
-                pass  # the simulator records coverage-based receptions
-            else:
-                self.stats.record_delivery(msg, receivers=1)
+        self._record_collected(drained)
         return drained
 
     def collect_sent_before(self, tick: int) -> List[Message]:
@@ -102,16 +103,31 @@ class Channel:
             else:
                 later.append(msg)
         self._queue = later
-        for msg in ready:
+        self._record_collected(ready)
+        return ready
+
+    def _record_collected(self, msgs: List[Message]) -> None:
+        """Reception accounting for a batch of drained messages."""
+        for msg in msgs:
             if msg.dst == BROADCAST_ID:
                 self.stats.record_delivery(
-                    msg, receivers=max(len(self._registered) - 1, 0)
+                    msg, receivers=self._broadcast_receivers(msg)
                 )
             elif msg.dst == GEOCAST_ID:
                 pass  # the simulator records coverage-based receptions
             else:
-                self.stats.record_delivery(msg, receivers=1)
-        return ready
+                self.stats.record_delivery(
+                    msg, receivers=self._unicast_receivers(msg)
+                )
+
+    # -- delivery accounting hooks (FaultyChannel overrides) -----------------
+
+    def _broadcast_receivers(self, msg: Message) -> int:
+        """Receiver count of one broadcast: everyone but the sender."""
+        return max(len(self._registered) - 1, 0)
+
+    def _unicast_receivers(self, msg: Message) -> int:
+        return 1
 
     # -- snapshots -----------------------------------------------------------
 

@@ -1,0 +1,268 @@
+"""Fault injection for the simulated network.
+
+The seed protocol stack assumes a perfect radio: :class:`~repro.net.
+channel.Channel` never loses, duplicates, or reorders a message, and a
+node never disappears. This module supplies the adversary:
+
+:class:`FaultPlan`
+    A frozen, seeded description of everything that can go wrong —
+    per-direction drop probabilities, duplication and extra-delay
+    probabilities, node *blackout windows* (a node neither sends nor
+    receives for ``[t0, t1)``), and permanent node crashes. Plans are
+    deterministic: the same plan applied to the same message stream
+    makes the same decisions, so faulty runs are exactly reproducible.
+
+:class:`FaultyChannel`
+    A drop-in :class:`Channel` subclass that consults the plan on every
+    ``send`` and records per-kind drop/duplicate/delay counts in
+    :class:`~repro.net.stats.CommStats`.
+
+The simulator (:class:`~repro.net.simulator.RoundSimulator`) accepts a
+``faults=`` plan directly, builds the faulty channel, and additionally
+skips dispatch to (and tick hooks of) blacked-out or crashed nodes.
+
+**Zero-fault bit-identity.** A disabled plan (all probabilities zero,
+no blackouts, no crashes — the default ``FaultPlan()``) never draws
+from the random stream and takes exactly the non-faulty code paths, so
+a simulation with ``faults=FaultPlan()`` (or ``faults=None``) produces
+byte-identical message streams, :class:`CommStats` and answers to the
+seed behavior. ``tests/test_net_faults.py`` pins this guarantee.
+
+Drop semantics by direction: ``drop_uplink`` applies to object->server
+messages; ``drop_downlink`` applies to server->object messages *and*
+to broadcast/geocast transmissions as a whole (a lost broadcast is lost
+at the transmitter — per-receiver loss is modeled with blackouts).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Deque, List, Optional, Tuple
+
+from repro.errors import FaultError
+from repro.net.channel import Channel
+from repro.net.message import Message, MessageKind
+
+__all__ = ["FaultPlan", "FaultyChannel"]
+
+_PROB_FIELDS = ("drop_uplink", "drop_downlink", "dup_prob", "delay_prob")
+
+
+class FaultPlan:
+    """Deterministic, seeded description of network/node faults.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the fault-decision stream (independent of the workload
+        seed so the same faults can be replayed across algorithms).
+    drop_uplink, drop_downlink:
+        Per-message loss probability by direction (broadcast/geocast
+        count as downlink).
+    dup_prob:
+        Probability a successfully sent message is delivered twice.
+    delay_prob, delay_ticks:
+        Probability a successfully sent message is held back an extra
+        ``delay_ticks`` ticks before entering the delivery queue.
+    blackouts:
+        Tuples ``(node_id, t0, t1)``: the node neither sends nor
+        receives during ``[t0, t1)``.
+    crashes:
+        Tuples ``(node_id, tick)``: the node is permanently down from
+        ``tick`` on.
+    until_tick:
+        If set, the probabilistic faults (drop/dup/delay) apply only to
+        ticks ``< until_tick`` — the knob the recovery experiments and
+        the re-convergence property test use to make faults *cease*.
+        Blackouts keep their own windows; crashes are permanent.
+    """
+
+    __slots__ = (
+        "seed",
+        "drop_uplink",
+        "drop_downlink",
+        "dup_prob",
+        "delay_prob",
+        "delay_ticks",
+        "blackouts",
+        "crashes",
+        "until_tick",
+    )
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop_uplink: float = 0.0,
+        drop_downlink: float = 0.0,
+        dup_prob: float = 0.0,
+        delay_prob: float = 0.0,
+        delay_ticks: int = 1,
+        blackouts: Tuple[Tuple[int, int, int], ...] = (),
+        crashes: Tuple[Tuple[int, int], ...] = (),
+        until_tick: Optional[int] = None,
+    ) -> None:
+        self.seed = int(seed)
+        self.drop_uplink = float(drop_uplink)
+        self.drop_downlink = float(drop_downlink)
+        self.dup_prob = float(dup_prob)
+        self.delay_prob = float(delay_prob)
+        self.delay_ticks = int(delay_ticks)
+        self.blackouts = tuple(
+            (int(n), int(t0), int(t1)) for n, t0, t1 in blackouts
+        )
+        self.crashes = tuple((int(n), int(t)) for n, t in crashes)
+        self.until_tick = until_tick
+        for name in _PROB_FIELDS:
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise FaultError(f"{name} must be in [0, 1], got {p}")
+        if self.delay_ticks < 1:
+            raise FaultError(
+                f"delay_ticks must be >= 1, got {self.delay_ticks}"
+            )
+        for node, t0, t1 in self.blackouts:
+            if t0 >= t1:
+                raise FaultError(
+                    f"empty blackout window [{t0}, {t1}) for node {node}"
+                )
+        for node, t in self.crashes:
+            if t < 0:
+                raise FaultError(f"negative crash tick {t} for node {node}")
+        if until_tick is not None and until_tick < 0:
+            raise FaultError(f"negative until_tick {until_tick}")
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """True if this plan can ever perturb a run."""
+        return (
+            any(getattr(self, name) > 0.0 for name in _PROB_FIELDS)
+            or bool(self.blackouts)
+            or bool(self.crashes)
+        )
+
+    def lossy_at(self, tick: int) -> bool:
+        """True if the probabilistic faults apply at ``tick``."""
+        if self.until_tick is not None and tick >= self.until_tick:
+            return False
+        return any(getattr(self, name) > 0.0 for name in _PROB_FIELDS)
+
+    def is_down(self, node_id: int, tick: int) -> bool:
+        """True if ``node_id`` neither sends nor receives at ``tick``."""
+        for node, t0, t1 in self.blackouts:
+            if node == node_id and t0 <= tick < t1:
+                return True
+        for node, t in self.crashes:
+            if node == node_id and tick >= t:
+                return True
+        return False
+
+    def drop_prob(self, msg: Message) -> float:
+        return (
+            self.drop_uplink
+            if msg.direction() == "uplink"
+            else self.drop_downlink
+        )
+
+    def __repr__(self) -> str:
+        if not self.enabled:
+            return "FaultPlan(disabled)"
+        return (
+            f"FaultPlan(seed={self.seed}, drop_up={self.drop_uplink:g}, "
+            f"drop_down={self.drop_downlink:g}, dup={self.dup_prob:g}, "
+            f"delay={self.delay_prob:g}x{self.delay_ticks}, "
+            f"blackouts={len(self.blackouts)}, crashes={len(self.crashes)}, "
+            f"until={self.until_tick})"
+        )
+
+
+class FaultyChannel(Channel):
+    """A :class:`Channel` whose ``send`` consults a :class:`FaultPlan`.
+
+    Dropped messages are accounted as *sent* (the node transmitted
+    them; the network lost them) but never enter the delivery queue.
+    Delayed messages sit in a holding area until their release tick and
+    then join the queue in deterministic order. Duplicates are queued
+    twice back to back. Messages *from* a downed node are suppressed
+    entirely (the radio is dead; nothing was transmitted), recorded
+    only in the drop counter.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        super().__init__()
+        if not isinstance(plan, FaultPlan):
+            raise FaultError(f"expected a FaultPlan, got {plan!r}")
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        #: (release_tick, insertion_seq, message) held-back messages.
+        self._held: List[Tuple[int, int, Message]] = []
+        self._held_seq = 0
+
+    # -- time ----------------------------------------------------------------
+
+    def begin_tick(self, tick: int) -> None:
+        super().begin_tick(tick)
+        if not self._held:
+            return
+        ready = sorted(
+            (h for h in self._held if h[0] <= tick), key=lambda h: (h[0], h[1])
+        )
+        if ready:
+            self._held = [h for h in self._held if h[0] > tick]
+            for _, _, msg in ready:
+                self._queue.append(msg)
+
+    # -- traffic ---------------------------------------------------------------
+
+    def send(
+        self, kind: MessageKind, src: int, dst: int, payload=None
+    ) -> Message:
+        tick = self._tick
+        if self.plan.is_down(src, tick):
+            # Defense in depth: the simulator already skips the hooks
+            # of downed nodes, so normally nothing reaches this branch.
+            msg = Message(kind, src, dst, payload, sent_tick=tick)
+            self.stats.record_drop(msg)
+            return msg
+        msg = super().send(kind, src, dst, payload)
+        if not self.plan.lossy_at(tick):
+            return msg
+        rng = self._rng
+        p_drop = self.plan.drop_prob(msg)
+        if p_drop > 0.0 and rng.random() < p_drop:
+            self._queue.pop()  # super() queued it; the network eats it
+            self.stats.record_drop(msg)
+            return msg
+        if self.plan.delay_prob > 0.0 and rng.random() < self.plan.delay_prob:
+            self._queue.pop()
+            self.stats.record_delay(msg)
+            self._held.append(
+                (tick + self.plan.delay_ticks, self._held_seq, msg)
+            )
+            self._held_seq += 1
+            return msg
+        if self.plan.dup_prob > 0.0 and rng.random() < self.plan.dup_prob:
+            self.stats.record_duplicate(msg)
+            self._queue.append(msg)
+        return msg
+
+    def in_flight(self) -> int:
+        """Queued plus held-back (delayed) messages."""
+        return len(self._queue) + len(self._held)
+
+    # -- delivery accounting hooks -----------------------------------------
+
+    def _broadcast_receivers(self, msg: Message) -> int:
+        alive = sum(
+            1
+            for node_id in self._registered
+            if node_id != msg.src and not self.plan.is_down(node_id, self._tick)
+        )
+        return alive
+
+    def _unicast_receivers(self, msg: Message) -> int:
+        if self.plan.is_down(msg.dst, self._tick):
+            self.stats.record_drop(msg)
+            return 0
+        return 1

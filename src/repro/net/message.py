@@ -46,6 +46,8 @@ class MessageKind(enum.Enum):
     PROBE_REPLY = "probe_reply"
     # Server installs a safe region / threshold band (downlink).
     INSTALL_REGION = "install_region"
+    # Fault-tolerant mode: object confirms an install (uplink).
+    INSTALL_ACK = "install_ack"
     # Server cancels a previously installed region (downlink).
     REVOKE_REGION = "revoke_region"
     # Object reports it violated its region (uplink).

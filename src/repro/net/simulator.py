@@ -23,8 +23,9 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.errors import NetworkError
+from repro.errors import FaultError, NetworkError
 from repro.net.channel import Channel
+from repro.net.faults import FaultPlan, FaultyChannel
 from repro.net.message import BROADCAST_ID, GEOCAST_ID, SERVER_ID, Message
 from repro.net.node import MobileNode, Node, ServerNodeBase
 
@@ -50,11 +51,25 @@ class RoundSimulator:
         mobiles: Sequence[MobileNode],
         channel: Optional[Channel] = None,
         latency: str = ZERO_LATENCY,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if latency not in (ZERO_LATENCY, ONE_TICK_LATENCY):
             raise NetworkError(f"unknown latency mode {latency!r}")
+        if faults is not None and channel is not None:
+            raise FaultError(
+                "pass either a prebuilt channel or a fault plan, not both"
+            )
         self.fleet = fleet
-        self.channel = channel if channel is not None else Channel()
+        #: the active fault plan, or None for a perfect network. A
+        #: disabled plan is normalized away so the zero-fault path is
+        #: bit-identical to a run that never mentioned faults.
+        self.faults = faults if faults is not None and faults.enabled else None
+        if channel is not None:
+            self.channel = channel
+        elif self.faults is not None:
+            self.channel = FaultyChannel(self.faults)
+        else:
+            self.channel = Channel()
         self.server = server
         self.mobiles = list(mobiles)
         self.latency = latency
@@ -73,11 +88,17 @@ class RoundSimulator:
 
     # -- delivery -------------------------------------------------------------
 
+    def _is_down(self, node_id: int) -> bool:
+        """True if the fault plan has ``node_id`` down right now."""
+        return self.faults is not None and self.faults.is_down(
+            node_id, self.tick
+        )
+
     def _deliver(self, messages: List[Message]) -> None:
         for msg in messages:
             if msg.dst == BROADCAST_ID:
                 for node_id, node in self._nodes_by_id.items():
-                    if node_id == msg.src:
+                    if node_id == msg.src or self._is_down(node_id):
                         continue
                     self._dispatch(node, msg)
             elif msg.dst == GEOCAST_ID:
@@ -91,6 +112,8 @@ class RoundSimulator:
                     )
                 receivers = 0
                 for node in self.mobiles:
+                    if self._is_down(node.node_id):
+                        continue
                     x, y = self.fleet.positions[node.oid]
                     if covers(x, y):
                         receivers += 1
@@ -100,6 +123,8 @@ class RoundSimulator:
                 node = self._nodes_by_id.get(msg.dst)
                 if node is None:
                     raise NetworkError(f"message to unknown node {msg.dst}")
+                if self._is_down(msg.dst):
+                    continue  # receiver down; the channel counted the drop
                 self._dispatch(node, msg)
 
     def _dispatch(self, node: Node, msg: Message) -> None:
@@ -119,6 +144,8 @@ class RoundSimulator:
         self.channel.begin_tick(self.tick)
 
         for node in self.mobiles:
+            if self._is_down(node.node_id):
+                continue  # blacked out / crashed: no local checks, no sends
             node.on_tick_start(self.tick)
         t0 = time.perf_counter()
         self.server.on_tick_start(self.tick)
@@ -133,11 +160,26 @@ class RoundSimulator:
                         "protocol did not quiesce within "
                         f"{_MAX_SUBROUNDS} subrounds at tick {self.tick}"
                     )
-                self._deliver(self.channel.collect())
+                sent_mark = self.channel.stats.total_messages
+                delivered = self.channel.collect()
+                self._deliver(delivered)
                 t0 = time.perf_counter()
                 self.server.on_subround(self.tick)
                 self.server_seconds += time.perf_counter() - t0
                 if not self.channel.pending() and not self.server.busy():
+                    break
+                if (
+                    self.faults is not None
+                    and not delivered
+                    and not self.channel.pending()
+                    and self.channel.stats.total_messages == sent_mark
+                ):
+                    # The exchange is stalled on a lost message: nothing
+                    # was delivered or sent this subround and nothing is
+                    # queued, yet the server still owes work. Under a
+                    # fault plan this is expected — end the tick and let
+                    # the hardened protocol's retransmit timers recover
+                    # on a later tick instead of dying at the cap.
                     break
         else:
             self._deliver(self.channel.collect_sent_before(self.tick))
@@ -148,6 +190,8 @@ class RoundSimulator:
             # next tick — that is the point of latency mode.
 
         for node in self.mobiles:
+            if self._is_down(node.node_id):
+                continue
             node.on_tick_end(self.tick)
         t0 = time.perf_counter()
         self.server.on_tick_end(self.tick)

@@ -27,6 +27,12 @@ class CommStats:
         self.bytes_by_direction: Counter = Counter()
         self.broadcast_receptions: int = 0
         self.delivered: int = 0
+        # Fault-layer counters: all zero unless a FaultPlan is active
+        # (see repro.net.faults) or a hardened protocol retransmits.
+        self.dropped_by_kind: Counter = Counter()
+        self.duplicated_by_kind: Counter = Counter()
+        self.delayed_by_kind: Counter = Counter()
+        self.retransmits_by_kind: Counter = Counter()
 
     # -- recording --------------------------------------------------------
 
@@ -41,6 +47,22 @@ class CommStats:
         self.delivered += receivers
         if msg.direction() in ("broadcast", "geocast"):
             self.broadcast_receptions += receivers
+
+    def record_drop(self, msg: Message) -> None:
+        """A message the network lost (or a receiver that was down)."""
+        self.dropped_by_kind[msg.kind] += 1
+
+    def record_duplicate(self, msg: Message) -> None:
+        """A message the network delivered twice."""
+        self.duplicated_by_kind[msg.kind] += 1
+
+    def record_delay(self, msg: Message) -> None:
+        """A message the network held back beyond its normal latency."""
+        self.delayed_by_kind[msg.kind] += 1
+
+    def record_retransmit(self, kind: MessageKind) -> None:
+        """A protocol-level retransmission (the repair overhead)."""
+        self.retransmits_by_kind[kind] += 1
 
     # -- views -------------------------------------------------------------
 
@@ -69,6 +91,24 @@ class CommStats:
     def geocast_messages(self) -> int:
         return self.sent_by_direction["geocast"]
 
+    @property
+    def dropped(self) -> int:
+        """Messages lost by the fault layer (never delivered)."""
+        return sum(self.dropped_by_kind.values())
+
+    @property
+    def duplicated(self) -> int:
+        return sum(self.duplicated_by_kind.values())
+
+    @property
+    def delayed(self) -> int:
+        return sum(self.delayed_by_kind.values())
+
+    @property
+    def retransmits(self) -> int:
+        """Protocol-level retransmissions (already counted as sends)."""
+        return sum(self.retransmits_by_kind.values())
+
     def messages_of(self, kind: MessageKind) -> int:
         return self.sent_by_kind[kind]
 
@@ -96,6 +136,10 @@ class CommStats:
         self.bytes_by_direction.update(other.bytes_by_direction)
         self.broadcast_receptions += other.broadcast_receptions
         self.delivered += other.delivered
+        self.dropped_by_kind.update(other.dropped_by_kind)
+        self.duplicated_by_kind.update(other.duplicated_by_kind)
+        self.delayed_by_kind.update(other.delayed_by_kind)
+        self.retransmits_by_kind.update(other.retransmits_by_kind)
 
     def snapshot(self) -> "CommStats":
         """An independent copy (for per-window deltas)."""
@@ -116,6 +160,14 @@ class CommStats:
             self.broadcast_receptions - earlier.broadcast_receptions
         )
         d.delivered = self.delivered - earlier.delivered
+        d.dropped_by_kind = self.dropped_by_kind - earlier.dropped_by_kind
+        d.duplicated_by_kind = (
+            self.duplicated_by_kind - earlier.duplicated_by_kind
+        )
+        d.delayed_by_kind = self.delayed_by_kind - earlier.delayed_by_kind
+        d.retransmits_by_kind = (
+            self.retransmits_by_kind - earlier.retransmits_by_kind
+        )
         return d
 
     def __repr__(self) -> str:

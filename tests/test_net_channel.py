@@ -86,3 +86,44 @@ class TestCollect:
         channel.send(MessageKind.PROBE, SERVER_ID, 0)
         assert channel.collect_sent_before(1) == []
         assert len(channel.collect_sent_before(2)) == 1
+
+
+class TestGeocast:
+    """Geocast messages pass through the channel unaccounted: the
+    simulator records coverage-based receptions, not the channel."""
+
+    def _geocast(self, channel):
+        from repro.core.protocol import CollectRequest
+        from repro.net.message import GEOCAST_ID
+
+        return channel.send(
+            MessageKind.COLLECT,
+            SERVER_ID,
+            GEOCAST_ID,
+            CollectRequest(0, 50.0, 50.0, 25.0),
+        )
+
+    def test_geocast_id_not_registrable(self, channel):
+        from repro.net.message import GEOCAST_ID
+
+        with pytest.raises(NetworkError):
+            channel.register(GEOCAST_ID)
+
+    def test_collect_passes_geocast_without_reception_accounting(
+        self, channel
+    ):
+        self._geocast(channel)
+        msgs = channel.collect()
+        assert len(msgs) == 1
+        assert channel.stats.broadcast_receptions == 0
+        assert channel.stats.delivered == 0
+
+    def test_collect_sent_before_passes_geocast_through(self, channel):
+        channel.begin_tick(1)
+        self._geocast(channel)
+        assert channel.collect_sent_before(1) == []  # still in flight
+        ready = channel.collect_sent_before(2)
+        assert len(ready) == 1
+        assert ready[0].payload.covers(50.0, 50.0)
+        # reception accounting stays with the simulator in latency mode too
+        assert channel.stats.broadcast_receptions == 0

@@ -139,3 +139,72 @@ class TestConstruction:
         seen = []
         sim.run(5, on_tick=lambda s: seen.append(s.tick))
         assert seen == [1, 2, 3, 4, 5]
+
+
+class CountingServer(ServerNodeBase):
+    """Counts receptions without replying."""
+
+    def __init__(self):
+        super().__init__()
+        self.received = 0
+
+    def on_message(self, msg):
+        self.received += 1
+
+
+class CountingMobile(MobileNode):
+    def __init__(self, oid, fleet):
+        super().__init__(oid, fleet)
+        self.received = 0
+
+    def on_message(self, msg):
+        self.received += 1
+
+
+class BroadcastingMobile(CountingMobile):
+    """Broadcasts one COLLECT at tick 1 (mobile-originated broadcast)."""
+
+    def on_tick_start(self, tick):
+        if tick == 1:
+            from repro.net.message import BROADCAST_ID
+
+            self.send(BROADCAST_ID, MessageKind.COLLECT, None)
+
+
+class TestBroadcastDelivery:
+    """Pins the broadcast fan-out semantic shared by ``Channel.collect``
+    accounting and ``RoundSimulator._deliver``: every registered node
+    except the sender — the server included when a mobile broadcasts."""
+
+    def test_server_broadcast_reaches_every_mobile(self, universe):
+        fleet = _static_fleet(universe, n=4)
+
+        class OneShotBroadcastServer(CountingServer):
+            def on_tick_start(self, tick):
+                if tick == 1:
+                    self.broadcast(MessageKind.COLLECT, None)
+
+        server = OneShotBroadcastServer()
+        mobiles = [CountingMobile(i, fleet) for i in range(fleet.n)]
+        sim = RoundSimulator(fleet, server, mobiles)
+        sim.step()
+        assert [m.received for m in mobiles] == [1, 1, 1, 1]
+        assert server.received == 0  # sender excluded
+        # accounting matches the actual fan-out exactly
+        assert sim.channel.stats.broadcast_receptions == 4
+
+    def test_mobile_broadcast_reaches_all_but_sender(self, universe):
+        fleet = _static_fleet(universe, n=3)
+        server = CountingServer()
+        mobiles = [BroadcastingMobile(0, fleet)] + [
+            CountingMobile(i, fleet) for i in (1, 2)
+        ]
+        sim = RoundSimulator(fleet, server, mobiles)
+        sim.step()
+        # server + mobiles 1 and 2 hear it; the sender does not
+        assert server.received == 1
+        assert [m.received for m in mobiles] == [0, 1, 1]
+        # recorded receivers == registered nodes minus the sender
+        assert sim.channel.stats.broadcast_receptions == len(
+            sim.channel.node_ids
+        ) - 1 == 3
