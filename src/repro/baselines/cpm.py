@@ -76,7 +76,9 @@ class CpmServer(CentralizedServerBase):
                     usable = False  # member de-registered: fall back
                     break
                 ox, oy = self.grid.position_of(oid)
-                d = math.hypot(ox - qx, oy - qy)
+                ddx = ox - qx
+                ddy = oy - qy
+                d = math.sqrt(ddx * ddx + ddy * ddy)
                 self.meter.charge(CostMeter.DIST_CALC)
                 if d > bound:
                     bound = d
@@ -130,8 +132,15 @@ def build_cpm_system(
     latency: str = ZERO_LATENCY,
     record_history: bool = False,
     faults: Optional[FaultPlan] = None,
+    fast: bool = False,
 ) -> RoundSimulator:
-    """Build a ready-to-run CPM system."""
+    """Build a ready-to-run CPM system.
+
+    ``fast`` is accepted for builder-interface parity: reporter nodes
+    transmit every tick, so there is no silent majority to batch — the
+    fast path's gains here come from the SoA fleet and the vectorized
+    oracle, which need no wiring in this builder.
+    """
     server = CpmServer(fleet.universe, grid_cells, record_history=record_history)
     for spec in specs:
         server.register_query(spec)

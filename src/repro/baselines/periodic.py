@@ -57,7 +57,9 @@ class PeriodicServer(CentralizedServerBase):
                 if oid == spec.focal_oid:
                     continue
                 ox, oy = self.grid.position_of(oid)
-                d = math.hypot(ox - qx, oy - qy)
+                ddx = ox - qx
+                ddy = oy - qy
+                d = math.sqrt(ddx * ddx + ddy * ddy)
                 self.meter.charge(CostMeter.DIST_CALC)
                 if len(best) < spec.k:
                     heapq.heappush(best, (-d, -oid))
@@ -75,8 +77,15 @@ def build_periodic_system(
     latency: str = ZERO_LATENCY,
     record_history: bool = False,
     faults: Optional[FaultPlan] = None,
+    fast: bool = False,
 ) -> RoundSimulator:
-    """Build a ready-to-run PER system."""
+    """Build a ready-to-run PER system.
+
+    ``fast`` is accepted for builder-interface parity: reporter nodes
+    transmit every tick, so there is no silent majority to batch — the
+    fast path's gains here come from the SoA fleet and the vectorized
+    oracle, which need no wiring in this builder.
+    """
     server = PeriodicServer(
         fleet.universe, grid_cells, period=period, record_history=record_history
     )

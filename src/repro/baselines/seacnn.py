@@ -104,8 +104,15 @@ def build_seacnn_system(
     latency: str = ZERO_LATENCY,
     record_history: bool = False,
     faults: Optional[FaultPlan] = None,
+    fast: bool = False,
 ) -> RoundSimulator:
-    """Build a ready-to-run SEA system."""
+    """Build a ready-to-run SEA system.
+
+    ``fast`` is accepted for builder-interface parity: reporter nodes
+    transmit every tick, so there is no silent majority to batch — the
+    fast path's gains here come from the SoA fleet and the vectorized
+    oracle, which need no wiring in this builder.
+    """
     server = SeaCnnServer(
         fleet.universe, grid_cells, record_history=record_history
     )

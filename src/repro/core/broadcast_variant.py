@@ -331,8 +331,13 @@ def build_broadcast_system(
     latency: str = ZERO_LATENCY,
     record_history: bool = False,
     faults: Optional[FaultPlan] = None,
+    fast: bool = False,
 ) -> RoundSimulator:
-    """Build a ready-to-run simulator for the broadcast protocol."""
+    """Build a ready-to-run simulator for the broadcast protocol.
+
+    ``fast=True`` evaluates the per-tick band checks of all nodes in
+    one vectorized pass (``repro.core.fastpath``), bit-identically.
+    """
     if params is None:
         params = BroadcastParams()
     for spec in specs:
@@ -352,6 +357,16 @@ def build_broadcast_system(
         BroadcastMobileNode(oid, fleet, my_qids=qids_by_focal.get(oid, ()))
         for oid in range(fleet.n)
     ]
+    phase = None
+    if fast:
+        from repro.core.fastpath import BroadcastSilentPhase
+
+        phase = BroadcastSilentPhase()
     return RoundSimulator(
-        fleet, server, mobiles, latency=latency, faults=faults
+        fleet,
+        server,
+        mobiles,
+        latency=latency,
+        faults=faults,
+        client_phase=phase,
     )

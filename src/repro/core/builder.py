@@ -23,6 +23,7 @@ def build_dknn_system(
     latency: str = ZERO_LATENCY,
     record_history: bool = False,
     faults: Optional[FaultPlan] = None,
+    fast: bool = False,
 ) -> RoundSimulator:
     """Build a ready-to-run simulator for the point-to-point protocol.
 
@@ -33,7 +34,10 @@ def build_dknn_system(
     When ``params.fault_tolerant`` is set, mobile nodes are built with
     the matching ack/heartbeat/re-report behavior; pass ``faults`` to
     actually perturb the network (a hardened system on a perfect
-    network stays exact).
+    network stays exact). ``fast=True`` drives the client side through
+    the vectorized silent-object phase (``repro.core.fastpath``) —
+    bit-identical results, far less Python per tick; pair it with a
+    :class:`~repro.mobility.FastFleet` for the full speedup.
     """
     if params is None:
         params = DknnParams()
@@ -59,4 +63,16 @@ def build_dknn_system(
         )
         for oid in range(fleet.n)
     ]
-    return RoundSimulator(fleet, server, mobiles, latency=latency, faults=faults)
+    phase = None
+    if fast:
+        from repro.core.fastpath import DknnSilentPhase
+
+        phase = DknnSilentPhase()
+    return RoundSimulator(
+        fleet,
+        server,
+        mobiles,
+        latency=latency,
+        faults=faults,
+        client_phase=phase,
+    )

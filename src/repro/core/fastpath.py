@@ -1,0 +1,449 @@
+"""Vectorized client phases: the batched silent-object pass.
+
+The scalar simulator runs ``on_tick_start`` on every mobile node every
+tick, although in band-based protocols the overwhelming majority of
+those calls are no-ops — the object is *silent*: it holds no region (or
+its regions are satisfied) and has not drifted past its dead-reckoning
+threshold. These :class:`~repro.net.simulator.ClientPhase`
+implementations evaluate that silence predicate for the whole fleet in
+a few numpy passes and invoke the scalar ``on_tick_start`` only on the
+**candidates** — nodes for which the call could possibly do something.
+
+Exactness is preserved by construction, not by approximation:
+
+* the candidate predicate is a *superset* test — every node whose
+  scalar ``on_tick_start`` would transmit (or mutate state) is a
+  candidate, and running the scalar method on a quiet candidate is a
+  no-op, so sends, state, costs and answers are bit-identical;
+* vector distances use ``np.sqrt(dx*dx + dy*dy)``, the exact float
+  recipe of :func:`repro.geometry.dist`, so threshold comparisons
+  agree with the scalar path to the bit;
+* candidates run in the simulator's mobile order (ascending oid), so
+  message order on the channel — and therefore server processing order
+  and every downstream statistic — is unchanged;
+* node state the phase mirrors in arrays (drift origins, installed
+  monitors) is re-read from the nodes themselves whenever a message
+  could have changed it (the *touched* set), never extrapolated.
+
+``tests/test_fastpath.py`` pins all of this against the scalar path,
+protocol by protocol, including under fault plans.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.broadcast_variant import BroadcastMobileNode
+from repro.core.client import DknnMobileNode
+from repro.core.geocast_variant import GeocastMobileNode
+from repro.core.protocol import CollectRequest, GeocastInstall
+from repro.errors import ProtocolError
+from repro.geometry.region import REGION_EPS
+from repro.net.message import BROADCAST_ID, GEOCAST_ID, SERVER_ID, Message, MessageKind
+from repro.net.node import MobileNode, Node
+from repro.net.simulator import ClientPhase
+
+__all__ = ["DknnSilentPhase", "BroadcastSilentPhase"]
+
+
+def _fleet_xy(fleet) -> Tuple[np.ndarray, np.ndarray]:
+    """Coordinate arrays of the fleet (zero-copy for SoA fleets)."""
+    pos = fleet.positions
+    xs = getattr(pos, "xs", None)
+    ys = getattr(pos, "ys", None)
+    if xs is not None and ys is not None:
+        return xs, ys
+    arr = np.asarray(pos, dtype=np.float64)
+    return arr[:, 0], arr[:, 1]
+
+
+def _base_tick_end(mobiles) -> bool:
+    """True when every mobile inherits the base no-op ``on_tick_end``."""
+    return all(
+        type(node).on_tick_end is Node.on_tick_end for node in mobiles
+    )
+
+
+class DknnSilentPhase(ClientPhase):
+    """Batched tick-start for the point-to-point protocol (DKNN/-P/-FT).
+
+    A :class:`~repro.core.client.DknnMobileNode`'s tick-start is a pure
+    no-op (modulo its local clock) unless one of three things holds:
+
+    * it has never transmitted (``_last_sent is None``);
+    * it drifted more than ``theta`` from its last transmitted position;
+    * it holds at least one installed region (*attention*): then bands,
+      violation retries and lease heartbeats may all fire, and we do not
+      second-guess them — region holders are O(q·k), not O(N).
+
+    The phase keeps ``(sent_x, sent_y, attention)`` mirrors, refreshed
+    from the touched nodes (received a PROBE / install / revoke, or ran
+    as a candidate) before each mask evaluation, and syncs the node's
+    local clock at dispatch time — the only observable effect of the
+    scalar tick-start on a silent node.
+    """
+
+    #: message kinds whose handler can change the silence predicate
+    #: (drift origin via the probe reply's ``_mark_sent``, attention via
+    #: region installs/revokes). ANSWER_PUSH only updates known answers.
+    _MUTATING = frozenset(
+        (
+            MessageKind.PROBE,
+            MessageKind.INSTALL_REGION,
+            MessageKind.REVOKE_REGION,
+        )
+    )
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        for node in sim.mobiles:
+            if not isinstance(node, DknnMobileNode):
+                raise ProtocolError(
+                    f"DknnSilentPhase cannot drive {type(node).__name__}"
+                )
+        self.skip_tick_end = _base_tick_end(sim.mobiles)
+        n = sim.fleet.n
+        self._node_of: List[DknnMobileNode] = [None] * n  # type: ignore
+        self._active = np.zeros(n, dtype=bool)
+        self._theta = np.zeros(n, dtype=np.float64)
+        self._sent_x = np.full(n, np.nan)
+        self._sent_y = np.full(n, np.nan)
+        self._attention = np.zeros(n, dtype=bool)
+        for node in sim.mobiles:
+            oid = node.oid
+            self._node_of[oid] = node
+            self._active[oid] = True
+            self._theta[oid] = node.theta
+        self._touched: Set[int] = set(node.oid for node in sim.mobiles)
+
+    def _refresh(self, oid: int) -> None:
+        node = self._node_of[oid]
+        ls = node._last_sent
+        if ls is None:
+            self._sent_x[oid] = math.nan
+            self._sent_y[oid] = math.nan
+        else:
+            self._sent_x[oid] = ls[0]
+            self._sent_y[oid] = ls[1]
+        self._attention[oid] = bool(node.regions)
+
+    def tick_start(self, tick: int) -> None:
+        if self._touched:
+            for oid in self._touched:
+                self._refresh(oid)
+            self._touched.clear()
+        xs, ys = _fleet_xy(self.sim.fleet)
+        dx = xs - self._sent_x
+        dy = ys - self._sent_y
+        drift = np.sqrt(dx * dx + dy * dy)
+        cand = self._active & (
+            np.isnan(self._sent_x) | (drift > self._theta) | self._attention
+        )
+        is_down = self.sim._is_down if self.sim.faults is not None else None
+        touched = self._touched
+        for oid in np.nonzero(cand)[0].tolist():
+            node = self._node_of[oid]
+            if is_down is not None and is_down(node.node_id):
+                continue  # blacked out/crashed: no checks, no sends
+            node.on_tick_start(tick)
+            touched.add(oid)
+
+    def before_dispatch(self, node: Node, msg: Message) -> None:
+        # Scalar invariant: on_tick_start ran before any delivery, so
+        # handlers always see a fresh local clock. Skipped nodes never
+        # ran it this tick — restore the clock here.
+        node._cur_tick = self.sim.tick
+        if msg.kind in self._MUTATING:
+            self._touched.add(node.oid)
+
+
+class BroadcastSilentPhase(ClientPhase):
+    """Batched tick-start for the broadcast/geocast protocols.
+
+    Every node self-monitors every query it has heard an install for,
+    so the silence predicate is the per-query band check itself. The
+    phase mirrors each node's **own** monitor view per query — anchor,
+    threshold, margin, membership, reported flag — in ``(q, n)`` arrays
+    (views can diverge across nodes under faults or geocast coverage),
+    evaluates all three band predicates vectorized, and runs the scalar
+    tick-start on the violators. Focal nodes are always candidates:
+    there are at most ``q`` of them and their query-circle check is
+    cheap to re-run scalar.
+
+    Two delivery-side accelerations ride along:
+
+    * install broadcasts are delivered **lazily**: :meth:`deliver_area`
+      claims them, applies the monitor change to the mirror arrays in
+      one vectorized column update (epoch-gated per receiver for
+      geocast, the exact acceptance rule of
+      :class:`GeocastMobileNode.on_message`), and appends the message
+      to a replay log instead of invoking N handlers. A node's own
+      handler runs — in original delivery order — the next time that
+      node is touched at all (candidate tick-start, or any dispatched
+      message), via :meth:`_replay`. Each node still processes every
+      install it was reachable for exactly once, so total work is
+      bounded by the scalar path's — it is merely deferred off the
+      broadcast hot path;
+    * circle-scoped broadcasts (``COLLECT`` requests) are delivered
+      through :meth:`deliver_area` too: the in-circle test every
+      receiver would run scalar is evaluated once, vectorized, and only
+      the nodes inside the circle are dispatched — for everyone else
+      delivery is a provable no-op.
+    """
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        for node in sim.mobiles:
+            if not isinstance(node, BroadcastMobileNode):
+                raise ProtocolError(
+                    f"BroadcastSilentPhase cannot drive {type(node).__name__}"
+                )
+        self.skip_tick_end = _base_tick_end(sim.mobiles)
+        n = sim.fleet.n
+        qids = sorted(
+            qid for node in sim.mobiles for qid in node.my_qids
+        )
+        self._qidx: Dict[int, int] = {qid: i for i, qid in enumerate(qids)}
+        q = len(self._qidx)
+        self._node_of: List[BroadcastMobileNode] = [None] * n  # type: ignore
+        self._active = np.zeros(n, dtype=bool)
+        self._focal = np.zeros(n, dtype=bool)
+        self._ax = np.zeros((q, n))
+        self._ay = np.zeros((q, n))
+        self._thr = np.full((q, n), np.inf)
+        self._s = np.zeros((q, n))
+        self._member = np.zeros((q, n), dtype=bool)
+        self._has_mon = np.zeros((q, n), dtype=bool)
+        self._reported = np.zeros((q, n), dtype=bool)
+        #: per-(query, node) install epoch held, geocast acceptance rule
+        #: (-1 = never installed, matching ``_epochs.get(qid, -1)``).
+        self._epoch_mode = bool(sim.mobiles) and isinstance(
+            sim.mobiles[0], GeocastMobileNode
+        )
+        self._epoch = np.full((q, n), -1, dtype=np.int64)
+        for node in sim.mobiles:
+            oid = node.oid
+            self._node_of[oid] = node
+            self._active[oid] = True
+            if node.my_qids:
+                self._focal[oid] = True
+        #: replay log of lazily-delivered install broadcasts, in
+        #: delivery order: (message, receiver mask or None for "every
+        #: active node"). ``_applied[oid]`` is how far into the log that
+        #: node's own handler has caught up.
+        self._log: List[Tuple[Message, Optional[np.ndarray]]] = []
+        self._applied = np.zeros(n, dtype=np.int64)
+        #: oids whose whole view needs re-reading (ran as candidates).
+        self._touched_nodes: Set[int] = set()
+        #: membership-mask cache, keyed by the answer-id tuple itself —
+        #: equal keys give equal masks, so stale entries are impossible
+        #: (an ``id()`` key would alias recycled payload objects).
+        self._member_masks: Dict[Tuple[int, ...], np.ndarray] = {}
+
+    def _members_of(self, mon) -> np.ndarray:
+        """Boolean mask over oids: is the oid in ``mon.answer_ids``?"""
+        key = mon.answer_ids
+        cached = self._member_masks.get(key)
+        if cached is None:
+            if len(self._member_masks) > 256:
+                self._member_masks.clear()
+            cached = np.zeros(len(self._node_of), dtype=bool)
+            cached[list(key)] = True
+            self._member_masks[key] = cached
+        return cached
+
+    def _replay(self, node: "BroadcastMobileNode") -> None:
+        """Run the node's handler on every pending install, in order.
+
+        Lazily-delivered installs (see :meth:`deliver_area`) must reach
+        the node's own ``on_message`` before anything else observes the
+        node — a later message dispatch, a candidate tick-start, or a
+        mirror refresh — so interleavings match the scalar delivery
+        order exactly.
+        """
+        oid = node.oid
+        log = self._log
+        i = int(self._applied[oid])
+        if i >= len(log):
+            return
+        while i < len(log):
+            msg, mask = log[i]
+            if mask is None or mask[oid]:
+                node.on_message(msg)
+            i += 1
+        self._applied[oid] = i
+
+    def _refresh_pair(self, oid: int, qid: int) -> None:
+        node = self._node_of[oid]
+        qi = self._qidx[qid]
+        if self._epoch_mode:
+            self._epoch[qi, oid] = node._epochs.get(qid, -1)
+        mon = node.monitors.get(qid)
+        if mon is None:
+            self._has_mon[qi, oid] = False
+            return
+        self._has_mon[qi, oid] = True
+        self._ax[qi, oid] = mon.ax
+        self._ay[qi, oid] = mon.ay
+        self._thr[qi, oid] = mon.threshold
+        self._s[qi, oid] = mon.s
+        self._member[qi, oid] = bool(self._members_of(mon)[oid])
+        self._reported[qi, oid] = qid in node._reported
+
+    def _apply_install(self, payload, mask: Optional[np.ndarray]) -> None:
+        """Mirror one install broadcast onto its receivers' columns.
+
+        Receivers all execute ``monitors[qid] = payload`` (reference
+        assignment of this very object), so the payload *is* their
+        monitor state — no per-node re-reading needed. Geocast nodes
+        additionally gate on the epoch: older installs are ignored,
+        equal ones replace the monitor without re-arming ``_reported``.
+        """
+        qi = self._qidx[payload.qid]
+        m = self._active if mask is None else mask
+        if self._epoch_mode:
+            e = getattr(payload, "epoch", 0)
+            held = self._epoch[qi]
+            newer = m & (held < e)
+            keep = m & (held <= e)
+            self._reported[qi, newer] = False
+            self._epoch[qi, keep] = e
+            m = keep
+        else:
+            self._reported[qi, m] = False
+        self._has_mon[qi, m] = True
+        self._ax[qi, m] = payload.ax
+        self._ay[qi, m] = payload.ay
+        self._thr[qi, m] = payload.threshold
+        self._s[qi, m] = payload.s
+        self._member[qi, m] = self._members_of(payload)[m]
+
+    def tick_start(self, tick: int) -> None:
+        if self._touched_nodes:
+            for oid in self._touched_nodes:
+                self._replay(self._node_of[oid])
+                for qid in self._qidx:
+                    self._refresh_pair(oid, qid)
+            self._touched_nodes.clear()
+        xs, ys = _fleet_xy(self.sim.fleet)
+        live = (
+            self._has_mon & ~self._reported & np.isfinite(self._thr)
+        )
+        dx = xs[None, :] - self._ax
+        dy = ys[None, :] - self._ay
+        d = np.sqrt(dx * dx + dy * dy)
+        inner = d > (self._thr - self._s) * (1.0 + REGION_EPS)
+        outer = d < (self._thr + self._s) * (1.0 - REGION_EPS)
+        violated = live & np.where(self._member, inner, outer)
+        cand = self._active & (violated.any(axis=0) | self._focal)
+        is_down = self.sim._is_down if self.sim.faults is not None else None
+        touched = self._touched_nodes
+        for oid in np.nonzero(cand)[0].tolist():
+            node = self._node_of[oid]
+            if is_down is not None and is_down(node.node_id):
+                continue
+            self._replay(node)
+            node.on_tick_start(tick)
+            touched.add(oid)
+
+    def before_dispatch(self, node: Node, msg: Message) -> None:
+        # Pending lazily-delivered installs must land before the node
+        # handles anything newer, preserving scalar delivery order.
+        self._replay(node)  # type: ignore[arg-type]
+        # Any message that reaches a node's handler may rewrite its
+        # monitor view (replayed installs just did; unicast installs
+        # would); mark the whole view for re-reading next tick.
+        if msg.kind == MessageKind.BROADCAST_INSTALL:
+            self._touched_nodes.add(node.oid)
+
+    def _up_mask(self, base: np.ndarray) -> Optional[np.ndarray]:
+        """``base`` minus currently-down nodes; None means "all active".
+
+        Only materialized under a fault plan — the common case returns
+        None (for a full broadcast) or ``base`` untouched.
+        """
+        sim = self.sim
+        if sim.faults is None:
+            return None if base is self._active else base
+        is_down = sim._is_down
+        mask = base.copy()
+        for oid in np.nonzero(base)[0].tolist():
+            if is_down(self._node_of[oid].node_id):
+                mask[oid] = False
+        return mask
+
+    def deliver_area(self, msg: Message) -> bool:
+        """Vectorized delivery of broadcasts and geocasts.
+
+        Claims COLLECT broadcasts (each receiver's handler is a no-op
+        outside the collect circle, so only in-circle nodes are
+        dispatched) and install broadcasts/geocasts (mirrored into the
+        arrays vectorized, logged for lazy per-node replay). The in/out
+        decision replicates the scalar predicate bit-for-bit:
+        ``dist(...) <= radius`` with the shared sqrt recipe for COLLECT
+        handlers, the squared compare of ``covers()`` for geocast
+        coverage.
+        """
+        if msg.src != SERVER_ID:
+            return False  # a mobile broadcasting: not a modeled case
+        payload = msg.payload
+        ptype = type(payload)
+        sim = self.sim
+        if msg.dst == BROADCAST_ID:
+            if msg.kind is MessageKind.BROADCAST_INSTALL:
+                mask = self._up_mask(self._active)
+                self._apply_install(payload, mask)
+                self._log.append((msg, mask))
+                return True
+            if msg.kind is not MessageKind.COLLECT or ptype is not CollectRequest:
+                return False
+            xs, ys = _fleet_xy(sim.fleet)
+            dx = xs - payload.cx
+            dy = ys - payload.cy
+            hit = np.sqrt(dx * dx + dy * dy) <= payload.radius
+            # Focal nodes answer collects of their own queries via
+            # probes instead — their handler returns before the circle
+            # test, so dispatching them is a no-op either way.
+            is_down = sim._is_down if sim.faults is not None else None
+            for oid in np.nonzero(hit & self._active)[0].tolist():
+                node = self._node_of[oid]
+                if is_down is not None and is_down(node.node_id):
+                    continue
+                sim._dispatch(node, msg)
+            return True
+        if msg.dst == GEOCAST_ID:
+            if ptype is not CollectRequest and ptype is not GeocastInstall:
+                return False  # unknown coverage shape: scalar loop
+            xs, ys = _fleet_xy(sim.fleet)
+            if ptype is CollectRequest:
+                dx = xs - payload.cx
+                dy = ys - payload.cy
+                r = payload.radius
+            else:
+                dx = xs - payload.ax
+                dy = ys - payload.ay
+                r = payload.cover
+            hit = (dx * dx + dy * dy <= r * r) & self._active  # covers()
+            if ptype is GeocastInstall:
+                mask = self._up_mask(hit)
+                reach = hit if mask is None else mask
+                self._apply_install(payload, reach)
+                self._log.append((msg, reach))
+                sim.channel.stats.record_delivery(
+                    msg, receivers=int(reach.sum())
+                )
+                return True
+            is_down = sim._is_down if sim.faults is not None else None
+            receivers = 0
+            for oid in np.nonzero(hit)[0].tolist():
+                node = self._node_of[oid]
+                if is_down is not None and is_down(node.node_id):
+                    continue
+                receivers += 1
+                sim._dispatch(node, msg)
+            sim.channel.stats.record_delivery(msg, receivers=receivers)
+            return True
+        return False

@@ -7,7 +7,9 @@ Usage::
     python -m repro.experiments --all --quick --csv results/
 
 ``--quick`` shrinks workloads for a fast smoke pass; ``--csv DIR``
-additionally writes one CSV per experiment.
+additionally writes one CSV per experiment; ``--profile DIR`` runs each
+experiment under cProfile, writes ``profile_<id>.pstats`` there and
+prints the top-20 functions by cumulative time (see EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -18,6 +20,26 @@ import sys
 import time
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def _profiled_experiment(name: str, quick: bool, out_dir: str):
+    """Run one experiment under cProfile and report where time went."""
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        table = run_experiment(name, quick=quick)
+    finally:
+        prof.disable()
+    path = os.path.join(out_dir, f"profile_{name.lower()}.pstats")
+    prof.dump_stats(path)
+    stats = pstats.Stats(prof)
+    stats.sort_stats("cumulative")
+    print(f"-- profile: {name} -> {path}")
+    stats.print_stats(20)
+    return table
 
 
 def main(argv=None) -> int:
@@ -37,6 +59,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--csv", metavar="DIR", help="also write one CSV per experiment"
     )
+    parser.add_argument(
+        "--profile",
+        metavar="DIR",
+        help="cProfile each experiment: dump .pstats into DIR and print "
+        "the top-20 cumulative functions",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.all else [n.upper() for n in args.experiments]
@@ -48,12 +76,17 @@ def main(argv=None) -> int:
 
     if args.csv:
         os.makedirs(args.csv, exist_ok=True)
+    if args.profile:
+        os.makedirs(args.profile, exist_ok=True)
 
     for name in names:
         _, description = EXPERIMENTS[name]
         print(f"== {name}: {description} ==")
         t0 = time.perf_counter()
-        table = run_experiment(name, quick=args.quick)
+        if args.profile:
+            table = _profiled_experiment(name, args.quick, args.profile)
+        else:
+            table = run_experiment(name, quick=args.quick)
         elapsed = time.perf_counter() - t0
         print(table.render())
         print(f"({elapsed:.1f}s)\n")

@@ -16,7 +16,10 @@ CPM       grid_cells
 
 All algorithms additionally accept ``faults`` (a
 :class:`~repro.net.faults.FaultPlan`) to run over a lossy network;
-only fault-tolerant DKNN-P actively heals around it.
+only fault-tolerant DKNN-P actively heals around it. They also all
+accept ``fast`` (bool): route the client side through the vectorized
+silent-object phase where one exists (DKNN-P/B/G) — results are
+bit-identical either way.
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ CENTRALIZED = ("PER", "SEA", "CPM")
 
 def _build_dknn_p(fleet, specs, latency, record_history, **params):
     faults = params.pop("faults", None)
+    fast = params.pop("fast", False)
     dp = DknnParams(
         theta=params.pop("theta", 100.0),
         s_cap=params.pop("s_cap", 50.0),
@@ -63,11 +67,13 @@ def _build_dknn_p(fleet, specs, latency, record_history, **params):
         latency=latency,
         record_history=record_history,
         faults=faults,
+        fast=fast,
     )
 
 
 def _build_dknn_b(fleet, specs, latency, record_history, **params):
     faults = params.pop("faults", None)
+    fast = params.pop("fast", False)
     bp = BroadcastParams(
         s_cap=params.pop("s_cap", 50.0),
         initial_collect_radius=params.pop("initial_collect_radius", 1000.0),
@@ -81,11 +87,13 @@ def _build_dknn_b(fleet, specs, latency, record_history, **params):
         latency=latency,
         record_history=record_history,
         faults=faults,
+        fast=fast,
     )
 
 
 def _build_dknn_g(fleet, specs, latency, record_history, **params):
     faults = params.pop("faults", None)
+    fast = params.pop("fast", False)
     gp = GeocastParams(
         s_cap=params.pop("s_cap", 50.0),
         initial_collect_radius=params.pop("initial_collect_radius", 1000.0),
@@ -100,11 +108,13 @@ def _build_dknn_g(fleet, specs, latency, record_history, **params):
         latency=latency,
         record_history=record_history,
         faults=faults,
+        fast=fast,
     )
 
 
 def _build_per(fleet, specs, latency, record_history, **params):
     faults = params.pop("faults", None)
+    fast = params.pop("fast", False)
     grid_cells = params.pop("grid_cells", 32)
     period = params.pop("period", 1)
     _reject_leftovers("PER", params)
@@ -116,11 +126,13 @@ def _build_per(fleet, specs, latency, record_history, **params):
         latency=latency,
         record_history=record_history,
         faults=faults,
+        fast=fast,
     )
 
 
 def _build_sea(fleet, specs, latency, record_history, **params):
     faults = params.pop("faults", None)
+    fast = params.pop("fast", False)
     grid_cells = params.pop("grid_cells", 32)
     _reject_leftovers("SEA", params)
     return build_seacnn_system(
@@ -130,11 +142,13 @@ def _build_sea(fleet, specs, latency, record_history, **params):
         latency=latency,
         record_history=record_history,
         faults=faults,
+        fast=fast,
     )
 
 
 def _build_cpm(fleet, specs, latency, record_history, **params):
     faults = params.pop("faults", None)
+    fast = params.pop("fast", False)
     grid_cells = params.pop("grid_cells", 32)
     _reject_leftovers("CPM", params)
     return build_cpm_system(
@@ -144,6 +158,7 @@ def _build_cpm(fleet, specs, latency, record_history, **params):
         latency=latency,
         record_history=record_history,
         faults=faults,
+        fast=fast,
     )
 
 

@@ -23,6 +23,32 @@ from repro.workloads.spec import WorkloadSpec
 __all__ = ["Measurement", "run_once"]
 
 
+def _run_profiled(sim, ticks: int, on_tick, out_dir: str, tag: str) -> None:
+    """Run the measured window under cProfile.
+
+    Writes ``profile_<tag>.pstats`` (loadable with :mod:`pstats` or
+    snakeviz) into ``out_dir`` and prints the top-20 functions by
+    cumulative time — enough to see at a glance where a tick goes.
+    """
+    import cProfile
+    import os
+    import pstats
+
+    os.makedirs(out_dir, exist_ok=True)
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        sim.run(ticks, on_tick=on_tick)
+    finally:
+        prof.disable()
+    path = os.path.join(out_dir, f"profile_{tag}.pstats")
+    prof.dump_stats(path)
+    stats = pstats.Stats(prof)
+    stats.sort_stats("cumulative")
+    print(f"-- profile: {tag} ({ticks} measured ticks) -> {path}")
+    stats.print_stats(20)
+
+
 @dataclass
 class Measurement:
     """Steady-state rates of one run (per tick, post-warmup)."""
@@ -71,6 +97,8 @@ def run_once(
     accuracy_every: int = 10,
     alg_params: Optional[Dict] = None,
     faults: Optional[FaultPlan] = None,
+    fast: bool = False,
+    profile: Optional[str] = None,
 ) -> Measurement:
     """Build, warm up, run, and measure one configuration.
 
@@ -79,18 +107,25 @@ def run_once(
     disables checking (exactness/overlap report as 1.0). ``faults``
     runs the system over a lossy / churning network; when the server
     annotates its answers (DKNN-P's ``degraded`` map), accuracy is
-    additionally reported conditioned on the annotation.
+    additionally reported conditioned on the annotation. ``fast``
+    selects the vectorized fleet + client phase (bit-identical to the
+    scalar path). ``profile``, if set, is a directory: the measured
+    window runs under cProfile, the stats dump lands there as
+    ``profile_<algorithm>.pstats``, and the top-20 cumulative report is
+    printed to stdout.
     """
     if accuracy_every < 0:
         raise ExperimentError(f"negative accuracy_every {accuracy_every}")
-    fleet, queries = build_workload(spec)
+    fleet, queries = build_workload(spec, fast=fast)
+    params = dict(alg_params or {})
+    params.setdefault("fast", fast)
     sim = build_system(
         algorithm,
         fleet,
         queries,
         latency=latency,
         faults=faults,
-        **(alg_params or {}),
+        **params,
     )
     server = sim.server
 
@@ -136,7 +171,10 @@ def run_once(
 
     measured = spec.ticks - spec.warmup_ticks
     t0 = time.perf_counter()
-    sim.run(measured, on_tick=observe)
+    if profile is not None:
+        _run_profiled(sim, measured, observe, profile, algorithm)
+    else:
+        sim.run(measured, on_tick=observe)
     wall = time.perf_counter() - t0
 
     comm = sim.channel.stats.delta_since(comm_mark)

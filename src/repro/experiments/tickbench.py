@@ -1,0 +1,215 @@
+"""Tick-loop benchmark: scalar reference vs vectorized fast path.
+
+Times the *tick loop itself* — mobility advance, client phase, message
+dispatch, server work — with accuracy checking off, for the same
+(algorithm, workload) pair built twice: once scalar (``fast=False``,
+the executable spec) and once vectorized (``fast=True``). Because the
+two paths are bit-identical by construction, the measured ratio is pure
+overhead reduction, not a semantics trade.
+
+Outputs one JSON document (``BENCH_tick.json`` at the repo root by
+convention) so successive PRs accumulate a perf trajectory::
+
+    python -m repro.experiments.tickbench                    # full suite
+    python -m repro.experiments.tickbench --out BENCH.json   # elsewhere
+    python -m repro.experiments.tickbench --check            # CI smoke
+
+``--check`` runs one small configuration and exits nonzero if the fast
+path is slower than the scalar path — the guard against a silently dead
+fast path (e.g. a builder that stops passing ``fast`` through).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.algorithms import build_system
+from repro.workloads.generator import build_workload
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["time_tick_loop", "compare_tick_loop", "run_suite", "main"]
+
+
+#: The benchmarked configurations. ``E1`` is the communication-vs-N
+#: workload shape (random waypoint, default speeds); ``E6`` the server
+#: cost shape — identical workload, but the interesting algorithms are
+#: the centralized ones whose servers do the O(N) work.
+SUITE: Tuple[Dict, ...] = (
+    {
+        "config": "E1-n2000",
+        "spec": dict(n_objects=2000, n_queries=16, k=8),
+        "algorithms": ("DKNN-P", "DKNN-B"),
+        "ticks": 40,
+    },
+    {
+        "config": "E1-n50000",
+        "spec": dict(n_objects=50_000, n_queries=16, k=8),
+        "algorithms": ("DKNN-P", "DKNN-B", "DKNN-G"),
+        "ticks": 15,
+    },
+    {
+        "config": "E6-n20000",
+        "spec": dict(n_objects=20_000, n_queries=16, k=8),
+        "algorithms": ("DKNN-P", "CPM"),
+        "ticks": 15,
+    },
+)
+
+_WARMUP_TICKS = 5
+
+
+def _make_spec(overrides: Dict, ticks: int) -> WorkloadSpec:
+    return WorkloadSpec(
+        ticks=ticks + _WARMUP_TICKS,
+        warmup_ticks=_WARMUP_TICKS,
+        seed=42,
+        **overrides,
+    )
+
+
+def time_tick_loop(
+    algorithm: str,
+    spec: WorkloadSpec,
+    fast: bool,
+    alg_params: Optional[Dict] = None,
+) -> Dict:
+    """Build one system, warm it up, and time the measured window."""
+    fleet, queries = build_workload(spec, fast=fast)
+    params = dict(alg_params or {})
+    params.setdefault("fast", fast)
+    sim = build_system(algorithm, fleet, queries, **params)
+    sim.run(spec.warmup_ticks)
+    measured = spec.ticks - spec.warmup_ticks
+    t0 = time.perf_counter()
+    sim.run(measured)
+    wall = time.perf_counter() - t0
+    return {
+        "ticks": measured,
+        "wall_s": round(wall, 4),
+        "ms_per_tick": round(1000.0 * wall / measured, 3),
+        "msgs_total": sim.channel.stats.total_messages,
+    }
+
+
+def compare_tick_loop(
+    algorithm: str,
+    spec: WorkloadSpec,
+    alg_params: Optional[Dict] = None,
+) -> Dict:
+    """Scalar and fast timings for one configuration, plus the ratio.
+
+    The message totals of the two runs must agree — the benchmark
+    refuses to report a "speedup" over a run that did different work.
+    """
+    scalar = time_tick_loop(algorithm, spec, fast=False, alg_params=alg_params)
+    fast = time_tick_loop(algorithm, spec, fast=True, alg_params=alg_params)
+    if scalar["msgs_total"] != fast["msgs_total"]:
+        raise AssertionError(
+            f"{algorithm}: fast path diverged from scalar "
+            f"({fast['msgs_total']} msgs vs {scalar['msgs_total']})"
+        )
+    return {
+        "algorithm": algorithm,
+        "n_objects": spec.n_objects,
+        "n_queries": spec.n_queries,
+        "k": spec.k,
+        "scalar": scalar,
+        "fast": fast,
+        "speedup": round(scalar["wall_s"] / fast["wall_s"], 2),
+    }
+
+
+def run_suite(suite: Sequence[Dict] = SUITE, verbose: bool = True) -> Dict:
+    """Run every suite entry and assemble the JSON document."""
+    import numpy as np
+
+    results: List[Dict] = []
+    for entry in suite:
+        spec = _make_spec(entry["spec"], entry["ticks"])
+        for algorithm in entry["algorithms"]:
+            row = compare_tick_loop(algorithm, spec)
+            row["config"] = entry["config"]
+            results.append(row)
+            if verbose:
+                print(
+                    f"{entry['config']:<12} {algorithm:<8} "
+                    f"scalar {row['scalar']['ms_per_tick']:>10.1f} ms/tick  "
+                    f"fast {row['fast']['ms_per_tick']:>9.1f} ms/tick  "
+                    f"speedup {row['speedup']:>6.2f}x"
+                )
+    return {
+        "schema": 1,
+        "created_unix": int(time.time()),
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+def check_smoke(n_objects: int = 2000, ticks: int = 20) -> int:
+    """CI guard: the fast path must not be slower than scalar.
+
+    What this catches is the fast path silently not running (a builder
+    that stops passing ``fast`` through), not a perf regression per se
+    — so the checked algorithm is DKNN-B, whose delivery-side savings
+    give a wide margin even at small N where DKNN-P's win is within
+    noise of a shared-runner CI box. The bar is ``>= 1.0x``, not the
+    full-size 3x target, for the same reason.
+    """
+    spec = _make_spec(dict(n_objects=n_objects, n_queries=8, k=8), ticks)
+    failed = False
+    for algorithm, bar in (("DKNN-B", 1.0), ("DKNN-P", 0.8)):
+        row = compare_tick_loop(algorithm, spec)
+        print(
+            f"perf smoke {algorithm} n={n_objects}: "
+            f"scalar {row['scalar']['ms_per_tick']} ms/tick, "
+            f"fast {row['fast']['ms_per_tick']} ms/tick, "
+            f"speedup {row['speedup']}x (bar {bar}x)"
+        )
+        if row["speedup"] < bar:
+            print(f"FAIL: {algorithm} vectorized path below the bar")
+            failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.tickbench",
+        description="Benchmark the tick loop, scalar vs vectorized.",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_tick.json",
+        help="output JSON path (default: BENCH_tick.json)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI smoke: small run, exit 1 if fast path is slower",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return check_smoke()
+    doc = run_suite()
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -33,8 +33,20 @@ def dist2(x1: float, y1: float, x2: float, y2: float) -> float:
 
 
 def dist(x1: float, y1: float, x2: float, y2: float) -> float:
-    """Euclidean distance between ``(x1, y1)`` and ``(x2, y2)``."""
-    return math.hypot(x1 - x2, y1 - y2)
+    """Euclidean distance between ``(x1, y1)`` and ``(x2, y2)``.
+
+    Computed as ``sqrt(dx*dx + dy*dy)`` rather than ``math.hypot``:
+    multiply, add and sqrt are IEEE-754 correctly rounded, so numpy
+    reproduces this bit-for-bit, which the vectorized fast path
+    (``repro.mobility.soa``, ``repro.core.fastpath``) relies on.
+    ``math.hypot`` uses a corrected algorithm that differs from
+    ``np.hypot`` in the last ulp for ~1% of inputs. Coordinates in this
+    library are far from the ~1e154 overflow threshold of the squared
+    form.
+    """
+    dx = x1 - x2
+    dy = y1 - y2
+    return math.sqrt(dx * dx + dy * dy)
 
 
 def clamp(value: float, lo: float, hi: float) -> float:
@@ -87,7 +99,7 @@ class Point:
 
     def distance_to(self, other: "Point") -> float:
         """Euclidean distance to ``other``."""
-        return math.hypot(self.x - other.x, self.y - other.y)
+        return dist(self.x, self.y, other.x, other.y)
 
     def distance2_to(self, other: "Point") -> float:
         """Squared Euclidean distance to ``other``."""

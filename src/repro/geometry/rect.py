@@ -111,13 +111,13 @@ class Rect:
             dy = self.ymin - y
         elif y > self.ymax:
             dy = y - self.ymax
-        return math.hypot(dx, dy)
+        return math.sqrt(dx * dx + dy * dy)
 
     def max_dist(self, x: float, y: float) -> float:
         """Maximum distance from ``(x, y)`` to any point of the rectangle."""
         dx = max(abs(x - self.xmin), abs(x - self.xmax))
         dy = max(abs(y - self.ymin), abs(y - self.ymax))
-        return math.hypot(dx, dy)
+        return math.sqrt(dx * dx + dy * dy)
 
     # -- constructive ops -------------------------------------------------
 

@@ -42,6 +42,9 @@ class UniformGrid:
         self._cell_h = universe.height / cells
         self._buckets: Dict[Cell, Set[int]] = {}
         self._positions: Dict[int, Tuple[float, float]] = {}
+        # Each object's current cell, so update() re-buckets without
+        # re-deriving (and re-validating) the old position's cell.
+        self._cells: Dict[int, Cell] = {}
 
     # -- geometry -----------------------------------------------------------
 
@@ -83,7 +86,7 @@ class UniformGrid:
             dy = ymin - y
         elif y > ymin + self._cell_h:
             dy = y - (ymin + self._cell_h)
-        return math.hypot(dx, dy)
+        return math.sqrt(dx * dx + dy * dy)
 
     # -- maintenance ----------------------------------------------------------
 
@@ -100,6 +103,7 @@ class UniformGrid:
         cell = self.cell_of(x, y)
         self._buckets.setdefault(cell, set()).add(oid)
         self._positions[oid] = (x, y)
+        self._cells[oid] = cell
         charge(self.meter, CostMeter.INDEX_UPDATE)
 
     def remove(self, oid: int) -> None:
@@ -107,7 +111,7 @@ class UniformGrid:
         pos = self._positions.pop(oid, None)
         if pos is None:
             raise IndexError_(f"object {oid} not indexed")
-        cell = self.cell_of(pos[0], pos[1])
+        cell = self._cells.pop(oid)
         bucket = self._buckets[cell]
         bucket.discard(oid)
         if not bucket:
@@ -116,10 +120,9 @@ class UniformGrid:
 
     def update(self, oid: int, x: float, y: float) -> None:
         """Move an object to a new position; raises if absent."""
-        old = self._positions.get(oid)
-        if old is None:
+        old_cell = self._cells.get(oid)
+        if old_cell is None:
             raise IndexError_(f"object {oid} not indexed")
-        old_cell = self.cell_of(old[0], old[1])
         new_cell = self.cell_of(x, y)
         if old_cell != new_cell:
             bucket = self._buckets[old_cell]
@@ -127,6 +130,7 @@ class UniformGrid:
             if not bucket:
                 del self._buckets[old_cell]
             self._buckets.setdefault(new_cell, set()).add(oid)
+            self._cells[oid] = new_cell
         self._positions[oid] = (x, y)
         charge(self.meter, CostMeter.INDEX_UPDATE)
 
@@ -136,6 +140,82 @@ class UniformGrid:
             self.update(oid, x, y)
         else:
             self.insert(oid, x, y)
+
+    def bulk_load(self, oids, xs, ys) -> None:
+        """Insert many objects in one vectorized pass.
+
+        Equivalent to ``insert`` called per object (same bucketing, same
+        per-object :data:`CostMeter.INDEX_UPDATE` charges, same error
+        conditions) but does the cell arithmetic with numpy and groups
+        ids into buckets via one lexsort — O(n log n) with no per-object
+        interpreter work. Raises before mutating anything, so a failed
+        load leaves the grid untouched.
+        """
+        import numpy as np
+
+        oid_arr = np.ascontiguousarray(oids, dtype=np.int64)
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        ys = np.ascontiguousarray(ys, dtype=np.float64)
+        n = oid_arr.shape[0]
+        if xs.shape[0] != n or ys.shape[0] != n:
+            raise IndexError_(
+                f"bulk_load length mismatch: {n} ids, "
+                f"{xs.shape[0]} xs, {ys.shape[0]} ys"
+            )
+        if n == 0:
+            return
+        u = self.universe
+        inside = (
+            (xs >= u.xmin) & (xs <= u.xmax) & (ys >= u.ymin) & (ys <= u.ymax)
+        )
+        if not inside.all():
+            bad = int(np.nonzero(~inside)[0][0])
+            raise IndexError_(
+                f"point ({xs[bad]}, {ys[bad]}) outside universe {u}"
+            )
+        if len(np.unique(oid_arr)) != n:
+            raise IndexError_("bulk_load got duplicate object ids")
+        for oid in oid_arr:
+            if int(oid) in self._positions:
+                raise IndexError_(f"object {int(oid)} already indexed")
+        # float division then int truncation — identical to cell_of
+        # (coordinates are >= the universe minimum, so truncation is
+        # floor) — then clamp boundary points inward.
+        last = self.cells - 1
+        ci = np.minimum(
+            ((xs - u.xmin) / self._cell_w).astype(np.int64), last
+        )
+        cj = np.minimum(
+            ((ys - u.ymin) / self._cell_h).astype(np.int64), last
+        )
+        order = np.lexsort((cj, ci))
+        ci_s, cj_s = ci[order], cj[order]
+        # group boundaries: first index of each distinct (ci, cj) run
+        new_run = np.empty(n, dtype=bool)
+        new_run[0] = True
+        np.not_equal(ci_s[1:], ci_s[:-1], out=new_run[1:])
+        new_run[1:] |= cj_s[1:] != cj_s[:-1]
+        starts = np.nonzero(new_run)[0]
+        ends = np.append(starts[1:], n)
+        oid_sorted = oid_arr[order]
+        cells = self._cells
+        for a, b in zip(starts.tolist(), ends.tolist()):
+            cell = (int(ci_s[a]), int(cj_s[a]))
+            members = self._buckets.setdefault(cell, set())
+            for o in oid_sorted[a:b].tolist():
+                members.add(o)
+                cells[o] = cell
+        pos = self._positions
+        for i, o in enumerate(oid_arr.tolist()):
+            pos[o] = (float(xs[i]), float(ys[i]))
+        charge(self.meter, CostMeter.INDEX_UPDATE, n)
+
+    def rebuild(self, oids, xs, ys) -> None:
+        """Drop everything and :meth:`bulk_load` the given snapshot."""
+        self._buckets.clear()
+        self._positions.clear()
+        self._cells.clear()
+        self.bulk_load(oids, xs, ys)
 
     def position_of(self, oid: int) -> Tuple[float, float]:
         """The indexed position of ``oid``; raises if absent."""

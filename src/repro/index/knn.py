@@ -92,7 +92,9 @@ def knn_search(
             if oid in exclude:
                 continue
             ox, oy = grid.position_of(oid)
-            d = math.hypot(ox - qx, oy - qy)
+            ddx = ox - qx
+            ddy = oy - qy
+            d = math.sqrt(ddx * ddx + ddy * ddy)
             charge(meter, CostMeter.DIST_CALC)
             if len(best) < k:
                 heapq.heappush(best, (-d, -oid))
@@ -148,10 +150,13 @@ def range_search(
             if oid in exclude:
                 continue
             ox, oy = grid.position_of(oid)
-            # hypot, not squared compare: boundary decisions must agree
-            # to the ulp with the brute-force oracle and with radii the
-            # protocol derives from hypot distances.
-            d = math.hypot(ox - cx, oy - cy)
+            # sqrt(dx*dx + dy*dy), not a squared compare: boundary
+            # decisions must agree to the ulp with the brute-force
+            # oracle and the client bands, which all use the recipe of
+            # repro.geometry.dist (see that docstring).
+            ddx = ox - cx
+            ddy = oy - cy
+            d = math.sqrt(ddx * ddx + ddy * ddy)
             charge(meter, CostMeter.DIST_CALC)
             if d <= r:
                 hits.append((d, oid))

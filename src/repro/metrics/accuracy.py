@@ -26,6 +26,56 @@ _EMPTY: FrozenSet[int] = frozenset()
 _TIE_EPS = 1e-9
 _TIE_REL = 4e-9
 
+#: Below this population the scalar loop beats array setup overhead
+#: (same cutoff as :mod:`repro.index.bruteforce`).
+_VECTOR_MIN = 64
+
+
+def _validity_dists_scalar(positions, qx, qy, idset, exclude):
+    """``(d_max over answer, d_min over the rest)``, pure Python.
+
+    Distances use ``sqrt(dx*dx + dy*dy)`` — the recipe of
+    :func:`repro.geometry.dist` — so the two engines agree bit-for-bit.
+    """
+    d_max = 0.0
+    for o in idset:
+        dx = positions[o][0] - qx
+        dy = positions[o][1] - qy
+        d = math.sqrt(dx * dx + dy * dy)
+        if d > d_max:
+            d_max = d
+    d_min = math.inf
+    for oid, (x, y) in enumerate(positions):
+        if oid in idset or oid in exclude:
+            continue
+        dx = x - qx
+        dy = y - qy
+        d = math.sqrt(dx * dx + dy * dy)
+        if d < d_min:
+            d_min = d
+    return d_max, d_min
+
+
+def _validity_dists_np(positions, qx, qy, idset, exclude):
+    """Vectorized ``(d_max, d_min)``; bit-identical to the scalar form."""
+    import numpy as np
+
+    from repro.index.bruteforce import as_xy_arrays
+
+    xs, ys = as_xy_arrays(positions)
+    dx = xs - qx
+    dy = ys - qy
+    d = np.sqrt(dx * dx + dy * dy)
+    idx = np.fromiter(idset, dtype=np.int64, count=len(idset))
+    d_max = float(d[idx].max())
+    rest = np.ones(d.shape[0], dtype=bool)
+    rest[idx] = False
+    for o in exclude:
+        if 0 <= o < rest.shape[0]:
+            rest[o] = False
+    d_min = float(d[rest].min()) if rest.any() else math.inf
+    return d_max, d_min
+
 
 def is_valid_knn(
     positions: Sequence[Tuple[float, float]],
@@ -52,16 +102,12 @@ def is_valid_knn(
         return False
     if not ids:
         return eligible == 0
-    d_max = max(
-        math.hypot(positions[o][0] - qx, positions[o][1] - qy) for o in idset
-    )
-    d_min = math.inf
-    for oid, (x, y) in enumerate(positions):
-        if oid in idset or oid in exclude:
-            continue
-        d = math.hypot(x - qx, y - qy)
-        if d < d_min:
-            d_min = d
+    if len(positions) >= _VECTOR_MIN:
+        d_max, d_min = _validity_dists_np(positions, qx, qy, idset, exclude)
+    else:
+        d_max, d_min = _validity_dists_scalar(
+            positions, qx, qy, idset, exclude
+        )
     return d_max <= d_min + _TIE_EPS + _TIE_REL * d_max
 
 

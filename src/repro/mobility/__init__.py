@@ -2,6 +2,7 @@
 
 from repro.mobility.base import MobilityModel, Mover
 from repro.mobility.fleet import Fleet
+from repro.mobility.soa import FastFleet, FastReplayFleet, SoAPositions
 from repro.mobility.gaussian_cluster import GaussianClusterModel, GaussianClusterMover
 from repro.mobility.random_direction import RandomDirectionModel, RandomDirectionMover
 from repro.mobility.random_waypoint import RandomWaypointModel, RandomWaypointMover
@@ -17,6 +18,9 @@ __all__ = [
     "Mover",
     "MobilityModel",
     "Fleet",
+    "FastFleet",
+    "FastReplayFleet",
+    "SoAPositions",
     "RandomWaypointModel",
     "RandomWaypointMover",
     "RandomDirectionModel",

@@ -38,6 +38,11 @@ class Fleet:
                 raise MobilityError("all movers must share one universe")
         self.universe: Rect = universe
         self._movers: List[Mover] = list(movers)
+        # Computed once: the fleet-wide bound is consulted by builders
+        # and band-width planning on every construction, and per-mover
+        # speeds are immutable after construction.
+        self._speeds: List[float] = [m.max_speed for m in self._movers]
+        self._max_speed: float = max(self._speeds)
         self._rng = random.Random(seed)
         self.tick: int = 0
         self.positions: List[Tuple[float, float]] = []
@@ -79,11 +84,11 @@ class Fleet:
     @property
     def max_speed(self) -> float:
         """Fleet-wide per-tick displacement bound (protocol margin V)."""
-        return max(m.max_speed for m in self._movers)
+        return self._max_speed
 
     def max_speed_of(self, oid: int) -> float:
         """Per-tick displacement bound of one object."""
-        return self._movers[oid].max_speed
+        return self._speeds[oid]
 
     def position_of(self, oid: int) -> Tuple[float, float]:
         """Ground-truth position of object ``oid`` at the current tick."""

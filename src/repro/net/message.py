@@ -65,6 +65,12 @@ class MessageKind(enum.Enum):
     # Broadcast variant: a positive response to a COLLECT (uplink).
     COLLECT_REPLY = "collect_reply"
 
+    # Members are singletons and compare by identity, so the id-based
+    # hash is consistent with ``__eq__`` — and much cheaper than the
+    # default name-string hash, which shows up in profiles because every
+    # stats counter is keyed by kind.
+    __hash__ = object.__hash__
+
 
 def payload_size(payload: Any) -> int:
     """Bytes of a payload under the fixed-width wire model.
@@ -76,6 +82,12 @@ def payload_size(payload: Any) -> int:
     """
     if payload is None:
         return 0
+    # Protocol payload objects (the hot case: every location update,
+    # probe reply, install, ...) advertise their own size — check for
+    # that first instead of walking the primitive isinstance chain.
+    wire_size = getattr(payload, "wire_size", None)
+    if wire_size is not None and callable(wire_size):
+        return int(wire_size())
     if isinstance(payload, bool):
         return 4
     if isinstance(payload, float):
@@ -88,9 +100,6 @@ def payload_size(payload: Any) -> int:
         return sum(payload_size(v) for v in payload)
     if isinstance(payload, dict):
         return sum(payload_size(k) + payload_size(v) for k, v in payload.items())
-    wire_size = getattr(payload, "wire_size", None)
-    if callable(wire_size):
-        return int(wire_size())
     raise TypeError(f"cannot size payload of type {type(payload).__name__}")
 
 

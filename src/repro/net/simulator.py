@@ -29,7 +29,7 @@ from repro.net.faults import FaultPlan, FaultyChannel
 from repro.net.message import BROADCAST_ID, GEOCAST_ID, SERVER_ID, Message
 from repro.net.node import MobileNode, Node, ServerNodeBase
 
-__all__ = ["RoundSimulator", "ZERO_LATENCY", "ONE_TICK_LATENCY"]
+__all__ = ["ClientPhase", "RoundSimulator", "ZERO_LATENCY", "ONE_TICK_LATENCY"]
 
 ZERO_LATENCY = "zero"
 ONE_TICK_LATENCY = "one_tick"
@@ -39,6 +39,52 @@ ONE_TICK_LATENCY = "one_tick"
 # a couple dozen; anything deeper indicates a protocol loop and should
 # fail loudly.
 _MAX_SUBROUNDS = 64
+
+
+class ClientPhase:
+    """Pluggable replacement for the per-mobile ``on_tick_start`` loop.
+
+    Implementations (``repro.core.fastpath``) evaluate the protocol's
+    silent-object predicate over the whole fleet in one vectorized pass
+    and invoke ``on_tick_start`` only on the candidate nodes — any node
+    whose tick-start could possibly be more than a no-op. Correctness
+    contract: skipping a non-candidate must be indistinguishable from
+    running its ``on_tick_start`` (same sends, same state, same
+    answers), which is what ``tests/test_fastpath.py`` pins.
+    """
+
+    #: True when every mobile's ``on_tick_end`` is known to be the base
+    #: no-op, letting the simulator skip that loop entirely.
+    skip_tick_end: bool = False
+
+    def bind(self, sim: "RoundSimulator") -> None:
+        """Called once when the simulator takes ownership of the phase."""
+        self.sim = sim
+
+    def tick_start(self, tick: int) -> None:
+        """Run the batched tick-start phase (must honor node downtime)."""
+        raise NotImplementedError
+
+    def before_dispatch(self, node: Node, msg: Message) -> None:
+        """Hook before a mobile handles ``msg``.
+
+        Skipped nodes never ran ``on_tick_start`` this tick, so state
+        the scalar path refreshes there (the local clock) must be
+        restored here before the handler sees the message.
+        """
+
+    def deliver_area(self, msg: Message) -> bool:
+        """Optionally take over delivering one broadcast/geocast message.
+
+        Return True to claim the delivery: the phase must then dispatch
+        ``msg`` (via ``sim._dispatch``) to exactly the nodes the default
+        loop would have reached, in the same order, honoring downtime —
+        and, for geocast, record the reception count. Returning False
+        falls back to the scalar per-node loop. The point: a phase that
+        can evaluate the coverage predicate vectorized skips dispatching
+        to the (many) nodes for which delivery is a provable no-op.
+        """
+        return False
 
 
 class RoundSimulator:
@@ -52,6 +98,7 @@ class RoundSimulator:
         channel: Optional[Channel] = None,
         latency: str = ZERO_LATENCY,
         faults: Optional[FaultPlan] = None,
+        client_phase: Optional["ClientPhase"] = None,
     ) -> None:
         if latency not in (ZERO_LATENCY, ONE_TICK_LATENCY):
             raise NetworkError(f"unknown latency mode {latency!r}")
@@ -85,6 +132,12 @@ class RoundSimulator:
                 raise NetworkError(f"duplicate node id {node.node_id}")
             self._nodes_by_id[node.node_id] = node
         self.tick = 0
+        #: optional vectorized client phase (``repro.core.fastpath``):
+        #: replaces the per-mobile ``on_tick_start`` loop with a batched
+        #: predicate pass that only touches candidate nodes.
+        self.client_phase = client_phase
+        if client_phase is not None:
+            client_phase.bind(self)
 
     # -- delivery -------------------------------------------------------------
 
@@ -97,11 +150,19 @@ class RoundSimulator:
     def _deliver(self, messages: List[Message]) -> None:
         for msg in messages:
             if msg.dst == BROADCAST_ID:
+                if self.client_phase is not None and self.client_phase.deliver_area(
+                    msg
+                ):
+                    continue
                 for node_id, node in self._nodes_by_id.items():
                     if node_id == msg.src or self._is_down(node_id):
                         continue
                     self._dispatch(node, msg)
             elif msg.dst == GEOCAST_ID:
+                if self.client_phase is not None and self.client_phase.deliver_area(
+                    msg
+                ):
+                    continue
                 # Physical-layer delivery: radio coverage of an area.
                 # Reaches every mobile node whose *true* position lies
                 # inside the payload's coverage region right now.
@@ -133,6 +194,8 @@ class RoundSimulator:
             node.on_message(msg)
             self.server_seconds += time.perf_counter() - t0
         else:
+            if self.client_phase is not None:
+                self.client_phase.before_dispatch(node, msg)
             node.on_message(msg)
 
     # -- stepping ---------------------------------------------------------------
@@ -143,10 +206,13 @@ class RoundSimulator:
         self.tick = self.fleet.tick
         self.channel.begin_tick(self.tick)
 
-        for node in self.mobiles:
-            if self._is_down(node.node_id):
-                continue  # blacked out / crashed: no local checks, no sends
-            node.on_tick_start(self.tick)
+        if self.client_phase is not None:
+            self.client_phase.tick_start(self.tick)
+        else:
+            for node in self.mobiles:
+                if self._is_down(node.node_id):
+                    continue  # blacked out/crashed: no checks, no sends
+                node.on_tick_start(self.tick)
         t0 = time.perf_counter()
         self.server.on_tick_start(self.tick)
         self.server_seconds += time.perf_counter() - t0
@@ -189,10 +255,11 @@ class RoundSimulator:
             # Replies queued this subround stay in flight until the
             # next tick — that is the point of latency mode.
 
-        for node in self.mobiles:
-            if self._is_down(node.node_id):
-                continue
-            node.on_tick_end(self.tick)
+        if self.client_phase is None or not self.client_phase.skip_tick_end:
+            for node in self.mobiles:
+                if self._is_down(node.node_id):
+                    continue
+                node.on_tick_end(self.tick)
         t0 = time.perf_counter()
         self.server.on_tick_end(self.tick)
         self.server_seconds += time.perf_counter() - t0

@@ -8,6 +8,7 @@ from typing import List, Tuple
 from repro.errors import WorkloadError
 from repro.geometry import Rect
 from repro.mobility import (
+    FastFleet,
     Fleet,
     GaussianClusterModel,
     MobilityModel,
@@ -69,17 +70,22 @@ def _make_focal_movers(
     return movers
 
 
-def build_workload(spec: WorkloadSpec) -> Tuple[Fleet, List[QuerySpec]]:
+def build_workload(
+    spec: WorkloadSpec, fast: bool = False
+) -> Tuple[Fleet, List[QuerySpec]]:
     """Build the fleet and the query list for one run.
 
     Focal objects occupy ids ``n_objects .. population-1``; query ``i``
-    is anchored at focal object ``n_objects + i``.
+    is anchored at focal object ``n_objects + i``. With ``fast=True``
+    the fleet is a :class:`~repro.mobility.FastFleet` — numpy-backed
+    positions and a batched ``advance()``, bit-identical motion.
     """
     size = spec.universe_size
     universe = Rect(0.0, 0.0, size, size)
     model = make_mobility_model(spec, universe)
     focal_movers = _make_focal_movers(spec, universe)
-    fleet = Fleet.from_model(
+    fleet_cls = FastFleet if fast else Fleet
+    fleet = fleet_cls.from_model(
         model, spec.n_objects, seed=spec.seed, extra_movers=focal_movers
     )
     queries = [

@@ -1,0 +1,154 @@
+"""Property tests: the numpy engines equal the scalar ones to the ulp.
+
+Both the brute-force oracle (``repro.index.bruteforce``) and the grid
+(``bulk_load``/``rebuild``) auto-dispatch between a scalar loop and a
+vectorized engine. The two must agree *exactly* — same distances bit
+for bit, same ``(distance, oid)`` tie-breaks, same ``exclude``
+semantics — because answers from either engine are compared against
+client band decisions made with the shared sqrt recipe. Duplicate
+coordinates are generated on purpose: ties are where a wrong sort key
+or an unstable partition shows up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.index import UniformGrid
+from repro.index.bruteforce import (
+    brute_knn_np,
+    brute_knn_scalar,
+    brute_range_np,
+    brute_range_scalar,
+)
+from repro.metrics.accuracy import is_valid_knn
+
+UNIVERSE = Rect(0, 0, 1000, 1000)
+
+# A few fixed coordinates mixed with free floats forces duplicate
+# points (distance ties) into most examples.
+coord = st.one_of(
+    st.sampled_from([0.0, 250.0, 500.0, 500.0000000001, 1000.0]),
+    st.floats(min_value=0, max_value=1000, allow_nan=False),
+)
+point = st.tuples(coord, coord)
+points = st.lists(point, min_size=1, max_size=90)
+query = st.tuples(
+    st.floats(min_value=-200, max_value=1200, allow_nan=False),
+    st.floats(min_value=-200, max_value=1200, allow_nan=False),
+)
+k_value = st.integers(min_value=1, max_value=15)
+excludes = st.sets(st.integers(0, 89))
+
+
+@given(points, query, k_value, excludes)
+@settings(max_examples=150, deadline=None)
+def test_brute_knn_engines_agree(ps, q, k, exclude):
+    scalar = brute_knn_scalar(ps, q[0], q[1], k, exclude)
+    vector = brute_knn_np(ps, q[0], q[1], k, exclude)
+    assert vector == scalar  # bitwise: distances are floats
+
+
+@given(
+    points,
+    query,
+    st.floats(min_value=0, max_value=1500, allow_nan=False),
+    excludes,
+)
+@settings(max_examples=150, deadline=None)
+def test_brute_range_engines_agree(ps, q, r, exclude):
+    scalar = brute_range_scalar(ps, q[0], q[1], r, exclude)
+    vector = brute_range_np(ps, q[0], q[1], r, exclude)
+    assert vector == scalar
+
+
+@given(points, query, k_value)
+@settings(max_examples=100, deadline=None)
+def test_is_valid_knn_engines_agree(ps, q, k):
+    """The validity verdict must not depend on the population size.
+
+    ``is_valid_knn`` switches engines on fleet size; replicating the
+    population past the threshold must keep the verdict for an answer
+    drawn from the scalar oracle.
+    """
+    answer = {oid for _, oid in brute_knn_scalar(ps, q[0], q[1], k)}
+    small = is_valid_knn(ps, q[0], q[1], k, answer)
+    assert small
+    if len(answer) < k:
+        return  # padding would make a short answer legitimately invalid
+    big_ps = ps + [(2_000_000.0 + i, 2_000_000.0) for i in range(80)]
+    assert is_valid_knn(big_ps, q[0], q[1], k, answer)
+
+
+# -- grid bulk operations ----------------------------------------------------
+
+
+cells = st.integers(min_value=1, max_value=25)
+
+
+def _snapshot(grid):
+    return (
+        {cell: frozenset(ids) for cell, ids in grid._buckets.items() if ids},
+        dict(grid._positions),
+        dict(grid._cells),
+    )
+
+
+@given(points, cells)
+@settings(max_examples=120, deadline=None)
+def test_bulk_load_matches_incremental_inserts(ps, n_cells):
+    xs = np.array([p[0] for p in ps])
+    ys = np.array([p[1] for p in ps])
+    oids = np.arange(len(ps))
+
+    incremental = UniformGrid(UNIVERSE, n_cells)
+    for oid, (x, y) in enumerate(ps):
+        incremental.insert(oid, x, y)
+
+    bulk = UniformGrid(UNIVERSE, n_cells)
+    bulk.bulk_load(oids, xs, ys)
+    assert _snapshot(bulk) == _snapshot(incremental)
+
+    rebuilt = UniformGrid(UNIVERSE, n_cells)
+    rebuilt.insert(999, 1.0, 1.0)  # pre-existing content must vanish
+    rebuilt.rebuild(oids, xs, ys)
+    assert _snapshot(rebuilt) == _snapshot(incremental)
+
+
+@given(points, cells)
+@settings(max_examples=60, deadline=None)
+def test_bulk_load_charges_like_inserts(ps, n_cells):
+    from repro.metrics.cost import CostMeter
+
+    m1, m2 = CostMeter(), CostMeter()
+    incremental = UniformGrid(UNIVERSE, n_cells, meter=m1)
+    for oid, (x, y) in enumerate(ps):
+        incremental.insert(oid, x, y)
+    bulk = UniformGrid(UNIVERSE, n_cells, meter=m2)
+    bulk.bulk_load(
+        np.arange(len(ps)),
+        np.array([p[0] for p in ps]),
+        np.array([p[1] for p in ps]),
+    )
+    assert m1.units == m2.units
+
+
+def test_bulk_load_rejects_bad_input_without_mutating():
+    grid = UniformGrid(UNIVERSE, 8)
+    grid.insert(5, 10.0, 10.0)
+    for oids, xs, ys in [
+        ([1, 2], [1.0], [1.0, 2.0]),  # length mismatch
+        ([1, 1], [1.0, 2.0], [1.0, 2.0]),  # duplicate ids
+        ([1, 5], [1.0, 2.0], [1.0, 2.0]),  # id already indexed
+        ([1, 2], [1.0, 5000.0], [1.0, 2.0]),  # outside universe
+    ]:
+        try:
+            grid.bulk_load(np.array(oids), np.array(xs), np.array(ys))
+        except Exception:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError(f"bulk_load accepted {oids}/{xs}/{ys}")
+        assert len(grid) == 1 and grid.position_of(5) == (10.0, 10.0)
