@@ -14,6 +14,7 @@ Run:  python examples/geofence_and_capacity.py
 
 from repro import (
     Fleet,
+    RunConfig,
     RandomWaypointModel,
     RangeQuerySpec,
     Rect,
@@ -85,8 +86,8 @@ def capacity_demo() -> None:
     print(f"predicted k/k+1 gap     : {gap:7.1f}  (the safe-margin budget)")
     print(f"predicted crossover Q*  : {q_star:7.1f} concurrent queries")
 
-    measured_d = run_once("DKNN-B", spec, accuracy_every=10)
-    measured_c = run_once("PER", spec, accuracy_every=0)
+    measured_d = run_once(RunConfig("DKNN-B"), spec, accuracy_every=10)
+    measured_c = run_once(RunConfig("PER"), spec, accuracy_every=0)
     print(
         f"measured at Q={spec.n_queries}: distributed "
         f"{measured_d.msgs_per_tick:.0f} msgs/tick vs centralized "

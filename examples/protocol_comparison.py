@@ -7,7 +7,7 @@ wake-ups, server cost units, and answer exactness.
 Run:  python examples/protocol_comparison.py
 """
 
-from repro import ResultTable, run_once
+from repro import ResultTable, RunConfig, run_once
 from repro.experiments.algorithms import ALGORITHMS
 from repro.workloads import WorkloadSpec
 
@@ -35,7 +35,7 @@ def main() -> None:
         ),
     )
     for name in sorted(ALGORITHMS):
-        m = run_once(name, spec, accuracy_every=10)
+        m = run_once(RunConfig(name), spec, accuracy_every=10)
         table.add_row(
             {
                 "algorithm": name,

@@ -64,9 +64,16 @@ from repro.experiments import (
     EXPERIMENTS,
     Measurement,
     ResultTable,
+    RunConfig,
     build_system,
     run_experiment,
     run_once,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    use_telemetry,
 )
 from repro.geometry import Circle, Point, Rect
 from repro.index import UniformGrid, brute_knn, knn_search, range_search
@@ -140,10 +147,16 @@ __all__ = [
     "WorkloadSpec",
     "build_workload",
     "ALGORITHMS",
+    "RunConfig",
     "build_system",
     "run_once",
     "Measurement",
     "ResultTable",
     "EXPERIMENTS",
     "run_experiment",
+    # observability
+    "Telemetry",
+    "Tracer",
+    "MetricsRegistry",
+    "use_telemetry",
 ]

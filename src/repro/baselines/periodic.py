@@ -78,6 +78,7 @@ def build_periodic_system(
     record_history: bool = False,
     faults: Optional[FaultPlan] = None,
     fast: bool = False,
+    telemetry=None,
 ) -> RoundSimulator:
     """Build a ready-to-run PER system.
 
@@ -93,5 +94,10 @@ def build_periodic_system(
         server.register_query(spec)
     mobiles = [ReporterNode(oid, fleet) for oid in range(fleet.n)]
     return RoundSimulator(
-        fleet, server, mobiles, latency=latency, faults=faults
+        fleet,
+        server,
+        mobiles,
+        latency=latency,
+        faults=faults,
+        telemetry=telemetry,
     )

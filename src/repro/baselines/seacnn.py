@@ -105,6 +105,7 @@ def build_seacnn_system(
     record_history: bool = False,
     faults: Optional[FaultPlan] = None,
     fast: bool = False,
+    telemetry=None,
 ) -> RoundSimulator:
     """Build a ready-to-run SEA system.
 
@@ -120,5 +121,10 @@ def build_seacnn_system(
         server.register_query(spec)
     mobiles = [ReporterNode(oid, fleet) for oid in range(fleet.n)]
     return RoundSimulator(
-        fleet, server, mobiles, latency=latency, faults=faults
+        fleet,
+        server,
+        mobiles,
+        latency=latency,
+        faults=faults,
+        telemetry=telemetry,
     )

@@ -127,6 +127,21 @@ class DknnBroadcastServer(BaseServer):
             if msg.src == st.spec.focal_oid:
                 st.focal_pos = (payload.x, payload.y)
                 st.focal_tick = self._tick
+            tel = self.telemetry
+            if tel.enabled:
+                event = (
+                    "server.violation"
+                    if msg.kind == MessageKind.VIOLATION
+                    else "server.query_move"
+                )
+                if tel.tracer.enabled:
+                    tel.tracer.emit(
+                        self._tick, event, qid=payload.qid, oid=msg.src
+                    )
+                if tel.metrics is not None:
+                    tel.metrics.counter(
+                        "violations_total", "violation / query-move reports"
+                    ).labels(kind=event.split(".", 1)[1]).inc()
         elif msg.kind == MessageKind.PROBE_REPLY:
             # Only focal nodes are probed point-to-point in DKNN-B.
             for st in self._states.values():
@@ -215,6 +230,20 @@ class DknnBroadcastServer(BaseServer):
         )
         self.collect_rounds[st.spec.qid] += 1
         self.meter.charge(CostMeter.BOOKKEEPING)
+        tel = self.telemetry
+        if tel.enabled:
+            if tel.tracer.enabled:
+                tel.tracer.emit(
+                    self._tick,
+                    "server.collect",
+                    qid=st.spec.qid,
+                    radius=st.collect_radius,
+                    fresh=fresh,
+                )
+            if tel.metrics is not None:
+                tel.metrics.counter(
+                    "collect_rounds_total", "collect rounds issued"
+                ).inc()
 
     def _send_collect(self, request: CollectRequest) -> None:
         """Dispatch a collect; the geocast variant scopes it to an area."""
@@ -245,6 +274,20 @@ class DknnBroadcastServer(BaseServer):
         self.publish(spec.qid, list(inst.answer_ids))
         self.repair_count[spec.qid] += 1
         self.meter.charge(CostMeter.REPAIR)
+        tel = self.telemetry
+        if tel.enabled:
+            if tel.tracer.enabled:
+                tel.tracer.emit(
+                    self._tick,
+                    "server.repair",
+                    qid=spec.qid,
+                    mode="collect",
+                    answer=list(inst.answer_ids),
+                )
+            if tel.metrics is not None:
+                tel.metrics.counter(
+                    "repairs_total", "completed repairs"
+                ).labels(mode="collect").inc()
 
     def _send_install(self, st: "_QueryState", inst) -> None:
         """Dispatch a fresh installation; the geocast variant scopes it
@@ -332,6 +375,7 @@ def build_broadcast_system(
     record_history: bool = False,
     faults: Optional[FaultPlan] = None,
     fast: bool = False,
+    telemetry=None,
 ) -> RoundSimulator:
     """Build a ready-to-run simulator for the broadcast protocol.
 
@@ -369,4 +413,5 @@ def build_broadcast_system(
         latency=latency,
         faults=faults,
         client_phase=phase,
+        telemetry=telemetry,
     )

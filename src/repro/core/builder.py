@@ -24,6 +24,7 @@ def build_dknn_system(
     record_history: bool = False,
     faults: Optional[FaultPlan] = None,
     fast: bool = False,
+    telemetry=None,
 ) -> RoundSimulator:
     """Build a ready-to-run simulator for the point-to-point protocol.
 
@@ -75,4 +76,5 @@ def build_dknn_system(
         latency=latency,
         faults=faults,
         client_phase=phase,
+        telemetry=telemetry,
     )

@@ -144,12 +144,21 @@ class DknnSilentPhase(ClientPhase):
         )
         is_down = self.sim._is_down if self.sim.faults is not None else None
         touched = self._touched
-        for oid in np.nonzero(cand)[0].tolist():
+        candidates = np.nonzero(cand)[0].tolist()
+        for oid in candidates:
             node = self._node_of[oid]
             if is_down is not None and is_down(node.node_id):
                 continue  # blacked out/crashed: no checks, no sends
             node.on_tick_start(tick)
             touched.add(oid)
+        tel = self.sim.telemetry
+        if tel.enabled and tel.tracer.enabled:
+            tel.tracer.emit(
+                tick,
+                "fastpath.candidates",
+                candidates=len(candidates),
+                population=int(self._active.sum()),
+            )
 
     def before_dispatch(self, node: Node, msg: Message) -> None:
         # Scalar invariant: on_tick_start ran before any delivery, so
@@ -236,6 +245,9 @@ class BroadcastSilentPhase(ClientPhase):
         #: node's own handler has caught up.
         self._log: List[Tuple[Message, Optional[np.ndarray]]] = []
         self._applied = np.zeros(n, dtype=np.int64)
+        #: deferred install replays performed (reported per tick in the
+        #: ``fastpath.candidates`` trace event).
+        self._replayed = 0
         #: oids whose whole view needs re-reading (ran as candidates).
         self._touched_nodes: Set[int] = set()
         #: membership-mask cache, keyed by the answer-id tuple itself —
@@ -273,6 +285,7 @@ class BroadcastSilentPhase(ClientPhase):
             msg, mask = log[i]
             if mask is None or mask[oid]:
                 node.on_message(msg)
+                self._replayed += 1
             i += 1
         self._applied[oid] = i
 
@@ -341,13 +354,25 @@ class BroadcastSilentPhase(ClientPhase):
         cand = self._active & (violated.any(axis=0) | self._focal)
         is_down = self.sim._is_down if self.sim.faults is not None else None
         touched = self._touched_nodes
-        for oid in np.nonzero(cand)[0].tolist():
+        candidates = np.nonzero(cand)[0].tolist()
+        for oid in candidates:
             node = self._node_of[oid]
             if is_down is not None and is_down(node.node_id):
                 continue
             self._replay(node)
             node.on_tick_start(tick)
             touched.add(oid)
+        tel = self.sim.telemetry
+        if tel.enabled and tel.tracer.enabled:
+            tel.tracer.emit(
+                tick,
+                "fastpath.candidates",
+                candidates=len(candidates),
+                population=int(self._active.sum()),
+                replayed=self._replayed,
+                log_len=len(self._log),
+            )
+            self._replayed = 0
 
     def before_dispatch(self, node: Node, msg: Message) -> None:
         # Pending lazily-delivered installs must land before the node

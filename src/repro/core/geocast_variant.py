@@ -143,6 +143,21 @@ class DknnGeocastServer(DknnBroadcastServer):
             st = self._require_state(payload.qid)
             if payload.epoch != st.epoch:
                 self.stale_violations += 1
+                tel = self.telemetry
+                if tel.enabled:
+                    if tel.tracer.enabled:
+                        tel.tracer.emit(
+                            self._tick,
+                            "server.stale_violation",
+                            qid=payload.qid,
+                            oid=msg.src,
+                            epoch=payload.epoch,
+                        )
+                    if tel.metrics is not None:
+                        tel.metrics.counter(
+                            "violations_total",
+                            "violation / query-move reports",
+                        ).labels(kind="stale").inc()
                 return
         super().on_message(msg)
 
@@ -213,6 +228,19 @@ class DknnGeocastServer(DknnBroadcastServer):
                 # objects that entered coverage since the last install.
                 st.last_install_tick = tick
                 self.renewals += 1
+                tel = self.telemetry
+                if tel.enabled:
+                    if tel.tracer.enabled:
+                        tel.tracer.emit(
+                            tick,
+                            "server.renewal",
+                            qid=st.spec.qid,
+                            epoch=st.epoch,
+                        )
+                    if tel.metrics is not None:
+                        tel.metrics.counter(
+                            "renewals_total", "geocast lease renewals"
+                        ).inc()
                 self.geocast(
                     MessageKind.BROADCAST_INSTALL,
                     GeocastInstall(
@@ -285,6 +313,7 @@ def build_geocast_system(
     record_history: bool = False,
     faults: Optional[FaultPlan] = None,
     fast: bool = False,
+    telemetry=None,
 ) -> RoundSimulator:
     """Build a ready-to-run simulator for the geocast protocol.
 
@@ -322,4 +351,5 @@ def build_geocast_system(
         latency=latency,
         faults=faults,
         client_phase=phase,
+        telemetry=telemetry,
     )

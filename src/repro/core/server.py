@@ -200,6 +200,21 @@ class DknnServer(BaseServer):
             state.dirty = True
             if kind == MessageKind.VIOLATION:
                 state.violators.add(msg.src)
+            tel = self.telemetry
+            if tel.enabled:
+                event = (
+                    "server.violation"
+                    if kind == MessageKind.VIOLATION
+                    else "server.query_move"
+                )
+                if tel.tracer.enabled:
+                    tel.tracer.emit(
+                        self._tick, event, qid=payload.qid, oid=msg.src
+                    )
+                if tel.metrics is not None:
+                    tel.metrics.counter(
+                        "violations_total", "violation / query-move reports"
+                    ).labels(kind=event.split(".", 1)[1]).inc()
         else:
             raise ProtocolError(f"server cannot handle {kind}")
 
@@ -258,6 +273,10 @@ class DknnServer(BaseServer):
                 self.channel.stats.record_retransmit(
                     MessageKind.INSTALL_REGION
                 )
+                if self.telemetry.enabled:
+                    self._note_retransmit(
+                        tick, MessageKind.INSTALL_REGION, key[0]
+                    )
         for oid in sorted(self._probes_in_flight):
             first = self._probe_first.get(oid, tick)
             if tick - first > lease:
@@ -270,6 +289,8 @@ class DknnServer(BaseServer):
                 self._probe_sent[oid] = tick
                 self.send(oid, MessageKind.PROBE, ProbeRequest())
                 self.channel.stats.record_retransmit(MessageKind.PROBE)
+                if self.telemetry.enabled:
+                    self._note_retransmit(tick, MessageKind.PROBE, oid)
         for oid in sorted(self._suspected):
             # Periodic revival probe: a live-but-suspected node (long
             # blackout, lost heartbeats) answers and is welcomed back.
@@ -277,6 +298,17 @@ class DknnServer(BaseServer):
                 self._suspect_probe[oid] = tick
                 self.send(oid, MessageKind.PROBE, ProbeRequest())
                 self.channel.stats.record_retransmit(MessageKind.PROBE)
+                if self.telemetry.enabled:
+                    self._note_retransmit(tick, MessageKind.PROBE, oid)
+
+    def _note_retransmit(self, tick: int, kind: MessageKind, dst: int) -> None:
+        tel = self.telemetry
+        if tel.tracer.enabled:
+            tel.tracer.emit(tick, "fault.retransmit", kind=kind.name, dst=dst)
+        if tel.metrics is not None:
+            tel.metrics.counter(
+                "fault_events_total", "fault-plan interventions"
+            ).labels(event="retransmit").inc()
 
     def _lease_sweep(self, tick: int) -> None:
         """Suspect every leased object silent for more than the lease.
@@ -303,6 +335,14 @@ class DknnServer(BaseServer):
             return
         self._suspected.add(oid)
         self._suspect_probe[oid] = tick
+        tel = self.telemetry
+        if tel.enabled:
+            if tel.tracer.enabled:
+                tel.tracer.emit(tick, "fault.suspect", oid=oid)
+            if tel.metrics is not None:
+                tel.metrics.counter(
+                    "fault_events_total", "fault-plan interventions"
+                ).labels(event="suspect").inc()
         self._probes_in_flight.discard(oid)
         self._probe_sent.pop(oid, None)
         self._probe_first.pop(oid, None)
@@ -349,6 +389,14 @@ class DknnServer(BaseServer):
         """
         self._suspected.discard(oid)
         self._suspect_probe.pop(oid, None)
+        tel = self.telemetry
+        if tel.enabled:
+            if tel.tracer.enabled:
+                tel.tracer.emit(self._tick, "fault.revive", oid=oid)
+            if tel.metrics is not None:
+                tel.metrics.counter(
+                    "fault_events_total", "fault-plan interventions"
+                ).labels(event="revive").inc()
         for st in self._states.values():
             if st.spec.focal_oid == oid:
                 st.focal_down = False
@@ -626,6 +674,17 @@ class DknnServer(BaseServer):
         st.cand_ids = []
         self.repair_count[qid] += 1
         self.meter.charge(CostMeter.REPAIR)
+        tel = self.telemetry
+        if tel.enabled:
+            mode = "trivial" if trivial else "full"
+            if tel.tracer.enabled:
+                tel.tracer.emit(
+                    tick, "server.repair", qid=qid, mode=mode, answer=new_ids
+                )
+            if tel.metrics is not None:
+                tel.metrics.counter(
+                    "repairs_total", "completed repairs"
+                ).labels(mode=mode).inc()
 
     # -- light (incremental) repairs ------------------------------------------
 
@@ -744,6 +803,16 @@ class DknnServer(BaseServer):
         self.repair_count[qid] += 1
         self.light_repair_count[qid] += 1
         self.meter.charge(CostMeter.REPAIR)
+        tel = self.telemetry
+        if tel.enabled:
+            if tel.tracer.enabled:
+                tel.tracer.emit(
+                    tick, "server.repair", qid=qid, mode="light", answer=new_ids
+                )
+            if tel.metrics is not None:
+                tel.metrics.counter(
+                    "repairs_total", "completed repairs"
+                ).labels(mode="light").inc()
         return True
 
     # -- planner (silent-object safety) ------------------------------------

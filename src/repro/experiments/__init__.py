@@ -1,6 +1,8 @@
 """Experiment harness: algorithm registry, runner, tables, experiments."""
 
 from repro.experiments.algorithms import ALGORITHMS, build_system
+from repro.experiments.catalog import CENTRALIZED, DISTRIBUTED
+from repro.experiments.config import RunConfig
 from repro.experiments.registry import (
     DEFAULT_SPEC,
     EXPERIMENTS,
@@ -12,7 +14,10 @@ from repro.experiments.tables import ResultTable
 
 __all__ = [
     "ALGORITHMS",
+    "RunConfig",
     "build_system",
+    "DISTRIBUTED",
+    "CENTRALIZED",
     "Measurement",
     "run_once",
     "ResultTable",

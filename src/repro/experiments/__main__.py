@@ -5,11 +5,22 @@ Usage::
     python -m repro.experiments E1 E5        # selected experiments
     python -m repro.experiments --all        # everything
     python -m repro.experiments --all --quick --csv results/
+    python -m repro.experiments E1 --trace traces/ --metrics-out m.json
+    python -m repro.experiments summarize traces/trace_e1.jsonl
 
 ``--quick`` shrinks workloads for a fast smoke pass; ``--csv DIR``
 additionally writes one CSV per experiment; ``--profile DIR`` runs each
 experiment under cProfile, writes ``profile_<id>.pstats`` there and
 prints the top-20 functions by cumulative time (see EXPERIMENTS.md).
+
+Observability: ``--trace DIR`` streams one JSONL trace per experiment
+into DIR (``trace_<id>.jsonl``); ``--metrics-out FILE`` dumps the
+metrics registry accumulated across all runs as one JSON document; the
+``summarize`` subcommand renders a per-phase cost table from a trace
+file. Whenever results are written (``--csv``/``--trace``/
+``--metrics-out``), a run manifest with full provenance (specs, params,
+seeds, git rev, versions, wall clock) lands next to them as
+``manifest.json``.
 """
 
 from __future__ import annotations
@@ -20,6 +31,15 @@ import sys
 import time
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs import (
+    JsonlSink,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    recording,
+    use_telemetry,
+    write_manifest,
+)
 
 
 def _profiled_experiment(name: str, quick: bool, out_dir: str):
@@ -42,7 +62,25 @@ def _profiled_experiment(name: str, quick: bool, out_dir: str):
     return table
 
 
+def _manifest_dir(args) -> str | None:
+    """Where the manifest lands: next to whichever results are written."""
+    if args.csv:
+        return args.csv
+    if args.trace:
+        return args.trace
+    if args.metrics_out:
+        return os.path.dirname(os.path.abspath(args.metrics_out))
+    return None
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "summarize":
+        from repro.obs import summarize
+
+        return summarize.main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the paper's tables and figures.",
@@ -50,7 +88,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))})",
+        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}), or "
+        "'summarize TRACE' to render a per-phase cost table",
     )
     parser.add_argument("--all", action="store_true", help="run everything")
     parser.add_argument(
@@ -65,6 +104,16 @@ def main(argv=None) -> int:
         help="cProfile each experiment: dump .pstats into DIR and print "
         "the top-20 cumulative functions",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        help="stream one JSONL trace per experiment into DIR",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="dump the accumulated metrics registry as JSON",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.all else [n.upper() for n in args.experiments]
@@ -74,24 +123,57 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
 
-    if args.csv:
-        os.makedirs(args.csv, exist_ok=True)
-    if args.profile:
-        os.makedirs(args.profile, exist_ok=True)
+    for directory in (args.csv, args.profile, args.trace):
+        if directory:
+            os.makedirs(directory, exist_ok=True)
 
-    for name in names:
-        _, description = EXPERIMENTS[name]
-        print(f"== {name}: {description} ==")
-        t0 = time.perf_counter()
-        if args.profile:
-            table = _profiled_experiment(name, args.quick, args.profile)
-        else:
-            table = run_experiment(name, quick=args.quick)
-        elapsed = time.perf_counter() - t0
-        print(table.render())
-        print(f"({elapsed:.1f}s)\n")
-        if args.csv:
-            table.to_csv(os.path.join(args.csv, f"{name.lower()}.csv"))
+    registry = MetricsRegistry() if args.metrics_out else None
+
+    t_start = time.perf_counter()
+    with recording() as runs:
+        for name in names:
+            _, description = EXPERIMENTS[name]
+            print(f"== {name}: {description} ==")
+            sink = None
+            if args.trace:
+                sink = JsonlSink(
+                    os.path.join(args.trace, f"trace_{name.lower()}.jsonl")
+                )
+            telemetry = Telemetry(
+                tracer=Tracer(sink) if sink is not None else None,
+                metrics=registry,
+            )
+            t0 = time.perf_counter()
+            try:
+                with use_telemetry(telemetry):
+                    if args.profile:
+                        table = _profiled_experiment(
+                            name, args.quick, args.profile
+                        )
+                    else:
+                        table = run_experiment(name, quick=args.quick)
+            finally:
+                if sink is not None:
+                    sink.close()
+            elapsed = time.perf_counter() - t0
+            print(table.render())
+            print(f"({elapsed:.1f}s)\n")
+            if args.csv:
+                table.to_csv(os.path.join(args.csv, f"{name.lower()}.csv"))
+
+    if registry is not None:
+        registry.dump_json(args.metrics_out)
+        print(f"wrote {args.metrics_out}")
+    manifest_dir = _manifest_dir(args)
+    if manifest_dir is not None:
+        path = os.path.join(manifest_dir, "manifest.json")
+        write_manifest(
+            path,
+            runs,
+            wall_seconds=round(time.perf_counter() - t_start, 3),
+            extra={"experiments": names, "quick": args.quick},
+        )
+        print(f"wrote {path}")
     return 0
 
 

@@ -1,30 +1,33 @@
-"""Uniform construction interface over all five algorithms.
+"""Uniform construction interface over all six algorithms.
 
-Every entry takes ``(fleet, specs, latency, record_history, **params)``
-and returns a ready :class:`~repro.net.simulator.RoundSimulator`. The
-``params`` accepted per algorithm:
+The first-class entry point is a :class:`~repro.experiments.config.
+RunConfig`::
 
-========= =====================================================
-DKNN-P    theta, s_cap, grid_cells, incremental, fault_tolerant,
-          ack_timeout, lease_ticks, violation_retry
-DKNN-B    s_cap, initial_collect_radius, collect_slack
-DKNN-G    s_cap, initial_collect_radius, collect_slack, lease_ticks
-PER       grid_cells, period
-SEA       grid_cells
-CPM       grid_cells
-========= =====================================================
+    cfg = RunConfig("DKNN-G", fast=True, params={"lease_ticks": 12})
+    sim = build_system(cfg, fleet, specs)
 
-All algorithms additionally accept ``faults`` (a
-:class:`~repro.net.faults.FaultPlan`) to run over a lossy network;
-only fault-tolerant DKNN-P actively heals around it. They also all
-accept ``fast`` (bool): route the client side through the vectorized
-silent-object phase where one exists (DKNN-P/B/G) — results are
-bit-identical either way.
+Parameter names and defaults come from the algorithm catalog
+(:mod:`repro.experiments.catalog`); ``ALGORITHMS[name].param_defaults``
+exposes them programmatically, and the table below is rendered from the
+same data at import time:
+
+{PARAM_TABLE}
+
+Every config additionally carries ``faults`` (a
+:class:`~repro.net.faults.FaultPlan`) to run over a lossy network
+(only fault-tolerant DKNN-P actively heals around it) and ``fast``
+(bool): route the client side through the vectorized silent-object
+phase where one exists (DKNN-P/B/G) — results are bit-identical either
+way.
+
+The legacy form ``build_system("DKNN-P", fleet, specs, theta=...,
+fast=True)`` still works but raises a ``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+import warnings
+from typing import Callable, Dict, Optional, Sequence, Union
 
 from repro.baselines import (
     build_cpm_system,
@@ -36,140 +39,96 @@ from repro.core.broadcast_variant import build_broadcast_system
 from repro.core.builder import build_dknn_system
 from repro.core.geocast_variant import GeocastParams, build_geocast_system
 from repro.errors import ExperimentError
+from repro.experiments.catalog import (
+    CATALOG,
+    CENTRALIZED,
+    DISTRIBUTED,
+    render_param_table,
+)
+from repro.experiments.config import RunConfig, config_from_legacy
 from repro.net.simulator import RoundSimulator, ZERO_LATENCY
+from repro.obs.telemetry import Telemetry
 from repro.server.query_table import QuerySpec
 
 __all__ = ["ALGORITHMS", "build_system", "DISTRIBUTED", "CENTRALIZED"]
 
-#: Algorithm families, for experiment grouping.
-DISTRIBUTED = ("DKNN-P", "DKNN-B", "DKNN-G")
-CENTRALIZED = ("PER", "SEA", "CPM")
+#: name -> AlgorithmInfo: the queryable algorithm surface. Iteration
+#: order and membership match the buildable set below.
+ALGORITHMS = CATALOG
 
 
-def _build_dknn_p(fleet, specs, latency, record_history, **params):
-    faults = params.pop("faults", None)
-    fast = params.pop("fast", False)
+def _common(cfg: RunConfig, telemetry: Optional[Telemetry]) -> Dict:
+    return dict(
+        latency=cfg.latency,
+        record_history=cfg.record_history,
+        faults=cfg.faults,
+        fast=cfg.fast,
+        telemetry=telemetry,
+    )
+
+
+def _build_dknn_p(fleet, specs, cfg, telemetry):
+    p = cfg.resolved_params()
     dp = DknnParams(
-        theta=params.pop("theta", 100.0),
-        s_cap=params.pop("s_cap", 50.0),
-        grid_cells=params.pop("grid_cells", 32),
-        incremental=params.pop("incremental", True),
-        fault_tolerant=params.pop("fault_tolerant", False),
-        ack_timeout=params.pop("ack_timeout", 2),
-        lease_ticks=params.pop("lease_ticks", 8),
-        violation_retry=params.pop("violation_retry", 2),
+        theta=p["theta"],
+        s_cap=p["s_cap"],
+        grid_cells=p["grid_cells"],
+        incremental=p["incremental"],
+        fault_tolerant=p["fault_tolerant"],
+        ack_timeout=p["ack_timeout"],
+        lease_ticks=p["lease_ticks"],
+        violation_retry=p["violation_retry"],
     )
-    _reject_leftovers("DKNN-P", params)
-    return build_dknn_system(
-        fleet,
-        specs,
-        dp,
-        latency=latency,
-        record_history=record_history,
-        faults=faults,
-        fast=fast,
-    )
+    return build_dknn_system(fleet, specs, dp, **_common(cfg, telemetry))
 
 
-def _build_dknn_b(fleet, specs, latency, record_history, **params):
-    faults = params.pop("faults", None)
-    fast = params.pop("fast", False)
+def _build_dknn_b(fleet, specs, cfg, telemetry):
+    p = cfg.resolved_params()
     bp = BroadcastParams(
-        s_cap=params.pop("s_cap", 50.0),
-        initial_collect_radius=params.pop("initial_collect_radius", 1000.0),
-        collect_slack=params.pop("collect_slack", 1.5),
+        s_cap=p["s_cap"],
+        initial_collect_radius=p["initial_collect_radius"],
+        collect_slack=p["collect_slack"],
     )
-    _reject_leftovers("DKNN-B", params)
-    return build_broadcast_system(
-        fleet,
-        specs,
-        bp,
-        latency=latency,
-        record_history=record_history,
-        faults=faults,
-        fast=fast,
-    )
+    return build_broadcast_system(fleet, specs, bp, **_common(cfg, telemetry))
 
 
-def _build_dknn_g(fleet, specs, latency, record_history, **params):
-    faults = params.pop("faults", None)
-    fast = params.pop("fast", False)
+def _build_dknn_g(fleet, specs, cfg, telemetry):
+    p = cfg.resolved_params()
     gp = GeocastParams(
-        s_cap=params.pop("s_cap", 50.0),
-        initial_collect_radius=params.pop("initial_collect_radius", 1000.0),
-        collect_slack=params.pop("collect_slack", 1.5),
-        lease_ticks=params.pop("lease_ticks", 10),
+        s_cap=p["s_cap"],
+        initial_collect_radius=p["initial_collect_radius"],
+        collect_slack=p["collect_slack"],
+        lease_ticks=p["lease_ticks"],
     )
-    _reject_leftovers("DKNN-G", params)
-    return build_geocast_system(
-        fleet,
-        specs,
-        gp,
-        latency=latency,
-        record_history=record_history,
-        faults=faults,
-        fast=fast,
-    )
+    return build_geocast_system(fleet, specs, gp, **_common(cfg, telemetry))
 
 
-def _build_per(fleet, specs, latency, record_history, **params):
-    faults = params.pop("faults", None)
-    fast = params.pop("fast", False)
-    grid_cells = params.pop("grid_cells", 32)
-    period = params.pop("period", 1)
-    _reject_leftovers("PER", params)
+def _build_per(fleet, specs, cfg, telemetry):
+    p = cfg.resolved_params()
     return build_periodic_system(
         fleet,
         specs,
-        grid_cells=grid_cells,
-        period=period,
-        latency=latency,
-        record_history=record_history,
-        faults=faults,
-        fast=fast,
+        grid_cells=p["grid_cells"],
+        period=p["period"],
+        **_common(cfg, telemetry),
     )
 
 
-def _build_sea(fleet, specs, latency, record_history, **params):
-    faults = params.pop("faults", None)
-    fast = params.pop("fast", False)
-    grid_cells = params.pop("grid_cells", 32)
-    _reject_leftovers("SEA", params)
+def _build_sea(fleet, specs, cfg, telemetry):
+    p = cfg.resolved_params()
     return build_seacnn_system(
-        fleet,
-        specs,
-        grid_cells=grid_cells,
-        latency=latency,
-        record_history=record_history,
-        faults=faults,
-        fast=fast,
+        fleet, specs, grid_cells=p["grid_cells"], **_common(cfg, telemetry)
     )
 
 
-def _build_cpm(fleet, specs, latency, record_history, **params):
-    faults = params.pop("faults", None)
-    fast = params.pop("fast", False)
-    grid_cells = params.pop("grid_cells", 32)
-    _reject_leftovers("CPM", params)
+def _build_cpm(fleet, specs, cfg, telemetry):
+    p = cfg.resolved_params()
     return build_cpm_system(
-        fleet,
-        specs,
-        grid_cells=grid_cells,
-        latency=latency,
-        record_history=record_history,
-        faults=faults,
-        fast=fast,
+        fleet, specs, grid_cells=p["grid_cells"], **_common(cfg, telemetry)
     )
 
 
-def _reject_leftovers(name: str, params: Dict) -> None:
-    if params:
-        raise ExperimentError(
-            f"{name} got unknown parameters {sorted(params)}"
-        )
-
-
-ALGORITHMS: Dict[str, Callable[..., RoundSimulator]] = {
+_BUILDERS: Dict[str, Callable[..., RoundSimulator]] = {
     "DKNN-P": _build_dknn_p,
     "DKNN-B": _build_dknn_b,
     "DKNN-G": _build_dknn_g,
@@ -178,20 +137,50 @@ ALGORITHMS: Dict[str, Callable[..., RoundSimulator]] = {
     "CPM": _build_cpm,
 }
 
+assert set(_BUILDERS) == set(CATALOG), "catalog out of sync with builders"
+
+_LEGACY_MSG = (
+    "build_system(algorithm, ..., **params) is deprecated; pass a "
+    "RunConfig: build_system(RunConfig({name!r}, params={{...}}), "
+    "fleet, specs)"
+)
+
 
 def build_system(
-    algorithm: str,
+    config: Union[RunConfig, str],
     fleet,
     specs: Sequence[QuerySpec],
-    latency: str = ZERO_LATENCY,
-    record_history: bool = False,
-    **params,
+    telemetry: Optional[Telemetry] = None,
+    **legacy,
 ) -> RoundSimulator:
-    """Build any registered algorithm by name."""
-    builder = ALGORITHMS.get(algorithm)
-    if builder is None:
-        raise ExperimentError(
-            f"unknown algorithm {algorithm!r}; "
-            f"expected one of {sorted(ALGORITHMS)}"
+    """Build any registered algorithm from a :class:`RunConfig`.
+
+    The legacy form — an algorithm name plus loose kwargs (``latency``,
+    ``record_history``, ``faults``, ``fast`` and per-algorithm params
+    mixed together) — is adapted through :func:`config_from_legacy`
+    with a ``DeprecationWarning``.
+    """
+    if isinstance(config, RunConfig):
+        if legacy:
+            raise ExperimentError(
+                "build_system(RunConfig, ...) takes no extra parameters; "
+                f"got {sorted(legacy)} — put them in RunConfig.params"
+            )
+        cfg = config
+    elif isinstance(config, str):
+        warnings.warn(
+            _LEGACY_MSG.format(name=config),
+            DeprecationWarning,
+            stacklevel=2,
         )
-    return builder(fleet, list(specs), latency, record_history, **params)
+        cfg = config_from_legacy(config, **legacy)
+    else:
+        raise ExperimentError(
+            f"expected a RunConfig or algorithm name, got {config!r}"
+        )
+    return _BUILDERS[cfg.algorithm](fleet, list(specs), cfg, telemetry)
+
+
+# Render the parameter table from the catalog so the docs cannot drift.
+if __doc__ is not None:  # -OO strips docstrings
+    __doc__ = __doc__.replace("{PARAM_TABLE}", render_param_table())

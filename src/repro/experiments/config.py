@@ -1,0 +1,169 @@
+"""The typed run configuration: one frozen object per run.
+
+:class:`RunConfig` replaces the loose ``(algorithm, latency,
+record_history, faults=..., fast=..., **params)`` kwarg soup that
+``build_system`` and ``run_once`` used to take. It validates eagerly —
+unknown algorithms and mistyped parameter names fail at construction,
+with a near-miss suggestion — and it is hashable/immutable, so a config
+can be reused across runs, stored in a manifest, or keyed in a dict.
+
+The old call forms still work through a shim that raises a
+``DeprecationWarning``; repo-internal callers are migrated (CI errors
+on the warning from first-party code, see ``pyproject.toml``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import ExperimentError
+from repro.experiments.catalog import CATALOG, suggest_name
+from repro.net.faults import FaultPlan
+from repro.net.simulator import ONE_TICK_LATENCY, ZERO_LATENCY
+
+__all__ = ["RunConfig", "config_from_legacy"]
+
+_LATENCIES = (ZERO_LATENCY, ONE_TICK_LATENCY)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything that defines one run, minus the workload itself.
+
+    Attributes
+    ----------
+    algorithm:
+        Registered algorithm name (``repro.experiments.catalog``).
+    latency:
+        ``"zero"`` or ``"one_tick"``.
+    record_history:
+        Keep per-tick answer history on the server.
+    faults:
+        Optional :class:`~repro.net.faults.FaultPlan`.
+    fast:
+        Route through the vectorized client phase (bit-identical).
+    warmup, ticks:
+        Optional overrides of the workload spec's ``warmup_ticks`` /
+        ``ticks`` — ``run_once`` applies them via ``spec.but(...)``.
+    params:
+        Per-algorithm parameters; names validated against the catalog.
+    """
+
+    algorithm: str
+    latency: str = ZERO_LATENCY
+    record_history: bool = False
+    faults: Optional[FaultPlan] = None
+    fast: bool = False
+    warmup: Optional[int] = None
+    ticks: Optional[int] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        info = CATALOG.get(self.algorithm)
+        if info is None:
+            hint = suggest_name(self.algorithm, CATALOG)
+            raise ExperimentError(
+                f"unknown algorithm {self.algorithm!r}; expected one of "
+                f"{sorted(CATALOG)}"
+                + (f" (did you mean {hint!r}?)" if hint else "")
+            )
+        if self.latency not in _LATENCIES:
+            raise ExperimentError(
+                f"unknown latency mode {self.latency!r}; "
+                f"expected one of {_LATENCIES}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ExperimentError(
+                f"faults must be a FaultPlan, got {self.faults!r}"
+            )
+        for bound, name in ((self.warmup, "warmup"), (self.ticks, "ticks")):
+            if bound is not None and bound < 0:
+                raise ExperimentError(f"negative {name} {bound}")
+        unknown = set(self.params) - set(info.params)
+        if unknown:
+            hints = []
+            for wrong in sorted(unknown):
+                hint = suggest_name(wrong, info.params)
+                hints.append(
+                    wrong + (f" (did you mean {hint!r}?)" if hint else "")
+                )
+            raise ExperimentError(
+                f"{self.algorithm} got unknown parameters: "
+                + ", ".join(hints)
+                + f"; valid: {sorted(info.params)}"
+            )
+        # Freeze the mapping so the config is safely shareable.
+        object.__setattr__(
+            self, "params", MappingProxyType(dict(self.params))
+        )
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def info(self):
+        return CATALOG[self.algorithm]
+
+    def resolved_params(self) -> Dict[str, Any]:
+        """Catalog defaults overlaid with this config's params."""
+        resolved = self.info.param_defaults
+        resolved.update(self.params)
+        return resolved
+
+    def but(self, **changes: Any) -> "RunConfig":
+        """A copy with ``changes`` applied (validated afresh)."""
+        if "params" in changes and changes["params"] is not None:
+            changes["params"] = dict(changes["params"])
+        else:
+            changes.setdefault("params", dict(self.params))
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe summary for manifests and run.start events."""
+        return {
+            "algorithm": self.algorithm,
+            "latency": self.latency,
+            "record_history": self.record_history,
+            "faults": repr(self.faults) if self.faults is not None else None,
+            "fast": self.fast,
+            "warmup": self.warmup,
+            "ticks": self.ticks,
+            "params": dict(self.params),
+            "resolved_params": self.resolved_params(),
+        }
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.algorithm,
+                self.latency,
+                self.record_history,
+                self.fast,
+                self.warmup,
+                self.ticks,
+                tuple(sorted(self.params.items())),
+                id(self.faults) if self.faults is not None else None,
+            )
+        )
+
+
+def config_from_legacy(
+    algorithm: str,
+    latency: str = ZERO_LATENCY,
+    record_history: bool = False,
+    **params: Any,
+) -> RunConfig:
+    """Adapt the pre-RunConfig kwarg form (``faults``/``fast`` mixed
+    into the parameter dict) into a validated config."""
+    faults = params.pop("faults", None)
+    fast = params.pop("fast", False)
+    return RunConfig(
+        algorithm=algorithm,
+        latency=latency,
+        record_history=record_history,
+        faults=faults,
+        fast=bool(fast),
+        params=params,
+    )

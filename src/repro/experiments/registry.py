@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.experiments.config import RunConfig
 from repro.experiments.runner import Measurement, run_once
 from repro.experiments.tables import ResultTable
 from repro.net.faults import FaultPlan
@@ -69,7 +70,9 @@ def _comm_rows(
     for name in algorithms:
         params = (alg_params or {}).get(name, {})
         m = run_once(
-            name, spec, accuracy_every=accuracy_every, alg_params=params
+            RunConfig(name, params=params),
+            spec,
+            accuracy_every=accuracy_every,
         )
         table.add_row(
             {
@@ -200,7 +203,9 @@ def e6_server_cost_vs_n(quick: bool = False) -> ResultTable:
     )
     for n in ns:
         for name in _ALL:
-            m = run_once(name, base.but(n_objects=n), accuracy_every=20)
+            m = run_once(
+                RunConfig(name), base.but(n_objects=n), accuracy_every=20
+            )
             table.add_row(
                 {
                     "N": n,
@@ -230,7 +235,7 @@ def e7_message_breakdown(quick: bool = False) -> ResultTable:
         ("algorithm", "kind", "msgs/tick", "bytes/tick", "recv/tick"),
     )
     for name in _ALL:
-        m = run_once(name, spec, accuracy_every=20)
+        m = run_once(RunConfig(name), spec, accuracy_every=20)
         for kind in sorted(m.per_kind_msgs):
             table.add_row(
                 {
@@ -271,7 +276,9 @@ def e8_staleness(quick: bool = False) -> ResultTable:
     periods = (1, 5) if quick else (1, 2, 5, 10, 20)
     for period in periods:
         m = run_once(
-            "PER", base, accuracy_every=2, alg_params={"period": period}
+            RunConfig("PER", params={"period": period}),
+            base,
+            accuracy_every=2,
         )
         table.add_row(
             {
@@ -286,7 +293,9 @@ def e8_staleness(quick: bool = False) -> ResultTable:
             (ZERO_LATENCY, "zero-latency"),
             (ONE_TICK_LATENCY, "1-tick latency"),
         ):
-            m = run_once(name, base, latency=latency, accuracy_every=2)
+            m = run_once(
+                RunConfig(name, latency=latency), base, accuracy_every=2
+            )
             table.add_row(
                 {
                     "configuration": f"{name} {label}",
@@ -322,10 +331,11 @@ def e9_theta_ablation(quick: bool = False) -> ResultTable:
     thetas = (50, 200) if quick else (25, 50, 100, 200, 400)
     for theta in thetas:
         m = run_once(
-            "DKNN-P",
+            RunConfig(
+                "DKNN-P", params={"theta": float(theta), "s_cap": 50.0}
+            ),
             base,
             accuracy_every=10,
-            alg_params={"theta": float(theta), "s_cap": 50.0},
         )
         table.add_row(
             {
@@ -340,10 +350,11 @@ def e9_theta_ablation(quick: bool = False) -> ResultTable:
     s_caps = (10, 100) if quick else (0, 10, 50, 100, 200)
     for s_cap in s_caps:
         m = run_once(
-            "DKNN-P",
+            RunConfig(
+                "DKNN-P", params={"theta": 100.0, "s_cap": float(s_cap)}
+            ),
             base,
             accuracy_every=10,
-            alg_params={"theta": 100.0, "s_cap": float(s_cap)},
         )
         table.add_row(
             {
@@ -409,10 +420,9 @@ def e11_grid_ablation(quick: bool = False) -> ResultTable:
     for cells in cell_counts:
         for name in ("DKNN-P", "SEA", "CPM"):
             m = run_once(
-                name,
+                RunConfig(name, params={"grid_cells": cells}),
                 base,
                 accuracy_every=20,
-                alg_params={"grid_cells": cells},
             )
             table.add_row(
                 {
@@ -450,7 +460,7 @@ def e12_wakeups(quick: bool = False) -> ResultTable:
             "exactness",
         ),
     )
-    m = run_once("DKNN-B", base, accuracy_every=10)
+    m = run_once(RunConfig("DKNN-B"), base, accuracy_every=10)
     table.add_row(
         {
             "configuration": "DKNN-B (global broadcast)",
@@ -463,8 +473,9 @@ def e12_wakeups(quick: bool = False) -> ResultTable:
     leases = (5, 20) if quick else (2, 5, 10, 20, 40)
     for lease in leases:
         m = run_once(
-            "DKNN-G", base, accuracy_every=10,
-            alg_params={"lease_ticks": lease},
+            RunConfig("DKNN-G", params={"lease_ticks": lease}),
+            base,
+            accuracy_every=10,
         )
         table.add_row(
             {
@@ -507,10 +518,9 @@ def e13_light_repairs(quick: bool = False) -> ResultTable:
         spec = base.but(query_speed=float(v))
         for incremental in (False, True):
             m = run_once(
-                "DKNN-P",
+                RunConfig("DKNN-P", params={"incremental": incremental}),
                 spec,
                 accuracy_every=10,
-                alg_params={"incremental": incremental},
             )
             table.add_row(
                 {
@@ -596,11 +606,9 @@ def e14_faults(quick: bool = False) -> ResultTable:
         )
         for label, name, params in configs:
             m = run_once(
-                name,
+                RunConfig(name, faults=plan, params=dict(params)),
                 base,
                 accuracy_every=2,
-                alg_params=dict(params),
-                faults=plan,
             )
             row(f"drop={drop:g}", label, m)
     crash_fracs = (0.05,) if quick else (0.02, 0.1)
@@ -617,11 +625,9 @@ def e14_faults(quick: bool = False) -> ResultTable:
         plan = FaultPlan(seed=11, crashes=crashes)
         for label, name, params in configs:
             m = run_once(
-                name,
+                RunConfig(name, faults=plan, params=dict(params)),
                 base,
                 accuracy_every=2,
-                alg_params=dict(params),
-                faults=plan,
             )
             row(f"crash={frac:g}", label, m)
     return table

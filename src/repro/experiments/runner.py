@@ -1,15 +1,34 @@
-"""Run one (algorithm, workload) pair and measure everything.
+"""Run one (config, workload) pair and measure everything.
+
+The first-class entry point takes a :class:`~repro.experiments.config.
+RunConfig`::
+
+    m = run_once(RunConfig("DKNN-P", fast=True), spec)
 
 Measurements exclude a configurable warmup window so the one-time
 registration burst (every algorithm pays an O(N) bootstrap) does not
 pollute steady-state rates — the quantity the paper-era figures plot.
+
+Observability: the run is executed under the ambient (or explicitly
+passed) :class:`~repro.obs.telemetry.Telemetry`. When tracing is on,
+``run.start`` / ``run.end`` meta events bracket the run; when a metrics
+registry is attached, the per-kind message/byte and cost-unit deltas of
+the measured window are copied into it after the run; and when a
+manifest :func:`~repro.obs.manifest.recording` is open, one provenance
+record per run lands in it. With the default null telemetry all of this
+costs nothing.
+
+The legacy form ``run_once("DKNN-P", spec, alg_params={...},
+faults=..., fast=True)`` still works but raises a
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+import warnings
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Union
 
 from repro.errors import ExperimentError
 from repro.index.bruteforce import brute_knn_ids
@@ -17,6 +36,9 @@ from repro.metrics.accuracy import AccuracyTracker
 from repro.net.faults import FaultPlan
 from repro.net.simulator import ZERO_LATENCY
 from repro.experiments.algorithms import build_system
+from repro.experiments.config import RunConfig
+from repro.obs.manifest import record_run
+from repro.obs.telemetry import Telemetry, active_telemetry
 from repro.workloads.generator import build_workload
 from repro.workloads.spec import WorkloadSpec
 
@@ -90,44 +112,131 @@ class Measurement:
         }
 
 
+_LEGACY_MSG = (
+    "run_once(algorithm, spec, latency=..., alg_params=..., faults=..., "
+    "fast=...) is deprecated; pass a RunConfig: "
+    "run_once(RunConfig({name!r}, params={{...}}), spec)"
+)
+
+
+def _fill_metrics(reg, algorithm: str, comm, units) -> None:
+    """Copy the measured window's deltas into the metrics registry.
+
+    CommStats / CostMeter stay the source of truth; this projection is
+    what makes one ``--metrics-out`` artifact carry the per-algorithm
+    message-kind/byte and cost-unit breakdowns.
+    """
+    reg.counter("runs_total", "completed measured runs").labels(
+        algorithm=algorithm
+    ).inc()
+    msgs = reg.counter(
+        "messages_total", "messages sent in the measured window"
+    )
+    byts = reg.counter(
+        "message_bytes_total", "payload bytes sent in the measured window"
+    )
+    for kind, row in comm.per_kind_table().items():
+        msgs.labels(algorithm=algorithm, kind=kind).inc(row["messages"])
+        byts.labels(algorithm=algorithm, kind=kind).inc(row["bytes"])
+    cost = reg.counter(
+        "server_cost_units_total", "abstract server work units"
+    )
+    for category, n in units.units.items():
+        cost.labels(algorithm=algorithm, category=category).inc(n)
+
+
 def run_once(
-    algorithm: str,
+    config: Union[RunConfig, str],
     spec: WorkloadSpec,
-    latency: str = ZERO_LATENCY,
+    latency: Optional[str] = None,
     accuracy_every: int = 10,
     alg_params: Optional[Dict] = None,
     faults: Optional[FaultPlan] = None,
-    fast: bool = False,
+    fast: Optional[bool] = None,
     profile: Optional[str] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Measurement:
     """Build, warm up, run, and measure one configuration.
 
+    ``config`` is a :class:`RunConfig`; its optional ``ticks`` /
+    ``warmup`` override the spec's via ``spec.but(...)``.
     ``accuracy_every`` controls how often (in ticks) the published
     answers are checked against brute force over ground truth; 0
-    disables checking (exactness/overlap report as 1.0). ``faults``
-    runs the system over a lossy / churning network; when the server
-    annotates its answers (DKNN-P's ``degraded`` map), accuracy is
-    additionally reported conditioned on the annotation. ``fast``
-    selects the vectorized fleet + client phase (bit-identical to the
-    scalar path). ``profile``, if set, is a directory: the measured
-    window runs under cProfile, the stats dump lands there as
-    ``profile_<algorithm>.pstats``, and the top-20 cumulative report is
-    printed to stdout.
+    disables checking (exactness/overlap report as 1.0). ``profile``,
+    if set, is a directory: the measured window runs under cProfile,
+    the stats dump lands there as ``profile_<algorithm>.pstats``, and
+    the top-20 cumulative report is printed to stdout. ``telemetry``
+    defaults to the ambient one (see ``repro.obs.use_telemetry``).
+
+    The legacy keyword arguments ``latency`` / ``alg_params`` /
+    ``faults`` / ``fast`` are only valid with the deprecated
+    string-algorithm form.
     """
+    if isinstance(config, RunConfig):
+        stray = [
+            name
+            for name, value in (
+                ("latency", latency),
+                ("alg_params", alg_params),
+                ("faults", faults),
+                ("fast", fast),
+            )
+            if value is not None
+        ]
+        if stray:
+            raise ExperimentError(
+                f"run_once(RunConfig, ...) does not take {stray}; "
+                "put them in the RunConfig"
+            )
+        cfg = config
+    elif isinstance(config, str):
+        warnings.warn(
+            _LEGACY_MSG.format(name=config),
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        cfg = RunConfig(
+            algorithm=config,
+            latency=latency if latency is not None else ZERO_LATENCY,
+            faults=faults,
+            fast=bool(fast),
+            params=dict(alg_params or {}),
+        )
+    else:
+        raise ExperimentError(
+            f"expected a RunConfig or algorithm name, got {config!r}"
+        )
     if accuracy_every < 0:
         raise ExperimentError(f"negative accuracy_every {accuracy_every}")
-    fleet, queries = build_workload(spec, fast=fast)
-    params = dict(alg_params or {})
-    params.setdefault("fast", fast)
-    sim = build_system(
-        algorithm,
-        fleet,
-        queries,
-        latency=latency,
-        faults=faults,
-        **params,
-    )
+
+    overrides = {}
+    if cfg.ticks is not None:
+        overrides["ticks"] = cfg.ticks
+    if cfg.warmup is not None:
+        overrides["warmup_ticks"] = cfg.warmup
+    if overrides:
+        spec = spec.but(**overrides)
+
+    tel = telemetry if telemetry is not None else active_telemetry()
+    fleet, queries = build_workload(spec, fast=cfg.fast)
+    sim = build_system(cfg, fleet, queries, telemetry=tel)
     server = sim.server
+
+    if tel.enabled and tel.tracer.enabled:
+        tel.tracer.emit(
+            0,
+            "run.start",
+            algorithm=cfg.algorithm,
+            latency=cfg.latency,
+            fast=cfg.fast,
+            faults=repr(cfg.faults) if cfg.faults is not None else None,
+            n_objects=spec.n_objects,
+            n_queries=spec.n_queries,
+            k=spec.k,
+            seed=spec.seed,
+            ticks=spec.ticks,
+            warmup=spec.warmup_ticks,
+        )
 
     # Warmup: run the registration burst out of the measured window.
     sim.run(spec.warmup_ticks)
@@ -172,7 +281,7 @@ def run_once(
     measured = spec.ticks - spec.warmup_ticks
     t0 = time.perf_counter()
     if profile is not None:
-        _run_profiled(sim, measured, observe, profile, algorithm)
+        _run_profiled(sim, measured, observe, profile, cfg.algorithm)
     else:
         sim.run(measured, on_tick=observe)
     wall = time.perf_counter() - t0
@@ -200,7 +309,7 @@ def run_once(
         extra["light_ratio"] = f"{light}/{full}"
     if hasattr(server, "renewals"):
         extra["renewals"] = server.renewals
-    if faults is not None and faults.enabled:
+    if cfg.faults is not None and cfg.faults.enabled:
         extra["dropped/tick"] = comm.dropped / measured
         extra["dup/tick"] = comm.duplicated / measured
         extra["delayed/tick"] = comm.delayed / measured
@@ -211,8 +320,8 @@ def run_once(
         if healthy:
             extra["healthy_exactness"] = tracker.healthy_exactness
 
-    return Measurement(
-        algorithm=algorithm,
+    m = Measurement(
+        algorithm=cfg.algorithm,
         spec=spec,
         ticks_measured=measured,
         msgs_per_tick=comm.total_messages / measured,
@@ -238,3 +347,36 @@ def run_once(
         repairs_per_tick=repairs,
         extra=extra,
     )
+
+    if tel.enabled:
+        if tel.tracer.enabled:
+            tel.tracer.emit(
+                sim.tick,
+                "run.end",
+                algorithm=cfg.algorithm,
+                ticks_measured=measured,
+                wall_seconds=round(wall, 6),
+                msgs_per_tick=round(m.msgs_per_tick, 6),
+                exactness=m.exactness,
+            )
+        if tel.metrics is not None:
+            _fill_metrics(tel.metrics, cfg.algorithm, comm, units)
+
+    record_run(
+        {
+            "config": cfg.describe(),
+            "spec": asdict(spec),
+            "accuracy_every": accuracy_every,
+            "measurement": {
+                "ticks_measured": measured,
+                "msgs_per_tick": m.msgs_per_tick,
+                "bytes_per_tick": m.bytes_per_tick,
+                "units_per_tick": m.units_per_tick,
+                "server_ms_per_tick": m.server_ms_per_tick,
+                "wall_seconds": wall,
+                "exactness": m.exactness,
+                "mean_overlap": m.mean_overlap,
+            },
+        }
+    )
+    return m

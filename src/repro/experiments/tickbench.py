@@ -27,6 +27,8 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.algorithms import build_system
+from repro.experiments.config import RunConfig
+from repro.obs.telemetry import Telemetry
 from repro.workloads.generator import build_workload
 from repro.workloads.spec import WorkloadSpec
 
@@ -75,12 +77,12 @@ def time_tick_loop(
     spec: WorkloadSpec,
     fast: bool,
     alg_params: Optional[Dict] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict:
     """Build one system, warm it up, and time the measured window."""
     fleet, queries = build_workload(spec, fast=fast)
-    params = dict(alg_params or {})
-    params.setdefault("fast", fast)
-    sim = build_system(algorithm, fleet, queries, **params)
+    cfg = RunConfig(algorithm, fast=fast, params=dict(alg_params or {}))
+    sim = build_system(cfg, fleet, queries, telemetry=telemetry)
     sim.run(spec.warmup_ticks)
     measured = spec.ticks - spec.warmup_ticks
     t0 = time.perf_counter()
@@ -181,6 +183,57 @@ def check_smoke(n_objects: int = 2000, ticks: int = 20) -> int:
     return 0
 
 
+def check_obs_overhead(n_objects: int = 2000, ticks: int = 20) -> int:
+    """CI guard for the observability layer.
+
+    Two properties, one small run each way:
+
+    * correctness — with tracing + metrics on, every tick emits a
+      ``tick.phase`` event and bumps ``ticks_total``, and the message
+      stream is unchanged (instrumentation must not perturb the run);
+    * cost — the instrumented run must stay within a loose wall-clock
+      factor of the plain run (the bar catches accidental O(N) work on
+      an emission path, not CI-box noise).
+    """
+    from repro.obs import MetricsRegistry, RingSink, Tracer
+
+    spec = _make_spec(dict(n_objects=n_objects, n_queries=8, k=8), ticks)
+    plain = time_tick_loop("DKNN-B", spec, fast=True)
+    ring = RingSink()
+    reg = MetricsRegistry()
+    tel = Telemetry(tracer=Tracer(ring), metrics=reg)
+    traced = time_tick_loop("DKNN-B", spec, fast=True, telemetry=tel)
+    phase_events = len(ring.events(kind="tick.phase"))
+    ratio = traced["wall_s"] / max(plain["wall_s"], 1e-9)
+    print(
+        f"obs smoke DKNN-B n={n_objects}: plain "
+        f"{plain['ms_per_tick']} ms/tick, traced "
+        f"{traced['ms_per_tick']} ms/tick ({ratio:.2f}x), "
+        f"{phase_events} tick.phase events"
+    )
+    failed = False
+    if traced["msgs_total"] != plain["msgs_total"]:
+        print(
+            f"FAIL: instrumentation changed the message stream "
+            f"({traced['msgs_total']} vs {plain['msgs_total']})"
+        )
+        failed = True
+    if phase_events != spec.ticks:
+        print(f"FAIL: expected {spec.ticks} tick.phase events")
+        failed = True
+    if reg.value("ticks_total") != spec.ticks:
+        print(f"FAIL: ticks_total counter at {reg.value('ticks_total')}")
+        failed = True
+    bar = 2.0
+    if ratio > bar:
+        print(f"FAIL: tracing overhead {ratio:.2f}x above the {bar}x bar")
+        failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
 def main(argv=None) -> int:
     import argparse
 
@@ -198,14 +251,28 @@ def main(argv=None) -> int:
         action="store_true",
         help="CI smoke: small run, exit 1 if fast path is slower",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="with --check: also smoke-test the observability layer "
+        "(trace/metrics correctness and overhead)",
+    )
     args = parser.parse_args(argv)
     if args.check:
-        return check_smoke()
+        rc = check_smoke()
+        if args.obs:
+            rc = rc or check_obs_overhead()
+        return rc
     doc = run_suite()
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.out}")
+    from repro.obs import write_manifest
+
+    manifest_path = args.out + ".manifest.json"
+    write_manifest(manifest_path, runs=doc["results"])
+    print(f"wrote {manifest_path}")
     return 0
 
 

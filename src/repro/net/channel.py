@@ -23,6 +23,7 @@ from typing import Any, Deque, List, Set
 from repro.errors import NetworkError
 from repro.net.message import BROADCAST_ID, GEOCAST_ID, Message, MessageKind
 from repro.net.stats import CommStats
+from repro.obs.telemetry import NULL_TELEMETRY
 
 __all__ = ["Channel"]
 
@@ -35,6 +36,9 @@ class Channel:
         self._queue: Deque[Message] = deque()
         self._registered: Set[int] = set()
         self._tick = 0
+        #: observability handle; the simulator installs its own on
+        #: construction. Disabled (NULL_TELEMETRY) costs one branch.
+        self.telemetry = NULL_TELEMETRY
 
     # -- membership ---------------------------------------------------------
 

@@ -199,6 +199,30 @@ class FaultyChannel(Channel):
         self._held: List[Tuple[int, int, Message]] = []
         self._held_seq = 0
 
+    # -- observability -------------------------------------------------------
+
+    def _note_fault(self, event: str, msg: Message, **extra) -> None:
+        """Emit one fault intervention (caller checked ``tel.enabled``).
+
+        Fault decisions are deterministic given the plan seed and the
+        message stream, and the fast path is bit-identical to scalar —
+        so these are *protocol-scope* events: the streams must match.
+        """
+        tel = self.telemetry
+        if tel.tracer.enabled:
+            tel.tracer.emit(
+                self._tick,
+                "fault." + event,
+                kind=msg.kind.name,
+                src=msg.src,
+                dst=msg.dst,
+                **extra,
+            )
+        if tel.metrics is not None:
+            tel.metrics.counter(
+                "fault_events_total", "fault-plan interventions"
+            ).labels(event=event).inc()
+
     # -- time ----------------------------------------------------------------
 
     def begin_tick(self, tick: int) -> None:
@@ -224,6 +248,8 @@ class FaultyChannel(Channel):
             # of downed nodes, so normally nothing reaches this branch.
             msg = Message(kind, src, dst, payload, sent_tick=tick)
             self.stats.record_drop(msg)
+            if self.telemetry.enabled:
+                self._note_fault("drop", msg, reason="sender_down")
             return msg
         msg = super().send(kind, src, dst, payload)
         if not self.plan.lossy_at(tick):
@@ -233,6 +259,8 @@ class FaultyChannel(Channel):
         if p_drop > 0.0 and rng.random() < p_drop:
             self._queue.pop()  # super() queued it; the network eats it
             self.stats.record_drop(msg)
+            if self.telemetry.enabled:
+                self._note_fault("drop", msg, reason="lossy")
             return msg
         if self.plan.delay_prob > 0.0 and rng.random() < self.plan.delay_prob:
             self._queue.pop()
@@ -241,10 +269,16 @@ class FaultyChannel(Channel):
                 (tick + self.plan.delay_ticks, self._held_seq, msg)
             )
             self._held_seq += 1
+            if self.telemetry.enabled:
+                self._note_fault(
+                    "delay", msg, release=tick + self.plan.delay_ticks
+                )
             return msg
         if self.plan.dup_prob > 0.0 and rng.random() < self.plan.dup_prob:
             self.stats.record_duplicate(msg)
             self._queue.append(msg)
+            if self.telemetry.enabled:
+                self._note_fault("dup", msg)
         return msg
 
     def in_flight(self) -> int:
@@ -264,5 +298,7 @@ class FaultyChannel(Channel):
     def _unicast_receivers(self, msg: Message) -> int:
         if self.plan.is_down(msg.dst, self._tick):
             self.stats.record_drop(msg)
+            if self.telemetry.enabled:
+                self._note_fault("drop", msg, reason="receiver_down")
             return 0
         return 1

@@ -28,6 +28,7 @@ from repro.net.channel import Channel
 from repro.net.faults import FaultPlan, FaultyChannel
 from repro.net.message import BROADCAST_ID, GEOCAST_ID, SERVER_ID, Message
 from repro.net.node import MobileNode, Node, ServerNodeBase
+from repro.obs.telemetry import Telemetry, active_telemetry
 
 __all__ = ["ClientPhase", "RoundSimulator", "ZERO_LATENCY", "ONE_TICK_LATENCY"]
 
@@ -99,6 +100,7 @@ class RoundSimulator:
         latency: str = ZERO_LATENCY,
         faults: Optional[FaultPlan] = None,
         client_phase: Optional["ClientPhase"] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if latency not in (ZERO_LATENCY, ONE_TICK_LATENCY):
             raise NetworkError(f"unknown latency mode {latency!r}")
@@ -121,6 +123,14 @@ class RoundSimulator:
         self.mobiles = list(mobiles)
         self.latency = latency
         self.server_seconds = 0.0
+        #: observability handle, shared with the channel and the server
+        #: so every seam emits into one stream. ``None`` resolves to the
+        #: process-wide ambient handle (NULL_TELEMETRY by default).
+        self.telemetry = (
+            telemetry if telemetry is not None else active_telemetry()
+        )
+        self.channel.telemetry = self.telemetry
+        server.telemetry = self.telemetry
         self._nodes_by_id: Dict[int, Node] = {}
         if server._channel is None:
             server.attach(self.channel)
@@ -201,10 +211,28 @@ class RoundSimulator:
     # -- stepping ---------------------------------------------------------------
 
     def step(self) -> None:
-        """Advance ground truth and run one full protocol round."""
+        """Advance ground truth and run one full protocol round.
+
+        When telemetry is enabled, the tick is split into wall-clock
+        phases — move / client / deliver / server / finish — and one
+        ``tick.phase`` event is emitted per tick. ``deliver`` covers
+        message dispatch *including* the handlers it invokes on both
+        sides; ``server`` covers only the planning hooks (tick start /
+        subrounds / tick end), matching ``server_seconds`` minus the
+        on-message share.
+        """
+        tel = self.telemetry
+        traced = tel.enabled
+        t_move = t_client = t_deliver = t_server = t_finish = 0.0
+        if traced:
+            t_mark = time.perf_counter()
         self.fleet.advance()
         self.tick = self.fleet.tick
         self.channel.begin_tick(self.tick)
+        if traced:
+            now = time.perf_counter()
+            t_move = now - t_mark
+            t_mark = now
 
         if self.client_phase is not None:
             self.client_phase.tick_start(self.tick)
@@ -213,9 +241,13 @@ class RoundSimulator:
                 if self._is_down(node.node_id):
                     continue  # blacked out/crashed: no checks, no sends
                 node.on_tick_start(self.tick)
+        if traced:
+            t_client = time.perf_counter() - t_mark
         t0 = time.perf_counter()
         self.server.on_tick_start(self.tick)
-        self.server_seconds += time.perf_counter() - t0
+        dt = time.perf_counter() - t0
+        self.server_seconds += dt
+        t_server += dt
 
         if self.latency == ZERO_LATENCY:
             subrounds = 0
@@ -227,11 +259,17 @@ class RoundSimulator:
                         f"{_MAX_SUBROUNDS} subrounds at tick {self.tick}"
                     )
                 sent_mark = self.channel.stats.total_messages
+                if traced:
+                    t_mark = time.perf_counter()
                 delivered = self.channel.collect()
                 self._deliver(delivered)
+                if traced:
+                    t_deliver += time.perf_counter() - t_mark
                 t0 = time.perf_counter()
                 self.server.on_subround(self.tick)
-                self.server_seconds += time.perf_counter() - t0
+                dt = time.perf_counter() - t0
+                self.server_seconds += dt
+                t_server += dt
                 if not self.channel.pending() and not self.server.busy():
                     break
                 if (
@@ -248,21 +286,57 @@ class RoundSimulator:
                     # on a later tick instead of dying at the cap.
                     break
         else:
+            subrounds = 1
+            if traced:
+                t_mark = time.perf_counter()
             self._deliver(self.channel.collect_sent_before(self.tick))
+            if traced:
+                t_deliver = time.perf_counter() - t_mark
             t0 = time.perf_counter()
             self.server.on_subround(self.tick)
-            self.server_seconds += time.perf_counter() - t0
+            dt = time.perf_counter() - t0
+            self.server_seconds += dt
+            t_server += dt
             # Replies queued this subround stay in flight until the
             # next tick — that is the point of latency mode.
 
+        if traced:
+            t_mark = time.perf_counter()
         if self.client_phase is None or not self.client_phase.skip_tick_end:
             for node in self.mobiles:
                 if self._is_down(node.node_id):
                     continue
                 node.on_tick_end(self.tick)
+        if traced:
+            t_finish = time.perf_counter() - t_mark
         t0 = time.perf_counter()
         self.server.on_tick_end(self.tick)
-        self.server_seconds += time.perf_counter() - t0
+        dt = time.perf_counter() - t0
+        self.server_seconds += dt
+        t_server += dt
+
+        if traced:
+            if tel.tracer.enabled:
+                tel.tracer.emit(
+                    self.tick,
+                    "tick.phase",
+                    move=round(1000.0 * t_move, 6),
+                    client=round(1000.0 * t_client, 6),
+                    deliver=round(1000.0 * t_deliver, 6),
+                    server=round(1000.0 * t_server, 6),
+                    finish=round(1000.0 * t_finish, 6),
+                    subrounds=subrounds,
+                )
+            if tel.metrics is not None:
+                hist = tel.metrics.histogram(
+                    "tick_phase_ms", "wall ms per tick phase"
+                )
+                hist.labels(phase="move").observe(1000.0 * t_move)
+                hist.labels(phase="client").observe(1000.0 * t_client)
+                hist.labels(phase="deliver").observe(1000.0 * t_deliver)
+                hist.labels(phase="server").observe(1000.0 * t_server)
+                hist.labels(phase="finish").observe(1000.0 * t_finish)
+                tel.metrics.counter("ticks_total", "simulated ticks").inc()
 
     def run(
         self,

@@ -1,0 +1,218 @@
+"""A small in-process metrics registry: counters, gauges, histograms.
+
+Prometheus-shaped but dependency-free and single-threaded (the
+simulator is single-threaded; there are no locks). A registry holds
+*families* keyed by name; a family holds one instrument per label set:
+
+    reg = MetricsRegistry()
+    reg.counter("repairs_total").inc()
+    reg.counter("msgs_total", "messages sent").labels(
+        algorithm="DKNN-P", kind="PROBE"
+    ).inc(12)
+    reg.histogram("tick_phase_ms").labels(phase="deliver").observe(3.2)
+
+``as_dict()`` / ``dump_json()`` render the whole registry as one JSON
+document (the ``--metrics-out`` artifact of the experiments CLI).
+
+The existing per-channel :class:`~repro.net.stats.CommStats` and
+per-server :class:`~repro.metrics.cost.CostMeter` stay the source of
+truth for protocol accounting; the runner copies their deltas into the
+registry after a run so one artifact carries the per-algorithm message
+kind/byte and cost-unit breakdowns.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ExperimentError
+
+__all__ = ["MetricsRegistry", "Counter", "Gauge", "Histogram"]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ExperimentError(f"counter increment {amount} is negative")
+        self.value += amount
+
+    def as_value(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def as_value(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Summary statistics of observed values (count/sum/min/max).
+
+    No buckets: the consumers here want per-phase means and extremes,
+    and a fixed bucket grid would just be dead weight in the JSON.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_value(self) -> Dict[str, Any]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+_KIND_NAMES = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+
+
+class _Family:
+    """All instruments of one name, one per label set."""
+
+    __slots__ = ("name", "help", "_cls", "_children")
+
+    def __init__(self, name: str, cls: type, help: str) -> None:
+        self.name = name
+        self.help = help
+        self._cls = cls
+        self._children: Dict[LabelKey, Any] = {}
+
+    def labels(self, **labels: Any) -> Any:
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._cls()
+        return child
+
+    # Unlabeled convenience: reg.counter("x").inc() without .labels().
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def series(self) -> List[Dict[str, Any]]:
+        rows = []
+        for key in sorted(self._children):
+            row: Dict[str, Any] = {"labels": dict(key)}
+            row.update(self._children[key].as_value())
+            rows.append(row)
+        return rows
+
+
+class MetricsRegistry:
+    """Named metric families; get-or-create with type checking."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    def _family(self, name: str, cls: type, help: str) -> _Family:
+        fam = self._families.get(name)
+        if fam is None:
+            fam = self._families[name] = _Family(name, cls, help)
+        elif fam._cls is not cls:
+            raise ExperimentError(
+                f"metric {name!r} already registered as "
+                f"{_KIND_NAMES[fam._cls]}, not {_KIND_NAMES[cls]}"
+            )
+        return fam
+
+    def counter(self, name: str, help: str = "") -> _Family:
+        return self._family(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> _Family:
+        return self._family(name, Gauge, help)
+
+    def histogram(self, name: str, help: str = "") -> _Family:
+        return self._family(name, Histogram, help)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            name: {
+                "type": _KIND_NAMES[fam._cls],
+                "help": fam.help,
+                "series": fam.series(),
+            }
+            for name, fam in sorted(self._families.items())
+        }
+
+    def dump_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def value(self, name: str, **labels: Any) -> Optional[Any]:
+        """Read one series back (None if the family/series is absent)."""
+        fam = self._families.get(name)
+        if fam is None:
+            return None
+        child = fam._children.get(_label_key(labels))
+        if child is None:
+            return None
+        if isinstance(child, Histogram):
+            return child.as_value()
+        return child.value

@@ -1,0 +1,193 @@
+"""Render a per-phase cost summary from a JSONL trace file.
+
+``python -m repro.experiments summarize trace.jsonl`` (or
+``python -m repro.obs.summarize trace.jsonl``) reads the events a
+``--trace`` run emitted and prints:
+
+* one row per run (``run.start`` / ``run.end`` markers);
+* the per-phase tick cost table aggregated from ``tick.phase`` events
+  (mean / max milliseconds per phase, share of the tick);
+* protocol event counts by kind (repairs by mode, fault events, ...);
+* fastpath candidate-set statistics, when the trace has them.
+
+Deliberately dependency-free (no numpy, no repro.experiments import):
+summaries should work on a trace file alone.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.trace import PROTOCOL_KINDS, TraceEvent, read_jsonl
+
+__all__ = ["phase_table", "summarize_text", "main"]
+
+_PHASES = ("move", "client", "deliver", "server", "finish")
+
+
+def _fmt_table(headers: Sequence[str], rows: List[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def phase_table(events: Iterable[TraceEvent]) -> Dict[str, Dict[str, float]]:
+    """Aggregate ``tick.phase`` events into per-phase statistics (ms)."""
+    stats: Dict[str, Dict[str, float]] = {
+        p: {"ticks": 0, "sum_ms": 0.0, "max_ms": 0.0} for p in _PHASES
+    }
+    subrounds = {"ticks": 0, "sum": 0.0, "max": 0.0}
+    for event in events:
+        if event.kind != "tick.phase":
+            continue
+        for phase in _PHASES:
+            ms = event.fields.get(phase)
+            if ms is None:
+                continue
+            row = stats[phase]
+            row["ticks"] += 1
+            row["sum_ms"] += ms
+            row["max_ms"] = max(row["max_ms"], ms)
+        sr = event.fields.get("subrounds")
+        if sr is not None:
+            subrounds["ticks"] += 1
+            subrounds["sum"] += sr
+            subrounds["max"] = max(subrounds["max"], sr)
+    out = {p: row for p, row in stats.items() if row["ticks"]}
+    if subrounds["ticks"]:
+        out["subrounds"] = subrounds
+    return out
+
+
+def _phase_section(events: List[TraceEvent]) -> Optional[str]:
+    table = phase_table(events)
+    phases = [p for p in _PHASES if p in table]
+    if not phases:
+        return None
+    total_ms = sum(table[p]["sum_ms"] for p in phases)
+    rows = []
+    for phase in phases:
+        row = table[phase]
+        mean = row["sum_ms"] / row["ticks"]
+        share = 100.0 * row["sum_ms"] / total_ms if total_ms else 0.0
+        rows.append(
+            (
+                phase,
+                f"{mean:.3f}",
+                f"{row['max_ms']:.3f}",
+                f"{row['sum_ms']:.1f}",
+                f"{share:.1f}%",
+            )
+        )
+    lines = [
+        "Per-phase tick cost (from tick.phase events):",
+        _fmt_table(("phase", "mean ms", "max ms", "total ms", "share"), rows),
+    ]
+    sub = table.get("subrounds")
+    if sub:
+        lines.append(
+            f"subrounds/tick: mean {sub['sum'] / sub['ticks']:.2f}, "
+            f"max {int(sub['max'])}"
+        )
+    return "\n".join(lines)
+
+
+def _runs_section(events: List[TraceEvent]) -> Optional[str]:
+    starts = [e for e in events if e.kind == "run.start"]
+    ends_list = [e for e in events if e.kind == "run.end"]
+    if not starts and not ends_list:
+        return None
+    lines = ["Runs:"]
+    for i, start in enumerate(starts):
+        f = start.fields
+        desc = (
+            f"  {f.get('algorithm', '?')} n={f.get('n_objects', '?')} "
+            f"q={f.get('n_queries', '?')} k={f.get('k', '?')} "
+            f"seed={f.get('seed', '?')} fast={f.get('fast', '?')} "
+            f"faults={f.get('faults', 'none')}"
+        )
+        if i < len(ends_list):
+            e = ends_list[i].fields
+            desc += (
+                f" -> {e.get('ticks_measured', '?')} ticks in "
+                f"{e.get('wall_seconds', float('nan')):.2f}s"
+            )
+        lines.append(desc)
+    return "\n".join(lines)
+
+
+def _protocol_section(events: List[TraceEvent]) -> Optional[str]:
+    counts: Counter = Counter()
+    for event in events:
+        if event.kind not in PROTOCOL_KINDS:
+            continue
+        label = event.kind
+        mode = event.fields.get("mode")
+        if mode is not None:
+            label += f"[{mode}]"
+        counts[label] += 1
+    if not counts:
+        return None
+    rows = [(k, str(v)) for k, v in sorted(counts.items())]
+    return "Protocol events:\n" + _fmt_table(("kind", "count"), rows)
+
+
+def _fastpath_section(events: List[TraceEvent]) -> Optional[str]:
+    cands = [
+        e.fields.get("candidates", 0)
+        for e in events
+        if e.kind == "fastpath.candidates"
+    ]
+    if not cands:
+        return None
+    replayed = sum(
+        e.fields.get("replayed", 0)
+        for e in events
+        if e.kind == "fastpath.candidates"
+    )
+    return (
+        f"Fastpath: {len(cands)} dispatch decisions, candidates/tick "
+        f"mean {sum(cands) / len(cands):.1f} max {max(cands)}, "
+        f"deferred installs replayed: {replayed}"
+    )
+
+
+def summarize_text(events: List[TraceEvent], source: str = "") -> str:
+    sections = [f"Trace summary{f' ({source})' if source else ''}: "
+                f"{len(events)} events"]
+    for section in (
+        _runs_section(events),
+        _phase_section(events),
+        _protocol_section(events),
+        _fastpath_section(events),
+    ):
+        if section:
+            sections.append(section)
+    return "\n\n".join(sections)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments summarize",
+        description="Summarize a JSONL trace file.",
+    )
+    parser.add_argument("trace", help="trace file written by --trace")
+    args = parser.parse_args(argv)
+    events = list(read_jsonl(args.trace))
+    print(summarize_text(events, source=args.trace))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""The telemetry handle threaded through the simulation stack.
+
+A :class:`Telemetry` bundles one :class:`~repro.obs.trace.Tracer` and
+(optionally) one :class:`~repro.obs.metrics.MetricsRegistry`. The
+simulator, channels and servers each hold a reference; hot call sites
+follow one pattern::
+
+    tel = self.telemetry
+    if tel.enabled:
+        if tel.tracer.enabled:
+            tel.tracer.emit(tick, "server.repair", qid=qid, mode="full")
+        if tel.metrics is not None:
+            tel.metrics.counter("repairs_total").labels(mode="full").inc()
+
+``enabled`` is a plain bool attribute fixed at construction, so the
+disabled path (:data:`NULL_TELEMETRY`, the default everywhere) costs
+one attribute load and one branch — no event, no dict, no call.
+
+There is also a process-wide *active* telemetry with a context-manager
+setter, so entry points (the experiments CLI) can turn instrumentation
+on without threading a handle through every constructor::
+
+    with use_telemetry(Telemetry(tracer=Tracer(JsonlSink(path)))):
+        run_once(cfg, spec)
+
+Components resolve ``telemetry=None`` to :func:`active_telemetry` at
+construction time; an explicit handle always wins over the ambient one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "active_telemetry",
+    "set_telemetry",
+    "use_telemetry",
+]
+
+
+class Telemetry:
+    """One tracer + optional metrics registry, with a cheap on/off bit."""
+
+    __slots__ = ("enabled", "tracer", "metrics")
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics
+        self.enabled = self.tracer.enabled or metrics is not None
+
+    def close(self) -> None:
+        self.tracer.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Telemetry(enabled={self.enabled}, "
+            f"sink={type(self.tracer.sink).__name__}, "
+            f"metrics={'yes' if self.metrics is not None else 'no'})"
+        )
+
+
+#: The shared disabled handle. Everything defaults to this.
+NULL_TELEMETRY = Telemetry()
+
+_active = NULL_TELEMETRY
+
+
+def active_telemetry() -> Telemetry:
+    """The ambient telemetry (``NULL_TELEMETRY`` unless installed)."""
+    return _active
+
+
+def set_telemetry(telemetry: Optional[Telemetry]) -> Telemetry:
+    """Install ``telemetry`` as ambient; returns the previous handle."""
+    global _active
+    previous = _active
+    _active = telemetry if telemetry is not None else NULL_TELEMETRY
+    return previous
+
+
+@contextmanager
+def use_telemetry(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Scoped :func:`set_telemetry` that restores the previous handle."""
+    previous = set_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_telemetry(previous)

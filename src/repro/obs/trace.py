@@ -1,0 +1,212 @@
+"""Structured trace events and pluggable sinks.
+
+A :class:`TraceEvent` is one observation at one tick: a ``kind`` string
+(dotted, e.g. ``server.repair``), the tick it happened on, and a flat
+``fields`` dict of JSON-serializable values. Events flow through a
+:class:`Tracer` into exactly one sink:
+
+:class:`NullSink`
+    Discards everything. The default. Instrumented call sites guard on
+    ``telemetry.enabled`` before *constructing* an event, so with the
+    null sink active no event object is ever allocated — disabled-mode
+    overhead is one attribute load and one branch per seam.
+:class:`RingSink`
+    Keeps the last ``capacity`` events in memory (tests, REPL).
+:class:`JsonlSink`
+    Appends one JSON object per event to a file (``--trace`` in the
+    experiments CLI); read back with :func:`read_jsonl`.
+
+Event kinds come in three scopes, and the split carries the repo's
+bit-identity contract into observability:
+
+* **protocol** scope (``server.*``, ``fault.*``): emitted only from
+  code shared by the scalar and vectorized paths, with deterministic
+  fields. A ``fast=True`` run must produce the *identical* protocol
+  event stream as its scalar twin — including under a FaultPlan.
+  ``tests/test_obs.py`` pins this.
+* **perf** scope (``tick.phase``, ``fastpath.*``): timings and
+  dispatch decisions. Legitimately different between the two paths.
+* **meta** scope (``run.*``): run lifecycle markers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+__all__ = [
+    "TraceEvent",
+    "TraceSink",
+    "NullSink",
+    "RingSink",
+    "JsonlSink",
+    "Tracer",
+    "PROTOCOL_KINDS",
+    "PERF_KINDS",
+    "META_KINDS",
+    "protocol_events",
+    "read_jsonl",
+]
+
+#: Deterministic protocol-level kinds: identical streams scalar vs fast.
+PROTOCOL_KINDS = frozenset(
+    {
+        "server.violation",
+        "server.query_move",
+        "server.repair",
+        "server.collect",
+        "server.renewal",
+        "server.stale_violation",
+        "fault.drop",
+        "fault.dup",
+        "fault.delay",
+        "fault.retransmit",
+        "fault.suspect",
+        "fault.revive",
+    }
+)
+
+#: Timing / dispatch kinds: may differ between scalar and fast runs.
+PERF_KINDS = frozenset({"tick.phase", "fastpath.candidates"})
+
+#: Run lifecycle markers emitted by the harness, not the protocols.
+META_KINDS = frozenset({"run.start", "run.end"})
+
+
+class TraceEvent:
+    """One observation: ``(tick, kind, fields)``."""
+
+    __slots__ = ("tick", "kind", "fields")
+
+    def __init__(
+        self, tick: int, kind: str, fields: Optional[Dict[str, Any]] = None
+    ) -> None:
+        self.tick = tick
+        self.kind = kind
+        self.fields = fields if fields is not None else {}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return (
+            self.tick == other.tick
+            and self.kind == other.kind
+            and self.fields == other.fields
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash((self.tick, self.kind))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"TraceEvent({self.tick}, {self.kind!r}, {{{inner}}})"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"tick": self.tick, "kind": self.kind, "fields": self.fields}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "TraceEvent":
+        return cls(doc["tick"], doc["kind"], doc.get("fields") or {})
+
+
+def protocol_events(events: Iterable[TraceEvent]) -> List[TraceEvent]:
+    """The protocol-scope subsequence of an event stream.
+
+    This is the projection under which scalar and ``fast=True`` runs
+    must be identical; perf/meta events are legitimately divergent.
+    """
+    return [e for e in events if e.kind in PROTOCOL_KINDS]
+
+
+class TraceSink:
+    """Receives every emitted event; subclasses decide what to keep."""
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class NullSink(TraceSink):
+    """Discards events. Guarded call sites never even construct them."""
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+
+class RingSink(TraceSink):
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self._events.append(event)
+        if len(self._events) > self.capacity:
+            # Trim in one slice; amortized O(1) per event.
+            del self._events[: len(self._events) - self.capacity]
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class JsonlSink(TraceSink):
+    """Appends one JSON object per event to ``path``."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "w")
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        json.dump(event.to_dict(), self._fh, separators=(",", ":"))
+        self._fh.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def read_jsonl(path: str) -> Iterator[TraceEvent]:
+    """Stream events back out of a :class:`JsonlSink` file."""
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield TraceEvent.from_dict(json.loads(line))
+
+
+class Tracer:
+    """Emission facade bound to one sink.
+
+    ``enabled`` is a plain bool attribute — the one-branch guard hot
+    call sites check before building an event. A tracer over the null
+    sink (or no sink) reports ``enabled == False``.
+    """
+
+    __slots__ = ("enabled", "sink")
+
+    def __init__(self, sink: Optional[TraceSink] = None) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        self.enabled = not isinstance(self.sink, NullSink)
+
+    def emit(self, tick: int, kind: str, /, **fields: Any) -> None:
+        # tick/kind are positional-only so a field may also be named
+        # "kind" (e.g. fault.drop carries the dropped message's kind).
+        self.sink.emit(TraceEvent(tick, kind, fields))
+
+    def close(self) -> None:
+        self.sink.close()

@@ -19,6 +19,7 @@ from typing import Dict, List
 from repro.errors import ProtocolError
 from repro.metrics.cost import CostMeter
 from repro.net.node import ServerNodeBase
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.server.query_table import QuerySpec, QueryTable
 
 __all__ = ["BaseServer"]
@@ -31,6 +32,9 @@ class BaseServer(ServerNodeBase):
         super().__init__()
         self.queries = QueryTable()
         self.meter = CostMeter()
+        #: observability handle; the simulator installs its own copy
+        #: when it takes ownership of this server.
+        self.telemetry = NULL_TELEMETRY
         self.answers: Dict[int, List[int]] = {}
         self.record_history = record_history
         #: qid -> list of (tick, answer ids) snapshots, if recording.

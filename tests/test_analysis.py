@@ -15,7 +15,7 @@ from repro.analysis import (
     query_repair_rate,
 )
 from repro.errors import ReproError
-from repro.experiments import run_once
+from repro.experiments import RunConfig, run_once
 from repro.index import brute_knn
 from repro.workloads import WorkloadSpec, build_workload
 
@@ -86,8 +86,9 @@ class TestEmpiricalValidation:
     def test_dead_reckoning_prediction(self):
         theta = 100.0
         m = run_once(
-            "DKNN-P", self.SPEC, accuracy_every=0,
-            alg_params={"theta": theta},
+            RunConfig("DKNN-P", params={"theta": theta}),
+            self.SPEC,
+            accuracy_every=0,
         )
         mean_speed = (self.SPEC.speed_min + self.SPEC.speed_max) / 2
         predicted = dead_reckoning_rate(mean_speed, theta) * self.SPEC.population
@@ -95,13 +96,13 @@ class TestEmpiricalValidation:
         assert predicted / 2.5 < measured < predicted * 2.5
 
     def test_centralized_prediction_is_exact(self):
-        m = run_once("PER", self.SPEC, accuracy_every=0)
+        m = run_once(RunConfig("PER"), self.SPEC, accuracy_every=0)
         assert m.uplink_per_tick == centralized_messages_per_tick(
             self.SPEC.population
         )
 
     def test_dknn_b_per_repair_prediction(self):
-        m = run_once("DKNN-B", self.SPEC, accuracy_every=0)
+        m = run_once(RunConfig("DKNN-B"), self.SPEC, accuracy_every=0)
         rho = object_density(self.SPEC.population, self.SPEC.universe_size)
         predicted = dknn_b_messages_per_repair(self.SPEC.k, rho, 1.5, 50.0)
         assert m.repairs_per_tick is not None and m.repairs_per_tick > 0
@@ -116,6 +117,6 @@ class TestEmpiricalValidation:
             (self.SPEC.speed_min + self.SPEC.speed_max) / 2,
         )
         assert self.SPEC.n_queries < q_star  # we are under the crossover...
-        m_d = run_once("DKNN-B", self.SPEC, accuracy_every=0)
-        m_c = run_once("PER", self.SPEC, accuracy_every=0)
+        m_d = run_once(RunConfig("DKNN-B"), self.SPEC, accuracy_every=0)
+        m_c = run_once(RunConfig("PER"), self.SPEC, accuracy_every=0)
         assert m_d.msgs_per_tick < m_c.msgs_per_tick  # ...so distributed wins

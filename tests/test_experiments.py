@@ -11,6 +11,7 @@ from repro.experiments import (
     run_once,
 )
 from repro.experiments.algorithms import build_system
+from repro.experiments.config import RunConfig
 from repro.workloads import WorkloadSpec, build_workload
 
 SMALL = WorkloadSpec(
@@ -61,7 +62,7 @@ class TestResultTable:
 
 class TestRunner:
     def test_measurement_fields_populated(self):
-        m = run_once("DKNN-B", SMALL, accuracy_every=5)
+        m = run_once(RunConfig("DKNN-B"), SMALL, accuracy_every=5)
         assert m.algorithm == "DKNN-B"
         assert m.ticks_measured == 20
         assert m.msgs_per_tick > 0
@@ -73,25 +74,25 @@ class TestRunner:
         assert row["algorithm"] == "DKNN-B"
 
     def test_accuracy_can_be_disabled(self):
-        m = run_once("PER", SMALL, accuracy_every=0)
+        m = run_once(RunConfig("PER"), SMALL, accuracy_every=0)
         assert m.exactness == 1.0  # reported as unchecked default
 
     def test_negative_accuracy_interval_raises(self):
         with pytest.raises(ExperimentError):
-            run_once("PER", SMALL, accuracy_every=-1)
+            run_once(RunConfig("PER"), SMALL, accuracy_every=-1)
 
     def test_alg_params_forwarded(self):
-        m1 = run_once("DKNN-P", SMALL, accuracy_every=0,
-                      alg_params={"theta": 10.0})
-        m2 = run_once("DKNN-P", SMALL, accuracy_every=0,
-                      alg_params={"theta": 2000.0})
+        m1 = run_once(RunConfig("DKNN-P", params={"theta": 10.0}),
+                      SMALL, accuracy_every=0)
+        m2 = run_once(RunConfig("DKNN-P", params={"theta": 2000.0}),
+                      SMALL, accuracy_every=0)
         # Tiny theta floods dead-reckoning updates.
         assert m1.per_kind_msgs.get("location_update", 0) > m2.per_kind_msgs.get(
             "location_update", 0
         )
 
     def test_centralized_msgs_match_population(self):
-        m = run_once("PER", SMALL, accuracy_every=0)
+        m = run_once(RunConfig("PER"), SMALL, accuracy_every=0)
         assert m.uplink_per_tick == SMALL.population
 
 
@@ -102,14 +103,17 @@ class TestAlgorithmsRegistry:
         }
 
     def test_unknown_algorithm_raises(self):
-        fleet, queries = build_workload(SMALL)
         with pytest.raises(ExperimentError):
-            build_system("FancyNewThing", fleet, queries)
+            RunConfig("FancyNewThing")
 
     def test_unknown_params_rejected(self):
+        with pytest.raises(ExperimentError):
+            RunConfig("PER", params={"warp_factor": 9})
+
+    def test_runconfig_rejects_loose_kwargs(self):
         fleet, queries = build_workload(SMALL)
         with pytest.raises(ExperimentError):
-            build_system("PER", fleet, queries, warp_factor=9)
+            build_system(RunConfig("PER"), fleet, queries, period=2)
 
 
 class TestExperimentRegistry:

@@ -13,6 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.algorithms import ALGORITHMS, build_system
+from repro.experiments.config import RunConfig
 from repro.geometry import Rect
 from repro.mobility import (
     FastFleet,
@@ -38,12 +39,10 @@ def _run(algorithm, fast, faults=None, n=250, ticks=TICKS):
         ticks=ticks, warmup_ticks=0, seed=42, n_objects=n, n_queries=6, k=5
     )
     fleet, queries = build_workload(spec, fast=fast)
-    params = {"fast": fast}
-    if faults is not None:
-        params["faults"] = faults
-    sim = build_system(
-        algorithm, fleet, queries, record_history=True, **params
+    cfg = RunConfig(
+        algorithm, record_history=True, fast=fast, faults=faults
     )
+    sim = build_system(cfg, fleet, queries)
     answers = []
 
     def snap(s):

@@ -8,6 +8,7 @@ speeds, and edge populations.
 import pytest
 
 from repro.experiments.algorithms import ALGORITHMS, build_system
+from repro.experiments.config import RunConfig
 from repro.geometry import Rect
 from repro.mobility import Fleet, RandomWaypointModel, StationaryMover
 from repro.server import QuerySpec
@@ -20,7 +21,9 @@ TICKS = 60
 
 def _run(algorithm, spec: WorkloadSpec, ticks=TICKS, **alg_params):
     fleet, queries = build_workload(spec)
-    sim = build_system(algorithm, fleet, queries, **alg_params)
+    sim = build_system(
+        RunConfig(algorithm, params=alg_params), fleet, queries
+    )
     checker = ExactnessChecker(fleet, queries)
     sim.run(ticks, on_tick=checker)
     checker.assert_clean()
@@ -95,7 +98,7 @@ def test_exact_with_many_queries_sharing_focals(algorithm):
         QuerySpec(qid=11, focal_oid=0, k=7),
         QuerySpec(qid=12, focal_oid=5, k=4),
     ]
-    sim = build_system(algorithm, fleet, queries)
+    sim = build_system(RunConfig(algorithm), fleet, queries)
     checker = ExactnessChecker(fleet, queries)
     sim.run(TICKS, on_tick=checker)
     checker.assert_clean()
@@ -117,7 +120,7 @@ def test_exact_with_parked_population(algorithm):
     query_mover = RandomWaypointModel(universe, 80, 120).make_mover(rng)
     fleet = Fleet(movers + [query_mover], seed=4)
     queries = [QuerySpec(qid=0, focal_oid=60, k=6)]
-    sim = build_system(algorithm, fleet, queries)
+    sim = build_system(RunConfig(algorithm), fleet, queries)
     checker = ExactnessChecker(fleet, queries)
     sim.run(TICKS, on_tick=checker)
     checker.assert_clean()
@@ -137,7 +140,7 @@ def test_exact_with_zero_s_cap(algorithm):
 def test_per_with_period_is_stale_but_valid_on_eval_ticks():
     spec = BASE.but(seed=62)
     fleet, queries = build_workload(spec)
-    sim = build_system("PER", fleet, queries, period=5)
+    sim = build_system(RunConfig("PER", params={"period": 5}), fleet, queries)
     from repro.metrics.accuracy import is_valid_knn
 
     valid_on_eval = []

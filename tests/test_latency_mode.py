@@ -10,6 +10,7 @@ import pytest
 
 from repro.experiments import run_once
 from repro.experiments.algorithms import build_system
+from repro.experiments.config import RunConfig
 from repro.net.simulator import ONE_TICK_LATENCY
 from repro.workloads import WorkloadSpec, build_workload
 
@@ -23,7 +24,8 @@ DISTRIBUTED = ["DKNN-P", "DKNN-B", "DKNN-G"]
 @pytest.mark.parametrize("algorithm", DISTRIBUTED)
 def test_latency_mode_runs_to_completion(algorithm):
     fleet, queries = build_workload(SPEC)
-    sim = build_system(algorithm, fleet, queries, latency=ONE_TICK_LATENCY)
+    cfg = RunConfig(algorithm, latency=ONE_TICK_LATENCY)
+    sim = build_system(cfg, fleet, queries)
     sim.run(40)
     for q in queries:
         answer = sim.server.answers[q.qid]
@@ -34,24 +36,28 @@ def test_latency_mode_runs_to_completion(algorithm):
 
 @pytest.mark.parametrize("algorithm", DISTRIBUTED)
 def test_latency_answers_track_truth_closely(algorithm):
-    m = run_once(algorithm, SPEC, latency=ONE_TICK_LATENCY, accuracy_every=3)
+    m = run_once(
+        RunConfig(algorithm, latency=ONE_TICK_LATENCY), SPEC, accuracy_every=3
+    )
     # Staleness costs some exactness but the answers remain close.
     assert m.mean_overlap > 0.75
 
 
 def test_zero_latency_dominates_one_tick():
-    fresh = run_once("DKNN-B", SPEC, accuracy_every=3)
+    fresh = run_once(RunConfig("DKNN-B"), SPEC, accuracy_every=3)
     stale = run_once(
-        "DKNN-B", SPEC, latency=ONE_TICK_LATENCY, accuracy_every=3
+        RunConfig("DKNN-B", latency=ONE_TICK_LATENCY), SPEC, accuracy_every=3
     )
     assert fresh.mean_overlap >= stale.mean_overlap
     assert fresh.exactness == 1.0
 
 
 def test_per_period_trades_messages_for_overlap():
-    dense = run_once("PER", SPEC, accuracy_every=3, alg_params={"period": 1})
+    dense = run_once(
+        RunConfig("PER", params={"period": 1}), SPEC, accuracy_every=3
+    )
     sparse = run_once(
-        "PER", SPEC, accuracy_every=3, alg_params={"period": 10}
+        RunConfig("PER", params={"period": 10}), SPEC, accuracy_every=3
     )
     # Same uplink stream, fewer pushes; the loss shows in overlap.
     assert sparse.mean_overlap < dense.mean_overlap

@@ -11,6 +11,7 @@ import pytest
 
 from repro.errors import FaultError
 from repro.experiments.algorithms import build_system
+from repro.experiments.config import RunConfig
 from repro.mobility import Fleet, StationaryMover
 from repro.net.channel import Channel
 from repro.net.faults import FaultPlan, FaultyChannel
@@ -235,7 +236,8 @@ def _run_fingerprint(faults, **params):
         n_objects=80, n_queries=2, k=4, ticks=20, warmup_ticks=1, seed=31
     )
     fleet, queries = build_workload(spec)
-    sim = build_system("DKNN-P", fleet, queries, faults=faults, **params)
+    cfg = RunConfig("DKNN-P", faults=faults, params=params)
+    sim = build_system(cfg, fleet, queries)
     sim.run(20)
     answers = {q.qid: list(sim.server.answers[q.qid]) for q in queries}
     return sim, answers, _stats_fingerprint(sim.channel.stats)
@@ -262,15 +264,16 @@ class TestZeroFaultBitIdentity:
             n_objects=80, n_queries=2, k=4, ticks=20, warmup_ticks=1, seed=31
         )
         fleet, queries = build_workload(spec)
-        sim = build_system(
+        cfg = RunConfig(
             "DKNN-P",
-            fleet,
-            queries,
-            fault_tolerant=True,
-            ack_timeout=2,
-            lease_ticks=8,
-            violation_retry=2,
+            params=dict(
+                fault_tolerant=True,
+                ack_timeout=2,
+                lease_ticks=8,
+                violation_retry=2,
+            ),
         )
+        sim = build_system(cfg, fleet, queries)
         checker = ExactnessChecker(fleet, queries)
         sim.run(20, on_tick=checker)
         checker.assert_clean()

@@ -14,6 +14,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.experiments.algorithms import build_system
+from repro.experiments.config import RunConfig
 from repro.metrics.accuracy import is_valid_knn
 from repro.net.faults import FaultPlan
 from repro.workloads import WorkloadSpec, build_workload
@@ -58,16 +59,17 @@ def test_hardened_dknn_reconverges_after_faults_cease(s):
         delay_prob=s["delay"],
         until_tick=FAULTY_TICKS,
     )
-    sim = build_system(
+    cfg = RunConfig(
         "DKNN-P",
-        fleet,
-        queries,
         faults=plan,
-        fault_tolerant=True,
-        ack_timeout=2,
-        lease_ticks=6,
-        violation_retry=2,
+        params=dict(
+            fault_tolerant=True,
+            ack_timeout=2,
+            lease_ticks=6,
+            violation_retry=2,
+        ),
     )
+    sim = build_system(cfg, fleet, queries)
     wrong_after_settle = []
 
     def check(sim_):

@@ -13,6 +13,7 @@ from hypothesis import strategies as st
 from repro.core.regions import plan_installation
 from repro.errors import ProtocolError
 from repro.experiments.algorithms import build_system
+from repro.experiments.config import RunConfig
 from repro.workloads import WorkloadSpec, build_workload
 from tests.helpers import ExactnessChecker
 
@@ -50,7 +51,8 @@ def _spec(w) -> WorkloadSpec:
 def test_dknn_p_exact_on_random_worlds(w):
     spec = _spec(w)
     fleet, queries = build_workload(spec)
-    sim = build_system("DKNN-P", fleet, queries, theta=60.0, s_cap=30.0)
+    cfg = RunConfig("DKNN-P", params={"theta": 60.0, "s_cap": 30.0})
+    sim = build_system(cfg, fleet, queries)
     checker = ExactnessChecker(fleet, queries)
     sim.run(15, on_tick=checker)
     checker.assert_clean()
@@ -61,7 +63,7 @@ def test_dknn_p_exact_on_random_worlds(w):
 def test_dknn_b_exact_on_random_worlds(w):
     spec = _spec(w)
     fleet, queries = build_workload(spec)
-    sim = build_system("DKNN-B", fleet, queries)
+    sim = build_system(RunConfig("DKNN-B"), fleet, queries)
     checker = ExactnessChecker(fleet, queries)
     sim.run(15, on_tick=checker)
     checker.assert_clean()
@@ -72,7 +74,8 @@ def test_dknn_b_exact_on_random_worlds(w):
 def test_dknn_g_exact_on_random_worlds(w):
     spec = _spec(w)
     fleet, queries = build_workload(spec)
-    sim = build_system("DKNN-G", fleet, queries, lease_ticks=4)
+    cfg = RunConfig("DKNN-G", params={"lease_ticks": 4})
+    sim = build_system(cfg, fleet, queries)
     checker = ExactnessChecker(fleet, queries)
     sim.run(15, on_tick=checker)
     checker.assert_clean()
@@ -84,7 +87,7 @@ def test_centralized_exact_on_random_worlds(w):
     spec = _spec(w)
     for name in ("SEA", "CPM"):
         fleet, queries = build_workload(spec)
-        sim = build_system(name, fleet, queries)
+        sim = build_system(RunConfig(name), fleet, queries)
         checker = ExactnessChecker(fleet, queries)
         sim.run(15, on_tick=checker)
         checker.assert_clean()

@@ -8,6 +8,7 @@ accounting.
 import pytest
 
 from repro.experiments.algorithms import ALGORITHMS, build_system
+from repro.experiments.config import RunConfig
 from repro.mobility import record_trace
 from repro.workloads import WorkloadSpec, build_workload
 
@@ -20,7 +21,7 @@ SPEC = WorkloadSpec(
 def test_identical_runs_identical_accounting(algorithm):
     def run():
         fleet, queries = build_workload(SPEC)
-        sim = build_system(algorithm, fleet, queries)
+        sim = build_system(RunConfig(algorithm), fleet, queries)
         sim.run(30)
         stats = sim.channel.stats
         return (
@@ -64,10 +65,10 @@ def test_trace_replay_through_a_full_system():
 
 def test_different_seeds_change_traffic():
     fleet_a, queries = build_workload(SPEC)
-    sim_a = build_system("DKNN-B", fleet_a, queries)
+    sim_a = build_system(RunConfig("DKNN-B"), fleet_a, queries)
     sim_a.run(25)
     fleet_b, queries_b = build_workload(SPEC.but(seed=62))
-    sim_b = build_system("DKNN-B", fleet_b, queries_b)
+    sim_b = build_system(RunConfig("DKNN-B"), fleet_b, queries_b)
     sim_b.run(25)
     assert (
         sim_a.channel.stats.total_messages

@@ -1,0 +1,179 @@
+"""RunConfig: validation, legacy shims, and the algorithm catalog."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ALGORITHMS, RunConfig, build_system, run_once
+from repro.experiments.catalog import CENTRALIZED, DISTRIBUTED
+from repro.net.faults import FaultPlan
+from repro.net.simulator import ONE_TICK_LATENCY
+from repro.workloads import WorkloadSpec, build_workload
+
+SPEC = WorkloadSpec(
+    n_objects=120, n_queries=2, k=4, ticks=15, warmup_ticks=2, seed=17
+)
+
+
+class TestValidation:
+    def test_unknown_algorithm_suggests_near_miss(self):
+        with pytest.raises(ExperimentError, match="DKNN-P"):
+            RunConfig("DKNN-p")
+
+    def test_unknown_param_suggests_near_miss(self):
+        with pytest.raises(ExperimentError, match="lease_ticks"):
+            RunConfig("DKNN-G", params={"lease_tick": 5})
+
+    def test_unknown_param_lists_valid_names(self):
+        with pytest.raises(ExperimentError, match="period"):
+            RunConfig("PER", params={"frequency": 3})
+
+    def test_unknown_latency_rejected(self):
+        with pytest.raises(ExperimentError):
+            RunConfig("PER", latency="two_ticks")
+
+    def test_faults_must_be_a_plan(self):
+        with pytest.raises(ExperimentError):
+            RunConfig("PER", faults={"drop": 0.1})
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ExperimentError):
+            RunConfig("PER", ticks=-1)
+        with pytest.raises(ExperimentError):
+            RunConfig("PER", warmup=-1)
+
+
+class TestImmutability:
+    def test_frozen(self):
+        cfg = RunConfig("DKNN-P")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.algorithm = "PER"
+
+    def test_params_mapping_is_read_only(self):
+        cfg = RunConfig("DKNN-P", params={"theta": 50.0})
+        with pytest.raises(TypeError):
+            cfg.params["theta"] = 1.0
+
+    def test_hashable_and_usable_as_key(self):
+        a = RunConfig("DKNN-P", params={"theta": 50.0})
+        b = RunConfig("DKNN-P", params={"theta": 50.0})
+        assert a == b
+        assert {a: 1}[b] == 1
+
+    def test_but_revalidates(self):
+        cfg = RunConfig("DKNN-P")
+        faster = cfg.but(fast=True)
+        assert faster.fast and not cfg.fast
+        with pytest.raises(ExperimentError):
+            cfg.but(params={"warp_factor": 9})
+
+    def test_describe_is_json_safe(self):
+        cfg = RunConfig(
+            "DKNN-G", fast=True, faults=FaultPlan(seed=3, drop_uplink=0.1),
+            params={"lease_ticks": 4},
+        )
+        doc = json.loads(json.dumps(cfg.describe()))
+        assert doc["algorithm"] == "DKNN-G"
+        assert doc["resolved_params"]["lease_ticks"] == 4
+        assert "drop_up=0.1" in doc["faults"]
+
+
+class TestCatalog:
+    def test_param_defaults_exposed_programmatically(self):
+        assert ALGORITHMS["DKNN-G"].param_defaults == {
+            "s_cap": 50.0,
+            "initial_collect_radius": 1000.0,
+            "collect_slack": 1.5,
+            "lease_ticks": 10,
+        }
+        assert ALGORITHMS["PER"].param_defaults == {
+            "grid_cells": 32,
+            "period": 1,
+        }
+
+    def test_lease_ticks_defaults_diverge_on_purpose(self):
+        # DKNN-P's lease is a failure-detection timeout; DKNN-G's is a
+        # renewal geocast interval. They are different knobs that share
+        # a name — see repro/experiments/catalog.py. Unifying them
+        # silently re-tunes E12/E14.
+        assert ALGORITHMS["DKNN-P"].param_defaults["lease_ticks"] == 8
+        assert ALGORITHMS["DKNN-G"].param_defaults["lease_ticks"] == 10
+
+    def test_families_cover_every_algorithm(self):
+        assert set(DISTRIBUTED) | set(CENTRALIZED) == set(ALGORITHMS)
+
+    def test_docstring_table_is_generated_from_catalog(self):
+        import repro.experiments.algorithms as algorithms
+
+        doc = algorithms.__doc__
+        assert "theta=100.0" in doc
+        assert "lease_ticks=10" in doc
+        assert "{PARAM_TABLE}" not in doc
+
+    def test_resolved_params_overlay(self):
+        cfg = RunConfig("DKNN-P", params={"theta": 7.0})
+        resolved = cfg.resolved_params()
+        assert resolved["theta"] == 7.0
+        assert resolved["s_cap"] == 50.0
+
+
+class TestLegacyShim:
+    def _fingerprint(self, sim, ticks=13):
+        sim.run(ticks)
+        stats = sim.channel.stats
+        return (
+            stats.total_messages,
+            stats.total_bytes,
+            {qid: tuple(ids) for qid, ids in sim.server.answers.items()},
+        )
+
+    def test_build_system_legacy_form_warns_and_matches(self):
+        fleet, queries = build_workload(SPEC)
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            legacy = build_system(
+                "DKNN-P", fleet, queries, theta=60.0, fast=False
+            )
+        fleet2, queries2 = build_workload(SPEC)
+        modern = build_system(
+            RunConfig("DKNN-P", params={"theta": 60.0}), fleet2, queries2
+        )
+        assert self._fingerprint(legacy) == self._fingerprint(modern)
+
+    def test_run_once_legacy_form_warns_and_matches(self):
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            legacy = run_once(
+                "PER",
+                SPEC,
+                latency=ONE_TICK_LATENCY,
+                accuracy_every=0,
+                alg_params={"period": 2},
+            )
+        modern = run_once(
+            RunConfig("PER", latency=ONE_TICK_LATENCY, params={"period": 2}),
+            SPEC,
+            accuracy_every=0,
+        )
+        assert legacy.msgs_per_tick == modern.msgs_per_tick
+        assert legacy.bytes_per_tick == modern.bytes_per_tick
+
+    def test_run_once_rejects_legacy_kwargs_with_runconfig(self):
+        with pytest.raises(ExperimentError, match="alg_params"):
+            run_once(
+                RunConfig("PER"), SPEC, alg_params={"period": 2}
+            )
+
+    def test_build_system_rejects_non_config(self):
+        fleet, queries = build_workload(SPEC)
+        with pytest.raises(ExperimentError):
+            build_system(42, fleet, queries)
+
+    def test_ticks_and_warmup_override_the_spec(self):
+        m = run_once(
+            RunConfig("PER", ticks=9, warmup=3), SPEC, accuracy_every=0
+        )
+        assert m.ticks_measured == 6
+        assert m.spec.ticks == 9 and m.spec.warmup_ticks == 3
