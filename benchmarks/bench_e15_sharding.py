@@ -1,0 +1,29 @@
+"""Benchmark: regenerate experiment E15 (sharded tier vs shard count)."""
+
+from benchmarks._common import run_and_report
+
+
+def test_e15(benchmark):
+    table = run_and_report(benchmark, "E15")
+    assert table.rows
+    for row in table.rows:
+        # Distribution never costs correctness.
+        assert row["exactness"] == 1.0
+        if row["S"] == 1:
+            # A single shard has no neighbors: backbone silent.
+            assert row["s2s/tick"] == 0.0
+            assert row["imbalance"] == 1.0
+        else:
+            assert row["s2s/tick"] > 0.0
+    # Skew shows up where it should: hotspot mobility is more
+    # imbalanced than uniform at the same (largest) S.
+    s_max = max(row["S"] for row in table.rows)
+
+    def imb(mobility):
+        return max(
+            row["imbalance"]
+            for row in table.rows
+            if row["S"] == s_max and row["mobility"] == mobility
+        )
+
+    assert imb("hotspot") > imb("random_waypoint")

@@ -11,11 +11,16 @@ import random
 
 import pytest
 
-from repro.experiments.algorithms import build_system
-from repro.geometry import Rect
+from repro.api import (
+    Fleet,
+    RandomWaypointModel,
+    Rect,
+    RunConfig,
+    WorkloadSpec,
+    build_system,
+    build_workload,
+)
 from repro.index import UniformGrid, knn_search, range_search
-from repro.mobility import Fleet, RandomWaypointModel
-from repro.workloads import WorkloadSpec, build_workload
 
 UNIVERSE = Rect(0, 0, 10_000, 10_000)
 
@@ -78,6 +83,6 @@ def test_protocol_tick(benchmark, algorithm):
         n_objects=500, n_queries=4, k=8, ticks=400, warmup_ticks=1, seed=6
     )
     fleet, queries = build_workload(spec)
-    sim = build_system(algorithm, fleet, queries)
+    sim = build_system(RunConfig(algorithm), fleet, queries)
     sim.run(5)  # settle registration
     benchmark(sim.step)

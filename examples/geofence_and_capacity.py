@@ -12,23 +12,21 @@ is sanity-checked against a measured run.
 Run:  python examples/geofence_and_capacity.py
 """
 
-from repro import (
+from repro.api import (
     Fleet,
-    RunConfig,
     RandomWaypointModel,
     RangeQuerySpec,
     Rect,
+    RunConfig,
+    WorkloadSpec,
+    brute_range,
     build_range_system,
-    run_once,
-)
-from repro.analysis import (
     crossover_queries,
     expected_knn_distance,
     expected_rank_gap,
     object_density,
+    run_once,
 )
-from repro.index import brute_range
-from repro.workloads import WorkloadSpec
 
 CITY = Rect(0, 0, 10_000, 10_000)
 COURIERS = 400

@@ -7,9 +7,13 @@ wake-ups, server cost units, and answer exactness.
 Run:  python examples/protocol_comparison.py
 """
 
-from repro import ResultTable, RunConfig, run_once
-from repro.experiments.algorithms import ALGORITHMS
-from repro.workloads import WorkloadSpec
+from repro.api import (
+    ALGORITHMS,
+    ResultTable,
+    RunConfig,
+    WorkloadSpec,
+    run_once,
+)
 
 
 def main() -> None:

@@ -8,7 +8,7 @@ what the monitoring cost in messages.
 Run:  python examples/quickstart.py
 """
 
-from repro import (
+from repro.api import (
     Fleet,
     QuerySpec,
     RandomWaypointModel,
@@ -16,8 +16,8 @@ from repro import (
     brute_knn,
     build_broadcast_system,
     is_valid_knn,
+    render_query,
 )
-from repro.viz import render_query
 
 
 def main() -> None:

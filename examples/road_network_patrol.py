@@ -9,7 +9,7 @@ position table, and prints the server's view of the cost breakdown.
 Run:  python examples/road_network_patrol.py
 """
 
-from repro import (
+from repro.api import (
     DknnParams,
     Fleet,
     QuerySpec,

@@ -11,15 +11,15 @@ Run:  python examples/taxi_dispatch.py
 
 import random
 
-from repro import (
+from repro.api import (
     Fleet,
     GaussianClusterModel,
     QuerySpec,
+    RandomWaypointModel,
     Rect,
     build_broadcast_system,
     build_periodic_system,
 )
-from repro.mobility import RandomWaypointModel
 
 CITY = Rect(0, 0, 8_000, 8_000)
 N_TAXIS = 300

@@ -117,6 +117,30 @@ class DknnBroadcastServer(BaseServer):
         self.repair_count[spec.qid] = 0
         self.collect_rounds[spec.qid] = 0
 
+    def export_query_state(self, qid: int) -> Dict:
+        """Handoff snapshot: the broadcast state machine is tableless,
+        so the transferable state is the last installation plus the
+        collect-in-flight bookkeeping."""
+        doc = super().export_query_state(qid)
+        st = self._states.get(qid)
+        if st is None:
+            return doc
+        doc["focal_oid"] = st.spec.focal_oid
+        doc["k"] = st.spec.k
+        doc["phase"] = st.phase
+        doc["dirty"] = st.dirty
+        if st.anchor is not None:
+            doc["anchor"] = st.anchor
+        doc["threshold"] = (
+            st.threshold if not math.isinf(st.threshold) else -1.0
+        )
+        doc["s_eff"] = st.s_eff
+        doc["answer"] = tuple(st.answer_ids)
+        epoch = getattr(st, "epoch", None)
+        if epoch is not None:
+            doc["epoch"] = epoch
+        return doc
+
     # -- messages ------------------------------------------------------------
 
     def on_message(self, msg: Message) -> None:

@@ -161,6 +161,30 @@ class DknnServer(BaseServer):
         self.light_repair_count[spec.qid] = 0
         self.degraded[spec.qid] = False
 
+    def export_query_state(self, qid: int) -> Dict:
+        """Handoff snapshot: the full ``_QueryState`` in wire-sizable
+        form — installation (anchor, threshold, slack, answer), the
+        informed set (the band registry the new owner must serve
+        violations against), violators and phase flags."""
+        doc = super().export_query_state(qid)
+        st = self._states.get(qid)
+        if st is None:
+            return doc
+        doc["focal_oid"] = st.spec.focal_oid
+        doc["k"] = st.spec.k
+        doc["phase"] = st.phase
+        doc["dirty"] = st.dirty
+        doc["informed"] = tuple(sorted(st.informed))
+        doc["violators"] = tuple(sorted(st.violators))
+        if st.install is not None:
+            inst = st.install
+            doc["anchor"] = (inst.anchor[0], inst.anchor[1])
+            doc["threshold"] = (
+                inst.threshold if not math.isinf(inst.threshold) else -1.0
+            )
+            doc["s_eff"] = inst.s_eff
+        return doc
+
     # -- message handling ----------------------------------------------------
 
     def on_message(self, msg: Message) -> None:
@@ -570,6 +594,11 @@ class DknnServer(BaseServer):
             return False
         r_k1 = reported[-1][0]
         radius = r_k1 + 2.0 * self.params.uncertainty + self.params.s_cap
+        if self.ownership_probe is not None:
+            # Ownership seam: a full repair reads the table over this
+            # circle — the sharded tier borrows candidates from every
+            # neighbor shard the circle overlaps.
+            self.ownership_probe.repair_scope(spec.qid, qx, qy, radius)
         cands = range_search(
             table.grid, qx, qy, radius, exclude=exclude, meter=self.meter
         )
@@ -697,6 +726,13 @@ class DknnServer(BaseServer):
         answer members may need probing. Returns False while blocked.
         """
         assert st.install is not None
+        if self.ownership_probe is not None:
+            # A light repair re-reads the answer pool, all of it inside
+            # the old band boundary around the anchor.
+            ax, ay = st.install.anchor
+            self.ownership_probe.repair_scope(
+                st.spec.qid, ax, ay, st.install.threshold + st.install.s_eff
+            )
         pool = set(st.install.answer_ids) | violators
         if self._ft and self._suspected:
             pool -= self._suspected

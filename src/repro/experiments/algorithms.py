@@ -15,19 +15,21 @@ same data at import time:
 
 Every config additionally carries ``faults`` (a
 :class:`~repro.net.faults.FaultPlan`) to run over a lossy network
-(only fault-tolerant DKNN-P actively heals around it) and ``fast``
+(only fault-tolerant DKNN-P actively heals around it), ``fast``
 (bool): route the client side through the vectorized silent-object
 phase where one exists (DKNN-P/B/G) — results are bit-identical either
-way.
+way — and ``shards`` (``None`` or S >= 1): wrap the server in the
+S x S sharded tier (:mod:`repro.server.sharding`), again
+bit-identical, with per-shard load/handoff/backbone accounting on top.
 
-The legacy form ``build_system("DKNN-P", fleet, specs, theta=...,
-fast=True)`` still works but raises a ``DeprecationWarning``.
+``RunConfig`` is the only call form; the pre-1.0 string-algorithm
+kwarg soup was removed and now raises an
+:class:`~repro.errors.ExperimentError` pointing at the migration.
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Callable, Dict, Optional, Sequence, Union
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.baselines import (
     build_cpm_system,
@@ -45,10 +47,11 @@ from repro.experiments.catalog import (
     DISTRIBUTED,
     render_param_table,
 )
-from repro.experiments.config import RunConfig, config_from_legacy
-from repro.net.simulator import RoundSimulator, ZERO_LATENCY
+from repro.experiments.config import RunConfig
+from repro.net.simulator import RoundSimulator
 from repro.obs.telemetry import Telemetry
 from repro.server.query_table import QuerySpec
+from repro.server.sharding import shard_attach
 
 __all__ = ["ALGORITHMS", "build_system", "DISTRIBUTED", "CENTRALIZED"]
 
@@ -139,46 +142,36 @@ _BUILDERS: Dict[str, Callable[..., RoundSimulator]] = {
 
 assert set(_BUILDERS) == set(CATALOG), "catalog out of sync with builders"
 
-_LEGACY_MSG = (
-    "build_system(algorithm, ..., **params) is deprecated; pass a "
-    "RunConfig: build_system(RunConfig({name!r}, params={{...}}), "
-    "fleet, specs)"
+_REMOVED_MSG = (
+    "the string-algorithm form of {func}() was removed; pass a RunConfig "
+    "(from repro.api import RunConfig, {func}): "
+    "{func}(RunConfig({name!r}, params={{...}}), ...)"
 )
 
 
 def build_system(
-    config: Union[RunConfig, str],
+    config: RunConfig,
     fleet,
     specs: Sequence[QuerySpec],
     telemetry: Optional[Telemetry] = None,
-    **legacy,
 ) -> RoundSimulator:
     """Build any registered algorithm from a :class:`RunConfig`.
 
-    The legacy form — an algorithm name plus loose kwargs (``latency``,
-    ``record_history``, ``faults``, ``fast`` and per-algorithm params
-    mixed together) — is adapted through :func:`config_from_legacy`
-    with a ``DeprecationWarning``.
+    When ``config.shards`` is set, the built simulator's server is
+    wrapped in the sharded tier before the simulator is returned.
     """
-    if isinstance(config, RunConfig):
-        if legacy:
-            raise ExperimentError(
-                "build_system(RunConfig, ...) takes no extra parameters; "
-                f"got {sorted(legacy)} — put them in RunConfig.params"
-            )
-        cfg = config
-    elif isinstance(config, str):
-        warnings.warn(
-            _LEGACY_MSG.format(name=config),
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        cfg = config_from_legacy(config, **legacy)
-    else:
+    if isinstance(config, str):
         raise ExperimentError(
-            f"expected a RunConfig or algorithm name, got {config!r}"
+            _REMOVED_MSG.format(func="build_system", name=config)
         )
-    return _BUILDERS[cfg.algorithm](fleet, list(specs), cfg, telemetry)
+    if not isinstance(config, RunConfig):
+        raise ExperimentError(
+            f"expected a RunConfig, got {config!r}"
+        )
+    sim = _BUILDERS[config.algorithm](fleet, list(specs), config, telemetry)
+    if config.shards is not None:
+        shard_attach(sim, config.shards)
+    return sim
 
 
 # Render the parameter table from the catalog so the docs cannot drift.

@@ -7,9 +7,10 @@ unknown algorithms and mistyped parameter names fail at construction,
 with a near-miss suggestion — and it is hashable/immutable, so a config
 can be reused across runs, stored in a manifest, or keyed in a dict.
 
-The old call forms still work through a shim that raises a
-``DeprecationWarning``; repo-internal callers are migrated (CI errors
-on the warning from first-party code, see ``pyproject.toml``).
+The legacy string-algorithm call forms were removed in the sharding
+release; ``build_system`` / ``run_once`` raise an
+:class:`~repro.errors.ExperimentError` naming the migration when they
+see one. Import the supported surface from :mod:`repro.api`.
 """
 
 from __future__ import annotations
@@ -24,9 +25,13 @@ from repro.experiments.catalog import CATALOG, suggest_name
 from repro.net.faults import FaultPlan
 from repro.net.simulator import ONE_TICK_LATENCY, ZERO_LATENCY
 
-__all__ = ["RunConfig", "config_from_legacy"]
+__all__ = ["RunConfig"]
 
 _LATENCIES = (ZERO_LATENCY, ONE_TICK_LATENCY)
+
+#: Upper bound on shards-per-side; 64 x 64 = 4096 shard servers is
+#: already far past anything the experiments sweep.
+_MAX_SHARDS_PER_SIDE = 64
 
 
 @dataclass(frozen=True)
@@ -48,6 +53,14 @@ class RunConfig:
     warmup, ticks:
         Optional overrides of the workload spec's ``warmup_ticks`` /
         ``ticks`` — ``run_once`` applies them via ``spec.but(...)``.
+    shards:
+        ``None`` (the default) runs the plain single server. An integer
+        S >= 1 wraps the server in the sharded tier
+        (:mod:`repro.server.sharding`) over an S x S grid — per-tick
+        answers stay bit-identical; the run additionally reports
+        per-shard load, handoffs, and backbone traffic. ``shards=1``
+        is the tier with a single shard (useful for overhead and
+        accounting regressions), still distinct from ``None``.
     params:
         Per-algorithm parameters; names validated against the catalog.
     """
@@ -59,6 +72,7 @@ class RunConfig:
     fast: bool = False
     warmup: Optional[int] = None
     ticks: Optional[int] = None
+    shards: Optional[int] = None
     params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -82,6 +96,13 @@ class RunConfig:
         for bound, name in ((self.warmup, "warmup"), (self.ticks, "ticks")):
             if bound is not None and bound < 0:
                 raise ExperimentError(f"negative {name} {bound}")
+        if self.shards is not None and not (
+            1 <= self.shards <= _MAX_SHARDS_PER_SIDE
+        ):
+            raise ExperimentError(
+                f"shards must be None or in [1, {_MAX_SHARDS_PER_SIDE}] "
+                f"(shards-per-side), got {self.shards!r}"
+            )
         unknown = set(self.params) - set(info.params)
         if unknown:
             hints = []
@@ -130,6 +151,7 @@ class RunConfig:
             "fast": self.fast,
             "warmup": self.warmup,
             "ticks": self.ticks,
+            "shards": self.shards,
             "params": dict(self.params),
             "resolved_params": self.resolved_params(),
         }
@@ -143,27 +165,8 @@ class RunConfig:
                 self.fast,
                 self.warmup,
                 self.ticks,
+                self.shards,
                 tuple(sorted(self.params.items())),
                 id(self.faults) if self.faults is not None else None,
             )
         )
-
-
-def config_from_legacy(
-    algorithm: str,
-    latency: str = ZERO_LATENCY,
-    record_history: bool = False,
-    **params: Any,
-) -> RunConfig:
-    """Adapt the pre-RunConfig kwarg form (``faults``/``fast`` mixed
-    into the parameter dict) into a validated config."""
-    faults = params.pop("faults", None)
-    fast = params.pop("fast", False)
-    return RunConfig(
-        algorithm=algorithm,
-        latency=latency,
-        record_history=record_history,
-        faults=faults,
-        fast=bool(fast),
-        params=params,
-    )

@@ -633,6 +633,63 @@ def e14_faults(quick: bool = False) -> ResultTable:
     return table
 
 
+def e15_sharding(quick: bool = False) -> ResultTable:
+    """Sharded-tier sweep over the shard grid size S.
+
+    For S in {1, 2, 4} (S x S shards) under uniform and hotspot
+    mobility, reports the distributed-execution ledger of the tier:
+    per-shard load imbalance (peak/mean uplinks), handoff and forward
+    rates, and the backbone's share of all traffic. The radio columns
+    are invariant in S by construction (answers and client traffic are
+    bit-identical to the single server, see DESIGN.md §10) — the sweep
+    shows what the *distribution* costs, and how workload skew moves it.
+    """
+    base = _base(quick)
+    shard_sides = (1, 2) if quick else (1, 2, 4)
+    algorithms = ("DKNN-P", "DKNN-B") if quick else ("DKNN-P", "DKNN-B", "DKNN-G")
+    table = ResultTable(
+        "E15: sharded server tier vs shard count",
+        (
+            "mobility",
+            "S",
+            "algorithm",
+            "msgs/tick",
+            "s2s/tick",
+            "s2s_share",
+            "handoffs/tick",
+            "forwards/tick",
+            "borrows/tick",
+            "imbalance",
+            "exactness",
+        ),
+    )
+    for mobility in ("random_waypoint", "hotspot"):
+        spec = base.but(mobility=mobility)
+        for side in shard_sides:
+            for name in algorithms:
+                m = run_once(
+                    RunConfig(name, shards=side),
+                    spec,
+                    accuracy_every=10,
+                )
+                table.add_row(
+                    {
+                        "mobility": mobility,
+                        "S": side,
+                        "algorithm": name,
+                        "msgs/tick": m.msgs_per_tick,
+                        "s2s/tick": m.extra.get("s2s/tick", 0.0),
+                        "s2s_share": m.extra.get("s2s_share", 0.0),
+                        "handoffs/tick": m.extra.get("handoffs/tick", 0.0),
+                        "forwards/tick": m.extra.get("forwards/tick", 0.0),
+                        "borrows/tick": m.extra.get("borrows/tick", 0.0),
+                        "imbalance": m.extra.get("shard_imbalance", 1.0),
+                        "exactness": m.exactness,
+                    }
+                )
+    return table
+
+
 EXPERIMENTS: Dict[str, Tuple[Callable[[bool], ResultTable], str]] = {
     "E1": (e1_comm_vs_n, "communication vs population size"),
     "E2": (e2_comm_vs_k, "communication vs k"),
@@ -648,6 +705,7 @@ EXPERIMENTS: Dict[str, Tuple[Callable[[bool], ResultTable], str]] = {
     "E12": (e12_wakeups, "client wake-ups: broadcast vs geocast"),
     "E13": (e13_light_repairs, "incremental (light) repair ablation"),
     "E14": (e14_faults, "robustness under network faults"),
+    "E15": (e15_sharding, "sharded server tier vs shard count"),
 }
 
 

@@ -18,23 +18,21 @@ manifest :func:`~repro.obs.manifest.recording` is open, one provenance
 record per run lands in it. With the default null telemetry all of this
 costs nothing.
 
-The legacy form ``run_once("DKNN-P", spec, alg_params={...},
-faults=..., fast=True)`` still works but raises a
-``DeprecationWarning``.
+``RunConfig`` is the only call form; the pre-1.0 string-algorithm
+form (``alg_params`` / ``faults`` / ``fast`` keyword soup) was removed
+and raises an :class:`~repro.errors.ExperimentError` naming the
+migration. Import the supported surface from :mod:`repro.api`.
 """
 
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, Optional
 
 from repro.errors import ExperimentError
 from repro.index.bruteforce import brute_knn_ids
 from repro.metrics.accuracy import AccuracyTracker
-from repro.net.faults import FaultPlan
-from repro.net.simulator import ZERO_LATENCY
 from repro.experiments.algorithms import build_system
 from repro.experiments.config import RunConfig
 from repro.obs.manifest import record_run
@@ -112,9 +110,9 @@ class Measurement:
         }
 
 
-_LEGACY_MSG = (
-    "run_once(algorithm, spec, latency=..., alg_params=..., faults=..., "
-    "fast=...) is deprecated; pass a RunConfig: "
+_REMOVED_MSG = (
+    "the string-algorithm form of run_once() was removed; pass a "
+    "RunConfig (from repro.api import RunConfig, run_once): "
     "run_once(RunConfig({name!r}, params={{...}}), spec)"
 )
 
@@ -146,20 +144,17 @@ def _fill_metrics(reg, algorithm: str, comm, units) -> None:
 
 
 def run_once(
-    config: Union[RunConfig, str],
+    config: RunConfig,
     spec: WorkloadSpec,
-    latency: Optional[str] = None,
     accuracy_every: int = 10,
-    alg_params: Optional[Dict] = None,
-    faults: Optional[FaultPlan] = None,
-    fast: Optional[bool] = None,
     profile: Optional[str] = None,
     telemetry: Optional[Telemetry] = None,
 ) -> Measurement:
     """Build, warm up, run, and measure one configuration.
 
     ``config`` is a :class:`RunConfig`; its optional ``ticks`` /
-    ``warmup`` override the spec's via ``spec.but(...)``.
+    ``warmup`` override the spec's via ``spec.but(...)``, and its
+    ``shards`` field routes the run through the sharded server tier.
     ``accuracy_every`` controls how often (in ticks) the published
     answers are checked against brute force over ground truth; 0
     disables checking (exactness/overlap report as 1.0). ``profile``,
@@ -167,45 +162,12 @@ def run_once(
     the stats dump lands there as ``profile_<algorithm>.pstats``, and
     the top-20 cumulative report is printed to stdout. ``telemetry``
     defaults to the ambient one (see ``repro.obs.use_telemetry``).
-
-    The legacy keyword arguments ``latency`` / ``alg_params`` /
-    ``faults`` / ``fast`` are only valid with the deprecated
-    string-algorithm form.
     """
-    if isinstance(config, RunConfig):
-        stray = [
-            name
-            for name, value in (
-                ("latency", latency),
-                ("alg_params", alg_params),
-                ("faults", faults),
-                ("fast", fast),
-            )
-            if value is not None
-        ]
-        if stray:
-            raise ExperimentError(
-                f"run_once(RunConfig, ...) does not take {stray}; "
-                "put them in the RunConfig"
-            )
-        cfg = config
-    elif isinstance(config, str):
-        warnings.warn(
-            _LEGACY_MSG.format(name=config),
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        cfg = RunConfig(
-            algorithm=config,
-            latency=latency if latency is not None else ZERO_LATENCY,
-            faults=faults,
-            fast=bool(fast),
-            params=dict(alg_params or {}),
-        )
-    else:
-        raise ExperimentError(
-            f"expected a RunConfig or algorithm name, got {config!r}"
-        )
+    if isinstance(config, str):
+        raise ExperimentError(_REMOVED_MSG.format(name=config))
+    if not isinstance(config, RunConfig):
+        raise ExperimentError(f"expected a RunConfig, got {config!r}")
+    cfg = config
     if accuracy_every < 0:
         raise ExperimentError(f"negative accuracy_every {accuracy_every}")
 
@@ -248,6 +210,15 @@ def run_once(
         if hasattr(server, "repair_count")
         else None
     )
+    shard_stats = getattr(server, "shard_stats", None)
+    if shard_stats is not None:
+        shard_mark = (
+            shard_stats.handoffs,
+            shard_stats.forwards,
+            shard_stats.borrows,
+            shard_stats.migrations,
+            list(shard_stats.uplinks),
+        )
 
     tracker = AccuracyTracker()
 
@@ -319,6 +290,29 @@ def run_once(
         healthy = tracker.checked - tracker.degraded_checked
         if healthy:
             extra["healthy_exactness"] = tracker.healthy_exactness
+    if shard_stats is not None:
+        # Measured-window deltas of the sharded tier's ledger. Backbone
+        # traffic lives in its own CommStats bucket, so the radio
+        # per-tick rates above are untouched by sharding.
+        h0, f0, b0, mig0, up0 = shard_mark
+        s2s = comm.server_to_server_messages
+        radio = comm.total_messages
+        extra["shards"] = shard_stats.n_shards
+        extra["s2s/tick"] = s2s / measured
+        extra["s2s_share"] = s2s / (s2s + radio) if (s2s + radio) else 0.0
+        extra["handoffs/tick"] = (shard_stats.handoffs - h0) / measured
+        extra["forwards/tick"] = (shard_stats.forwards - f0) / measured
+        extra["borrows/tick"] = (shard_stats.borrows - b0) / measured
+        extra["migrations/tick"] = (shard_stats.migrations - mig0) / measured
+        window_up = [
+            now - before for now, before in zip(shard_stats.uplinks, up0)
+        ]
+        total_up = sum(window_up)
+        extra["shard_imbalance"] = (
+            max(window_up) / (total_up / shard_stats.n_shards)
+            if total_up
+            else 1.0
+        )
 
     m = Measurement(
         algorithm=cfg.algorithm,

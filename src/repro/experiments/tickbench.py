@@ -32,7 +32,13 @@ from repro.obs.telemetry import Telemetry
 from repro.workloads.generator import build_workload
 from repro.workloads.spec import WorkloadSpec
 
-__all__ = ["time_tick_loop", "compare_tick_loop", "run_suite", "main"]
+__all__ = [
+    "time_tick_loop",
+    "compare_tick_loop",
+    "run_suite",
+    "shard_overhead_rows",
+    "main",
+]
 
 
 #: The benchmarked configurations. ``E1`` is the communication-vs-N
@@ -78,10 +84,13 @@ def time_tick_loop(
     fast: bool,
     alg_params: Optional[Dict] = None,
     telemetry: Optional[Telemetry] = None,
+    shards: Optional[int] = None,
 ) -> Dict:
     """Build one system, warm it up, and time the measured window."""
     fleet, queries = build_workload(spec, fast=fast)
-    cfg = RunConfig(algorithm, fast=fast, params=dict(alg_params or {}))
+    cfg = RunConfig(
+        algorithm, fast=fast, shards=shards, params=dict(alg_params or {})
+    )
     sim = build_system(cfg, fleet, queries, telemetry=telemetry)
     sim.run(spec.warmup_ticks)
     measured = spec.ticks - spec.warmup_ticks
@@ -183,6 +192,81 @@ def check_smoke(n_objects: int = 2000, ticks: int = 20) -> int:
     return 0
 
 
+def shard_overhead_rows(n_objects: int = 2000, ticks: int = 20) -> List[Dict]:
+    """Time the sharded tier at S in {1, 4} against the plain server.
+
+    Same workload, same seed, same fast path — the only difference is
+    ``RunConfig(shards=S)``. The tier is bit-identical by construction,
+    so ``msgs_total`` must agree; the interesting number is the wall
+    overhead of the routing/ownership ledger, with S=1 as the pure
+    coordinator tax (no cross-shard traffic at all).
+    """
+    spec = _make_spec(dict(n_objects=n_objects, n_queries=8, k=8), ticks)
+    rows: List[Dict] = []
+    for algorithm in ("DKNN-B", "DKNN-P"):
+        plain = time_tick_loop(algorithm, spec, fast=True)
+        for side in (1, 4):
+            sharded = time_tick_loop(algorithm, spec, fast=True, shards=side)
+            rows.append(
+                {
+                    "config": f"shard-S{side}-n{n_objects}",
+                    "algorithm": algorithm,
+                    "n_objects": n_objects,
+                    "shards_per_side": side,
+                    "plain": plain,
+                    "sharded": sharded,
+                    "overhead": round(
+                        sharded["wall_s"] / max(plain["wall_s"], 1e-9), 2
+                    ),
+                    "msgs_match": sharded["msgs_total"]
+                    == plain["msgs_total"],
+                }
+            )
+    return rows
+
+
+#: CI bar on the S=1 coordinator tax (wall ratio vs the plain server).
+#: The ledger adds pure-Python per-uplink work, so the bar is loose
+#: enough for shared-runner noise yet catches accidental O(N) blowups.
+_SHARD_OVERHEAD_BAR = 2.0
+
+
+def check_shard_smoke(n_objects: int = 2000, ticks: int = 20) -> int:
+    """CI guard for the sharded tier: identity plus bounded overhead.
+
+    For S in {1, 4}: the sharded run's message totals must equal the
+    plain run's (bit-identity at the accounting level — the answer-level
+    pin lives in tests/test_sharding.py), and the S=1 wall overhead must
+    stay under ``_SHARD_OVERHEAD_BAR``.
+    """
+    failed = False
+    for row in shard_overhead_rows(n_objects, ticks):
+        side = row["shards_per_side"]
+        print(
+            f"shard smoke {row['algorithm']} S={side} n={n_objects}: "
+            f"plain {row['plain']['ms_per_tick']} ms/tick, sharded "
+            f"{row['sharded']['ms_per_tick']} ms/tick "
+            f"({row['overhead']}x)"
+        )
+        if not row["msgs_match"]:
+            print(
+                f"FAIL: S={side} changed the radio message stream "
+                f"({row['sharded']['msgs_total']} vs "
+                f"{row['plain']['msgs_total']})"
+            )
+            failed = True
+        if side == 1 and row["overhead"] > _SHARD_OVERHEAD_BAR:
+            print(
+                f"FAIL: S=1 overhead {row['overhead']}x above the "
+                f"{_SHARD_OVERHEAD_BAR}x bar"
+            )
+            failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
 def check_obs_overhead(n_objects: int = 2000, ticks: int = 20) -> int:
     """CI guard for the observability layer.
 
@@ -260,10 +344,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.check:
         rc = check_smoke()
+        rc = rc or check_shard_smoke()
         if args.obs:
             rc = rc or check_obs_overhead()
         return rc
     doc = run_suite()
+    doc["shard_overhead"] = shard_overhead_rows()
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")

@@ -28,6 +28,10 @@ class CostMeter:
     INDEX_UPDATE = "index_update"
     BOOKKEEPING = "bookkeeping"
     REPAIR = "repair"
+    # Sharded-tier categories (repro.server.sharding): serializing and
+    # installing a handed-off query, and serving a borrow request.
+    HANDOFF = "handoff"
+    BORROW = "borrow"
 
     def __init__(self) -> None:
         self.units: Counter = Counter()

@@ -12,10 +12,14 @@ from repro.net.message import (
     payload_size,
 )
 from repro.net.node import MobileNode, Node, ServerNodeBase
+from repro.net.shardlink import SHARD_KINDS, ShardLink, ShardMessage
 from repro.net.simulator import ONE_TICK_LATENCY, ZERO_LATENCY, RoundSimulator
 from repro.net.stats import CommStats
 
 __all__ = [
+    "ShardLink",
+    "ShardMessage",
+    "SHARD_KINDS",
     "Message",
     "MessageKind",
     "payload_size",

@@ -1,0 +1,213 @@
+"""The shard-to-shard backbone of the sharded server tier.
+
+Shard servers (base stations) are connected by a wired backbone, not
+the radio interface mobile objects use — so backbone traffic gets its
+own channel with its own accounting, latency and fault model, entirely
+separate from :class:`~repro.net.channel.Channel`:
+
+* **Accounting**: every backbone send is recorded in the main
+  :class:`~repro.net.stats.CommStats` under the dedicated
+  ``server_to_server`` bucket (plus this link's own per-pair counters).
+  It never touches the radio ``total_messages`` / uplink / downlink
+  totals — see the double-counting note in :mod:`repro.net.stats`.
+* **Latency**: ``delay_ticks`` holds every backbone message for that
+  many ticks before :meth:`begin_tick` releases it (0 = same-subround
+  delivery, the default).
+* **Faults**: ``drop_prob`` drops each message independently with a
+  seeded RNG. The stream is private to this link, so enabling backbone
+  faults cannot perturb the radio-side
+  :class:`~repro.net.faults.FaultyChannel` RNG — the bit-identity
+  contract of the sharded tier depends on that separation.
+
+Message kinds are plain strings (they never ride the radio
+:class:`~repro.net.message.MessageKind` vocabulary):
+
+``handoff`` / ``handoff_ack``
+    Query-ownership transfer: the exported query state travels to the
+    shard now containing the focal object; the ack commits it.
+``borrow``  / ``borrow_reply``
+    Cross-shard candidate borrowing: a repair whose search circle
+    overlaps a neighbor shard requests that shard's member positions
+    inside the circle.
+``forward``
+    An uplink that landed on a non-owning shard, relayed to the owner.
+``migrate``
+    An object's dead-reckoning entry moving to its new home shard.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.message import HEADER_BYTES
+from repro.net.stats import CommStats
+
+__all__ = [
+    "SHARD_HANDOFF",
+    "SHARD_HANDOFF_ACK",
+    "SHARD_BORROW",
+    "SHARD_BORROW_REPLY",
+    "SHARD_FORWARD",
+    "SHARD_MIGRATE",
+    "SHARD_KINDS",
+    "ShardMessage",
+    "ShardLink",
+]
+
+SHARD_HANDOFF = "handoff"
+SHARD_HANDOFF_ACK = "handoff_ack"
+SHARD_BORROW = "borrow"
+SHARD_BORROW_REPLY = "borrow_reply"
+SHARD_FORWARD = "forward"
+SHARD_MIGRATE = "migrate"
+
+SHARD_KINDS = (
+    SHARD_HANDOFF,
+    SHARD_HANDOFF_ACK,
+    SHARD_BORROW,
+    SHARD_BORROW_REPLY,
+    SHARD_FORWARD,
+    SHARD_MIGRATE,
+)
+
+
+class ShardMessage:
+    """One backbone message between two shard servers."""
+
+    __slots__ = ("kind", "src_shard", "dst_shard", "size", "payload", "sent_tick")
+
+    def __init__(
+        self,
+        kind: str,
+        src_shard: int,
+        dst_shard: int,
+        size: int,
+        payload=None,
+        sent_tick: int = 0,
+    ) -> None:
+        self.kind = kind
+        self.src_shard = src_shard
+        self.dst_shard = dst_shard
+        self.size = size
+        self.payload = payload
+        self.sent_tick = sent_tick
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardMessage({self.kind}, shard{self.src_shard}->"
+            f"shard{self.dst_shard}, {self.size}B, t={self.sent_tick})"
+        )
+
+
+class ShardLink:
+    """Backbone channel between the shard servers of one tier.
+
+    ``deliver`` is the coordinator's handler for arrived messages; the
+    link calls it synchronously for undelayed sends and from
+    :meth:`begin_tick` for delayed ones. Delivery order is send order.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        stats: CommStats,
+        deliver: Callable[[ShardMessage], None],
+        delay_ticks: int = 0,
+        drop_prob: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if n_shards < 1:
+            raise NetworkError(f"need at least one shard, got {n_shards}")
+        if delay_ticks < 0:
+            raise NetworkError(f"negative link delay {delay_ticks}")
+        if not 0.0 <= drop_prob < 1.0:
+            raise NetworkError(f"drop_prob must be in [0, 1), got {drop_prob}")
+        self.n_shards = n_shards
+        self.stats = stats
+        self.delay_ticks = delay_ticks
+        self.drop_prob = drop_prob
+        self._deliver = deliver
+        self._rng = random.Random(seed) if drop_prob > 0.0 else None
+        self._tick = 0
+        #: (deliver_at_tick, message) FIFO of in-flight delayed traffic.
+        self._queue: Deque[Tuple[int, ShardMessage]] = deque()
+        # -- link-local accounting -------------------------------------
+        self.sent_by_kind: Counter = Counter()
+        self.bytes_by_kind: Counter = Counter()
+        #: (src_shard, dst_shard) -> messages, the backbone heat map.
+        self.sent_by_pair: Counter = Counter()
+        self.dropped: int = 0
+
+    # -- time --------------------------------------------------------------
+
+    def begin_tick(self, tick: int) -> None:
+        """Advance the link clock and deliver every due delayed message."""
+        self._tick = tick
+        while self._queue and self._queue[0][0] <= tick:
+            _, msg = self._queue.popleft()
+            self._deliver(msg)
+
+    # -- traffic -----------------------------------------------------------
+
+    def send(
+        self,
+        kind: str,
+        src_shard: int,
+        dst_shard: int,
+        payload_bytes: int,
+        payload=None,
+    ) -> Optional[ShardMessage]:
+        """Send one backbone message; returns None if the link dropped it.
+
+        ``payload_bytes`` is the wire-model payload size; the fixed
+        header is added here. Undelayed messages are delivered to the
+        coordinator before this call returns.
+        """
+        if not 0 <= src_shard < self.n_shards:
+            raise NetworkError(f"unknown source shard {src_shard}")
+        if not 0 <= dst_shard < self.n_shards:
+            raise NetworkError(f"unknown destination shard {dst_shard}")
+        size = HEADER_BYTES + payload_bytes
+        msg = ShardMessage(
+            kind, src_shard, dst_shard, size, payload, sent_tick=self._tick
+        )
+        self.sent_by_kind[kind] += 1
+        self.bytes_by_kind[kind] += size
+        self.sent_by_pair[(src_shard, dst_shard)] += 1
+        self.stats.record_server_to_server(kind, size)
+        if self._rng is not None and self._rng.random() < self.drop_prob:
+            self.dropped += 1
+            return None
+        if self.delay_ticks == 0:
+            self._deliver(msg)
+        else:
+            self._queue.append((self._tick + self.delay_ticks, msg))
+        return msg
+
+    def pending(self) -> int:
+        """Delayed backbone messages still in flight."""
+        return len(self._queue)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.sent_by_kind.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_kind.values())
+
+    def per_pair_table(self) -> List[Tuple[int, int, int]]:
+        """``(src_shard, dst_shard, messages)`` rows, busiest first."""
+        return sorted(
+            ((s, d, n) for (s, d), n in self.sent_by_pair.items()),
+            key=lambda row: (-row[2], row[0], row[1]),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardLink(shards={self.n_shards}, msgs={self.total_messages}, "
+            f"bytes={self.total_bytes}, dropped={self.dropped})"
+        )

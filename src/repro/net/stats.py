@@ -5,6 +5,15 @@ kind and by direction (uplink / downlink / broadcast). A broadcast
 counts as *one* transmitted message (one radio broadcast) regardless of
 receiver count; receptions are tracked separately because some cost
 models charge per listener wake-up.
+
+Shard-to-shard (backbone) traffic of the sharded server tier lives in
+a **separate** ``server_to_server`` bucket, keyed by shard-message kind
+strings (``handoff``, ``borrow``, ...). It deliberately does NOT feed
+``total_messages`` / ``total_bytes`` or any radio direction counter:
+backbone links between base stations are wired, and mixing them into
+the air-interface totals would double-count the client traffic the
+paper's figures measure. ``tests/test_sharding.py`` pins that an S=1
+sharded run reports the exact same radio totals as an unsharded run.
 """
 
 from __future__ import annotations
@@ -33,6 +42,11 @@ class CommStats:
         self.duplicated_by_kind: Counter = Counter()
         self.delayed_by_kind: Counter = Counter()
         self.retransmits_by_kind: Counter = Counter()
+        # Shard-tier backbone counters, keyed by shard-message kind
+        # *string* (see repro.net.shardlink). Kept out of every radio
+        # total above by construction.
+        self.s2s_by_kind: Counter = Counter()
+        self.s2s_bytes_by_kind: Counter = Counter()
 
     # -- recording --------------------------------------------------------
 
@@ -63,6 +77,15 @@ class CommStats:
     def record_retransmit(self, kind: MessageKind) -> None:
         """A protocol-level retransmission (the repair overhead)."""
         self.retransmits_by_kind[kind] += 1
+
+    def record_server_to_server(self, kind: str, nbytes: int) -> None:
+        """One backbone (shard-to-shard) message of ``nbytes``.
+
+        Accounted only in the ``server_to_server`` bucket — never in
+        ``total_messages`` / ``total_bytes`` or a direction counter.
+        """
+        self.s2s_by_kind[kind] += 1
+        self.s2s_bytes_by_kind[kind] += nbytes
 
     # -- views -------------------------------------------------------------
 
@@ -109,6 +132,26 @@ class CommStats:
         """Protocol-level retransmissions (already counted as sends)."""
         return sum(self.retransmits_by_kind.values())
 
+    @property
+    def server_to_server_messages(self) -> int:
+        """Backbone messages between shard servers (not radio traffic)."""
+        return sum(self.s2s_by_kind.values())
+
+    @property
+    def server_to_server_bytes(self) -> int:
+        return sum(self.s2s_bytes_by_kind.values())
+
+    def server_to_server_table(self) -> Dict[str, Dict[str, int]]:
+        """``{kind: {"messages": m, "bytes": b}}`` for the backbone."""
+        return {
+            kind: {
+                "messages": self.s2s_by_kind[kind],
+                "bytes": self.s2s_bytes_by_kind[kind],
+            }
+            for kind in sorted(self.s2s_by_kind)
+            if self.s2s_by_kind[kind]
+        }
+
     def messages_of(self, kind: MessageKind) -> int:
         return self.sent_by_kind[kind]
 
@@ -140,6 +183,8 @@ class CommStats:
         self.duplicated_by_kind.update(other.duplicated_by_kind)
         self.delayed_by_kind.update(other.delayed_by_kind)
         self.retransmits_by_kind.update(other.retransmits_by_kind)
+        self.s2s_by_kind.update(other.s2s_by_kind)
+        self.s2s_bytes_by_kind.update(other.s2s_bytes_by_kind)
 
     def snapshot(self) -> "CommStats":
         """An independent copy (for per-window deltas)."""
@@ -168,11 +213,20 @@ class CommStats:
         d.retransmits_by_kind = (
             self.retransmits_by_kind - earlier.retransmits_by_kind
         )
+        d.s2s_by_kind = self.s2s_by_kind - earlier.s2s_by_kind
+        d.s2s_bytes_by_kind = (
+            self.s2s_bytes_by_kind - earlier.s2s_bytes_by_kind
+        )
         return d
 
     def __repr__(self) -> str:
+        s2s = (
+            f", s2s={self.server_to_server_messages}"
+            if self.s2s_by_kind
+            else ""
+        )
         return (
             f"CommStats(msgs={self.total_messages}, bytes={self.total_bytes}, "
             f"up={self.uplink_messages}, down={self.downlink_messages}, "
-            f"bcast={self.broadcast_messages})"
+            f"bcast={self.broadcast_messages}{s2s})"
         )

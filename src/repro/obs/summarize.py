@@ -159,6 +159,56 @@ def _fastpath_section(events: List[TraceEvent]) -> Optional[str]:
     )
 
 
+def _shard_section(events: List[TraceEvent]) -> Optional[str]:
+    """Sharded-tier view: per-shard load plus handoff/borrow traffic.
+
+    ``shard.load`` gauges are per tick; the section reports the last
+    tick's gauges (the end-of-run distribution) plus cumulative uplink
+    shares, and counts the discrete shard protocol events.
+    """
+    loads = [e for e in events if e.kind == "shard.load"]
+    handoffs = sum(1 for e in events if e.kind == "shard.handoff")
+    borrows = [e for e in events if e.kind == "shard.borrow"]
+    forwards = sum(1 for e in events if e.kind == "shard.forward")
+    if not loads and not handoffs and not borrows and not forwards:
+        return None
+    lines = ["Sharded tier:"]
+    if loads:
+        last = loads[-1].fields
+        uplinks = last.get("uplinks", [])
+        total = sum(uplinks) or 1
+        rows = [
+            (
+                str(sid),
+                str(up),
+                f"{100.0 * up / total:.1f}%",
+                str(last.get("downlinks", [0] * len(uplinks))[sid]),
+                str(last.get("homed", [0] * len(uplinks))[sid]),
+                str(last.get("owned", [0] * len(uplinks))[sid]),
+            )
+            for sid, up in enumerate(uplinks)
+        ]
+        lines.append(
+            _fmt_table(
+                ("shard", "uplinks", "share", "downlinks", "homed", "owned"),
+                rows,
+            )
+        )
+        peak = max(uplinks) if uplinks else 0
+        mean = total / max(len(uplinks), 1)
+        lines.append(
+            f"load imbalance (peak/mean uplinks): {peak / mean:.2f}"
+            if mean
+            else "load imbalance: n/a"
+        )
+    borrowed = sum(e.fields.get("candidates", 0) for e in borrows)
+    lines.append(
+        f"handoffs: {handoffs}, forwards: {forwards}, "
+        f"borrows: {len(borrows)} ({borrowed} candidates)"
+    )
+    return "\n".join(lines)
+
+
 def summarize_text(events: List[TraceEvent], source: str = "") -> str:
     sections = [f"Trace summary{f' ({source})' if source else ''}: "
                 f"{len(events)} events"]
@@ -167,6 +217,7 @@ def summarize_text(events: List[TraceEvent], source: str = "") -> str:
         _phase_section(events),
         _protocol_section(events),
         _fastpath_section(events),
+        _shard_section(events),
     ):
         if section:
             sections.append(section)

@@ -63,11 +63,17 @@ PROTOCOL_KINDS = frozenset(
         "fault.retransmit",
         "fault.suspect",
         "fault.revive",
+        # Sharded-tier events (repro.server.sharding): routing and
+        # ownership are functions of reported positions, so these are
+        # deterministic scalar-vs-fast too.
+        "shard.handoff",
+        "shard.borrow",
+        "shard.forward",
     }
 )
 
 #: Timing / dispatch kinds: may differ between scalar and fast runs.
-PERF_KINDS = frozenset({"tick.phase", "fastpath.candidates"})
+PERF_KINDS = frozenset({"tick.phase", "fastpath.candidates", "shard.load"})
 
 #: Run lifecycle markers emitted by the harness, not the protocols.
 META_KINDS = frozenset({"run.start", "run.end"})

@@ -1,7 +1,22 @@
-"""Server substrate: object/query tables and shared server scaffolding."""
+"""Server substrate: tables, shared scaffolding, and the sharded tier."""
 
 from repro.server.engine import BaseServer
 from repro.server.object_table import ObjectTable
 from repro.server.query_table import QuerySpec, QueryTable
+from repro.server.sharding import (
+    ShardedServer,
+    ShardRouter,
+    ShardStats,
+    shard_attach,
+)
 
-__all__ = ["ObjectTable", "QuerySpec", "QueryTable", "BaseServer"]
+__all__ = [
+    "ObjectTable",
+    "QuerySpec",
+    "QueryTable",
+    "BaseServer",
+    "ShardRouter",
+    "ShardStats",
+    "ShardedServer",
+    "shard_attach",
+]

@@ -10,11 +10,26 @@ the small protocol every algorithm's server follows:
   knows distances);
 * ``answer_history`` optionally records per-tick answers for accuracy
   evaluation (enabled via ``record_history``).
+
+It also defines the *query-ownership seam* the sharded tier
+(:mod:`repro.server.sharding`) hooks into without the algorithms
+knowing about shards:
+
+* ``export_query_state(qid)`` returns a wire-sizable snapshot of one
+  query's server-side state — what a query handoff ships between shard
+  servers. The base implementation covers any server (the published
+  answer); algorithm servers override it with their richer state.
+* ``ownership_probe`` (default ``None``) receives
+  ``repair_scope(qid, cx, cy, radius)`` whenever the server reads its
+  object table over a spatial scope to repair a query — the seam the
+  sharded tier uses to account cross-shard candidate borrowing. Table-
+  less servers (DKNN-B/G) never call it; their cross-shard traffic is
+  uplink forwarding, which the tier sees on its own.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.errors import ProtocolError
 from repro.metrics.cost import CostMeter
@@ -36,6 +51,9 @@ class BaseServer(ServerNodeBase):
         #: when it takes ownership of this server.
         self.telemetry = NULL_TELEMETRY
         self.answers: Dict[int, List[int]] = {}
+        #: query-ownership seam (see module docstring): the sharded
+        #: tier installs an object with ``repair_scope(qid, cx, cy, r)``.
+        self.ownership_probe: Optional[Any] = None
         self.record_history = record_history
         #: qid -> list of (tick, answer ids) snapshots, if recording.
         self.answer_history: Dict[int, List[tuple]] = {}
@@ -56,6 +74,17 @@ class BaseServer(ServerNodeBase):
     def publish(self, qid: int, answer_ids: List[int]) -> None:
         """Record ``answer_ids`` as the current answer of ``qid``."""
         self.answers[qid] = list(answer_ids)
+
+    def export_query_state(self, qid: int) -> Dict[str, Any]:
+        """Snapshot of one query's server-side state, for handoff.
+
+        The returned dict must be sizable by
+        :func:`repro.net.message.payload_size` (primitives and tuples
+        only); the sharded tier ships it between shard servers when
+        query ownership moves. Subclasses extend it with their own
+        protocol state.
+        """
+        return {"qid": qid, "answer": tuple(self.answers.get(qid, ()))}
 
     def on_tick_start(self, tick: int) -> None:
         self._started = True

@@ -1,0 +1,550 @@
+"""The sharded server tier: router, coordinator, and query handoff.
+
+The paper's server is a single machine owning the whole region. The
+ROADMAP north-star is a *distributed* server tier, so this module
+partitions the universe into an S x S grid of **shard servers** (base
+stations, one per cell) behind a :class:`ShardedServer` coordinator:
+
+* every object's uplink lands on its **home shard** — the shard whose
+  cell contains the position the message reports (dead-reckoning home
+  for position-free uplinks like install acks);
+* every query is **owned** by exactly one shard: the one containing
+  its focal object's last reported position. Uplinks that carry a
+  query id but land on a non-owning shard are relayed over the
+  backbone (``forward``);
+* when a focal object's report crosses a shard boundary, the tier runs
+  an explicit **query handoff**: the owning shard exports the query's
+  server-side state (:meth:`~repro.server.engine.BaseServer.
+  export_query_state` — bands ride along, so no client-visible
+  re-install is needed), ships it over the backbone (``handoff``), and
+  ownership commits when the ``handoff_ack`` returns. Until the commit
+  the old owner keeps the query and forwards its in-flight traffic —
+  so no query is ever owned by two shards, even with a lossy or
+  delayed backbone (pending handoffs are retried each tick);
+* when a repair's search circle overlaps neighbor shards, the owner
+  **borrows** their member positions inside the circle (``borrow`` /
+  ``borrow_reply``), sized by the members actually inside it. The
+  per-tick planner scan is served by each shard's boundary replica and
+  is not charged (DESIGN.md §10 records the accounting rules).
+
+Execution model: the tier wraps the unmodified single-server algorithm
+engine. The inner engine sees the exact client message stream a
+single-server run sees — which makes the sharded run's per-tick
+answers bit-identical to the unsharded run *by construction*, for
+every algorithm, every S, and every FaultPlan (the backbone's own
+fault RNG is private, see :mod:`repro.net.shardlink`). What the tier
+adds on top is the distributed-execution ledger: per-shard load,
+ownership, handoffs, borrows, forwards, migrations — the quantities
+E15 sweeps. ``tests/test_sharding.py`` pins both halves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.errors import NetworkError
+from repro.geometry import Rect
+from repro.metrics.cost import CostMeter
+from repro.net.message import HEADER_BYTES, Message, SERVER_ID, payload_size
+from repro.net.node import ServerNodeBase
+from repro.net.shardlink import (
+    SHARD_BORROW,
+    SHARD_BORROW_REPLY,
+    SHARD_FORWARD,
+    SHARD_HANDOFF,
+    SHARD_HANDOFF_ACK,
+    SHARD_MIGRATE,
+    ShardLink,
+    ShardMessage,
+)
+from repro.obs.telemetry import NULL_TELEMETRY
+
+__all__ = ["ShardRouter", "ShardStats", "ShardedServer", "shard_attach"]
+
+#: Wire sizes of the small fixed-shape backbone payloads (the handoff
+#: state snapshot is sized by payload_size over the exported dict).
+_ACK_BYTES = 8  # qid + generation
+_BORROW_REQ_BYTES = 28  # qid + circle (cx, cy, r)
+_MIGRATE_BYTES = 20  # oid + last reported position
+
+
+class ShardRouter:
+    """S x S spatial partition of the universe, with cell lookups."""
+
+    def __init__(self, universe: Rect, shards_per_side: int) -> None:
+        if shards_per_side < 1:
+            raise NetworkError(
+                f"shards_per_side must be >= 1, got {shards_per_side}"
+            )
+        self.universe = universe
+        self.side = shards_per_side
+        self.n_shards = shards_per_side * shards_per_side
+        self._cell_w = universe.width / shards_per_side
+        self._cell_h = universe.height / shards_per_side
+
+    def shard_of(self, x: float, y: float) -> int:
+        """The shard whose cell contains ``(x, y)`` (edges clamp in)."""
+        col = int((x - self.universe.xmin) / self._cell_w)
+        row = int((y - self.universe.ymin) / self._cell_h)
+        col = min(max(col, 0), self.side - 1)
+        row = min(max(row, 0), self.side - 1)
+        return row * self.side + col
+
+    def rect_of(self, shard: int) -> Rect:
+        """The cell of one shard."""
+        if not 0 <= shard < self.n_shards:
+            raise NetworkError(f"unknown shard {shard}")
+        row, col = divmod(shard, self.side)
+        x0 = self.universe.xmin + col * self._cell_w
+        y0 = self.universe.ymin + row * self._cell_h
+        return Rect(x0, y0, x0 + self._cell_w, y0 + self._cell_h)
+
+    def shards_overlapping_circle(
+        self, cx: float, cy: float, radius: float
+    ) -> List[int]:
+        """Every shard whose cell intersects the circle, ascending."""
+        if radius < 0:
+            return []
+        col0 = int((cx - radius - self.universe.xmin) / self._cell_w)
+        col1 = int((cx + radius - self.universe.xmin) / self._cell_w)
+        row0 = int((cy - radius - self.universe.ymin) / self._cell_h)
+        row1 = int((cy + radius - self.universe.ymin) / self._cell_h)
+        col0 = min(max(col0, 0), self.side - 1)
+        col1 = min(max(col1, 0), self.side - 1)
+        row0 = min(max(row0, 0), self.side - 1)
+        row1 = min(max(row1, 0), self.side - 1)
+        out: List[int] = []
+        r2 = radius * radius
+        for row in range(row0, row1 + 1):
+            y0 = self.universe.ymin + row * self._cell_h
+            ny = min(max(cy, y0), y0 + self._cell_h)
+            for col in range(col0, col1 + 1):
+                x0 = self.universe.xmin + col * self._cell_w
+                nx = min(max(cx, x0), x0 + self._cell_w)
+                dx = nx - cx
+                dy = ny - cy
+                if dx * dx + dy * dy <= r2:
+                    out.append(row * self.side + col)
+        return out
+
+
+class ShardStats:
+    """Per-shard load and protocol counters of one sharded run."""
+
+    def __init__(self, n_shards: int) -> None:
+        self.n_shards = n_shards
+        #: uplinks handled per shard (routing destination).
+        self.uplinks = [0] * n_shards
+        #: downlinks sent per shard (receiver's home shard).
+        self.downlinks = [0] * n_shards
+        #: area messages (broadcast / geocast) sent by the tier; every
+        #: shard's base station transmits them, counted once here.
+        self.area_sends = 0
+        #: objects currently homed per shard (gauge, updated per tick).
+        self.homed = [0] * n_shards
+        #: queries currently owned per shard (gauge, updated per tick).
+        self.owned = [0] * n_shards
+        self.handoffs = 0
+        self.handoff_retries = 0
+        self.borrows = 0
+        self.borrowed_candidates = 0
+        self.forwards = 0
+        self.migrations = 0
+
+    @property
+    def total_uplinks(self) -> int:
+        return sum(self.uplinks)
+
+    def imbalance(self) -> float:
+        """Peak-to-mean uplink load (1.0 = perfectly balanced)."""
+        total = self.total_uplinks
+        if total == 0:
+            return 1.0
+        mean = total / self.n_shards
+        return max(self.uplinks) / mean
+
+    def load_table(self) -> List[Dict[str, Any]]:
+        """One row per shard: uplink/downlink handled, current gauges."""
+        return [
+            {
+                "shard": sid,
+                "uplinks": self.uplinks[sid],
+                "downlinks": self.downlinks[sid],
+                "homed": self.homed[sid],
+                "owned": self.owned[sid],
+            }
+            for sid in range(self.n_shards)
+        ]
+
+
+class _InnerChannelProxy:
+    """Snoops the inner server's sends for per-shard downlink ledgering.
+
+    The inner engine sends through ``self.channel``; this proxy sits in
+    its ``_channel`` slot, forwards everything to the real channel
+    unchanged (same object, same RNG stream, same accounting), and
+    attributes each downlink to the receiver's home shard.
+    """
+
+    __slots__ = ("_real", "_tier")
+
+    def __init__(self, real, tier: "ShardedServer") -> None:
+        self._real = real
+        self._tier = tier
+
+    def send(self, kind, src, dst, payload=None):
+        msg = self._real.send(kind, src, dst, payload)
+        self._tier._note_inner_send(dst)
+        return msg
+
+    @property
+    def stats(self):
+        return self._real.stats
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+class _OwnershipProbe:
+    """Adapter handed to the inner server's ``ownership_probe`` seam."""
+
+    __slots__ = ("_tier",)
+
+    def __init__(self, tier: "ShardedServer") -> None:
+        self._tier = tier
+
+    def repair_scope(self, qid: int, cx: float, cy: float, radius: float) -> None:
+        self._tier._borrow(qid, cx, cy, radius)
+
+
+class ShardedServer(ServerNodeBase):
+    """Coordinator over S x S shard servers wrapping one algorithm engine.
+
+    Attribute access not defined here (``meter``, ``answers``,
+    ``repair_count``, ``degraded``, ...) delegates to the inner server,
+    so the runner and accuracy tooling see the wrapped engine
+    unchanged.
+    """
+
+    def __init__(
+        self,
+        inner,
+        router: ShardRouter,
+        stats,  # CommStats of the main channel (s2s bucket lives there)
+        link_delay: int = 0,
+        link_drop: float = 0.0,
+        link_seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.inner = inner
+        self.router = router
+        self.shard_stats = ShardStats(router.n_shards)
+        self.link = ShardLink(
+            router.n_shards,
+            stats,
+            self._on_shard_message,
+            delay_ticks=link_delay,
+            drop_prob=link_drop,
+            seed=link_seed,
+        )
+        self._telemetry = NULL_TELEMETRY
+        self._tick = 0
+        #: oid -> home shard (from the last routed positional uplink).
+        self._home: Dict[int, int] = {}
+        #: qid -> owning shard; a qid is absent until its focal object
+        #: first reports a position. Single map = single owner, always.
+        self._owner: Dict[int, int] = {}
+        #: qid -> destination shard of an uncommitted handoff.
+        self._handoff_pending: Dict[int, int] = {}
+        #: qid -> tick the pending handoff was last (re)sent.
+        self._handoff_sent: Dict[int, int] = {}
+        #: focal oid -> qids anchored at it (from the inner registry).
+        self._qids_by_focal: Dict[int, List[int]] = {}
+        for spec in inner.queries:
+            self._qids_by_focal.setdefault(spec.focal_oid, []).append(
+                spec.qid
+            )
+        inner.ownership_probe = _OwnershipProbe(self)
+
+    # -- telemetry plumbing -------------------------------------------------
+
+    @property
+    def telemetry(self):
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, value) -> None:
+        # The simulator assigns ``server.telemetry`` on construction;
+        # keep the inner engine on the same stream.
+        self._telemetry = value
+        self.inner.telemetry = value
+
+    def __getattr__(self, name: str):
+        inner = self.__dict__.get("inner")
+        if inner is None:
+            raise AttributeError(name)
+        return getattr(inner, name)
+
+    # -- simulator surface --------------------------------------------------
+
+    def register_query(self, spec) -> None:
+        self.inner.register_query(spec)
+        self._qids_by_focal.setdefault(spec.focal_oid, []).append(spec.qid)
+
+    def on_tick_start(self, tick: int) -> None:
+        self._tick = tick
+        self.link.begin_tick(tick)
+        self._retry_pending_handoffs()
+        self.inner.on_tick_start(tick)
+
+    def on_message(self, msg: Message) -> None:
+        self._route_uplink(msg)
+        self.inner.on_message(msg)
+
+    def on_subround(self, tick: int) -> None:
+        self.inner.on_subround(tick)
+
+    def busy(self) -> bool:
+        return self.inner.busy()
+
+    def on_tick_end(self, tick: int) -> None:
+        self.inner.on_tick_end(tick)
+        stats = self.shard_stats
+        stats.homed = [0] * self.router.n_shards
+        for home in self._home.values():
+            stats.homed[home] += 1
+        stats.owned = [0] * self.router.n_shards
+        for owner in self._owner.values():
+            stats.owned[owner] += 1
+        tel = self._telemetry
+        if tel.enabled and tel.tracer.enabled:
+            tel.tracer.emit(
+                tick,
+                "shard.load",
+                uplinks=list(stats.uplinks),
+                downlinks=list(stats.downlinks),
+                homed=list(stats.homed),
+                owned=list(stats.owned),
+            )
+
+    # -- routing ------------------------------------------------------------
+
+    def _route_uplink(self, msg: Message) -> None:
+        """Route one client uplink to its home shard; ledger the load,
+        migrations, ownership changes and cross-shard forwards."""
+        payload = msg.payload
+        src = msg.src
+        x = getattr(payload, "x", None)
+        if x is not None:
+            home = self.router.shard_of(x, payload.y)
+            prev = self._home.get(src)
+            if prev is None:
+                self._home[src] = home
+            elif prev != home:
+                # The object crossed a shard boundary: its dead-
+                # reckoning entry migrates over the backbone.
+                self._home[src] = home
+                self.shard_stats.migrations += 1
+                self.link.send(SHARD_MIGRATE, prev, home, _MIGRATE_BYTES)
+                for qid in self._qids_by_focal.get(src, ()):
+                    self._maybe_handoff(qid, home)
+            for qid in self._qids_by_focal.get(src, ()):
+                if qid not in self._owner and qid not in self._handoff_pending:
+                    # First focal report: ownership bootstraps on the
+                    # focal's home shard, no transfer needed.
+                    self._owner[qid] = home
+        else:
+            home = self._home.get(src, 0)
+        self.shard_stats.uplinks[home] += 1
+        qid = getattr(payload, "qid", None)
+        if qid is None:
+            return
+        owner = self._owner.get(qid)
+        if owner is not None and owner != home:
+            # Landed on a non-owning shard: relay the whole client
+            # message to the owner over the backbone.
+            self.shard_stats.forwards += 1
+            self.link.send(
+                SHARD_FORWARD, home, owner, msg.size - HEADER_BYTES
+            )
+            tel = self._telemetry
+            if tel.enabled and tel.tracer.enabled:
+                tel.tracer.emit(
+                    self._tick,
+                    "shard.forward",
+                    qid=qid,
+                    kind=msg.kind.value,
+                    src_shard=home,
+                    dst_shard=owner,
+                )
+
+    def _note_inner_send(self, dst: int) -> None:
+        """Ledger one send of the inner engine against a shard."""
+        if dst >= 0:
+            self.shard_stats.downlinks[self._home.get(dst, 0)] += 1
+        else:
+            self.shard_stats.area_sends += 1
+
+    # -- query handoff -------------------------------------------------------
+
+    def _maybe_handoff(self, qid: int, new_home: int) -> None:
+        """The focal's home changed: start (or retarget) the handoff."""
+        owner = self._owner.get(qid)
+        if owner is None:
+            if qid not in self._handoff_pending:
+                self._owner[qid] = new_home
+            return
+        if owner == new_home:
+            # The focal swung back before the transfer committed; any
+            # in-flight copy is ignored on arrival (superseded check).
+            self._handoff_pending.pop(qid, None)
+            self._handoff_sent.pop(qid, None)
+            return
+        pending = self._handoff_pending.get(qid)
+        if pending == new_home:
+            return  # already in flight to the right shard
+        self._handoff_pending[qid] = new_home
+        self._send_handoff(qid, owner, new_home)
+
+    def _send_handoff(self, qid: int, owner: int, dst: int) -> None:
+        state = self.inner.export_query_state(qid)
+        nbytes = payload_size(state)
+        self.inner.meter.charge(CostMeter.HANDOFF)
+        self._handoff_sent[qid] = self._tick
+        self.link.send(
+            SHARD_HANDOFF, owner, dst, nbytes, payload=(qid, dst)
+        )
+
+    def _retry_pending_handoffs(self) -> None:
+        """Re-send handoffs lost on the backbone (once per tick).
+
+        Ownership never moved — the old owner still holds the query —
+        so the retry re-exports the current state and tries again. A
+        copy that may merely be delayed (not dropped) is given the
+        link's latency before the retransmit fires.
+        """
+        for qid in sorted(self._handoff_pending):
+            owner = self._owner.get(qid)
+            dst = self._handoff_pending[qid]
+            if owner is None or owner == dst:
+                self._handoff_pending.pop(qid, None)
+                self._handoff_sent.pop(qid, None)
+                continue
+            sent = self._handoff_sent.get(qid, self._tick)
+            if self._tick - sent <= self.link.delay_ticks:
+                continue  # still plausibly in flight
+            self.shard_stats.handoff_retries += 1
+            self._send_handoff(qid, owner, dst)
+
+    def _on_shard_message(self, msg: ShardMessage) -> None:
+        """Backbone delivery handler (synchronous or via begin_tick)."""
+        if msg.kind == SHARD_HANDOFF:
+            qid, dst = msg.payload
+            if self._handoff_pending.get(qid) != dst:
+                return  # superseded while in flight (focal moved again)
+            # Commit: the destination shard installed the state; the
+            # single owner map flips in one assignment, so at no point
+            # do two shards own the query.
+            del self._handoff_pending[qid]
+            self._handoff_sent.pop(qid, None)
+            src = self._owner.get(qid)
+            self._owner[qid] = dst
+            self.shard_stats.handoffs += 1
+            self.link.send(
+                SHARD_HANDOFF_ACK, dst, msg.src_shard, _ACK_BYTES
+            )
+            tel = self._telemetry
+            if tel.enabled and tel.tracer.enabled:
+                tel.tracer.emit(
+                    self._tick,
+                    "shard.handoff",
+                    qid=qid,
+                    src_shard=src,
+                    dst_shard=dst,
+                    state_bytes=msg.size - HEADER_BYTES,
+                )
+        # HANDOFF_ACK / BORROW / BORROW_REPLY / FORWARD / MIGRATE need
+        # no coordinator action beyond the accounting already done at
+        # send time: the inner engine holds the authoritative state.
+
+    # -- candidate borrowing --------------------------------------------------
+
+    def _borrow(self, qid: int, cx: float, cy: float, radius: float) -> None:
+        """A repair reads the table over a circle: borrow the members
+        of every other shard the circle overlaps."""
+        owner = self._owner.get(qid)
+        if owner is None:
+            owner = self.router.shard_of(cx, cy)
+        overlapped = self.router.shards_overlapping_circle(cx, cy, radius)
+        remote = [sid for sid in overlapped if sid != owner]
+        if not remote:
+            return
+        # Count each remote shard's members actually inside the circle
+        # (sizes the reply like a collect: 20 bytes per position).
+        counts = {sid: 0 for sid in remote}
+        r2 = radius * radius
+        table = getattr(self.inner, "table", None)
+        for oid, home in self._home.items():
+            if home not in counts:
+                continue
+            if table is not None and oid in table:
+                ox, oy = table.last_position(oid)
+            else:
+                continue
+            dx = ox - cx
+            dy = oy - cy
+            if dx * dx + dy * dy <= r2:
+                counts[home] += 1
+        tel = self._telemetry
+        for sid in remote:
+            n = counts[sid]
+            self.shard_stats.borrows += 1
+            self.shard_stats.borrowed_candidates += n
+            self.inner.meter.charge(CostMeter.BORROW)
+            self.link.send(SHARD_BORROW, owner, sid, _BORROW_REQ_BYTES)
+            self.link.send(SHARD_BORROW_REPLY, sid, owner, 8 + 20 * n)
+            if tel.enabled and tel.tracer.enabled:
+                tel.tracer.emit(
+                    self._tick,
+                    "shard.borrow",
+                    qid=qid,
+                    owner=owner,
+                    lender=sid,
+                    candidates=n,
+                )
+
+
+def shard_attach(
+    sim,
+    shards_per_side: int,
+    link_delay: int = 0,
+    link_drop: float = 0.0,
+    link_seed: int = 0,
+) -> ShardedServer:
+    """Wrap a built simulator's server in a sharded tier, in place.
+
+    The inner server keeps its channel registration (same SERVER_ID
+    address); the wrapper takes its place in the simulator's dispatch
+    tables and interposes the downlink-ledger proxy on the inner
+    engine's channel slot. Returns the installed :class:`ShardedServer`.
+    """
+    inner = sim.server
+    if isinstance(inner, ShardedServer):
+        raise NetworkError("simulator already has a sharded server tier")
+    router = ShardRouter(sim.fleet.universe, shards_per_side)
+    tier = ShardedServer(
+        inner,
+        router,
+        sim.channel.stats,
+        link_delay=link_delay,
+        link_drop=link_drop,
+        link_seed=link_seed,
+    )
+    # Share the already-registered SERVER_ID address: assign the channel
+    # slot directly (attach() would re-register and raise).
+    tier._channel = sim.channel
+    inner._channel = _InnerChannelProxy(sim.channel, tier)
+    tier.telemetry = sim.telemetry
+    sim.server = tier
+    sim._nodes_by_id[SERVER_ID] = tier
+    return tier

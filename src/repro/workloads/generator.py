@@ -34,6 +34,14 @@ def make_mobility_model(spec: WorkloadSpec, universe: Rect) -> MobilityModel:
         return RandomDirectionModel(universe, **common, **opts)
     if spec.mobility == "gaussian_cluster":
         return GaussianClusterModel(universe, **common, **opts)
+    if spec.mobility == "hotspot":
+        # Gaussian clusters with concentrated defaults: a couple of
+        # dense, heavily skewed hotspots. The population piles into a
+        # small fraction of the area, so a spatial shard grid sees the
+        # worst-case load imbalance (the E15 stressor).
+        hotspot = dict(n_hotspots=3, sigma=0.03 * universe.width, zipf_s=2.0)
+        hotspot.update(opts)
+        return GaussianClusterModel(universe, **common, **hotspot)
     if spec.mobility == "road_network":
         return RoadNetworkModel(universe, **common, **opts)
     raise WorkloadError(f"unknown mobility {spec.mobility!r}")

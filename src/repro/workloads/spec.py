@@ -9,11 +9,15 @@ from repro.errors import WorkloadError
 
 __all__ = ["WorkloadSpec", "MOBILITY_MODELS"]
 
-#: Mobility model names accepted by the generator.
+#: Mobility model names accepted by the generator. ``hotspot`` is the
+#: gaussian-cluster model with concentrated defaults (few dense, skewed
+#: hotspots) — the load-imbalance stressor of the sharded-tier sweep
+#: (E15); its defaults can still be overridden via mobility_options.
 MOBILITY_MODELS = (
     "random_waypoint",
     "random_direction",
     "gaussian_cluster",
+    "hotspot",
     "road_network",
 )
 

@@ -110,17 +110,24 @@ class TestAlgorithmsRegistry:
         with pytest.raises(ExperimentError):
             RunConfig("PER", params={"warp_factor": 9})
 
-    def test_runconfig_rejects_loose_kwargs(self):
+    def test_loose_kwargs_are_a_type_error(self):
+        # The legacy **kwargs channel is gone entirely: stray keywords
+        # now fail at the signature, not via a runtime check.
         fleet, queries = build_workload(SMALL)
-        with pytest.raises(ExperimentError):
+        with pytest.raises(TypeError):
             build_system(RunConfig("PER"), fleet, queries, period=2)
+
+    def test_string_algorithm_form_removed(self):
+        fleet, queries = build_workload(SMALL)
+        with pytest.raises(ExperimentError, match="RunConfig"):
+            build_system("PER", fleet, queries)
 
 
 class TestExperimentRegistry:
     def test_all_experiments_registered(self):
         assert set(EXPERIMENTS) == {
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-            "E11", "E12", "E13", "E14",
+            "E11", "E12", "E13", "E14", "E15",
         }
 
     def test_unknown_experiment_raises(self):

@@ -1,4 +1,4 @@
-"""RunConfig: validation, legacy shims, and the algorithm catalog."""
+"""RunConfig: validation, the removed legacy API, and the catalog."""
 
 from __future__ import annotations
 
@@ -7,12 +7,17 @@ import json
 
 import pytest
 
+from repro.api import (
+    ALGORITHMS,
+    FaultPlan,
+    RunConfig,
+    WorkloadSpec,
+    build_system,
+    build_workload,
+    run_once,
+)
 from repro.errors import ExperimentError
-from repro.experiments import ALGORITHMS, RunConfig, build_system, run_once
 from repro.experiments.catalog import CENTRALIZED, DISTRIBUTED
-from repro.net.faults import FaultPlan
-from repro.net.simulator import ONE_TICK_LATENCY
-from repro.workloads import WorkloadSpec, build_workload
 
 SPEC = WorkloadSpec(
     n_objects=120, n_queries=2, k=4, ticks=15, warmup_ticks=2, seed=17
@@ -121,50 +126,33 @@ class TestCatalog:
         assert resolved["s_cap"] == 50.0
 
 
-class TestLegacyShim:
-    def _fingerprint(self, sim, ticks=13):
-        sim.run(ticks)
-        stats = sim.channel.stats
-        return (
-            stats.total_messages,
-            stats.total_bytes,
-            {qid: tuple(ids) for qid, ids in sim.server.answers.items()},
-        )
+class TestLegacyApiRemoved:
+    """The pre-1.0 string-algorithm forms are gone, not deprecated.
 
-    def test_build_system_legacy_form_warns_and_matches(self):
+    Both entry points raise an ``ExperimentError`` whose message names
+    the migration (``RunConfig``), so old call sites fail with
+    directions instead of an ``AttributeError`` three frames deep.
+    """
+
+    def test_build_system_string_form_raises_with_migration(self):
         fleet, queries = build_workload(SPEC)
-        with pytest.warns(DeprecationWarning, match="RunConfig"):
-            legacy = build_system(
-                "DKNN-P", fleet, queries, theta=60.0, fast=False
-            )
-        fleet2, queries2 = build_workload(SPEC)
-        modern = build_system(
-            RunConfig("DKNN-P", params={"theta": 60.0}), fleet2, queries2
-        )
-        assert self._fingerprint(legacy) == self._fingerprint(modern)
+        with pytest.raises(ExperimentError, match="RunConfig"):
+            build_system("DKNN-P", fleet, queries)
 
-    def test_run_once_legacy_form_warns_and_matches(self):
-        with pytest.warns(DeprecationWarning, match="RunConfig"):
-            legacy = run_once(
-                "PER",
-                SPEC,
-                latency=ONE_TICK_LATENCY,
-                accuracy_every=0,
-                alg_params={"period": 2},
-            )
-        modern = run_once(
-            RunConfig("PER", latency=ONE_TICK_LATENCY, params={"period": 2}),
-            SPEC,
-            accuracy_every=0,
-        )
-        assert legacy.msgs_per_tick == modern.msgs_per_tick
-        assert legacy.bytes_per_tick == modern.bytes_per_tick
+    def test_run_once_string_form_raises_with_migration(self):
+        with pytest.raises(ExperimentError, match="RunConfig"):
+            run_once("PER", SPEC)
 
-    def test_run_once_rejects_legacy_kwargs_with_runconfig(self):
-        with pytest.raises(ExperimentError, match="alg_params"):
-            run_once(
-                RunConfig("PER"), SPEC, alg_params={"period": 2}
-            )
+    def test_legacy_kwargs_no_longer_accepted(self):
+        with pytest.raises(TypeError):
+            run_once(RunConfig("PER"), SPEC, alg_params={"period": 2})
+        with pytest.raises(TypeError):
+            run_once(RunConfig("PER"), SPEC, faults=None, fast=True)
+
+    def test_config_from_legacy_is_gone(self):
+        import repro.experiments.config as config_mod
+
+        assert not hasattr(config_mod, "config_from_legacy")
 
     def test_build_system_rejects_non_config(self):
         fleet, queries = build_workload(SPEC)
@@ -177,3 +165,29 @@ class TestLegacyShim:
         )
         assert m.ticks_measured == 6
         assert m.spec.ticks == 9 and m.spec.warmup_ticks == 3
+
+
+class TestShardsField:
+    def test_default_is_unsharded(self):
+        assert RunConfig("DKNN-P").shards is None
+
+    def test_validation(self):
+        assert RunConfig("DKNN-P", shards=1).shards == 1
+        with pytest.raises(ExperimentError, match="shards"):
+            RunConfig("DKNN-P", shards=0)
+        with pytest.raises(ExperimentError, match="shards"):
+            RunConfig("DKNN-P", shards=65)
+
+    def test_in_describe_and_hash(self):
+        sharded = RunConfig("DKNN-P", shards=2)
+        assert sharded.describe()["shards"] == 2
+        assert sharded != RunConfig("DKNN-P")
+        assert hash(sharded) != hash(RunConfig("DKNN-P"))
+
+    def test_build_system_installs_the_tier(self):
+        from repro.api import ShardedServer
+
+        fleet, queries = build_workload(SPEC)
+        sim = build_system(RunConfig("DKNN-P", shards=2), fleet, queries)
+        assert isinstance(sim.server, ShardedServer)
+        assert sim.server.router.n_shards == 4
