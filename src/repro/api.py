@@ -66,7 +66,7 @@ from repro.mobility import (
     RandomWaypointModel,
     RoadNetworkModel,
 )
-from repro.net import CommStats, FaultPlan, RoundSimulator
+from repro.net import CommStats, FaultPlan, RoundSimulator, ShardFaultPlan
 from repro.obs import (
     MetricsRegistry,
     Telemetry,
@@ -131,6 +131,7 @@ __all__ = [
     "RoundSimulator",
     "CommStats",
     "FaultPlan",
+    "ShardFaultPlan",
     # observability
     "Telemetry",
     "Tracer",

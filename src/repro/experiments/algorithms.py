@@ -170,7 +170,7 @@ def build_system(
         )
     sim = _BUILDERS[config.algorithm](fleet, list(specs), config, telemetry)
     if config.shards is not None:
-        shard_attach(sim, config.shards)
+        shard_attach(sim, config.shards, faults=config.shard_faults)
     return sim
 
 

@@ -192,9 +192,17 @@ CATALOG: Dict[str, AlgorithmInfo] = {
 
 
 def suggest_name(wrong: str, candidates) -> Optional[str]:
-    """Closest match for a mistyped name, or None if nothing is close."""
-    matches = difflib.get_close_matches(wrong, list(candidates), n=1)
-    return matches[0] if matches else None
+    """Closest match for a mistyped name, or None if nothing is close.
+
+    Case-insensitive as a fallback: ``dknn-p`` suggests ``DKNN-P`` even
+    though edit distance alone would not get there.
+    """
+    names = list(candidates)
+    matches = difflib.get_close_matches(wrong, names, n=1)
+    if matches:
+        return matches[0]
+    folded = {name.lower(): name for name in names}
+    return folded.get(wrong.lower())
 
 
 def render_param_table() -> str:

@@ -22,7 +22,7 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.errors import ExperimentError
 from repro.experiments.catalog import CATALOG, suggest_name
-from repro.net.faults import FaultPlan
+from repro.net.faults import FaultPlan, ShardFaultPlan
 from repro.net.simulator import ONE_TICK_LATENCY, ZERO_LATENCY
 
 __all__ = ["RunConfig"]
@@ -61,6 +61,14 @@ class RunConfig:
         per-shard load, handoffs, and backbone traffic. ``shards=1``
         is the tier with a single shard (useful for overhead and
         accounting regressions), still distinct from ``None``.
+    shard_faults:
+        Optional :class:`~repro.net.faults.ShardFaultPlan`: the
+        server-tier failure model (shard crashes, backbone drop /
+        delay / partitions, admission control). Requires ``shards``
+        when the plan is enabled; ``None`` or a disabled plan leaves
+        the tier on the fault-free, bit-identical code paths. The
+        backbone knobs (``link_drop``, ``link_delay``, ``seed``) ride
+        inside the plan.
     params:
         Per-algorithm parameters; names validated against the catalog.
     """
@@ -73,6 +81,7 @@ class RunConfig:
     warmup: Optional[int] = None
     ticks: Optional[int] = None
     shards: Optional[int] = None
+    shard_faults: Optional[ShardFaultPlan] = None
     params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -103,6 +112,18 @@ class RunConfig:
                 f"shards must be None or in [1, {_MAX_SHARDS_PER_SIDE}] "
                 f"(shards-per-side), got {self.shards!r}"
             )
+        if self.shard_faults is not None:
+            if not isinstance(self.shard_faults, ShardFaultPlan):
+                raise ExperimentError(
+                    "shard_faults must be None or a ShardFaultPlan, got "
+                    f"{self.shard_faults!r} (radio faults go in faults=)"
+                )
+            if self.shard_faults.enabled and self.shards is None:
+                raise ExperimentError(
+                    "shard_faults needs a sharded tier: also pass "
+                    "shards=S (shards-per-side) so there are shard "
+                    "servers to crash and a backbone to partition"
+                )
         unknown = set(self.params) - set(info.params)
         if unknown:
             hints = []
@@ -152,6 +173,11 @@ class RunConfig:
             "warmup": self.warmup,
             "ticks": self.ticks,
             "shards": self.shards,
+            "shard_faults": (
+                repr(self.shard_faults)
+                if self.shard_faults is not None
+                else None
+            ),
             "params": dict(self.params),
             "resolved_params": self.resolved_params(),
         }
@@ -168,5 +194,8 @@ class RunConfig:
                 self.shards,
                 tuple(sorted(self.params.items())),
                 id(self.faults) if self.faults is not None else None,
+                id(self.shard_faults)
+                if self.shard_faults is not None
+                else None,
             )
         )

@@ -14,7 +14,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from repro.experiments.config import RunConfig
 from repro.experiments.runner import Measurement, run_once
 from repro.experiments.tables import ResultTable
-from repro.net.faults import FaultPlan
+from repro.net.faults import FaultPlan, ShardFaultPlan
 from repro.net.simulator import ONE_TICK_LATENCY, ZERO_LATENCY
 from repro.workloads.spec import WorkloadSpec
 
@@ -690,6 +690,128 @@ def e15_sharding(quick: bool = False) -> ResultTable:
     return table
 
 
+def e16_shard_faults(quick: bool = False) -> ResultTable:
+    """Robustness at scale: the sharded tier under server-side faults.
+
+    For S in {2, 4, 8} under hotspot drift (the mobility that loads
+    shards unevenly), runs hardened DKNN-P through three server-side
+    fault scenarios on top of a lossy backbone:
+
+    * ``healthy`` — the disabled-plan control row (also the
+      bit-identity anchor: identical to a plain sharded run);
+    * ``crash`` — a staggered schedule crashes one shard per quarter
+      of the measured window, restarting each after ~10 ticks, so the
+      buddy takeover, replica replay, and restore hand-back all fire;
+    * ``crash+partition`` — the same crashes plus backbone partitions
+      between buddy pairs (false-suspicion failovers) and admission
+      control sheding repair uplinks at a per-shard threshold.
+
+    Reported: recovery latency (mean ticks from failover/shed to
+    re-publish), degraded-answer fraction as `AccuracyTracker` saw it,
+    replica staleness at takeover, the replication+heartbeat share of
+    backbone bytes, and shed/lost traffic rates. Expected: recovery
+    latency bounded by the FT lease machinery, degraded fraction
+    rising with partitions but ``healthy_exactness`` staying near 1.0
+    (the annotation is honest), replication overhead a modest slice of
+    an already-small backbone share.
+    """
+    base = _base(quick).but(
+        mobility="hotspot", seed=101, n_objects=300 if quick else 1200
+    )
+    ft_params = {
+        "fault_tolerant": True,
+        "ack_timeout": 2,
+        "lease_ticks": 8,
+        "violation_retry": 2,
+    }
+    shard_sides = (2,) if quick else (2, 4, 8)
+    table = ResultTable(
+        "E16: shard-tier fault tolerance at scale",
+        (
+            "S",
+            "scenario",
+            "failovers",
+            "taken_over",
+            "recovery_ticks",
+            "replica_lag",
+            "degraded_frac",
+            "exactness",
+            "healthy_exactness",
+            "repl_share",
+            "shed/tick",
+            "s2s/tick",
+        ),
+    )
+
+    def crash_schedule(n_shards: int) -> tuple:
+        # One crash per quarter of the measured window, round-robin
+        # over the shards, each down for ~10 ticks (restart covered).
+        t0, t1 = base.warmup_ticks + 4, base.ticks - 12
+        span = max(1, (t1 - t0) // 4)
+        return tuple(
+            (i % n_shards, t0 + i * span, t0 + i * span + 10)
+            for i in range(4)
+            if t0 + i * span + 10 < base.ticks
+        )
+
+    for side in shard_sides:
+        n_shards = side * side
+        crashes = crash_schedule(n_shards)
+        pt0 = base.warmup_ticks + 8
+        scenarios = (
+            ("healthy", None),
+            ("crash", ShardFaultPlan(seed=19, crashes=crashes)),
+            (
+                "crash+partition",
+                ShardFaultPlan(
+                    seed=19,
+                    link_drop=0.02,
+                    crashes=crashes,
+                    partitions=(
+                        (0, 1 % n_shards, pt0, pt0 + 8),
+                        (
+                            n_shards - 1,
+                            0,
+                            pt0 + 12,
+                            pt0 + 20,
+                        ),
+                    ),
+                    shed_uplinks_per_tick=40 if quick else 120,
+                ),
+            ),
+        )
+        for label, plan in scenarios:
+            m = run_once(
+                RunConfig(
+                    "DKNN-P",
+                    shards=side,
+                    shard_faults=plan,
+                    params=dict(ft_params),
+                ),
+                base,
+                accuracy_every=2,
+            )
+            table.add_row(
+                {
+                    "S": side,
+                    "scenario": label,
+                    "failovers": m.extra.get("failovers", 0),
+                    "taken_over": m.extra.get("taken_over", 0),
+                    "recovery_ticks": m.extra.get("recovery_ticks", 0.0),
+                    "replica_lag": m.extra.get("replica_lag", 0.0),
+                    "degraded_frac": m.extra.get("degraded_frac", 0.0),
+                    "exactness": m.exactness,
+                    "healthy_exactness": m.extra.get(
+                        "healthy_exactness", ""
+                    ),
+                    "repl_share": m.extra.get("repl_share", 0.0),
+                    "shed/tick": m.extra.get("shed/tick", 0.0),
+                    "s2s/tick": m.extra.get("s2s/tick", 0.0),
+                }
+            )
+    return table
+
+
 EXPERIMENTS: Dict[str, Tuple[Callable[[bool], ResultTable], str]] = {
     "E1": (e1_comm_vs_n, "communication vs population size"),
     "E2": (e2_comm_vs_k, "communication vs k"),
@@ -706,6 +828,7 @@ EXPERIMENTS: Dict[str, Tuple[Callable[[bool], ResultTable], str]] = {
     "E13": (e13_light_repairs, "incremental (light) repair ablation"),
     "E14": (e14_faults, "robustness under network faults"),
     "E15": (e15_sharding, "sharded server tier vs shard count"),
+    "E16": (e16_shard_faults, "shard-tier fault tolerance at scale"),
 }
 
 

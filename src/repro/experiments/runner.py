@@ -222,13 +222,15 @@ def run_once(
 
     tracker = AccuracyTracker()
 
-    degraded_map = getattr(server, "degraded", None)
-
     def observe(s) -> None:
         if accuracy_every == 0:
             return
         if s.tick % accuracy_every != 0:
             return
+        # Read per observation, not once up front: the sharded tier's
+        # ``degraded`` is a merged snapshot (inner map + the tier's
+        # fault overlay), rebuilt on every access.
+        degraded_map = getattr(server, "degraded", None)
         positions = fleet.positions
         for q in queries:
             qx, qy = positions[q.focal_oid]
@@ -313,6 +315,28 @@ def run_once(
             if total_up
             else 1.0
         )
+    if (
+        shard_stats is not None
+        and cfg.shard_faults is not None
+        and cfg.shard_faults.enabled
+    ):
+        # The fault-tolerance ledger (full-run totals: the counters are
+        # zero through warmup unless the plan schedules faults there).
+        extra["failovers"] = shard_stats.failovers
+        extra["taken_over"] = shard_stats.queries_taken_over
+        extra["shed/tick"] = shard_stats.shed_uplinks / measured
+        extra["lost_up/tick"] = shard_stats.lost_uplinks / measured
+        lat = shard_stats.recovery_latencies
+        extra["recovery_ticks"] = sum(lat) / len(lat) if lat else 0.0
+        lags = shard_stats.replication_lags
+        extra["replica_lag"] = sum(lags) / len(lags) if lags else 0.0
+        link = getattr(server, "link", None)
+        if link is not None and link.total_bytes:
+            ft_bytes = (
+                link.bytes_by_kind["heartbeat"]
+                + link.bytes_by_kind["replicate"]
+            )
+            extra["repl_share"] = ft_bytes / link.total_bytes
 
     m = Measurement(
         algorithm=cfg.algorithm,

@@ -1,7 +1,7 @@
 """Network substrate: messages, channel, nodes, faults, simulator."""
 
 from repro.net.channel import Channel
-from repro.net.faults import FaultPlan, FaultyChannel
+from repro.net.faults import FaultPlan, FaultyChannel, ShardFaultPlan
 from repro.net.message import (
     BROADCAST_ID,
     GEOCAST_ID,
@@ -31,6 +31,7 @@ __all__ = [
     "Channel",
     "FaultPlan",
     "FaultyChannel",
+    "ShardFaultPlan",
     "Node",
     "MobileNode",
     "ServerNodeBase",

@@ -17,6 +17,18 @@ node never disappears. This module supplies the adversary:
     ``send`` and records per-kind drop/duplicate/delay counts in
     :class:`~repro.net.stats.CommStats`.
 
+:class:`ShardFaultPlan`
+    The *server-side* counterpart: a frozen, seeded description of what
+    can go wrong in the sharded server tier — shard-server crash /
+    restart windows, backbone message drop and delay, backbone
+    **partitions** between shard pairs, and admission-control (load
+    shedding) thresholds. Consumed by
+    :class:`~repro.server.sharding.ShardedServer` and
+    :class:`~repro.net.shardlink.ShardLink`; plumbed through
+    ``RunConfig(shard_faults=...)``. A disabled plan (the default
+    ``ShardFaultPlan()``) takes exactly the fault-free code paths, so
+    the sharded tier's bit-identity contract is preserved.
+
 The simulator (:class:`~repro.net.simulator.RoundSimulator`) accepts a
 ``faults=`` plan directly, builds the faulty channel, and additionally
 skips dispatch to (and tick hooks of) blacked-out or crashed nodes.
@@ -36,6 +48,7 @@ at the transmitter — per-receiver loss is modeled with blackouts).
 
 from __future__ import annotations
 
+import difflib
 import random
 from typing import Deque, List, Optional, Tuple
 
@@ -43,7 +56,7 @@ from repro.errors import FaultError
 from repro.net.channel import Channel
 from repro.net.message import Message, MessageKind
 
-__all__ = ["FaultPlan", "FaultyChannel"]
+__all__ = ["FaultPlan", "FaultyChannel", "ShardFaultPlan"]
 
 _PROB_FIELDS = ("drop_uplink", "drop_downlink", "dup_prob", "delay_prob")
 
@@ -302,3 +315,203 @@ class FaultyChannel(Channel):
                 self._note_fault("drop", msg, reason="receiver_down")
             return 0
         return 1
+
+
+_SHARD_PLAN_FIELDS = (
+    "seed",
+    "link_drop",
+    "link_delay",
+    "crashes",
+    "partitions",
+    "heartbeat_timeout",
+    "replicate",
+    "shed_uplinks_per_tick",
+    "recovery_settle_ticks",
+)
+
+
+class ShardFaultPlan:
+    """Deterministic, seeded description of shard-tier faults.
+
+    Everything the sharded server tier can suffer, in one frozen plan
+    (the server-side sibling of :class:`FaultPlan`, which covers the
+    radio and the mobile objects):
+
+    Parameters
+    ----------
+    seed:
+        Seed of the backbone fault stream *and* of the tier's seeded
+        retry-backoff jitter. Independent of the workload seed and of
+        any radio :class:`FaultPlan` seed, so backbone faults never
+        perturb the radio fault decisions (and vice versa).
+    link_drop:
+        Per-message backbone loss probability in ``[0, 1)``.
+    link_delay:
+        Backbone latency in ticks (0 = same-subround delivery).
+    crashes:
+        Tuples ``(shard, t0, t1)``: the shard server is down for
+        ``[t0, t1)``; ``t1=None`` means it never restarts. A downed
+        shard neither sends nor receives backbone messages, its base
+        station serves no radio traffic, and its buddy takes over its
+        queries after ``heartbeat_timeout`` missed heartbeats.
+    partitions:
+        Tuples ``(a, b, t0, t1)``: the backbone link between shards
+        ``a`` and ``b`` is severed (both directions) during
+        ``[t0, t1)``. Heartbeats crossing the cut are lost too, so a
+        partition between replication buddies triggers failover even
+        though both shards are alive — the ownership ledger stays
+        single-owner by construction either way.
+    heartbeat_timeout:
+        Consecutive missed buddy heartbeats before a shard is declared
+        crashed and its buddy takes over (mirrors the lease machinery
+        of the radio failure model, DESIGN.md §7).
+    replicate:
+        Stream per-query state deltas to the buddy shard each tick
+        (the replication the failover replays). On by default; turning
+        it off isolates the detection/ownership machinery in tests.
+    shed_uplinks_per_tick:
+        Admission-control threshold, or ``None`` (off). Once a shard
+        has accepted this many uplinks in one tick, further
+        query-carrying uplinks (repair traffic — the lowest-priority
+        class) are shed with a degraded annotation; at twice the
+        threshold the shard sheds every further uplink.
+    recovery_settle_ticks:
+        Upper bound on the degraded window after a failover or a shed:
+        the annotation clears when the query's answer is next
+        republished, or after this many ticks, whichever comes first.
+    """
+
+    __slots__ = _SHARD_PLAN_FIELDS
+
+    def __init__(
+        self,
+        seed: int = 0,
+        link_drop: float = 0.0,
+        link_delay: int = 0,
+        crashes: Tuple[Tuple[int, int, Optional[int]], ...] = (),
+        partitions: Tuple[Tuple[int, int, int, int], ...] = (),
+        heartbeat_timeout: int = 3,
+        replicate: bool = True,
+        shed_uplinks_per_tick: Optional[int] = None,
+        recovery_settle_ticks: int = 12,
+        **unknown,
+    ) -> None:
+        if unknown:
+            hints = []
+            for wrong in sorted(unknown):
+                close = difflib.get_close_matches(
+                    wrong, _SHARD_PLAN_FIELDS, n=1
+                )
+                hints.append(
+                    wrong + (f" (did you mean {close[0]!r}?)" if close else "")
+                )
+            raise FaultError(
+                "ShardFaultPlan got unknown parameters: "
+                + ", ".join(hints)
+                + f"; valid: {sorted(_SHARD_PLAN_FIELDS)}"
+            )
+        self.seed = int(seed)
+        self.link_drop = float(link_drop)
+        self.link_delay = int(link_delay)
+        self.crashes = tuple(
+            (int(s), int(t0), None if t1 is None else int(t1))
+            for s, t0, t1 in crashes
+        )
+        self.partitions = tuple(
+            (int(a), int(b), int(t0), int(t1)) for a, b, t0, t1 in partitions
+        )
+        self.heartbeat_timeout = int(heartbeat_timeout)
+        self.replicate = bool(replicate)
+        self.shed_uplinks_per_tick = (
+            None
+            if shed_uplinks_per_tick is None
+            else int(shed_uplinks_per_tick)
+        )
+        self.recovery_settle_ticks = int(recovery_settle_ticks)
+        if not 0.0 <= self.link_drop < 1.0:
+            raise FaultError(
+                f"link_drop must be in [0, 1), got {self.link_drop}"
+            )
+        if self.link_delay < 0:
+            raise FaultError(f"negative link_delay {self.link_delay}")
+        if self.heartbeat_timeout < 1:
+            raise FaultError(
+                f"heartbeat_timeout must be >= 1, got {self.heartbeat_timeout}"
+            )
+        if self.recovery_settle_ticks < 1:
+            raise FaultError(
+                "recovery_settle_ticks must be >= 1, got "
+                f"{self.recovery_settle_ticks}"
+            )
+        if (
+            self.shed_uplinks_per_tick is not None
+            and self.shed_uplinks_per_tick < 1
+        ):
+            raise FaultError(
+                "shed_uplinks_per_tick must be None or >= 1, got "
+                f"{self.shed_uplinks_per_tick}"
+            )
+        for shard, t0, t1 in self.crashes:
+            if shard < 0:
+                raise FaultError(f"negative shard id {shard} in crashes")
+            if t0 < 0:
+                raise FaultError(f"negative crash tick {t0} for shard {shard}")
+            if t1 is not None and t0 >= t1:
+                raise FaultError(
+                    f"empty crash window [{t0}, {t1}) for shard {shard}"
+                )
+        for a, b, t0, t1 in self.partitions:
+            if a < 0 or b < 0:
+                raise FaultError(f"negative shard id in partition ({a}, {b})")
+            if a == b:
+                raise FaultError(f"partition of shard {a} with itself")
+            if t0 >= t1:
+                raise FaultError(
+                    f"empty partition window [{t0}, {t1}) for ({a}, {b})"
+                )
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """True if this plan can ever perturb a run."""
+        return (
+            self.link_drop > 0.0
+            or self.link_delay > 0
+            or bool(self.crashes)
+            or bool(self.partitions)
+            or self.shed_uplinks_per_tick is not None
+        )
+
+    def is_down(self, shard: int, tick: int) -> bool:
+        """True if ``shard``'s server is crashed at ``tick``."""
+        for s, t0, t1 in self.crashes:
+            if s == shard and t0 <= tick and (t1 is None or tick < t1):
+                return True
+        return False
+
+    def is_partitioned(self, a: int, b: int, tick: int) -> bool:
+        """True if the backbone between ``a`` and ``b`` is cut at ``tick``."""
+        for pa, pb, t0, t1 in self.partitions:
+            if {pa, pb} == {a, b} and t0 <= tick < t1:
+                return True
+        return False
+
+    def active_partitions(self, tick: int) -> Tuple[Tuple[int, int], ...]:
+        """The ``(a, b)`` pairs cut at ``tick``, in plan order."""
+        return tuple(
+            (a, b)
+            for a, b, t0, t1 in self.partitions
+            if t0 <= tick < t1
+        )
+
+    def __repr__(self) -> str:
+        if not self.enabled:
+            return "ShardFaultPlan(disabled)"
+        return (
+            f"ShardFaultPlan(seed={self.seed}, drop={self.link_drop:g}, "
+            f"delay={self.link_delay}, crashes={len(self.crashes)}, "
+            f"partitions={len(self.partitions)}, "
+            f"hb_timeout={self.heartbeat_timeout}, "
+            f"shed={self.shed_uplinks_per_tick})"
+        )

@@ -33,6 +33,20 @@ Message kinds are plain strings (they never ride the radio
     An uplink that landed on a non-owning shard, relayed to the owner.
 ``migrate``
     An object's dead-reckoning entry moving to its new home shard.
+``heartbeat`` / ``replicate``
+    The fault-tolerance traffic of :class:`~repro.net.faults.
+    ShardFaultPlan` runs: each shard pings its replication buddy every
+    tick, and streams per-query state deltas to it. Neither kind is
+    ever sent when the plan is disabled, so a fault-free run's backbone
+    byte counts are unchanged.
+
+When a :class:`~repro.net.faults.ShardFaultPlan` is installed, the
+link additionally drops (deterministically, *before* the probabilistic
+drop) any message whose source or destination shard is crashed at the
+current tick, and any message crossing an active backbone partition.
+These checks apply at **send time only**: a message already in the
+delay queue when a partition opens is still delivered (it left the
+source before the cut).
 """
 
 from __future__ import annotations
@@ -52,6 +66,8 @@ __all__ = [
     "SHARD_BORROW_REPLY",
     "SHARD_FORWARD",
     "SHARD_MIGRATE",
+    "SHARD_HEARTBEAT",
+    "SHARD_REPLICATE",
     "SHARD_KINDS",
     "ShardMessage",
     "ShardLink",
@@ -63,6 +79,8 @@ SHARD_BORROW = "borrow"
 SHARD_BORROW_REPLY = "borrow_reply"
 SHARD_FORWARD = "forward"
 SHARD_MIGRATE = "migrate"
+SHARD_HEARTBEAT = "heartbeat"
+SHARD_REPLICATE = "replicate"
 
 SHARD_KINDS = (
     SHARD_HANDOFF,
@@ -71,6 +89,8 @@ SHARD_KINDS = (
     SHARD_BORROW_REPLY,
     SHARD_FORWARD,
     SHARD_MIGRATE,
+    SHARD_HEARTBEAT,
+    SHARD_REPLICATE,
 )
 
 
@@ -118,6 +138,7 @@ class ShardLink:
         delay_ticks: int = 0,
         drop_prob: float = 0.0,
         seed: int = 0,
+        fault_plan=None,
     ) -> None:
         if n_shards < 1:
             raise NetworkError(f"need at least one shard, got {n_shards}")
@@ -129,6 +150,13 @@ class ShardLink:
         self.stats = stats
         self.delay_ticks = delay_ticks
         self.drop_prob = drop_prob
+        #: the :class:`~repro.net.faults.ShardFaultPlan` behind the
+        #: crash/partition drops, or None (= the healthy backbone).
+        self.fault_plan = (
+            fault_plan
+            if fault_plan is not None and fault_plan.enabled
+            else None
+        )
         self._deliver = deliver
         self._rng = random.Random(seed) if drop_prob > 0.0 else None
         self._tick = 0
@@ -140,6 +168,9 @@ class ShardLink:
         #: (src_shard, dst_shard) -> messages, the backbone heat map.
         self.sent_by_pair: Counter = Counter()
         self.dropped: int = 0
+        #: messages lost to a crashed endpoint / an active partition.
+        self.crash_dropped: int = 0
+        self.partition_dropped: int = 0
 
     # -- time --------------------------------------------------------------
 
@@ -178,6 +209,18 @@ class ShardLink:
         self.bytes_by_kind[kind] += size
         self.sent_by_pair[(src_shard, dst_shard)] += 1
         self.stats.record_server_to_server(kind, size)
+        if self.fault_plan is not None:
+            plan = self.fault_plan
+            if plan.is_down(src_shard, self._tick) or plan.is_down(
+                dst_shard, self._tick
+            ):
+                self.dropped += 1
+                self.crash_dropped += 1
+                return None
+            if plan.is_partitioned(src_shard, dst_shard, self._tick):
+                self.dropped += 1
+                self.partition_dropped += 1
+                return None
         if self._rng is not None and self._rng.random() < self.drop_prob:
             self.dropped += 1
             return None

@@ -273,7 +273,10 @@ class RoundSimulator:
                 if not self.channel.pending() and not self.server.busy():
                     break
                 if (
-                    self.faults is not None
+                    (
+                        self.faults is not None
+                        or getattr(self.server, "stall_tolerant", False)
+                    )
                     and not delivered
                     and not self.channel.pending()
                     and self.channel.stats.total_messages == sent_mark
@@ -281,9 +284,11 @@ class RoundSimulator:
                     # The exchange is stalled on a lost message: nothing
                     # was delivered or sent this subround and nothing is
                     # queued, yet the server still owes work. Under a
-                    # fault plan this is expected — end the tick and let
-                    # the hardened protocol's retransmit timers recover
-                    # on a later tick instead of dying at the cap.
+                    # fault plan — radio, or a shard-fault plan on the
+                    # server tier (``stall_tolerant``) — this is
+                    # expected: end the tick and let the hardened
+                    # protocol's retransmit timers recover on a later
+                    # tick instead of dying at the cap.
                     break
         else:
             subrounds = 1

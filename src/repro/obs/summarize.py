@@ -206,7 +206,42 @@ def _shard_section(events: List[TraceEvent]) -> Optional[str]:
         f"handoffs: {handoffs}, forwards: {forwards}, "
         f"borrows: {len(borrows)} ({borrowed} candidates)"
     )
+    fault_section = _shard_fault_lines(events)
+    if fault_section:
+        lines.extend(fault_section)
     return "\n".join(lines)
+
+
+def _shard_fault_lines(events: List[TraceEvent]) -> List[str]:
+    """Failure-model view (ShardFaultPlan runs only): failovers,
+    restores, partition windows, sheds, and recovery latencies."""
+    failovers = [e for e in events if e.kind == "shard.failover"]
+    restores = sum(1 for e in events if e.kind == "shard.restore")
+    partitions = [e for e in events if e.kind == "shard.partition"]
+    sheds = sum(1 for e in events if e.kind == "shard.shed")
+    recovered = [e for e in events if e.kind == "shard.recovered"]
+    if not failovers and not partitions and not sheds and not recovered:
+        return []
+    lines = []
+    if failovers:
+        taken = sum(e.fields.get("queries", 0) for e in failovers)
+        lines.append(
+            f"failovers: {len(failovers)} ({taken} queries taken over, "
+            f"{restores} restores)"
+        )
+    if partitions:
+        cuts = sum(1 for e in partitions if e.fields.get("up"))
+        lines.append(f"backbone partitions: {cuts} cut / "
+                     f"{len(partitions) - cuts} healed")
+    if sheds:
+        lines.append(f"admission control: {sheds} uplinks shed")
+    if recovered:
+        ticks = [e.fields.get("ticks", 0) for e in recovered]
+        lines.append(
+            f"degraded windows closed: {len(recovered)}, recovery "
+            f"ticks mean {sum(ticks) / len(ticks):.1f} max {max(ticks)}"
+        )
+    return lines
 
 
 def summarize_text(events: List[TraceEvent], source: str = "") -> str:

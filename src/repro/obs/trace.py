@@ -69,11 +69,22 @@ PROTOCOL_KINDS = frozenset(
         "shard.handoff",
         "shard.borrow",
         "shard.forward",
+        # Shard-tier failure model (ShardFaultPlan runs only): crash
+        # suspicion/failover, restore hand-backs, partition edges,
+        # admission-control sheds, and degraded-window closures. All
+        # deterministic given the plan.
+        "shard.failover",
+        "shard.restore",
+        "shard.partition",
+        "shard.shed",
+        "shard.recovered",
     }
 )
 
 #: Timing / dispatch kinds: may differ between scalar and fast runs.
-PERF_KINDS = frozenset({"tick.phase", "fastpath.candidates", "shard.load"})
+PERF_KINDS = frozenset(
+    {"tick.phase", "fastpath.candidates", "shard.load", "shard.health"}
+)
 
 #: Run lifecycle markers emitted by the harness, not the protocols.
 META_KINDS = frozenset({"run.start", "run.end"})

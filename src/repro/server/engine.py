@@ -51,6 +51,11 @@ class BaseServer(ServerNodeBase):
         #: when it takes ownership of this server.
         self.telemetry = NULL_TELEMETRY
         self.answers: Dict[int, List[int]] = {}
+        #: qid -> True while the published answer is known-degraded
+        #: (stale replica after a failover, shed repair traffic, ...).
+        #: Algorithm servers and the sharded tier both write here; the
+        #: experiment runner feeds it to ``AccuracyTracker.observe``.
+        self.degraded: Dict[int, bool] = {}
         #: query-ownership seam (see module docstring): the sharded
         #: tier installs an object with ``repair_scope(qid, cx, cy, r)``.
         self.ownership_probe: Optional[Any] = None
@@ -68,6 +73,7 @@ class BaseServer(ServerNodeBase):
             )
         self.queries.register(spec)
         self.answers[spec.qid] = []
+        self.degraded.setdefault(spec.qid, False)
         if self.record_history:
             self.answer_history[spec.qid] = []
 

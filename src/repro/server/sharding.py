@@ -36,11 +36,48 @@ fault RNG is private, see :mod:`repro.net.shardlink`). What the tier
 adds on top is the distributed-execution ledger: per-shard load,
 ownership, handoffs, borrows, forwards, migrations — the quantities
 E15 sweeps. ``tests/test_sharding.py`` pins both halves.
+
+**Failure model** (DESIGN.md §11). With a
+:class:`~repro.net.faults.ShardFaultPlan` installed the tier stops
+being a pure ledger and perturbs the run honestly:
+
+* a **crashed shard** is a dead base station *and* a dead query
+  engine: uplinks homed in its cell are lost, unicast downlinks to
+  objects homed there are silently dropped from the radio queue, and
+  every backbone message to or from it is dropped at the link
+  (broadcast/geocast still reach everyone — every live base station
+  transmits them; a documented simplification);
+* every shard streams a **heartbeat** to its replication buddy
+  (``(s + 1) % n_shards``) each tick and **replicates** per-query
+  state deltas (:meth:`~repro.server.engine.BaseServer.
+  export_query_state` snapshots) to it. After ``heartbeat_timeout``
+  silent ticks the buddy declares the shard crashed, takes over its
+  queries *and its radio coverage*, and re-registers them in the
+  ownership map — answers served from the stale replica are flagged
+  **degraded** until the next republish (or a settle bound), which
+  the runner feeds to ``AccuracyTracker`` (E14 accounting). A
+  heartbeat from a failed shard (restart, or a healed partition after
+  a false suspicion) restores it and hands its queries back through
+  the normal handoff machinery;
+* a backbone **partition** drops every message crossing the cut —
+  including heartbeats, so partitioned buddies fail over even though
+  both sides are alive; the single global ownership map keeps the
+  ledger consistent either way;
+* **admission control**: with ``shed_uplinks_per_tick`` set, a shard
+  past the threshold sheds further query-carrying (repair) uplinks —
+  the lowest-priority class — with a degraded annotation, and past
+  twice the threshold sheds everything.
+
+A disabled plan (or ``fault_plan=None``) takes exactly the code paths
+above this paragraph: no heartbeats, no replication, no RNG draws, no
+extra trace events — ``tests/test_shard_faults.py`` pins that
+bit-identity next to the sharded-vs-unsharded contract.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+import random
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import NetworkError
 from repro.geometry import Rect
@@ -53,7 +90,9 @@ from repro.net.shardlink import (
     SHARD_FORWARD,
     SHARD_HANDOFF,
     SHARD_HANDOFF_ACK,
+    SHARD_HEARTBEAT,
     SHARD_MIGRATE,
+    SHARD_REPLICATE,
     ShardLink,
     ShardMessage,
 )
@@ -66,6 +105,9 @@ __all__ = ["ShardRouter", "ShardStats", "ShardedServer", "shard_attach"]
 _ACK_BYTES = 8  # qid + generation
 _BORROW_REQ_BYTES = 28  # qid + circle (cx, cy, r)
 _MIGRATE_BYTES = 20  # oid + last reported position
+_HEARTBEAT_BYTES = 4  # shard id
+#: Handoff-retry backoff doubles up to this many ticks between sends.
+_RETRY_GAP_CAP = 8
 
 
 class ShardRouter:
@@ -150,6 +192,29 @@ class ShardStats:
         self.borrowed_candidates = 0
         self.forwards = 0
         self.migrations = 0
+        # -- fault-tolerance counters (all stay 0 in fault-free runs) --
+        #: buddy takeovers of a suspected-crashed shard.
+        self.failovers = 0
+        #: failed shards restored (restart heartbeat / healed partition).
+        self.restores = 0
+        #: queries whose ownership moved in a failover.
+        self.queries_taken_over = 0
+        #: uplinks shed by admission control.
+        self.shed_uplinks = 0
+        #: uplinks lost because no live base station covered the cell.
+        self.lost_uplinks = 0
+        #: unicast downlinks lost the same way.
+        self.lost_downlinks = 0
+        #: borrow exchanges that lost a leg on the backbone.
+        self.lost_borrows = 0
+        #: replication delta messages sent / heartbeats sent.
+        self.replications = 0
+        self.heartbeats = 0
+        #: per-takeover replica staleness (takeover tick - replica tick).
+        self.replication_lags: List[int] = []
+        #: per-query degraded-window lengths, recorded when the window
+        #: closes (re-publish or settle bound).
+        self.recovery_latencies: List[int] = []
 
     @property
     def total_uplinks(self) -> int:
@@ -194,7 +259,7 @@ class _InnerChannelProxy:
 
     def send(self, kind, src, dst, payload=None):
         msg = self._real.send(kind, src, dst, payload)
-        self._tier._note_inner_send(dst)
+        self._tier._note_inner_send(dst, msg)
         return msg
 
     @property
@@ -234,11 +299,25 @@ class ShardedServer(ServerNodeBase):
         link_delay: int = 0,
         link_drop: float = 0.0,
         link_seed: int = 0,
+        fault_plan=None,
     ) -> None:
         super().__init__()
         self.inner = inner
         self.router = router
         self.shard_stats = ShardStats(router.n_shards)
+        #: the :class:`~repro.net.faults.ShardFaultPlan`, or None. A
+        #: disabled plan normalizes to None so every fault branch below
+        #: is a plain ``is not None`` check — the bit-identity gate.
+        plan = (
+            fault_plan
+            if fault_plan is not None and fault_plan.enabled
+            else None
+        )
+        self._fault_plan = plan
+        if plan is not None:
+            link_delay = plan.link_delay
+            link_drop = plan.link_drop
+            link_seed = plan.seed
         self.link = ShardLink(
             router.n_shards,
             stats,
@@ -246,7 +325,12 @@ class ShardedServer(ServerNodeBase):
             delay_ticks=link_delay,
             drop_prob=link_drop,
             seed=link_seed,
+            fault_plan=plan,
         )
+        #: tells the simulator the tier tolerates dead-air subrounds
+        #: (shard-fault losses can stall a protocol exchange without a
+        #: radio FaultPlan being installed).
+        self.stall_tolerant = plan is not None
         self._telemetry = NULL_TELEMETRY
         self._tick = 0
         #: oid -> home shard (from the last routed positional uplink).
@@ -258,12 +342,43 @@ class ShardedServer(ServerNodeBase):
         self._handoff_pending: Dict[int, int] = {}
         #: qid -> tick the pending handoff was last (re)sent.
         self._handoff_sent: Dict[int, int] = {}
+        #: qid -> earliest tick the next handoff retransmit may fire,
+        #: and the current backoff gap (doubles to _RETRY_GAP_CAP).
+        self._retry_at: Dict[int, int] = {}
+        self._retry_gap: Dict[int, int] = {}
+        #: jitter stream of the retry backoff — drawn only when a
+        #: second retransmit of the same handoff fires, which a healthy
+        #: backbone never reaches.
+        self._backoff_rng = random.Random(link_seed ^ 0xB0FF)
+        # -- fault-tolerance state (inert without a plan) --------------
+        #: shard -> last tick its buddy heard a heartbeat from it.
+        self._last_heard: Dict[int, int] = {
+            s: 0 for s in range(router.n_shards)
+        }
+        #: shards currently considered crashed by their watcher.
+        self._failed: Set[int] = set()
+        #: dead shard -> shard now covering its cell (and queries).
+        self._covered_by: Dict[int, int] = {}
+        #: qid -> freshness tick of the buddy's replica.
+        self._replica: Dict[int, int] = {}
+        #: qid -> last state snapshot shipped (delta detection).
+        self._repl_sent: Dict[int, Any] = {}
+        #: qid -> (tick flagged, answer snapshot at flag time); while
+        #: present the tier reports the query degraded.
+        self._degraded_overlay: Dict[int, Tuple[int, Tuple]] = {}
+        #: per-shard uplinks accepted this tick (admission control).
+        self._tick_uplinks: List[int] = [0] * router.n_shards
+        #: backbone partitions active last tick (transition traces).
+        self._active_partitions: Set[Tuple[int, int]] = set()
         #: focal oid -> qids anchored at it (from the inner registry).
         self._qids_by_focal: Dict[int, List[int]] = {}
+        #: qid -> focal oid (reverse map, for restore hand-backs).
+        self._focal_of: Dict[int, int] = {}
         for spec in inner.queries:
             self._qids_by_focal.setdefault(spec.focal_oid, []).append(
                 spec.qid
             )
+            self._focal_of[spec.qid] = spec.focal_oid
         inner.ownership_probe = _OwnershipProbe(self)
 
     # -- telemetry plumbing -------------------------------------------------
@@ -290,16 +405,30 @@ class ShardedServer(ServerNodeBase):
     def register_query(self, spec) -> None:
         self.inner.register_query(spec)
         self._qids_by_focal.setdefault(spec.focal_oid, []).append(spec.qid)
+        self._focal_of[spec.qid] = spec.focal_oid
+
+    @property
+    def degraded(self) -> Dict[int, bool]:
+        """The inner engine's degraded map, overlaid with the tier's
+        own annotations (stale-replica failovers, shed repairs, lost
+        borrows). With no fault plan the overlay is empty, so this is
+        exactly the inner map."""
+        merged = dict(getattr(self.inner, "degraded", None) or {})
+        for qid in self._degraded_overlay:
+            merged[qid] = True
+        return merged
 
     def on_tick_start(self, tick: int) -> None:
         self._tick = tick
         self.link.begin_tick(tick)
+        if self._fault_plan is not None:
+            self._fault_tick_start(tick)
         self._retry_pending_handoffs()
         self.inner.on_tick_start(tick)
 
     def on_message(self, msg: Message) -> None:
-        self._route_uplink(msg)
-        self.inner.on_message(msg)
+        if self._route_uplink(msg):
+            self.inner.on_message(msg)
 
     def on_subround(self, tick: int) -> None:
         self.inner.on_subround(tick)
@@ -309,6 +438,9 @@ class ShardedServer(ServerNodeBase):
 
     def on_tick_end(self, tick: int) -> None:
         self.inner.on_tick_end(tick)
+        if self._fault_plan is not None:
+            self._replicate(tick)
+            self._settle_degraded(tick)
         stats = self.shard_stats
         stats.homed = [0] * self.router.n_shards
         for home in self._home.values():
@@ -326,17 +458,250 @@ class ShardedServer(ServerNodeBase):
                 homed=list(stats.homed),
                 owned=list(stats.owned),
             )
+            if self._fault_plan is not None:
+                tel.tracer.emit(
+                    tick,
+                    "shard.health",
+                    failed=sorted(self._failed),
+                    degraded=len(self._degraded_overlay),
+                    shed=stats.shed_uplinks,
+                    lost_uplinks=stats.lost_uplinks,
+                    lost_downlinks=stats.lost_downlinks,
+                )
+
+    # -- fault machinery (every entry point gated on the plan) ---------------
+
+    def _serving(self, shard: int) -> Optional[int]:
+        """The live shard serving ``shard``'s cell right now.
+
+        Follows the coverage-takeover chain (a watcher can itself fail
+        and be covered), then returns None if the end of the chain is
+        down — crashed but not yet failed over, or watcher dead too.
+        """
+        seen: Set[int] = set()
+        while shard in self._covered_by:
+            if shard in seen:
+                return None
+            seen.add(shard)
+            shard = self._covered_by[shard]
+        plan = self._fault_plan
+        if plan is not None and (
+            shard in self._failed or plan.is_down(shard, self._tick)
+        ):
+            return None
+        return shard
+
+    def _fault_tick_start(self, tick: int) -> None:
+        """Per-tick fault bookkeeping: admission-window reset,
+        partition transition traces, heartbeats, crash detection."""
+        plan = self._fault_plan
+        n = self.router.n_shards
+        self._tick_uplinks = [0] * n
+        tel = self._telemetry
+        active = set(plan.active_partitions(tick))
+        if active != self._active_partitions:
+            if tel.enabled and tel.tracer.enabled:
+                for a, b in sorted(active - self._active_partitions):
+                    tel.tracer.emit(
+                        tick, "shard.partition", a=a, b=b, up=True
+                    )
+                for a, b in sorted(self._active_partitions - active):
+                    tel.tracer.emit(
+                        tick, "shard.partition", a=a, b=b, up=False
+                    )
+            self._active_partitions = active
+        if n < 2:
+            return
+        # Heartbeats first: an undelayed backbone delivers them before
+        # the detection sweep below, so a live, reachable shard is
+        # never suspected.
+        for s in range(n):
+            if plan.is_down(s, tick):
+                continue
+            self.shard_stats.heartbeats += 1
+            self.link.send(
+                SHARD_HEARTBEAT, s, self._buddy(s), _HEARTBEAT_BYTES
+            )
+        for s in range(n):
+            if s in self._failed:
+                continue
+            watcher = self._buddy(s)
+            if watcher in self._failed or plan.is_down(watcher, tick):
+                continue  # a dead watcher suspects nothing
+            if tick - self._last_heard[s] > plan.heartbeat_timeout:
+                self._failover(s, watcher, tick)
+
+    def _buddy(self, shard: int) -> int:
+        """The deterministic replication buddy (and watcher) of a shard."""
+        return (shard + 1) % self.router.n_shards
+
+    def _failover(self, shard: int, watcher: int, tick: int) -> None:
+        """``watcher`` declares ``shard`` crashed: take over its cell's
+        radio coverage and its queries, replaying the replica."""
+        self._failed.add(shard)
+        self._covered_by[shard] = watcher
+        moved = sorted(
+            qid for qid, owner in self._owner.items() if owner == shard
+        )
+        lags = []
+        for qid in moved:
+            self._owner[qid] = watcher
+            rep_tick = self._replica.get(qid)
+            if rep_tick is not None:
+                lags.append(tick - rep_tick)
+            self._flag_degraded(qid)
+        # Handoffs in flight *towards* the dead shard retarget to the
+        # covering watcher; the backoff retry picks them up.
+        for qid, dst in list(self._handoff_pending.items()):
+            if dst == shard:
+                self._handoff_pending[qid] = watcher
+        stats = self.shard_stats
+        stats.failovers += 1
+        stats.queries_taken_over += len(moved)
+        stats.replication_lags.extend(lags)
+        tel = self._telemetry
+        if tel.enabled and tel.tracer.enabled:
+            tel.tracer.emit(
+                tick,
+                "shard.failover",
+                shard=shard,
+                by=watcher,
+                queries=len(moved),
+                max_replica_lag=max(lags) if lags else None,
+            )
+
+    def _restore(self, shard: int) -> None:
+        """A heartbeat arrived from a failed shard (restart, or healed
+        partition after a false suspicion): return its coverage, and
+        hand back the queries whose focal objects live in its cell
+        through the normal handoff machinery."""
+        self._failed.discard(shard)
+        self._covered_by.pop(shard, None)
+        self._last_heard[shard] = self._tick
+        self.shard_stats.restores += 1
+        for qid in sorted(self._owner):
+            focal = self._focal_of.get(qid)
+            if focal is None:
+                continue
+            if self._home.get(focal) == shard and self._owner[qid] != shard:
+                self._maybe_handoff(qid, shard)
+        tel = self._telemetry
+        if tel.enabled and tel.tracer.enabled:
+            tel.tracer.emit(self._tick, "shard.restore", shard=shard)
+
+    def _flag_degraded(self, qid: int) -> None:
+        """Open a degraded window: the published answer may be stale
+        (failover replica, shed repair, lost borrow). Closed by
+        :meth:`_settle_degraded`."""
+        if qid not in self._degraded_overlay:
+            self._degraded_overlay[qid] = (
+                self._tick,
+                tuple(self.inner.answers.get(qid, ())),
+            )
+
+    def _replicate(self, tick: int) -> None:
+        """Stream changed query-state snapshots to each owner's buddy."""
+        plan = self._fault_plan
+        if not plan.replicate or self.router.n_shards < 2:
+            return
+        for qid in sorted(self._owner):
+            owner = self._owner[qid]
+            if plan.is_down(owner, tick):
+                continue  # a dead owner replicates nothing
+            state = self.inner.export_query_state(qid)
+            if self._repl_sent.get(qid) == state:
+                continue  # unchanged since last delta
+            self._repl_sent[qid] = state
+            self.shard_stats.replications += 1
+            self.link.send(
+                SHARD_REPLICATE,
+                owner,
+                self._buddy(owner),
+                payload_size(state),
+                payload=(qid,),
+            )
+
+    def _settle_degraded(self, tick: int) -> None:
+        """Close degraded windows: the query re-published a different
+        answer, or the settle bound elapsed — but only while a live
+        shard serves it (a query of a dead, uncovered shard stays
+        degraded)."""
+        plan = self._fault_plan
+        stats = self.shard_stats
+        tel = self._telemetry
+        for qid in list(self._degraded_overlay):
+            owner = self._owner.get(qid)
+            if owner is None or self._serving(owner) is None:
+                continue
+            flagged, snap = self._degraded_overlay[qid]
+            current = tuple(self.inner.answers.get(qid, ()))
+            republished = current != snap and bool(current)
+            if republished or tick - flagged >= plan.recovery_settle_ticks:
+                del self._degraded_overlay[qid]
+                stats.recovery_latencies.append(tick - flagged)
+                if tel.enabled and tel.tracer.enabled:
+                    tel.tracer.emit(
+                        tick,
+                        "shard.recovered",
+                        qid=qid,
+                        ticks=tick - flagged,
+                        republished=republished,
+                    )
 
     # -- routing ------------------------------------------------------------
 
-    def _route_uplink(self, msg: Message) -> None:
+    def _route_uplink(self, msg: Message) -> bool:
         """Route one client uplink to its home shard; ledger the load,
-        migrations, ownership changes and cross-shard forwards."""
+        migrations, ownership changes and cross-shard forwards.
+
+        Returns False when a fault swallowed the uplink — no live base
+        station covers the sender's cell, or admission control shed it
+        — in which case the inner engine never sees the message. With
+        no fault plan this always returns True on exactly the fault-
+        free code path.
+        """
         payload = msg.payload
         src = msg.src
+        plan = self._fault_plan
         x = getattr(payload, "x", None)
         if x is not None:
             home = self.router.shard_of(x, payload.y)
+        else:
+            home = self._home.get(src, 0)
+        qid_attr = getattr(payload, "qid", None)
+        if plan is not None:
+            serving = self._serving(home)
+            if serving is None:
+                # The cell's base station is down and nobody covers it
+                # (yet): the transmission dies in the air.
+                self.shard_stats.lost_uplinks += 1
+                return False
+            shed = plan.shed_uplinks_per_tick
+            if shed is not None:
+                accepted = self._tick_uplinks[serving]
+                overloaded = accepted >= 2 * shed
+                if overloaded or (accepted >= shed and qid_attr is not None):
+                    # Past the threshold the shard sheds query-carrying
+                    # (repair) uplinks first; past twice the threshold,
+                    # everything.
+                    self.shard_stats.shed_uplinks += 1
+                    if qid_attr is not None:
+                        self._flag_degraded(qid_attr)
+                    tel = self._telemetry
+                    if tel.enabled and tel.tracer.enabled:
+                        tel.tracer.emit(
+                            self._tick,
+                            "shard.shed",
+                            shard=serving,
+                            qid=qid_attr,
+                            kind=msg.kind.value,
+                            overloaded=overloaded,
+                        )
+                    return False
+            self._tick_uplinks[serving] += 1
+        else:
+            serving = home
+        if x is not None:
             prev = self._home.get(src)
             if prev is None:
                 self._home[src] = home
@@ -347,25 +712,24 @@ class ShardedServer(ServerNodeBase):
                 self.shard_stats.migrations += 1
                 self.link.send(SHARD_MIGRATE, prev, home, _MIGRATE_BYTES)
                 for qid in self._qids_by_focal.get(src, ()):
-                    self._maybe_handoff(qid, home)
+                    self._maybe_handoff(qid, serving)
             for qid in self._qids_by_focal.get(src, ()):
                 if qid not in self._owner and qid not in self._handoff_pending:
                     # First focal report: ownership bootstraps on the
-                    # focal's home shard, no transfer needed.
-                    self._owner[qid] = home
-        else:
-            home = self._home.get(src, 0)
-        self.shard_stats.uplinks[home] += 1
-        qid = getattr(payload, "qid", None)
+                    # shard serving the focal's home cell, no transfer
+                    # needed.
+                    self._owner[qid] = serving
+        self.shard_stats.uplinks[serving] += 1
+        qid = qid_attr
         if qid is None:
-            return
+            return True
         owner = self._owner.get(qid)
-        if owner is not None and owner != home:
+        if owner is not None and owner != serving:
             # Landed on a non-owning shard: relay the whole client
             # message to the owner over the backbone.
             self.shard_stats.forwards += 1
             self.link.send(
-                SHARD_FORWARD, home, owner, msg.size - HEADER_BYTES
+                SHARD_FORWARD, serving, owner, msg.size - HEADER_BYTES
             )
             tel = self._telemetry
             if tel.enabled and tel.tracer.enabled:
@@ -374,14 +738,36 @@ class ShardedServer(ServerNodeBase):
                     "shard.forward",
                     qid=qid,
                     kind=msg.kind.value,
-                    src_shard=home,
+                    src_shard=serving,
                     dst_shard=owner,
                 )
+        return True
 
-    def _note_inner_send(self, dst: int) -> None:
-        """Ledger one send of the inner engine against a shard."""
+    def _note_inner_send(self, dst: int, msg=None) -> None:
+        """Ledger one send of the inner engine against a shard.
+
+        With a fault plan, a unicast downlink into a dead, uncovered
+        cell is lost: the tier pops it back off the radio queue (only
+        if it is still the freshly-appended tail — a radio FaultPlan
+        may already have dropped or delayed it) and records the drop.
+        Broadcast/geocast are transmitted by every live base station
+        and stay unaffected.
+        """
         if dst >= 0:
-            self.shard_stats.downlinks[self._home.get(dst, 0)] += 1
+            home = self._home.get(dst, 0)
+            if self._fault_plan is not None:
+                serving = self._serving(home)
+                if serving is None:
+                    self.shard_stats.lost_downlinks += 1
+                    channel = self.__dict__.get("_channel")
+                    queue = getattr(channel, "_queue", None)
+                    if msg is not None and queue and queue[-1] is msg:
+                        queue.pop()
+                        channel.stats.record_drop(msg)
+                    return
+                self.shard_stats.downlinks[serving] += 1
+                return
+            self.shard_stats.downlinks[home] += 1
         else:
             self.shard_stats.area_sends += 1
 
@@ -399,6 +785,8 @@ class ShardedServer(ServerNodeBase):
             # in-flight copy is ignored on arrival (superseded check).
             self._handoff_pending.pop(qid, None)
             self._handoff_sent.pop(qid, None)
+            self._retry_at.pop(qid, None)
+            self._retry_gap.pop(qid, None)
             return
         pending = self._handoff_pending.get(qid)
         if pending == new_home:
@@ -411,17 +799,27 @@ class ShardedServer(ServerNodeBase):
         nbytes = payload_size(state)
         self.inner.meter.charge(CostMeter.HANDOFF)
         self._handoff_sent[qid] = self._tick
+        # Fresh-send schedule: a copy that may merely be delayed (not
+        # dropped) gets the link's latency, then the first retransmit
+        # is eligible — the same tick it fired before backoff existed.
+        self._retry_at[qid] = self._tick + self.link.delay_ticks + 1
+        self._retry_gap[qid] = 1
         self.link.send(
             SHARD_HANDOFF, owner, dst, nbytes, payload=(qid, dst)
         )
 
     def _retry_pending_handoffs(self) -> None:
-        """Re-send handoffs lost on the backbone (once per tick).
+        """Re-send handoffs lost on the backbone, with seeded
+        exponential backoff.
 
         Ownership never moved — the old owner still holds the query —
-        so the retry re-exports the current state and tries again. A
-        copy that may merely be delayed (not dropped) is given the
-        link's latency before the retransmit fires.
+        so the retry re-exports the current state and tries again. The
+        first retransmit fires one tick after the link's latency
+        window (exactly the pre-backoff schedule, so a healthy
+        backbone is bit-identical); each further retransmit doubles
+        the gap up to ``_RETRY_GAP_CAP`` plus seeded jitter, so a
+        partitioned backbone sees a thinning retry stream instead of a
+        storm.
         """
         for qid in sorted(self._handoff_pending):
             owner = self._owner.get(qid)
@@ -429,15 +827,42 @@ class ShardedServer(ServerNodeBase):
             if owner is None or owner == dst:
                 self._handoff_pending.pop(qid, None)
                 self._handoff_sent.pop(qid, None)
+                self._retry_at.pop(qid, None)
+                self._retry_gap.pop(qid, None)
                 continue
-            sent = self._handoff_sent.get(qid, self._tick)
-            if self._tick - sent <= self.link.delay_ticks:
-                continue  # still plausibly in flight
+            if self._tick < self._retry_at.get(qid, 0):
+                continue  # in flight, or backing off
             self.shard_stats.handoff_retries += 1
+            gap = min(self._retry_gap.get(qid, 1) * 2, _RETRY_GAP_CAP)
             self._send_handoff(qid, owner, dst)
+            # Override the fresh-send schedule with the widened gap
+            # (the jitter draw happens only here, on an actual
+            # retransmit — never on a healthy backbone).
+            self._retry_gap[qid] = gap
+            self._retry_at[qid] = (
+                self._tick
+                + self.link.delay_ticks
+                + gap
+                + self._backoff_rng.randrange(gap)
+            )
 
     def _on_shard_message(self, msg: ShardMessage) -> None:
         """Backbone delivery handler (synchronous or via begin_tick)."""
+        plan = self._fault_plan
+        if plan is not None and plan.is_down(msg.dst_shard, self._tick):
+            # A delayed message arriving at a shard that crashed while
+            # it was in flight is dead-lettered.
+            self.link.dropped += 1
+            self.link.crash_dropped += 1
+            return
+        if msg.kind == SHARD_HEARTBEAT:
+            self._last_heard[msg.src_shard] = self._tick
+            if msg.src_shard in self._failed:
+                self._restore(msg.src_shard)
+            return
+        if msg.kind == SHARD_REPLICATE:
+            self._replica[msg.payload[0]] = msg.sent_tick
+            return
         if msg.kind == SHARD_HANDOFF:
             qid, dst = msg.payload
             if self._handoff_pending.get(qid) != dst:
@@ -447,6 +872,8 @@ class ShardedServer(ServerNodeBase):
             # do two shards own the query.
             del self._handoff_pending[qid]
             self._handoff_sent.pop(qid, None)
+            self._retry_at.pop(qid, None)
+            self._retry_gap.pop(qid, None)
             src = self._owner.get(qid)
             self._owner[qid] = dst
             self.shard_stats.handoffs += 1
@@ -501,8 +928,23 @@ class ShardedServer(ServerNodeBase):
             self.shard_stats.borrows += 1
             self.shard_stats.borrowed_candidates += n
             self.inner.meter.charge(CostMeter.BORROW)
-            self.link.send(SHARD_BORROW, owner, sid, _BORROW_REQ_BYTES)
-            self.link.send(SHARD_BORROW_REPLY, sid, owner, 8 + 20 * n)
+            request = self.link.send(
+                SHARD_BORROW, owner, sid, _BORROW_REQ_BYTES
+            )
+            reply = None
+            if request is not None:
+                reply = self.link.send(
+                    SHARD_BORROW_REPLY, sid, owner, 8 + 20 * n
+                )
+            if (
+                request is None or reply is None
+            ) and self._fault_plan is not None:
+                # A leg of the borrow died on the backbone: the repair
+                # still terminates (the inner engine read its local
+                # replica), but the answer may miss the lender's
+                # candidates — flag it instead of staying silent.
+                self.shard_stats.lost_borrows += 1
+                self._flag_degraded(qid)
             if tel.enabled and tel.tracer.enabled:
                 tel.tracer.emit(
                     self._tick,
@@ -520,6 +962,7 @@ def shard_attach(
     link_delay: int = 0,
     link_drop: float = 0.0,
     link_seed: int = 0,
+    faults=None,
 ) -> ShardedServer:
     """Wrap a built simulator's server in a sharded tier, in place.
 
@@ -527,6 +970,10 @@ def shard_attach(
     address); the wrapper takes its place in the simulator's dispatch
     tables and interposes the downlink-ledger proxy on the inner
     engine's channel slot. Returns the installed :class:`ShardedServer`.
+
+    ``faults`` is an optional :class:`~repro.net.faults.ShardFaultPlan`;
+    when enabled it supersedes the raw ``link_*`` knobs (the backbone
+    drop/delay/seed come from the plan).
     """
     inner = sim.server
     if isinstance(inner, ShardedServer):
@@ -539,6 +986,7 @@ def shard_attach(
         link_delay=link_delay,
         link_drop=link_drop,
         link_seed=link_seed,
+        fault_plan=faults,
     )
     # Share the already-registered SERVER_ID address: assign the channel
     # slot directly (attach() would re-register and raise).

@@ -1,0 +1,151 @@
+"""Property: shard failover re-converges after the crash window.
+
+Hypothesis draws a workload and a crash window; the test first runs a
+clean copy of the workload to learn which shard owns the first query
+at the crash tick, then crashes exactly that shard in a second run.
+The buddy must take the query over (a failover with queries moved),
+the answers published from the stale replica must open a degraded
+window that closes with a recorded recovery latency, and once the
+shard restarts the published answers must return to the exact kNN
+within a bounded settle window — the same ground-truth-replay check
+the blackout handoff test uses.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.algorithms import build_system
+from repro.experiments.config import RunConfig
+from repro.index.bruteforce import brute_knn_ids
+from repro.net.faults import ShardFaultPlan
+from repro.workloads import WorkloadSpec, build_workload
+
+CRASH_T0 = 20
+CRASH_T1 = 32
+TOTAL_TICKS = 64
+HEARTBEAT_TIMEOUT = 3
+LEASE = 8
+
+FT_PARAMS = {
+    "fault_tolerant": True,
+    "ack_timeout": 2,
+    "lease_ticks": LEASE,
+    "violation_retry": 2,
+}
+
+scenario = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "fault_seed": st.integers(min_value=0, max_value=10_000),
+        "n_objects": st.integers(min_value=60, max_value=150),
+        "n_queries": st.integers(min_value=2, max_value=3),
+    }
+)
+
+
+def _spec(s):
+    return WorkloadSpec(
+        n_objects=s["n_objects"],
+        n_queries=s["n_queries"],
+        k=4,
+        ticks=TOTAL_TICKS,
+        warmup_ticks=2,
+        seed=s["seed"],
+        universe_size=3_000.0,
+    )
+
+
+def _owner_at_crash_tick(spec):
+    """Clean probe run: which shard owns query 0 when the crash hits?
+
+    Ownership is a deterministic function of reported positions, and
+    the fault plan does nothing before its first window, so the faulty
+    run reaches the same ownership at the last pre-crash tick
+    (``CRASH_T0 - 1``; from ``CRASH_T0`` on, the victim's backbone
+    sends are dropped, so it cannot hand the query off before the
+    watcher's timeout fires).
+    """
+    fleet, queries = build_workload(spec)
+    cfg = RunConfig("DKNN-P", shards=2, params=dict(FT_PARAMS))
+    sim = build_system(cfg, fleet, queries)
+    sim.run(CRASH_T0 - 1)
+    return sim.server._owner[queries[0].qid]
+
+
+@given(scenario)
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_crashed_owner_fails_over_and_reconverges(s):
+    spec = _spec(s)
+    victim = _owner_at_crash_tick(spec)
+
+    plan = ShardFaultPlan(
+        seed=s["fault_seed"],
+        crashes=((victim, CRASH_T0, CRASH_T1),),
+        heartbeat_timeout=HEARTBEAT_TIMEOUT,
+    )
+    fleet, queries = build_workload(spec)
+    cfg = RunConfig(
+        "DKNN-P",
+        record_history=True,
+        shards=2,
+        shard_faults=plan,
+        params=dict(FT_PARAMS),
+    )
+    sim = build_system(cfg, fleet, queries)
+
+    owners_seen = []
+    sim.run(spec.ticks, on_tick=lambda x: owners_seen.append(
+        dict(x.server._owner)
+    ))
+    tier = sim.server
+    st_ = tier.shard_stats
+
+    # The buddy suspected the dead shard and took its queries over.
+    assert st_.failovers >= 1, "crash never detected"
+    assert st_.queries_taken_over >= 1, "owned query not taken over"
+    # The restart heartbeat handed the coverage back.
+    assert st_.restores >= 1, "restarted shard never restored"
+    assert not tier._failed
+
+    # Degraded accounting: windows opened at takeover closed with a
+    # recorded latency, and none is still open at run end (the settle
+    # bound is recovery_settle_ticks=12 << the post-crash tail).
+    assert st_.recovery_latencies, "no degraded window accounted"
+    assert all(t >= 0 for t in st_.recovery_latencies)
+    assert not tier._degraded_overlay, "degraded window still open"
+
+    # Ownership invariant: one owner map, always valid shard ids.
+    for snapshot in owners_seen:
+        for owner in snapshot.values():
+            assert 0 <= owner < tier.router.n_shards
+
+    # Bounded re-convergence: detection + restore + one lease/retry
+    # round of slack, then published answers are exact at probe ticks.
+    deadline = CRASH_T1 + HEARTBEAT_TIMEOUT + LEASE + 4
+    replay = {}
+    for q in queries:
+        for tick, answer in tier.answer_history[q.qid]:
+            replay.setdefault(tick, {})[q.qid] = answer
+    fleet2, _ = build_workload(spec)
+    exact_since = None
+    for tick in range(1, spec.ticks + 1):
+        fleet2.advance()
+        if tick < deadline or tick % 2:
+            continue
+        ok = True
+        for q in queries:
+            qx, qy = fleet2.positions[q.focal_oid]
+            truth = brute_knn_ids(
+                fleet2.positions, qx, qy, q.k, frozenset((q.focal_oid,))
+            )
+            if sorted(replay[tick][q.qid]) != sorted(truth):
+                ok = False
+        if ok and exact_since is None:
+            exact_since = tick
+    assert exact_since is not None, (
+        f"never exact again after restart + settle (deadline {deadline})"
+    )
