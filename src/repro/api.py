@@ -67,6 +67,12 @@ from repro.mobility import (
     RoadNetworkModel,
 )
 from repro.net import CommStats, FaultPlan, RoundSimulator, ShardFaultPlan
+from repro.net.chaos import (
+    ChaosResult,
+    chaos_plans,
+    default_checkers,
+    run_chaos,
+)
 from repro.obs import (
     MetricsRegistry,
     Telemetry,
@@ -74,6 +80,7 @@ from repro.obs import (
     use_telemetry,
 )
 from repro.server import (
+    DurabilityManager,
     QuerySpec,
     ShardedServer,
     ShardRouter,
@@ -127,11 +134,17 @@ __all__ = [
     "ShardStats",
     "ShardedServer",
     "shard_attach",
+    "DurabilityManager",
     # network & faults
     "RoundSimulator",
     "CommStats",
     "FaultPlan",
     "ShardFaultPlan",
+    # chaos harness
+    "run_chaos",
+    "chaos_plans",
+    "default_checkers",
+    "ChaosResult",
     # observability
     "Telemetry",
     "Tracer",

@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments --all --quick --csv results/
     python -m repro.experiments E1 --trace traces/ --metrics-out m.json
     python -m repro.experiments summarize traces/trace_e1.jsonl
+    python -m repro.experiments chaos --seed 7 --ticks 200
 
 ``--quick`` shrinks workloads for a fast smoke pass; ``--csv DIR``
 additionally writes one CSV per experiment; ``--profile DIR`` runs each
@@ -17,7 +18,9 @@ Observability: ``--trace DIR`` streams one JSONL trace per experiment
 into DIR (``trace_<id>.jsonl``); ``--metrics-out FILE`` dumps the
 metrics registry accumulated across all runs as one JSON document; the
 ``summarize`` subcommand renders a per-phase cost table from a trace
-file. Whenever results are written (``--csv``/``--trace``/
+file; the ``chaos`` subcommand runs the deterministic fault-injection
+harness (:mod:`repro.net.chaos`) with per-tick invariant checkers and
+exits non-zero on any violation. Whenever results are written (``--csv``/``--trace``/
 ``--metrics-out``), a run manifest with full provenance (specs, params,
 seeds, git rev, versions, wall clock) lands next to them as
 ``manifest.json``.
@@ -80,6 +83,10 @@ def main(argv=None) -> int:
         from repro.obs import summarize
 
         return summarize.main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.net import chaos
+
+        return chaos.main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -88,8 +95,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}), or "
-        "'summarize TRACE' to render a per-phase cost table",
+        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}), "
+        "'summarize TRACE' to render a per-phase cost table, or "
+        "'chaos' to run the fault-injection harness",
     )
     parser.add_argument("--all", action="store_true", help="run everything")
     parser.add_argument(

@@ -63,12 +63,16 @@ class RunConfig:
         accounting regressions), still distinct from ``None``.
     shard_faults:
         Optional :class:`~repro.net.faults.ShardFaultPlan`: the
-        server-tier failure model (shard crashes, backbone drop /
-        delay / partitions, admission control). Requires ``shards``
-        when the plan is enabled; ``None`` or a disabled plan leaves
-        the tier on the fault-free, bit-identical code paths. The
-        backbone knobs (``link_drop``, ``link_delay``, ``seed``) ride
-        inside the plan.
+        server-tier failure model (shard crashes — single, correlated
+        groups, whole-tier restarts — backbone drop / delay /
+        partitions, admission control, checkpoint/WAL durability).
+        An enabled plan requires ``shards >= 2``: a single-shard tier
+        has no buddy to fail over to and no backbone to partition, so
+        the plan could never act — validation rejects it instead of
+        silently ignoring it. ``None`` or a disabled plan leaves the
+        tier on the fault-free, bit-identical code paths. The backbone
+        knobs (``link_drop``, ``link_delay``, ``seed``) ride inside
+        the plan.
     params:
         Per-algorithm parameters; names validated against the catalog.
     """
@@ -118,11 +122,20 @@ class RunConfig:
                     "shard_faults must be None or a ShardFaultPlan, got "
                     f"{self.shard_faults!r} (radio faults go in faults=)"
                 )
-            if self.shard_faults.enabled and self.shards is None:
+            if self.shard_faults.enabled and (
+                self.shards is None or self.shards == 1
+            ):
+                detail = (
+                    "shards=1 is a single shard server"
+                    if self.shards == 1
+                    else "shards is unset"
+                )
                 raise ExperimentError(
-                    "shard_faults needs a sharded tier: also pass "
-                    "shards=S (shards-per-side) so there are shard "
-                    "servers to crash and a backbone to partition"
+                    "shard_faults needs a sharded tier: pass shards=S "
+                    "with S >= 2 (shards-per-side) so there are shard "
+                    "servers to crash, a buddy to fail over to, and a "
+                    f"backbone to partition — here {detail}, so the "
+                    "plan could never act and would be silently ignored"
                 )
         unknown = set(self.params) - set(info.params)
         if unknown:

@@ -710,10 +710,14 @@ def e16_shard_faults(quick: bool = False) -> ResultTable:
     re-publish), degraded-answer fraction as `AccuracyTracker` saw it,
     replica staleness at takeover, the replication+heartbeat share of
     backbone bytes, and shed/lost traffic rates. Expected: recovery
-    latency bounded by the FT lease machinery, degraded fraction
-    rising with partitions but ``healthy_exactness`` staying near 1.0
-    (the annotation is honest), replication overhead a modest slice of
-    an already-small backbone share.
+    latency bounded by the FT lease machinery; the degraded fraction
+    is large while crashes are scheduled — the tier-wide suspicion
+    horizon flags *every* query while any home cell is blind to
+    uplinks, plus a settle window after — and in exchange
+    ``healthy_exactness`` is exactly 1.0 whenever any healthy ticks
+    remain (the annotation is honest, never merely optimistic);
+    replication overhead a modest slice of an already-small backbone
+    share.
     """
     base = _base(quick).but(
         mobility="hotspot", seed=101, n_objects=300 if quick else 1200
@@ -812,6 +816,101 @@ def e16_shard_faults(quick: bool = False) -> ResultTable:
     return table
 
 
+def e17_durability(quick: bool = False) -> ResultTable:
+    """Durable shard state: recovery quality vs checkpoint cadence.
+
+    The failure schedule is built to defeat buddy coverage, the only
+    recovery path PR6 had: a *correlated* crash of shards 0 and 1 —
+    shard 0's replication buddy is shard 1, so when both die together
+    shard 0 restarts cold with no live replica — followed later by a
+    whole-tier restart (every shard down at once, nothing covered).
+    Under that schedule, hardened DKNN-P at S=2 runs once per
+    checkpoint cadence of the per-cell durable store:
+
+    * ``none`` — no store: uncovered cold restarts take the amnesia
+      path (ownership and home rows dropped, queries re-bootstrapped
+      from the next focal report through the degraded channel);
+    * intervals 2..20 — checkpoint every N ticks plus a WAL of
+      protocol-critical mutations between checkpoints, replayed at a
+      bounded ``wal_replay_per_tick`` rate on remount, so recovery
+      cost shows up as replay ticks instead of lost state.
+
+    Expected: with the store, ``amnesia_q`` is zero and every query
+    survives the correlated crash (``recovered_q`` > 0) at any
+    cadence — durability changes *how long* recovery takes, not
+    *whether* state survives; sparser checkpoints shift bytes from
+    checkpoint writes into WAL replay and lengthen the degraded
+    window; ``healthy_exactness`` stays at 1.0 throughout (recovery
+    lag is always accounted through the degraded channel).
+    """
+    base = _base(quick).but(
+        mobility="hotspot", seed=103, n_objects=300 if quick else 1200
+    )
+    ft_params = {
+        "fault_tolerant": True,
+        "ack_timeout": 2,
+        "lease_ticks": 8,
+        "violation_retry": 2,
+    }
+    span = base.ticks - base.warmup_ticks
+    g0 = base.warmup_ticks + span // 4
+    g1 = g0 + (8 if quick else 12)
+    r0 = base.warmup_ticks + (3 * span) // 4
+    r1 = r0 + (3 if quick else 5)
+    intervals = (None, 4) if quick else (None, 2, 5, 10, 20)
+    table = ResultTable(
+        "E17: durable recovery vs checkpoint cadence",
+        (
+            "ckpt_interval",
+            "checkpoints",
+            "wal_bytes/tick",
+            "replayed",
+            "cold_restarts",
+            "recovered_q",
+            "amnesia_q",
+            "recovery_ticks",
+            "degraded_frac",
+            "exactness",
+            "healthy_exactness",
+        ),
+    )
+    for interval in intervals:
+        plan = ShardFaultPlan(
+            seed=23,
+            crash_groups=(((0, 1), g0, g1),),
+            full_restarts=((r0, r1),),
+            heartbeat_timeout=3,
+            checkpoint_interval=interval,
+            wal_replay_per_tick=None if interval is None else 25,
+        )
+        m = run_once(
+            RunConfig(
+                "DKNN-P",
+                shards=2,
+                shard_faults=plan,
+                params=dict(ft_params),
+            ),
+            base,
+            accuracy_every=2,
+        )
+        table.add_row(
+            {
+                "ckpt_interval": "none" if interval is None else interval,
+                "checkpoints": m.extra.get("checkpoints", 0),
+                "wal_bytes/tick": m.extra.get("wal_bytes/tick", 0.0),
+                "replayed": m.extra.get("replayed", 0),
+                "cold_restarts": m.extra.get("cold_restarts", 0),
+                "recovered_q": m.extra.get("recovered_q", 0),
+                "amnesia_q": m.extra.get("amnesia_q", 0),
+                "recovery_ticks": m.extra.get("recovery_ticks", 0.0),
+                "degraded_frac": m.extra.get("degraded_frac", 0.0),
+                "exactness": m.exactness,
+                "healthy_exactness": m.extra.get("healthy_exactness", ""),
+            }
+        )
+    return table
+
+
 EXPERIMENTS: Dict[str, Tuple[Callable[[bool], ResultTable], str]] = {
     "E1": (e1_comm_vs_n, "communication vs population size"),
     "E2": (e2_comm_vs_k, "communication vs k"),
@@ -829,6 +928,7 @@ EXPERIMENTS: Dict[str, Tuple[Callable[[bool], ResultTable], str]] = {
     "E14": (e14_faults, "robustness under network faults"),
     "E15": (e15_sharding, "sharded server tier vs shard count"),
     "E16": (e16_shard_faults, "shard-tier fault tolerance at scale"),
+    "E17": (e17_durability, "durable recovery vs checkpoint cadence"),
 }
 
 

@@ -337,6 +337,20 @@ def run_once(
                 + link.bytes_by_kind["replicate"]
             )
             extra["repl_share"] = ft_bytes / link.total_bytes
+        if shard_stats.cold_restarts:
+            # Cold-restart ledger: how uncovered restarts came back —
+            # rebuilt from the durable store, or through amnesia.
+            extra["cold_restarts"] = shard_stats.cold_restarts
+            extra["recovered_q"] = shard_stats.recovered_queries
+            extra["amnesia_q"] = shard_stats.amnesia_queries
+        dm = getattr(server, "_durability", None)
+        if dm is not None:
+            # Durable-store ledger (full-run totals, like the FT
+            # counters above): how much journaling the checkpoint/WAL
+            # machinery did and what replay got back on remount.
+            extra["checkpoints"] = dm.checkpoints
+            extra["wal_bytes/tick"] = dm.wal_bytes_total / measured
+            extra["replayed"] = dm.replayed_records
 
     m = Measurement(
         algorithm=cfg.algorithm,

@@ -1,4 +1,10 @@
-"""Network substrate: messages, channel, nodes, faults, simulator."""
+"""Network substrate: messages, channel, nodes, faults, simulator.
+
+The chaos harness (:mod:`repro.net.chaos`) is intentionally *not*
+imported here: it reaches into :mod:`repro.experiments` to build full
+systems, which imports this package — a module-level import would be
+cyclic. Import it as ``repro.net.chaos`` or through :mod:`repro.api`.
+"""
 
 from repro.net.channel import Channel
 from repro.net.faults import FaultPlan, FaultyChannel, ShardFaultPlan

@@ -322,11 +322,15 @@ _SHARD_PLAN_FIELDS = (
     "link_drop",
     "link_delay",
     "crashes",
+    "crash_groups",
+    "full_restarts",
     "partitions",
     "heartbeat_timeout",
     "replicate",
     "shed_uplinks_per_tick",
     "recovery_settle_ticks",
+    "checkpoint_interval",
+    "wal_replay_per_tick",
 )
 
 
@@ -354,6 +358,20 @@ class ShardFaultPlan:
         shard neither sends nor receives backbone messages, its base
         station serves no radio traffic, and its buddy takes over its
         queries after ``heartbeat_timeout`` missed heartbeats.
+    crash_groups:
+        Tuples ``((shard, ...), t0, t1)``: a *correlated* crash — every
+        shard in the group is down together for ``[t0, t1)``
+        (``t1=None`` = never restarts). The interesting case is a shard
+        and its replication buddy in one group: nobody can fail the
+        pair over, so on restart the survivors' tables come back only
+        through the durable store (or not at all — see
+        ``checkpoint_interval``).
+    full_restarts:
+        Tuples ``(t0, t1)``: every shard in the tier is down during
+        ``[t0, t1)`` — a whole-service restart (rolling deploy gone
+        wrong, datacenter power event). Equivalent to a crash group
+        over all shards, without having to know S when writing the
+        plan.
     partitions:
         Tuples ``(a, b, t0, t1)``: the backbone link between shards
         ``a`` and ``b`` is severed (both directions) during
@@ -379,6 +397,24 @@ class ShardFaultPlan:
         Upper bound on the degraded window after a failover or a shed:
         the annotation clears when the query's answer is next
         republished, or after this many ticks, whichever comes first.
+    checkpoint_interval:
+        Durability cadence, or ``None`` (no durable store). When set,
+        every live shard writes a compacting checkpoint of its tables
+        (owned query states, homed objects) every this-many ticks and
+        journals protocol-critical mutations to a write-ahead log in
+        between. A shard that cold-restarts *uncovered* — its buddy
+        dead too, so no failover replayed a replica — rebuilds its
+        tables by checkpoint load + WAL replay instead of losing them
+        (amnesia). A tuning knob: setting it alone does **not** enable
+        the plan, so a fault-free run with a checkpoint interval stays
+        bit-identical to the seed behavior.
+    wal_replay_per_tick:
+        WAL replay throughput, or ``None`` (replay completes within the
+        restart tick). When set, a recovering shard replays at most
+        this many journal records per tick and serves nothing until
+        replay finishes — the knob that makes long checkpoint intervals
+        *cost* recovery time (the E17 trade-off). Also a tuning knob:
+        does not enable the plan by itself.
     """
 
     __slots__ = _SHARD_PLAN_FIELDS
@@ -389,11 +425,17 @@ class ShardFaultPlan:
         link_drop: float = 0.0,
         link_delay: int = 0,
         crashes: Tuple[Tuple[int, int, Optional[int]], ...] = (),
+        crash_groups: Tuple[
+            Tuple[Tuple[int, ...], int, Optional[int]], ...
+        ] = (),
+        full_restarts: Tuple[Tuple[int, int], ...] = (),
         partitions: Tuple[Tuple[int, int, int, int], ...] = (),
         heartbeat_timeout: int = 3,
         replicate: bool = True,
         shed_uplinks_per_tick: Optional[int] = None,
         recovery_settle_ticks: int = 12,
+        checkpoint_interval: Optional[int] = None,
+        wal_replay_per_tick: Optional[int] = None,
         **unknown,
     ) -> None:
         if unknown:
@@ -417,6 +459,17 @@ class ShardFaultPlan:
             (int(s), int(t0), None if t1 is None else int(t1))
             for s, t0, t1 in crashes
         )
+        self.crash_groups = tuple(
+            (
+                tuple(int(s) for s in group),
+                int(t0),
+                None if t1 is None else int(t1),
+            )
+            for group, t0, t1 in crash_groups
+        )
+        self.full_restarts = tuple(
+            (int(t0), int(t1)) for t0, t1 in full_restarts
+        )
         self.partitions = tuple(
             (int(a), int(b), int(t0), int(t1)) for a, b, t0, t1 in partitions
         )
@@ -428,6 +481,12 @@ class ShardFaultPlan:
             else int(shed_uplinks_per_tick)
         )
         self.recovery_settle_ticks = int(recovery_settle_ticks)
+        self.checkpoint_interval = (
+            None if checkpoint_interval is None else int(checkpoint_interval)
+        )
+        self.wal_replay_per_tick = (
+            None if wal_replay_per_tick is None else int(wal_replay_per_tick)
+        )
         if not 0.0 <= self.link_drop < 1.0:
             raise FaultError(
                 f"link_drop must be in [0, 1), got {self.link_drop}"
@@ -460,6 +519,44 @@ class ShardFaultPlan:
                 raise FaultError(
                     f"empty crash window [{t0}, {t1}) for shard {shard}"
                 )
+        for group, t0, t1 in self.crash_groups:
+            if not group:
+                raise FaultError(f"empty crash group at tick {t0}")
+            if len(set(group)) != len(group):
+                raise FaultError(f"duplicate shard in crash group {group}")
+            if any(s < 0 for s in group):
+                raise FaultError(f"negative shard id in crash group {group}")
+            if t0 < 0:
+                raise FaultError(
+                    f"negative crash tick {t0} for group {group}"
+                )
+            if t1 is not None and t0 >= t1:
+                raise FaultError(
+                    f"empty crash window [{t0}, {t1}) for group {group}"
+                )
+        for t0, t1 in self.full_restarts:
+            if t0 < 0:
+                raise FaultError(f"negative full-restart tick {t0}")
+            if t0 >= t1:
+                raise FaultError(
+                    f"empty full-restart window [{t0}, {t1})"
+                )
+        if (
+            self.checkpoint_interval is not None
+            and self.checkpoint_interval < 1
+        ):
+            raise FaultError(
+                "checkpoint_interval must be None or >= 1, got "
+                f"{self.checkpoint_interval}"
+            )
+        if (
+            self.wal_replay_per_tick is not None
+            and self.wal_replay_per_tick < 1
+        ):
+            raise FaultError(
+                "wal_replay_per_tick must be None or >= 1, got "
+                f"{self.wal_replay_per_tick}"
+            )
         for a, b, t0, t1 in self.partitions:
             if a < 0 or b < 0:
                 raise FaultError(f"negative shard id in partition ({a}, {b})")
@@ -474,11 +571,18 @@ class ShardFaultPlan:
 
     @property
     def enabled(self) -> bool:
-        """True if this plan can ever perturb a run."""
+        """True if this plan can ever perturb a run.
+
+        ``checkpoint_interval`` and ``wal_replay_per_tick`` are tuning
+        knobs, not faults: alone they do not enable the plan, so a
+        fault-free run configured with them stays bit-identical.
+        """
         return (
             self.link_drop > 0.0
             or self.link_delay > 0
             or bool(self.crashes)
+            or bool(self.crash_groups)
+            or bool(self.full_restarts)
             or bool(self.partitions)
             or self.shed_uplinks_per_tick is not None
         )
@@ -487,6 +591,12 @@ class ShardFaultPlan:
         """True if ``shard``'s server is crashed at ``tick``."""
         for s, t0, t1 in self.crashes:
             if s == shard and t0 <= tick and (t1 is None or tick < t1):
+                return True
+        for group, t0, t1 in self.crash_groups:
+            if shard in group and t0 <= tick and (t1 is None or tick < t1):
+                return True
+        for t0, t1 in self.full_restarts:
+            if t0 <= tick < t1:
                 return True
         return False
 
@@ -511,7 +621,11 @@ class ShardFaultPlan:
         return (
             f"ShardFaultPlan(seed={self.seed}, drop={self.link_drop:g}, "
             f"delay={self.link_delay}, crashes={len(self.crashes)}, "
+            f"groups={len(self.crash_groups)}, "
+            f"full_restarts={len(self.full_restarts)}, "
             f"partitions={len(self.partitions)}, "
             f"hb_timeout={self.heartbeat_timeout}, "
-            f"shed={self.shed_uplinks_per_tick})"
+            f"shed={self.shed_uplinks_per_tick}, "
+            f"ckpt={self.checkpoint_interval}, "
+            f"replay={self.wal_replay_per_tick})"
         )

@@ -8,7 +8,12 @@
 * the per-phase tick cost table aggregated from ``tick.phase`` events
   (mean / max milliseconds per phase, share of the tick);
 * protocol event counts by kind (repairs by mode, fault events, ...);
-* fastpath candidate-set statistics, when the trace has them.
+* fastpath candidate-set statistics, when the trace has them;
+* sharded-tier load, failure-model, and durability lines (checkpoint
+  cadence, WAL-replay recoveries vs. amnesia), when the trace has them;
+* chaos-harness invariant violations — and with ``--strict`` their
+  presence makes the exit code non-zero, which is the CI gate for
+  chaos runs.
 
 Deliberately dependency-free (no numpy, no repro.experiments import):
 summaries should work on a trace file alone.
@@ -21,7 +26,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.obs.trace import PROTOCOL_KINDS, TraceEvent, read_jsonl
 
-__all__ = ["phase_table", "summarize_text", "main"]
+__all__ = ["phase_table", "summarize_text", "has_violations", "main"]
 
 _PHASES = ("move", "client", "deliver", "server", "finish")
 
@@ -209,6 +214,9 @@ def _shard_section(events: List[TraceEvent]) -> Optional[str]:
     fault_section = _shard_fault_lines(events)
     if fault_section:
         lines.extend(fault_section)
+    durability_section = _durability_lines(events)
+    if durability_section:
+        lines.extend(durability_section)
     return "\n".join(lines)
 
 
@@ -244,6 +252,65 @@ def _shard_fault_lines(events: List[TraceEvent]) -> List[str]:
     return lines
 
 
+def _durability_lines(events: List[TraceEvent]) -> List[str]:
+    """Durability view (checkpoint_interval runs only): checkpoint
+    cadence and bytes, cold-restart recoveries by mode, WAL replay."""
+    checkpoints = [e for e in events if e.kind == "shard.checkpoint"]
+    recovers = [e for e in events if e.kind == "shard.recover"]
+    if not checkpoints and not recovers:
+        return []
+    lines = []
+    if checkpoints:
+        nbytes = sum(e.fields.get("bytes", 0) for e in checkpoints)
+        after = sum(
+            1 for e in checkpoints if e.fields.get("after_recovery")
+        )
+        lines.append(
+            f"checkpoints: {len(checkpoints)} ({nbytes} bytes, "
+            f"{after} post-recovery compactions)"
+        )
+    wal = [e for e in recovers if e.fields.get("mode") == "wal"]
+    amnesia = [e for e in recovers if e.fields.get("mode") == "amnesia"]
+    if wal:
+        records = sum(e.fields.get("wal_records", 0) for e in wal)
+        queries = sum(e.fields.get("queries", 0) for e in wal)
+        replay = [e.fields.get("replay_ticks", 0) for e in wal]
+        lines.append(
+            f"recoveries (checkpoint+WAL): {len(wal)} — {records} "
+            f"records replayed, {queries} queries retained, replay "
+            f"ticks mean {sum(replay) / len(replay):.1f} max "
+            f"{max(replay)}"
+        )
+    if amnesia:
+        queries = sum(e.fields.get("queries", 0) for e in amnesia)
+        homes = sum(e.fields.get("homes", 0) for e in amnesia)
+        lines.append(
+            f"recoveries (amnesia — no durable store): {len(amnesia)} "
+            f"— {queries} queries and {homes} home rows lost"
+        )
+    return lines
+
+
+def _chaos_lines(events: List[TraceEvent]) -> List[str]:
+    """Chaos-harness invariant violations, grouped by checker."""
+    violations = [e for e in events if e.kind == "chaos.violation"]
+    if not violations:
+        return []
+    counts: Counter = Counter(
+        e.fields.get("checker", "?") for e in violations
+    )
+    lines = [f"INVARIANT VIOLATIONS: {len(violations)}"]
+    for checker, count in sorted(counts.items()):
+        first = next(
+            e for e in violations if e.fields.get("checker") == checker
+        )
+        lines.append(
+            f"  [{checker}] x{count}, first at t={first.tick}: "
+            f"{first.fields.get('why', '?')}"
+        )
+    return lines
+
+
 def summarize_text(events: List[TraceEvent], source: str = "") -> str:
     sections = [f"Trace summary{f' ({source})' if source else ''}: "
                 f"{len(events)} events"]
@@ -256,7 +323,15 @@ def summarize_text(events: List[TraceEvent], source: str = "") -> str:
     ):
         if section:
             sections.append(section)
+    chaos = _chaos_lines(events)
+    if chaos:
+        sections.append("\n".join(chaos))
     return "\n\n".join(sections)
+
+
+def has_violations(events: Iterable[TraceEvent]) -> bool:
+    """True if the trace records any invariant-violation event."""
+    return any(e.kind == "chaos.violation" for e in events)
 
 
 def main(argv=None) -> int:
@@ -267,9 +342,19 @@ def main(argv=None) -> int:
         description="Summarize a JSONL trace file.",
     )
     parser.add_argument("trace", help="trace file written by --trace")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "exit non-zero when the trace contains invariant-violation "
+            "events (chaos.violation) — the CI gate for chaos runs"
+        ),
+    )
     args = parser.parse_args(argv)
     events = list(read_jsonl(args.trace))
     print(summarize_text(events, source=args.trace))
+    if args.strict and has_violations(events):
+        return 1
     return 0
 
 

@@ -78,12 +78,24 @@ PROTOCOL_KINDS = frozenset(
         "shard.partition",
         "shard.shed",
         "shard.recovered",
+        # Durability (PR 7): compacting checkpoints, cold-restart
+        # recoveries (WAL replay or amnesia), and chaos-harness
+        # invariant violations. Deterministic given the plan.
+        "shard.checkpoint",
+        "shard.recover",
+        "chaos.violation",
     }
 )
 
 #: Timing / dispatch kinds: may differ between scalar and fast runs.
 PERF_KINDS = frozenset(
-    {"tick.phase", "fastpath.candidates", "shard.load", "shard.health"}
+    {
+        "tick.phase",
+        "fastpath.candidates",
+        "shard.load",
+        "shard.health",
+        "shard.wal",
+    }
 )
 
 #: Run lifecycle markers emitted by the harness, not the protocols.

@@ -1,5 +1,11 @@
 """Server substrate: tables, shared scaffolding, and the sharded tier."""
 
+from repro.server.durability import (
+    DurabilityManager,
+    RecoveredView,
+    ShardStore,
+    WalRecord,
+)
 from repro.server.engine import BaseServer
 from repro.server.object_table import ObjectTable
 from repro.server.query_table import QuerySpec, QueryTable
@@ -19,4 +25,8 @@ __all__ = [
     "ShardStats",
     "ShardedServer",
     "shard_attach",
+    "DurabilityManager",
+    "ShardStore",
+    "WalRecord",
+    "RecoveredView",
 ]

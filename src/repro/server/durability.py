@@ -1,0 +1,325 @@
+"""Per-shard durable state: write-ahead journal + compacting checkpoints.
+
+PR 6's buddy replication keeps a shard's query state alive through a
+*single* crash: the buddy replays its replica at failover. But a
+correlated failure — a shard and its buddy down together, or a
+whole-tier restart — leaves nobody holding the state, and the PR 6 tier
+loses the region's tables (amnesia: ownership re-bootstraps from the
+next focal report, degraded windows stay open until then). The
+grid-partition monitoring frameworks this repo follows close that gap
+with persistent per-partition state; this module is the in-simulation
+model of that store.
+
+Each shard owns a :class:`ShardStore`:
+
+* an append-only **write-ahead log** of protocol-critical mutations —
+  query installs and handoffs (``own`` records), object-table home
+  changes (``home`` records), and per-query server-state deltas
+  (``state`` records, the same :meth:`~repro.server.engine.BaseServer.
+  export_query_state` snapshots buddy replication ships);
+* a periodic **compacting checkpoint**: a full snapshot of the shard's
+  tables that truncates the log, bounding both store size and replay
+  work.
+
+A shard that cold-restarts *uncovered* (no failover replayed a live
+replica) calls :meth:`ShardStore.recover`: checkpoint load + WAL replay
+rebuilds the view of its tables as of its last journaled write. The
+tier keeps the matching ledger entries instead of dropping them, and
+accounts the replay cost — optionally over multiple ticks
+(``wal_replay_per_tick``), which is what makes a long checkpoint
+interval *cost* recovery time.
+
+Everything here is deterministic and sized with the same
+:func:`~repro.net.message.payload_size` recipe the backbone uses, so
+checkpoint/WAL byte counts are comparable with link traffic. The store
+is pure bookkeeping: it sends nothing and draws no randomness, and it
+only exists when ``ShardFaultPlan.checkpoint_interval`` is set — the
+zero-fault bit-identity contract never sees it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net.message import payload_size
+
+__all__ = ["WalRecord", "RecoveredView", "ShardStore", "DurabilityManager"]
+
+#: Fixed per-record journal framing (tick + kind tag + key).
+_RECORD_HEADER_BYTES = 12
+#: Checkpoint framing (tick + table lengths).
+_CHECKPOINT_HEADER_BYTES = 12
+
+
+class WalRecord:
+    """One journaled mutation: ``own`` / ``home`` / ``state``.
+
+    ``own`` and ``home`` records carry the new assignment (or ``None``
+    for a retirement — ownership handed off, object migrated away);
+    ``state`` records carry a full exported query-state snapshot (the
+    journal's value is the *last* write wins, so replay never needs
+    diffs).
+    """
+
+    __slots__ = ("tick", "kind", "key", "value", "nbytes")
+
+    def __init__(self, tick: int, kind: str, key: int, value: Any) -> None:
+        self.tick = tick
+        self.kind = kind
+        self.key = key
+        self.value = value
+        self.nbytes = _RECORD_HEADER_BYTES + payload_size(value)
+
+    def __repr__(self) -> str:
+        return (
+            f"WalRecord(t={self.tick}, {self.kind}, key={self.key}, "
+            f"{self.nbytes}B)"
+        )
+
+
+class RecoveredView:
+    """What checkpoint load + WAL replay rebuilt for one shard.
+
+    ``queries`` maps qid -> last journaled state snapshot for every
+    query the store believes the shard owns; ``homes`` is the set of
+    oids it believes are homed there. Stale entries (superseded while
+    the shard was down — an object migrated away, a query failed over
+    by a live watcher) are possible and harmless: the tier reconciles
+    the view against the ownership ledger, which is exactly what a real
+    recovery does against the cluster's fencing metadata. The converse
+    cannot happen: no ledger entry pointing at a dead shard is created
+    while it is down, so the view is always a superset of what the
+    shard still owns (the no-lost-state half the tests pin).
+    """
+
+    __slots__ = (
+        "checkpoint_tick",
+        "queries",
+        "homes",
+        "replayed_records",
+        "replayed_bytes",
+    )
+
+    def __init__(
+        self,
+        checkpoint_tick: Optional[int],
+        queries: Dict[int, Any],
+        homes: frozenset,
+        replayed_records: int,
+        replayed_bytes: int,
+    ) -> None:
+        self.checkpoint_tick = checkpoint_tick
+        self.queries = queries
+        self.homes = homes
+        self.replayed_records = replayed_records
+        self.replayed_bytes = replayed_bytes
+
+
+class ShardStore:
+    """The durable store of one shard: checkpoint + WAL tail."""
+
+    __slots__ = (
+        "shard",
+        "checkpoint_tick",
+        "_ckpt_queries",
+        "_ckpt_homes",
+        "checkpoint_bytes",
+        "wal",
+        "_last_state",
+    )
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        #: tick of the last checkpoint, or None (never checkpointed).
+        self.checkpoint_tick: Optional[int] = None
+        self._ckpt_queries: Dict[int, Any] = {}
+        self._ckpt_homes: frozenset = frozenset()
+        self.checkpoint_bytes = 0
+        #: journal tail since the last checkpoint, append order.
+        self.wal: List[WalRecord] = []
+        #: qid -> last journaled state (dedups unchanged snapshots).
+        self._last_state: Dict[int, Any] = {}
+
+    # -- journal -----------------------------------------------------------
+
+    def append(self, tick: int, kind: str, key: int, value: Any) -> WalRecord:
+        rec = WalRecord(tick, kind, key, value)
+        self.wal.append(rec)
+        if kind == "state":
+            self._last_state[key] = value
+        elif kind == "own" and value is None:
+            self._last_state.pop(key, None)
+        return rec
+
+    def journal_state(self, tick: int, qid: int, state: Any) -> Optional[
+        WalRecord
+    ]:
+        """Append a state snapshot iff it differs from the last one."""
+        if self._last_state.get(qid) == state:
+            return None
+        return self.append(tick, "state", qid, state)
+
+    @property
+    def wal_records(self) -> int:
+        return len(self.wal)
+
+    @property
+    def wal_bytes(self) -> int:
+        return sum(rec.nbytes for rec in self.wal)
+
+    # -- checkpoint --------------------------------------------------------
+
+    def checkpoint(
+        self, tick: int, queries: Dict[int, Any], homes
+    ) -> int:
+        """Write a compacting checkpoint; returns its byte size.
+
+        The snapshot replaces the previous checkpoint and truncates the
+        WAL — replay work after this point is bounded by one interval's
+        worth of mutations.
+        """
+        self.checkpoint_tick = tick
+        self._ckpt_queries = dict(queries)
+        self._ckpt_homes = frozenset(homes)
+        self._last_state = dict(queries)
+        self.wal = []
+        self.checkpoint_bytes = (
+            _CHECKPOINT_HEADER_BYTES
+            + payload_size(self._ckpt_queries)
+            + 4 * len(self._ckpt_homes)
+        )
+        return self.checkpoint_bytes
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self) -> RecoveredView:
+        """Rebuild the shard's table view: checkpoint + WAL replay."""
+        queries: Dict[int, Any] = dict(self._ckpt_queries)
+        homes = set(self._ckpt_homes)
+        replayed_bytes = 0
+        for rec in self.wal:
+            replayed_bytes += rec.nbytes
+            if rec.kind == "own":
+                if rec.value is None:
+                    queries.pop(rec.key, None)
+                else:
+                    queries.setdefault(rec.key, rec.value)
+            elif rec.kind == "state":
+                queries[rec.key] = rec.value
+            elif rec.kind == "home":
+                if rec.value is None:
+                    homes.discard(rec.key)
+                else:
+                    homes.add(rec.key)
+        return RecoveredView(
+            self.checkpoint_tick,
+            queries,
+            frozenset(homes),
+            len(self.wal),
+            replayed_bytes,
+        )
+
+
+class DurabilityManager:
+    """The tier-wide collection of per-shard stores, with counters.
+
+    One instance per :class:`~repro.server.sharding.ShardedServer` when
+    ``checkpoint_interval`` is set. All methods are cheap dict/list
+    operations; nothing here touches the network or any RNG.
+    """
+
+    __slots__ = (
+        "interval",
+        "replay_per_tick",
+        "stores",
+        "checkpoints",
+        "checkpoint_bytes_total",
+        "wal_appends",
+        "wal_bytes_total",
+        "recoveries",
+        "replayed_records",
+        "replayed_bytes",
+    )
+
+    def __init__(
+        self,
+        n_shards: int,
+        interval: int,
+        replay_per_tick: Optional[int] = None,
+    ) -> None:
+        self.interval = interval
+        self.replay_per_tick = replay_per_tick
+        self.stores: Tuple[ShardStore, ...] = tuple(
+            ShardStore(s) for s in range(n_shards)
+        )
+        self.checkpoints = 0
+        self.checkpoint_bytes_total = 0
+        self.wal_appends = 0
+        self.wal_bytes_total = 0
+        self.recoveries = 0
+        self.replayed_records = 0
+        self.replayed_bytes = 0
+
+    # -- journal entry points ---------------------------------------------
+
+    def journal_own(
+        self, shard: int, tick: int, qid: int, state: Any
+    ) -> None:
+        """The shard gained (state != None) or lost (None) a query."""
+        rec = self.stores[shard].append(tick, "own", qid, state)
+        self.wal_appends += 1
+        self.wal_bytes_total += rec.nbytes
+
+    def journal_home(
+        self, shard: int, tick: int, oid: int, present: bool
+    ) -> None:
+        """An object entered (present) or left the shard's home table."""
+        rec = self.stores[shard].append(
+            tick, "home", oid, True if present else None
+        )
+        self.wal_appends += 1
+        self.wal_bytes_total += rec.nbytes
+
+    def journal_state(self, shard: int, tick: int, qid: int, state) -> None:
+        rec = self.stores[shard].journal_state(tick, qid, state)
+        if rec is not None:
+            self.wal_appends += 1
+            self.wal_bytes_total += rec.nbytes
+
+    # -- checkpoint / recovery --------------------------------------------
+
+    def due(self, tick: int) -> bool:
+        return tick > 0 and tick % self.interval == 0
+
+    def checkpoint(
+        self, shard: int, tick: int, queries: Dict[int, Any], homes
+    ) -> int:
+        nbytes = self.stores[shard].checkpoint(tick, queries, homes)
+        self.checkpoints += 1
+        self.checkpoint_bytes_total += nbytes
+        return nbytes
+
+    def recover(self, shard: int) -> RecoveredView:
+        view = self.stores[shard].recover()
+        self.recoveries += 1
+        self.replayed_records += view.replayed_records
+        self.replayed_bytes += view.replayed_bytes
+        return view
+
+    def replay_ticks(self, records: int) -> int:
+        """Extra ticks a recovering shard is unavailable for replay.
+
+        0 when replay is instant (``replay_per_tick`` unset, or the
+        journal fits in one tick's budget).
+        """
+        if self.replay_per_tick is None or records <= self.replay_per_tick:
+            return 0
+        return (records + self.replay_per_tick - 1) // self.replay_per_tick - 1
+
+    # -- gauges ------------------------------------------------------------
+
+    def wal_records_by_shard(self) -> List[int]:
+        return [store.wal_records for store in self.stores]
+
+    def wal_bytes_by_shard(self) -> List[int]:
+        return [store.wal_bytes for store in self.stores]

@@ -17,8 +17,13 @@ knowing about shards:
 
 * ``export_query_state(qid)`` returns a wire-sizable snapshot of one
   query's server-side state — what a query handoff ships between shard
-  servers. The base implementation covers any server (the published
-  answer); algorithm servers override it with their richer state.
+  servers, what buddy replication streams as deltas, and what the
+  durability journal (:mod:`repro.server.durability`) records in its
+  ``own``/``state`` WAL entries and checkpoints. Because all three
+  consumers share this one format, "can be handed off" implies "can be
+  replicated" implies "can be recovered from the durable store". The
+  base implementation covers any server (the published answer);
+  algorithm servers override it with their richer state.
 * ``ownership_probe`` (default ``None``) receives
   ``repair_scope(qid, cx, cy, radius)`` whenever the server reads its
   object table over a spatial scope to repair a query — the seam the
@@ -82,12 +87,16 @@ class BaseServer(ServerNodeBase):
         self.answers[qid] = list(answer_ids)
 
     def export_query_state(self, qid: int) -> Dict[str, Any]:
-        """Snapshot of one query's server-side state, for handoff.
+        """Snapshot of one query's server-side state, for handoff,
+        replication, and the durability journal.
 
         The returned dict must be sizable by
         :func:`repro.net.message.payload_size` (primitives and tuples
-        only); the sharded tier ships it between shard servers when
-        query ownership moves. Subclasses extend it with their own
+        only) and *comparable by value* (the replication and journal
+        delta detection is ``==`` against the last snapshot): the
+        sharded tier ships it between shard servers when query
+        ownership moves, streams it to the owner's buddy, and appends
+        it to the owner's WAL. Subclasses extend it with their own
         protocol state.
         """
         return {"qid": qid, "answer": tuple(self.answers.get(qid, ()))}

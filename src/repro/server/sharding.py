@@ -68,10 +68,28 @@ being a pure ledger and perturbs the run honestly:
   the lowest-priority class — with a degraded annotation, and past
   twice the threshold sheds everything.
 
+**Durability** (DESIGN.md §12). Buddy replication survives a *single*
+crash; a correlated failure (``ShardFaultPlan.crash_groups`` /
+``full_restarts`` — a shard and its buddy down together, or the whole
+tier) leaves nobody holding the region's state. With
+``checkpoint_interval`` set, every cell keeps a durable store
+(:mod:`repro.server.durability`): a write-ahead journal of
+protocol-critical mutations — ownership gains/losses, home-table
+changes, per-query state deltas — compacted by periodic checkpoints.
+A shard that cold-restarts *uncovered* (no live watcher replayed a
+replica) rebuilds its tables by checkpoint load + WAL replay,
+``shard.recover`` traces the rebuild, and ``wal_replay_per_tick``
+makes long journals cost recovery time (the shard serves nothing until
+replay finishes). Without a store, the same restart is **amnesia**:
+the region's ownership and home rows drop from the ledger and queries
+stay degraded until their focals' next reports re-bootstrap them.
+Either way the recovery lag flows through the same degraded-answer
+channel as every other fault.
+
 A disabled plan (or ``fault_plan=None``) takes exactly the code paths
-above this paragraph: no heartbeats, no replication, no RNG draws, no
-extra trace events — ``tests/test_shard_faults.py`` pins that
-bit-identity next to the sharded-vs-unsharded contract.
+above this paragraph: no heartbeats, no replication, no journal, no
+RNG draws, no extra trace events — ``tests/test_shard_faults.py`` pins
+that bit-identity next to the sharded-vs-unsharded contract.
 """
 
 from __future__ import annotations
@@ -97,6 +115,7 @@ from repro.net.shardlink import (
     ShardMessage,
 )
 from repro.obs.telemetry import NULL_TELEMETRY
+from repro.server.durability import DurabilityManager
 
 __all__ = ["ShardRouter", "ShardStats", "ShardedServer", "shard_attach"]
 
@@ -215,6 +234,15 @@ class ShardStats:
         #: per-query degraded-window lengths, recorded when the window
         #: closes (re-publish or settle bound).
         self.recovery_latencies: List[int] = []
+        # -- durability counters (PR 7; all stay 0 without restarts) ---
+        #: shard processes that came back up (crash window ended).
+        self.cold_restarts = 0
+        #: uncovered cold restarts with no durable store: tables lost.
+        self.amnesia_restarts = 0
+        #: ownership entries dropped to amnesia (re-bootstrap needed).
+        self.amnesia_queries = 0
+        #: ownership entries retained through checkpoint + WAL replay.
+        self.recovered_queries = 0
 
     @property
     def total_uplinks(self) -> int:
@@ -370,6 +398,29 @@ class ShardedServer(ServerNodeBase):
         self._tick_uplinks: List[int] = [0] * router.n_shards
         #: backbone partitions active last tick (transition traces).
         self._active_partitions: Set[Tuple[int, int]] = set()
+        #: ticks below this are tier-wide suspect: some shard was down
+        #: or replaying recently enough that lost uplinks may still
+        #: stale any answer. Every query stays flagged degraded and no
+        #: window closes until the horizon passes. Stays 0 (inert)
+        #: unless a shard actually goes down.
+        self._suspect_until = 0
+        #: the per-cell durable store (WAL + checkpoints), or None.
+        #: Only built when the plan asks for it, so fault-free paths
+        #: never touch it.
+        self._durability: Optional[DurabilityManager] = (
+            DurabilityManager(
+                router.n_shards,
+                plan.checkpoint_interval,
+                plan.wal_replay_per_tick,
+            )
+            if plan is not None and plan.checkpoint_interval is not None
+            else None
+        )
+        #: shards that were down last tick (restart-transition sweep).
+        self._down_prev: Set[int] = set()
+        #: shard -> first tick it is available again after WAL replay
+        #: (absent or <= tick means not recovering).
+        self._recovering_until: Dict[int, int] = {}
         #: focal oid -> qids anchored at it (from the inner registry).
         self._qids_by_focal: Dict[int, List[int]] = {}
         #: qid -> focal oid (reverse map, for restore hand-backs).
@@ -440,6 +491,7 @@ class ShardedServer(ServerNodeBase):
         self.inner.on_tick_end(tick)
         if self._fault_plan is not None:
             self._replicate(tick)
+            self._checkpoint(tick)
             self._settle_degraded(tick)
         stats = self.shard_stats
         stats.homed = [0] * self.router.n_shards
@@ -468,6 +520,25 @@ class ShardedServer(ServerNodeBase):
                     lost_uplinks=stats.lost_uplinks,
                     lost_downlinks=stats.lost_downlinks,
                 )
+            if self._durability is not None:
+                tel.tracer.emit(
+                    tick,
+                    "shard.wal",
+                    records=self._durability.wal_records_by_shard(),
+                    bytes=self._durability.wal_bytes_by_shard(),
+                )
+        if (
+            tel.enabled
+            and tel.metrics is not None
+            and self._durability is not None
+        ):
+            fam = tel.metrics.gauge(
+                "shard_wal_records", "per-shard journal tail length"
+            )
+            for sid, records in enumerate(
+                self._durability.wal_records_by_shard()
+            ):
+                fam.labels(shard=sid).set(records)
 
     # -- fault machinery (every entry point gated on the plan) ---------------
 
@@ -476,7 +547,8 @@ class ShardedServer(ServerNodeBase):
 
         Follows the coverage-takeover chain (a watcher can itself fail
         and be covered), then returns None if the end of the chain is
-        down — crashed but not yet failed over, or watcher dead too.
+        down — crashed but not yet failed over, watcher dead too, or
+        still replaying its WAL after a cold restart.
         """
         seen: Set[int] = set()
         while shard in self._covered_by:
@@ -486,10 +558,16 @@ class ShardedServer(ServerNodeBase):
             shard = self._covered_by[shard]
         plan = self._fault_plan
         if plan is not None and (
-            shard in self._failed or plan.is_down(shard, self._tick)
+            shard in self._failed
+            or plan.is_down(shard, self._tick)
+            or self._is_recovering(shard)
         ):
             return None
         return shard
+
+    def _is_recovering(self, shard: int) -> bool:
+        """True while the shard is replaying its WAL (unavailable)."""
+        return self._tick < self._recovering_until.get(shard, 0)
 
     def _fault_tick_start(self, tick: int) -> None:
         """Per-tick fault bookkeeping: admission-window reset,
@@ -510,13 +588,45 @@ class ShardedServer(ServerNodeBase):
                         tick, "shard.partition", a=a, b=b, up=False
                     )
             self._active_partitions = active
+        # Down/up transitions: a shard whose crash window just ended
+        # restarted its process — cold, unless a live buddy covered it.
+        down_now = {s for s in range(n) if plan.is_down(s, tick)}
+        for s in sorted(self._down_prev - down_now):
+            self._cold_restart(s, tick)
+        self._down_prev = down_now
+        # WAL replays that just finished: the shard becomes available
+        # and compacts (unless it crashed again mid-replay, in which
+        # case the next restart starts a fresh recovery).
+        for s in sorted(self._recovering_until):
+            if self._recovering_until[s] <= tick:
+                del self._recovering_until[s]
+                if not plan.is_down(s, tick):
+                    self._compact_after_recovery(s, tick)
+        # Honest accounting, part 1: a query whose serving chain is
+        # dead — the owner crashed and nobody covers it (yet) — is
+        # unvouched from the first down tick, not only the takeover.
+        # Part 2: while ANY shard is down or replaying its WAL, the
+        # whole tier's object table is suspect — uplinks homed at the
+        # dead cell are being lost, and a lost uplink can silently
+        # stale the answer of a query owned by a perfectly healthy
+        # shard (the k-th neighbor that approached unseen). No answer
+        # can be vouched for until the outage ends AND the clients'
+        # re-report cadence has had a settle window to heal the table,
+        # so every query is flagged and no window closes before then.
+        if down_now or self._recovering_until:
+            self._suspect_until = tick + plan.recovery_settle_ticks + 1
+        suspect = tick < self._suspect_until
+        for qid in sorted(self._owner):
+            if suspect or self._serving(self._owner[qid]) is None:
+                self._flag_degraded(qid)
         if n < 2:
             return
         # Heartbeats first: an undelayed backbone delivers them before
         # the detection sweep below, so a live, reachable shard is
-        # never suspected.
+        # never suspected. A shard still replaying its WAL is not up
+        # yet and stays silent.
         for s in range(n):
-            if plan.is_down(s, tick):
+            if plan.is_down(s, tick) or self._is_recovering(s):
                 continue
             self.shard_stats.heartbeats += 1
             self.link.send(
@@ -546,6 +656,13 @@ class ShardedServer(ServerNodeBase):
         lags = []
         for qid in moved:
             self._owner[qid] = watcher
+            # The takeover is a ledger write the *watcher* performs: it
+            # journals the gain on its own store and fences the dead
+            # shard's store with a loss record (same mount rule as the
+            # cell journal), so a later uncovered restart of the dead
+            # shard cannot replay a query the watcher now owns.
+            self._journal_own(shard, qid, False)
+            self._journal_own(watcher, qid, True)
             rep_tick = self._replica.get(qid)
             if rep_tick is not None:
                 lags.append(tick - rep_tick)
@@ -589,6 +706,168 @@ class ShardedServer(ServerNodeBase):
         if tel.enabled and tel.tracer.enabled:
             tel.tracer.emit(self._tick, "shard.restore", shard=shard)
 
+    def _cold_restart(self, shard: int, tick: int) -> None:
+        """The shard's process came back up after a crash window.
+
+        If a *live* watcher covered it, its state survived in the
+        buddy's RAM and the restart heartbeat hands everything back
+        (:meth:`_restore`) — losing the process RAM was moot. Uncovered
+        — a correlated failure took the buddy too, a whole-tier
+        restart, or a blip shorter than the suspicion timeout — the
+        restart is **cold**: the process RAM is gone.
+
+        Without a durable store the region's tables are lost (amnesia):
+        its ownership and home entries drop from the ledger, the
+        queries stay degraded until their focal objects' next reports
+        re-bootstrap ownership. With one
+        (``ShardFaultPlan.checkpoint_interval``), the shard re-mounts
+        its cell's store and rebuilds the tables by checkpoint load +
+        WAL replay: the ledger entries survive, the replay cost is
+        accounted, and — with ``wal_replay_per_tick`` set — the shard
+        serves nothing until the replay finishes.
+        """
+        stats = self.shard_stats
+        stats.cold_restarts += 1
+        covered = (
+            shard in self._covered_by and self._serving(shard) is not None
+        )
+        owned = sorted(
+            qid for qid, owner in self._owner.items() if owner == shard
+        )
+        homed = sorted(
+            oid for oid, home in self._home.items() if home == shard
+        )
+        dm = self._durability
+        tel = self._telemetry
+        if dm is not None:
+            # Remount the cell's store: checkpoint load + WAL replay,
+            # then compact (so the journal stays bounded even when the
+            # crash window straddled the global checkpoint phase). A
+            # covered restart replays too — its view is mostly fenced
+            # own-loss records (the watcher holds the state and the
+            # heartbeat hand-back returns it) — but the remount and
+            # compaction are the same.
+            view = dm.recover(shard)
+            replay_ticks = dm.replay_ticks(view.replayed_records)
+            if replay_ticks:
+                self._recovering_until[shard] = tick + replay_ticks
+            else:
+                self._compact_after_recovery(shard, tick)
+            if not covered:
+                for qid in owned:
+                    # The replayed state is as-of the last journaled
+                    # write: stale by the crash window. Keep (or open)
+                    # the degraded window, re-snapshotting the answer
+                    # so it only closes on a republish *after* the
+                    # recovery — not on drift that happened while the
+                    # shard was dark.
+                    self._flag_degraded(qid)
+                    flagged, _ = self._degraded_overlay[qid]
+                    self._degraded_overlay[qid] = (
+                        flagged,
+                        tuple(self.inner.answers.get(qid, ())),
+                    )
+                stats.recovered_queries += len(owned)
+            if tel.enabled and tel.tracer.enabled:
+                tel.tracer.emit(
+                    tick,
+                    "shard.recover",
+                    shard=shard,
+                    mode="wal",
+                    covered=covered,
+                    checkpoint_tick=view.checkpoint_tick,
+                    wal_records=view.replayed_records,
+                    wal_bytes=view.replayed_bytes,
+                    queries=0 if covered else len(owned),
+                    homes=len(homed),
+                    replay_ticks=replay_ticks,
+                )
+            return
+        if covered:
+            return  # a live buddy held the state; _restore hands back
+        for qid in owned:
+            del self._owner[qid]
+            self._repl_sent.pop(qid, None)
+            self._flag_degraded(qid)
+            flagged, _ = self._degraded_overlay[qid]
+            self._degraded_overlay[qid] = (
+                flagged,
+                tuple(self.inner.answers.get(qid, ())),
+            )
+        for oid in homed:
+            del self._home[oid]
+        stats.amnesia_restarts += 1
+        stats.amnesia_queries += len(owned)
+        if tel.enabled and tel.tracer.enabled:
+            tel.tracer.emit(
+                tick,
+                "shard.recover",
+                shard=shard,
+                mode="amnesia",
+                queries=len(owned),
+                homes=len(homed),
+            )
+
+    def _compact_after_recovery(self, shard: int, tick: int) -> None:
+        """Checkpoint one shard right after its store remount, so the
+        replayed journal never carries over (and a crash window that
+        straddled the global checkpoint phase can't stretch the WAL
+        past one interval of live ticks)."""
+        dm = self._durability
+        queries = {
+            qid: self.inner.export_query_state(qid)
+            for qid in sorted(self._owner)
+            if self._owner[qid] == shard
+        }
+        homes = [
+            oid for oid in sorted(self._home) if self._home[oid] == shard
+        ]
+        nbytes = dm.checkpoint(shard, tick, queries, homes)
+        tel = self._telemetry
+        if tel.enabled and tel.tracer.enabled:
+            tel.tracer.emit(
+                tick,
+                "shard.checkpoint",
+                shard=shard,
+                queries=len(queries),
+                homes=len(homes),
+                bytes=nbytes,
+                after_recovery=True,
+            )
+
+    def _journal_own(self, shard: int, qid: int, gained: bool) -> None:
+        """Journal an ownership mutation to the shard's durable store.
+
+        Every site that assigns ``_owner[qid]`` journals a gain on the
+        new owner and a loss on the previous one; the gain record
+        carries the current exported state, so WAL replay rebuilds the
+        query without a separate snapshot. The writer is always live at
+        write time (no code path assigns ownership to a down shard), so
+        no liveness check is needed here.
+        """
+        dm = self._durability
+        if dm is None:
+            return
+        dm.journal_own(
+            shard,
+            self._tick,
+            qid,
+            self.inner.export_query_state(qid) if gained else None,
+        )
+
+    def _journal_home(self, shard: int, oid: int, present: bool) -> None:
+        """Journal a home-table mutation to the *cell's* durable store.
+
+        The store is per cell; whichever live server currently serves
+        the cell (the shard itself, or its covering watcher) holds the
+        mount and appends — so home rows of a covered cell keep being
+        journaled while its own server is down.
+        """
+        dm = self._durability
+        if dm is None:
+            return
+        dm.journal_home(shard, self._tick, oid, present)
+
     def _flag_degraded(self, qid: int) -> None:
         """Open a degraded window: the published answer may be stale
         (failover replica, shed repair, lost borrow). Closed by
@@ -600,32 +879,77 @@ class ShardedServer(ServerNodeBase):
             )
 
     def _replicate(self, tick: int) -> None:
-        """Stream changed query-state snapshots to each owner's buddy."""
+        """Stream changed query-state snapshots to each owner's buddy,
+        and journal them to the owner's durable store when one exists
+        (same delta detection, no extra export)."""
         plan = self._fault_plan
-        if not plan.replicate or self.router.n_shards < 2:
+        dm = self._durability
+        streaming = plan.replicate and self.router.n_shards >= 2
+        if not streaming and dm is None:
             return
         for qid in sorted(self._owner):
             owner = self._owner[qid]
-            if plan.is_down(owner, tick):
-                continue  # a dead owner replicates nothing
+            if plan.is_down(owner, tick) or self._is_recovering(owner):
+                continue  # a dead owner replicates (and journals) nothing
             state = self.inner.export_query_state(qid)
-            if self._repl_sent.get(qid) == state:
-                continue  # unchanged since last delta
-            self._repl_sent[qid] = state
+            if dm is not None:
+                dm.journal_state(owner, tick, qid, state)
+            if not streaming or self._repl_sent.get(qid) == state:
+                continue  # unchanged since the last delivered delta
             self.shard_stats.replications += 1
-            self.link.send(
+            sent = self.link.send(
                 SHARD_REPLICATE,
                 owner,
                 self._buddy(owner),
                 payload_size(state),
                 payload=(qid,),
             )
+            if sent is not None:
+                # Only a delta the backbone accepted counts as shipped;
+                # a dropped one stays dirty and retries next tick, so a
+                # lossy link can delay — but never permanently lose —
+                # the buddy's replica.
+                self._repl_sent[qid] = state
+
+    def _checkpoint(self, tick: int) -> None:
+        """Write each live shard's compacting checkpoint when due."""
+        dm = self._durability
+        if dm is None or not dm.due(tick):
+            return
+        plan = self._fault_plan
+        n = self.router.n_shards
+        homes_by: List[List[int]] = [[] for _ in range(n)]
+        for oid in sorted(self._home):
+            homes_by[self._home[oid]].append(oid)
+        queries_by: List[Dict[int, Any]] = [{} for _ in range(n)]
+        for qid in sorted(self._owner):
+            queries_by[self._owner[qid]][qid] = (
+                self.inner.export_query_state(qid)
+            )
+        tel = self._telemetry
+        for s in range(n):
+            if plan.is_down(s, tick) or self._is_recovering(s):
+                continue  # a dead disk writes nothing new
+            nbytes = dm.checkpoint(s, tick, queries_by[s], homes_by[s])
+            if tel.enabled and tel.tracer.enabled:
+                tel.tracer.emit(
+                    tick,
+                    "shard.checkpoint",
+                    shard=s,
+                    queries=len(queries_by[s]),
+                    homes=len(homes_by[s]),
+                    bytes=nbytes,
+                )
 
     def _settle_degraded(self, tick: int) -> None:
         """Close degraded windows: the query re-published a different
         answer, or the settle bound elapsed — but only while a live
         shard serves it (a query of a dead, uncovered shard stays
-        degraded)."""
+        degraded) and only once the tier-wide suspicion horizon has
+        passed (a republish *during* an outage may be a repair against
+        a table that is still missing lost uplinks)."""
+        if tick < self._suspect_until:
+            return
         plan = self._fault_plan
         stats = self.shard_stats
         tel = self._telemetry
@@ -705,10 +1029,13 @@ class ShardedServer(ServerNodeBase):
             prev = self._home.get(src)
             if prev is None:
                 self._home[src] = home
+                self._journal_home(home, src, True)
             elif prev != home:
                 # The object crossed a shard boundary: its dead-
                 # reckoning entry migrates over the backbone.
                 self._home[src] = home
+                self._journal_home(prev, src, False)
+                self._journal_home(home, src, True)
                 self.shard_stats.migrations += 1
                 self.link.send(SHARD_MIGRATE, prev, home, _MIGRATE_BYTES)
                 for qid in self._qids_by_focal.get(src, ()):
@@ -719,6 +1046,7 @@ class ShardedServer(ServerNodeBase):
                     # shard serving the focal's home cell, no transfer
                     # needed.
                     self._owner[qid] = serving
+                    self._journal_own(serving, qid, True)
         self.shard_stats.uplinks[serving] += 1
         qid = qid_attr
         if qid is None:
@@ -779,6 +1107,7 @@ class ShardedServer(ServerNodeBase):
         if owner is None:
             if qid not in self._handoff_pending:
                 self._owner[qid] = new_home
+                self._journal_own(new_home, qid, True)
             return
         if owner == new_home:
             # The focal swung back before the transfer committed; any
@@ -876,6 +1205,9 @@ class ShardedServer(ServerNodeBase):
             self._retry_gap.pop(qid, None)
             src = self._owner.get(qid)
             self._owner[qid] = dst
+            if src is not None:
+                self._journal_own(src, qid, False)
+            self._journal_own(dst, qid, True)
             self.shard_stats.handoffs += 1
             self.link.send(
                 SHARD_HANDOFF_ACK, dst, msg.src_shard, _ACK_BYTES

@@ -1,0 +1,149 @@
+"""The deterministic chaos harness and its CI surface.
+
+Pinned contracts:
+
+* **Determinism** — ``chaos_plans`` and ``run_chaos`` are pure
+  functions of ``(seed, side, ticks)``: same arguments, same fault
+  schedule, same counters, same (absence of) violations;
+* **Schedule completeness** — every generated plan contains the four
+  mandatory interventions (single crash, correlated buddy-pair group,
+  partition, full-tier restart) plus the durable store;
+* **Green pinned seeds** — a 200-tick run on the CI-default shape
+  passes all five invariant checkers;
+* **Violation surfacing** — a checker finding becomes a
+  ``chaos.violation`` protocol trace event, the CLI exits non-zero,
+  and ``summarize --strict`` turns a violation-bearing trace into a
+  non-zero exit (the CI red path).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.net import chaos
+from repro.net.chaos import (
+    ChaosResult,
+    chaos_plans,
+    default_checkers,
+    run_chaos,
+)
+from repro.obs import summarize
+
+
+class TestChaosPlans:
+    def test_deterministic_in_arguments(self):
+        a_radio, a_shard = chaos_plans(7, 2, 200)
+        b_radio, b_shard = chaos_plans(7, 2, 200)
+        assert repr(a_radio) == repr(b_radio)
+        assert repr(a_shard) == repr(b_shard)
+        c_radio, c_shard = chaos_plans(8, 2, 200)
+        assert repr(a_shard) != repr(c_shard)
+
+    @pytest.mark.parametrize("seed", [0, 1, 17])
+    @pytest.mark.parametrize("side", [2, 3])
+    def test_schedule_always_complete(self, seed, side):
+        radio, plan = chaos_plans(seed, side, 200)
+        assert radio.enabled and plan.enabled
+        assert len(plan.crashes) >= 1
+        assert len(plan.crash_groups) == 1
+        group, _, _ = plan.crash_groups[0]
+        # The correlated group is a shard plus its replication buddy.
+        assert group[1] == (group[0] + 1) % (side * side)
+        assert len(plan.partitions) >= 1
+        assert len(plan.full_restarts) == 1
+        assert plan.checkpoint_interval is not None
+
+    def test_too_short_run_rejected(self):
+        with pytest.raises(ValueError, match=">= 60"):
+            chaos_plans(0, 2, 59)
+
+
+class TestRunChaos:
+    def test_pinned_seed_is_green(self):
+        result = run_chaos(seed=0, side=2, ticks=200)
+        assert result.ok, result.report()
+        assert result.checks_run == 200 * len(default_checkers())
+        # The schedule actually exercised the machinery under test.
+        assert result.counters["failovers"] > 0
+        assert result.counters["cold_restarts"] > 0
+        assert result.counters["checkpoints"] > 0
+
+    def test_repeat_run_identical(self):
+        a = run_chaos(seed=4, side=2, ticks=80)
+        b = run_chaos(seed=4, side=2, ticks=80)
+        assert a.counters == b.counters
+        assert a.violations == b.violations
+        assert a.checks_run == b.checks_run
+
+    def test_violations_become_trace_events(self, tmp_path):
+        class AlwaysFires:
+            name = "always-fires"
+
+            def check(self, sim, tick):
+                return [dict(reason="synthetic")] if tick == 10 else []
+
+        trace = tmp_path / "chaos.jsonl"
+        result = run_chaos(
+            seed=0,
+            side=2,
+            ticks=64,
+            checkers=[AlwaysFires()],
+            trace_path=str(trace),
+        )
+        assert not result.ok
+        assert result.violations == [(10, "always-fires", {"reason": "synthetic"})]
+        assert result.by_checker() == {"always-fires": 1}
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        hits = [e for e in events if e["kind"] == "chaos.violation"]
+        assert len(hits) == 1
+        assert hits[0]["fields"]["checker"] == "always-fires"
+        assert hits[0]["fields"]["reason"] == "synthetic"
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        assert chaos.main(["--seed", "0", "--ticks", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "checks evaluated" in out
+
+    def test_report_mentions_violations(self):
+        result = ChaosResult(1, 2, 50)
+        result.violations.append((5, "single-owner", {"qid": 0}))
+        text = result.report()
+        assert "1 VIOLATIONS" in text and "single-owner" in text
+
+
+class TestStrictSummarize:
+    def _write_trace(self, path, with_violation):
+        events = [
+            {"tick": 1, "kind": "shard.failover",
+             "fields": {"shard": 0, "by": 1, "queries": 1,
+                        "max_replica_lag": 0}},
+        ]
+        if with_violation:
+            events.append(
+                {"tick": 2, "kind": "chaos.violation",
+                 "fields": {"checker": "single-owner", "qid": 0}}
+            )
+        path.write_text(
+            "\n".join(json.dumps(e) for e in events) + "\n"
+        )
+
+    def test_strict_fails_on_violation(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        self._write_trace(trace, with_violation=True)
+        assert summarize.main(["--strict", str(trace)]) == 1
+        out = capsys.readouterr().out
+        assert "INVARIANT VIOLATIONS" in out
+
+    def test_strict_passes_clean_trace(self, tmp_path, capsys):
+        trace = tmp_path / "good.jsonl"
+        self._write_trace(trace, with_violation=False)
+        assert summarize.main(["--strict", str(trace)]) == 0
+        capsys.readouterr()
+
+    def test_non_strict_never_gates(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        self._write_trace(trace, with_violation=True)
+        assert summarize.main([str(trace)]) == 0
+        capsys.readouterr()

@@ -1,15 +1,28 @@
-"""Property: shard failover re-converges after the crash window.
+"""Properties of the faulted sharded tier.
 
-Hypothesis draws a workload and a crash window; the test first runs a
-clean copy of the workload to learn which shard owns the first query
-at the crash tick, then crashes exactly that shard in a second run.
-The buddy must take the query over (a failover with queries moved),
-the answers published from the stale replica must open a degraded
-window that closes with a recorded recovery latency, and once the
-shard restarts the published answers must return to the exact kNN
-within a bounded settle window — the same ground-truth-replay check
-the blackout handoff test uses.
+* **Failover re-convergence** — Hypothesis draws a workload and a
+  crash window; the test first runs a clean copy of the workload to
+  learn which shard owns the first query at the crash tick, then
+  crashes exactly that shard in a second run. The buddy must take the
+  query over (a failover with queries moved), the answers published
+  from the stale replica must open a degraded window that closes with
+  a recorded recovery latency, and once the shard restarts the
+  published answers must return to the exact kNN within a bounded
+  settle window — the same ground-truth-replay check the blackout
+  handoff test uses.
+* **Composed-fault accounting** — a radio ``FaultPlan`` layered on a
+  ``ShardFaultPlan`` crash/partition run keeps healthy exactness at
+  1.0 (the degraded annotation stays honest when both fault models
+  fire at once — enforced per tick by the chaos harness's
+  :class:`~repro.net.chaos.HealthyExactnessChecker`, whose bound is
+  exactly the radio layer's documented violation-retry blind spot,
+  see :class:`repro.metrics.accuracy.AccuracyTracker`), and backbone
+  traffic — retries included — lands in the ``server_to_server``
+  CommStats bucket exactly once per wire message, never in the radio
+  buckets.
 """
+
+from collections import Counter
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -17,7 +30,9 @@ from hypothesis import strategies as st
 from repro.experiments.algorithms import build_system
 from repro.experiments.config import RunConfig
 from repro.index.bruteforce import brute_knn_ids
-from repro.net.faults import ShardFaultPlan
+from repro.net.chaos import default_checkers
+from repro.net.faults import FaultPlan, ShardFaultPlan
+from repro.net.message import MessageKind
 from repro.workloads import WorkloadSpec, build_workload
 
 CRASH_T0 = 20
@@ -149,3 +164,113 @@ def test_crashed_owner_fails_over_and_reconverges(s):
     assert exact_since is not None, (
         f"never exact again after restart + settle (deadline {deadline})"
     )
+
+
+composed = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "radio_seed": st.integers(min_value=0, max_value=10_000),
+        "shard_seed": st.integers(min_value=0, max_value=10_000),
+        "n_objects": st.integers(min_value=60, max_value=150),
+        "n_queries": st.integers(min_value=2, max_value=3),
+        "victim": st.integers(min_value=0, max_value=3),
+        "cut": st.integers(min_value=0, max_value=2),
+        "link_drop": st.floats(min_value=0.0, max_value=0.05),
+    }
+)
+
+
+def _composed_cfg(s):
+    """A radio FaultPlan layered on a ShardFaultPlan crash+partition."""
+    radio = FaultPlan(
+        seed=s["radio_seed"],
+        drop_uplink=0.02,
+        drop_downlink=0.02,
+        dup_prob=0.01,
+        delay_prob=0.02,
+        delay_ticks=1,
+    )
+    shard = ShardFaultPlan(
+        seed=s["shard_seed"],
+        link_drop=s["link_drop"],
+        crashes=((s["victim"], CRASH_T0, CRASH_T1),),
+        partitions=((s["cut"], s["cut"] + 1, CRASH_T1 + 2, CRASH_T1 + 12),),
+        heartbeat_timeout=HEARTBEAT_TIMEOUT,
+    )
+    return RunConfig(
+        "DKNN-P",
+        faults=radio,
+        shards=2,
+        shard_faults=shard,
+        params=dict(FT_PARAMS),
+    )
+
+
+@given(composed)
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_composed_faults_stay_honest_and_singly_counted(s):
+    spec = _spec(s)
+    fleet, queries = build_workload(spec)
+    sim = build_system(_composed_cfg(s), fleet, queries)
+    tier = sim.server
+
+    # Shadow-count the backbone send path so the CommStats ledger can
+    # be checked against a ground-truth call count.
+    link = tier.link
+    shadow: Counter = Counter()
+    original_send = link.send
+
+    def counting_send(kind, src, dst, payload_bytes, payload=None):
+        shadow[kind] += 1
+        return original_send(kind, src, dst, payload_bytes, payload)
+
+    link.send = counting_send
+
+    # Honesty under composition, checked every tick: an answer the
+    # tier does not flag degraded must match brute-force kNN, up to
+    # the radio layer's documented violation-retry blind spot (the
+    # HealthyExactnessChecker bound — strict per-sample equality is
+    # not a theorem under radio drops even unsharded, see
+    # AccuracyTracker.healthy_exactness). The other four checkers ride
+    # along: ownership, no-lost-query, and replication-lag invariants
+    # must also hold with both fault models firing at once.
+    checkers = default_checkers()
+    violations = []
+
+    def on_tick(x):
+        for checker in checkers:
+            violations.extend(
+                (x.tick, checker.name, fields)
+                for fields in checker.check(x, x.tick)
+            )
+
+    sim.run(spec.ticks, on_tick=on_tick)
+    assert not violations, violations[:5]
+    # The schedule actually degraded something (the crash fired).
+    assert tier.shard_stats.failovers >= 1
+    assert tier.shard_stats.recovery_latencies
+
+    stats = sim.channel.stats
+    # Every backbone wire message — handoff retransmits included — is
+    # recorded in the server_to_server bucket exactly once ...
+    assert stats.s2s_by_kind == shadow
+    assert stats.s2s_by_kind == link.sent_by_kind
+    assert stats.s2s_bytes_by_kind == link.bytes_by_kind
+    assert stats.server_to_server_messages > 0
+    # ... and none of it leaks into the radio buckets: those stay
+    # keyed by the radio MessageKind vocabulary only, so backbone
+    # retries can never double-count as radio traffic or retransmits.
+    for bucket in (
+        stats.sent_by_kind,
+        stats.bytes_by_kind,
+        stats.dropped_by_kind,
+        stats.duplicated_by_kind,
+        stats.delayed_by_kind,
+        stats.retransmits_by_kind,
+    ):
+        assert all(isinstance(kind, MessageKind) for kind in bucket)
+    assert stats.total_messages == sum(stats.sent_by_kind.values())

@@ -130,6 +130,18 @@ class TestShardFaultPlan:
         # ... and a disabled plan is allowed anywhere.
         RunConfig("DKNN-P", shard_faults=ShardFaultPlan())
 
+    def test_single_shard_rejected_with_actionable_message(self):
+        # shards=1 is a single shard server: no buddy to fail over to,
+        # no backbone to partition — an enabled plan could never act.
+        # The error must say so instead of silently ignoring the plan.
+        plan = ShardFaultPlan(crashes=((0, 5, 9),))
+        with pytest.raises(ExperimentError, match="single shard server"):
+            RunConfig("DKNN-P", shards=1, shard_faults=plan)
+        with pytest.raises(ExperimentError, match="shards is unset"):
+            RunConfig("DKNN-P", shard_faults=plan)
+        # Disabled plans stay allowed: nothing to act on either way.
+        RunConfig("DKNN-P", shards=1, shard_faults=ShardFaultPlan())
+
 
 def _run(algorithm, shards, shard_faults=None, faults=None, params=None):
     ring = RingSink()
@@ -299,6 +311,49 @@ class TestHandoffBackoff:
         # Every-tick retrying would fire ~80 times over this window;
         # doubling gaps keep it an order of magnitude lower.
         assert len(retry_ticks) <= 15
+
+    def _retry_schedule(self, side, seed):
+        """The exact retry-tick sequence of one pinned lost handoff."""
+        fleet, queries = build_workload(SPEC)
+        sim = build_system(RunConfig("DKNN-P"), fleet, queries)
+        plan = ShardFaultPlan(seed=seed, partitions=((0, 1, 0, 10 ** 6),))
+        tier = shard_attach(sim, side, faults=plan)
+        sim.run(2)
+        qid = queries[0].qid
+        tier._tick = 10
+        tier._owner[qid] = 0
+        tier._handoff_pending[qid] = 1
+        tier._send_handoff(qid, 0, 1)
+        ticks = []
+        for tick in range(11, 91):
+            tier._tick = tick
+            before = tier.shard_stats.handoff_retries
+            tier._retry_pending_handoffs()
+            if tier.shard_stats.handoff_retries > before:
+                ticks.append(tick)
+        return ticks
+
+    @pytest.mark.parametrize("side", [2, 4, 8])
+    def test_retry_schedule_deterministic_per_seed(self, side):
+        # The backoff jitter is seeded: the same (plan seed, grid)
+        # must replay the identical retransmit schedule, tick for
+        # tick, at every grid size — determinism is what makes a
+        # failing chaos seed replayable.
+        first = self._retry_schedule(side, seed=3)
+        again = self._retry_schedule(side, seed=3)
+        assert first, "retries never fired"
+        assert first == again
+        # The first retransmit is always the legacy (pre-backoff)
+        # schedule — jitter only enters from the second one on.
+        assert first[0] == 11
+
+    def test_retry_jitter_varies_with_seed(self):
+        # Different plan seeds draw different jitter: at least one
+        # retransmit tick differs (the schedule is seeded, not fixed).
+        a = self._retry_schedule(2, seed=3)
+        b = self._retry_schedule(2, seed=4)
+        assert a and b
+        assert a != b
 
 
 class TestLossRaces:
