@@ -16,12 +16,19 @@ from repro.core.protocol import AnswerPush, LocationUpdate
 from repro.errors import ProtocolError
 from repro.geometry import Rect
 from repro.index.grid import UniformGrid
-from repro.net.message import Message, MessageKind
+from repro.net.message import SERVER_ID, Message, MessageKind
 from repro.net.node import MobileNode
+from repro.net.plane import ColumnarBatch
+from repro.net.simulator import ClientPhase
 from repro.server.engine import BaseServer
 from repro.server.query_table import QuerySpec
 
-__all__ = ["ReporterNode", "CentralizedServerBase"]
+__all__ = [
+    "ReporterNode",
+    "ReporterPhase",
+    "CentralizedServerBase",
+    "BatchUpdates",
+]
 
 
 class ReporterNode(MobileNode):
@@ -43,6 +50,108 @@ class ReporterNode(MobileNode):
             raise ProtocolError(
                 f"reporter node {self.oid} cannot handle {msg.kind}"
             )
+
+
+class ReporterPhase(ClientPhase):
+    """Batched tick-start for the centralized baselines.
+
+    Every reporter transmits every tick, so there is no silence
+    predicate to evaluate — the whole phase is one columnar
+    ``TICK_REPORT`` batch carrying the fleet's coordinates (copied at
+    send time, so one-tick-latency delivery sees the positions of the
+    sending tick). When the plane is vetoed (faults, tracing, a scalar
+    channel) the phase falls back to the exact per-node loop the
+    simulator would have run.
+    """
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        import numpy as np
+
+        for node in sim.mobiles:
+            if not isinstance(node, ReporterNode):
+                raise ProtocolError(
+                    f"ReporterPhase cannot drive {type(node).__name__}"
+                )
+        from repro.core.fastpath import _base_tick_end
+
+        self.skip_tick_end = _base_tick_end(sim.mobiles)
+        self._oids = np.array(
+            [node.oid for node in sim.mobiles], dtype=np.int64
+        )
+
+    def tick_start(self, tick: int) -> None:
+        from repro.core.fastpath import (
+            _LU_NBYTES,
+            _MIN_BATCH,
+            _columnar_ok,
+            _fleet_xy,
+        )
+
+        sim = self.sim
+        if _columnar_ok(sim) and self._oids.shape[0] >= _MIN_BATCH:
+            xs, ys = _fleet_xy(sim.fleet)
+            idx = self._oids
+            sim.channel.send_batch(
+                ColumnarBatch(
+                    MessageKind.TICK_REPORT,
+                    srcs=idx,
+                    dst=SERVER_ID,
+                    xs=xs[idx],  # fancy indexing copies: latency-safe
+                    ys=ys[idx],
+                    payload_nbytes=_LU_NBYTES,
+                    payload_ctor=LocationUpdate,
+                )
+            )
+            return
+        is_down = sim._is_down if sim.faults is not None else None
+        for node in sim.mobiles:
+            if is_down is not None and is_down(node.node_id):
+                continue
+            node.on_tick_start(tick)
+
+
+class BatchUpdates:
+    """One ingested ``TICK_REPORT`` batch, pre-update state captured.
+
+    Sits in the server's update log alongside scalar
+    ``(oid, old, new)`` tuples, preserving arrival order.
+    ``old_x``/``old_y`` are only meaningful where ``known``;
+    ``old_cell``/``new_cell`` are the grid's linear cell ids from
+    :meth:`UniformGrid.update_batch` (``old_cell == -1`` for new
+    objects), which is what lets CPM's dirty detection skip re-deriving
+    cells from coordinates.
+    """
+
+    __slots__ = (
+        "oids", "known", "old_x", "old_y", "new_x", "new_y",
+        "old_cell", "new_cell",
+    )
+
+    def __init__(
+        self, oids, known, old_x, old_y, new_x, new_y, old_cell, new_cell
+    ) -> None:
+        self.oids = oids
+        self.known = known
+        self.old_x = old_x
+        self.old_y = old_y
+        self.new_x = new_x
+        self.new_y = new_y
+        self.old_cell = old_cell
+        self.new_cell = new_cell
+
+    def expand(self) -> List[
+        Tuple[int, Optional[Tuple[float, float]], Tuple[float, float]]
+    ]:
+        """The scalar ``(oid, old, new)`` tuples this batch replaced."""
+        out = []
+        known = self.known.tolist()
+        ox, oy = self.old_x.tolist(), self.old_y.tolist()
+        nx, ny = self.new_x.tolist(), self.new_y.tolist()
+        for i, oid in enumerate(self.oids.tolist()):
+            old = (ox[i], oy[i]) if known[i] else None
+            out.append((oid, old, (nx[i], ny[i])))
+        return out
 
 
 class CentralizedServerBase(BaseServer):
@@ -80,6 +189,33 @@ class CentralizedServerBase(BaseServer):
             self.grid.insert(oid, payload.x, payload.y)
         self._updates.append((oid, old, (payload.x, payload.y)))
 
+    def on_uplink_batch(self, batch: ColumnarBatch) -> bool:
+        """Ingest one columnar ``TICK_REPORT`` batch (dense grid only).
+
+        Vectorized twin of :meth:`on_message`: capture pre-update
+        positions, one ``update_batch`` into the grid (same total
+        INDEX_UPDATE charges), and log a :class:`BatchUpdates` record
+        in arrival order for ``_process`` / ``_process_entries``.
+        """
+        if batch.kind is not MessageKind.TICK_REPORT or not self.grid._dense:
+            return False
+        import numpy as np
+
+        grid = self.grid
+        oids = batch.srcs
+        grid._ensure_dense(int(oids.max()))
+        known = grid._dcell[oids] >= 0
+        old_x = grid._dx[oids]  # fancy indexing copies pre-update state
+        old_y = grid._dy[oids]
+        old_cell, new_cell = grid.update_batch(oids, batch.xs, batch.ys)
+        self._updates.append(
+            BatchUpdates(
+                oids, known, old_x, old_y, batch.xs, batch.ys,
+                old_cell, new_cell,
+            )
+        )
+        return True
+
     # -- per-tick evaluation -------------------------------------------------
 
     def on_tick_start(self, tick: int) -> None:
@@ -92,8 +228,29 @@ class CentralizedServerBase(BaseServer):
         if self._processed_tick == tick:
             return
         self._processed_tick = tick
-        self._process(tick, self._updates)
+        entries = self._updates
         self._updates = []
+        if any(type(e) is BatchUpdates for e in entries):
+            if self._process_entries(tick, entries):
+                return
+            expanded: List = []
+            for e in entries:
+                if type(e) is BatchUpdates:
+                    expanded.extend(e.expand())
+                else:
+                    expanded.append(e)
+            entries = expanded
+        self._process(tick, entries)
+
+    def _process_entries(self, tick: int, entries: List) -> bool:
+        """Evaluate the tick directly from the mixed update log.
+
+        ``entries`` holds scalar ``(oid, old, new)`` tuples and
+        :class:`BatchUpdates` records in arrival order. Return True to
+        claim the tick; the default declines, and the caller expands
+        the batches into tuples for the scalar :meth:`_process`.
+        """
+        return False
 
     def _process(
         self,

@@ -15,7 +15,11 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Set, Tuple
 
-from repro.baselines.common import CentralizedServerBase, ReporterNode
+from repro.baselines.common import (
+    CentralizedServerBase,
+    ReporterNode,
+    ReporterPhase,
+)
 from repro.geometry import Rect
 from repro.index.knn import knn_search
 from repro.metrics.cost import CostMeter
@@ -109,10 +113,10 @@ def build_seacnn_system(
 ) -> RoundSimulator:
     """Build a ready-to-run SEA system.
 
-    ``fast`` is accepted for builder-interface parity: reporter nodes
-    transmit every tick, so there is no silent majority to batch — the
-    fast path's gains here come from the SoA fleet and the vectorized
-    oracle, which need no wiring in this builder.
+    ``fast=True`` ships the per-tick report stream as one columnar
+    ``TICK_REPORT`` batch with a dense grid ingest; dirty detection
+    and the per-query re-searches run the scalar spec over the
+    expanded batch, preserving the exact update order.
     """
     server = SeaCnnServer(
         fleet.universe, grid_cells, record_history=record_history
@@ -120,11 +124,17 @@ def build_seacnn_system(
     for spec in specs:
         server.register_query(spec)
     mobiles = [ReporterNode(oid, fleet) for oid in range(fleet.n)]
+    phase = None
+    if fast:
+        phase = ReporterPhase()
+        server.grid.enable_dense(fleet.n)
+        server.columnar = True
     return RoundSimulator(
         fleet,
         server,
         mobiles,
         latency=latency,
         faults=faults,
+        client_phase=phase,
         telemetry=telemetry,
     )

@@ -69,6 +69,11 @@ def build_dknn_system(
         from repro.core.fastpath import DknnSilentPhase
 
         phase = DknnSilentPhase()
+        # Fast builds also get the columnar message plane: dense
+        # oid-indexed server storage plus batched hot-path transport.
+        # Channel/fault/tracer vetoes are checked per tick, not here.
+        server.table.enable_dense(fleet.n)
+        server.columnar = True
     return RoundSimulator(
         fleet,
         server,

@@ -39,11 +39,24 @@ import numpy as np
 from repro.core.broadcast_variant import BroadcastMobileNode
 from repro.core.client import DknnMobileNode
 from repro.core.geocast_variant import GeocastMobileNode
-from repro.core.protocol import CollectRequest, GeocastInstall
+from repro.core.protocol import (
+    CollectRequest,
+    GeocastInstall,
+    LocationUpdate,
+    ProbeReply,
+)
 from repro.errors import ProtocolError
 from repro.geometry.region import REGION_EPS
-from repro.net.message import BROADCAST_ID, GEOCAST_ID, SERVER_ID, Message, MessageKind
+from repro.net.message import (
+    BROADCAST_ID,
+    GEOCAST_ID,
+    SERVER_ID,
+    Message,
+    MessageKind,
+    payload_size,
+)
 from repro.net.node import MobileNode, Node
+from repro.net.plane import ColumnarBatch
 from repro.net.simulator import ClientPhase
 
 __all__ = ["DknnSilentPhase", "BroadcastSilentPhase"]
@@ -67,6 +80,32 @@ def _base_tick_end(mobiles) -> bool:
     )
 
 
+#: uniform wire sizes of the batched uplink payloads.
+_LU_NBYTES = payload_size(LocationUpdate(0.0, 0.0))
+_PR_NBYTES = payload_size(ProbeReply(0.0, 0.0))
+
+#: smallest run worth a columnar batch; below this the scalar path is
+#: cheaper than assembling the arrays.
+_MIN_BATCH = 8
+
+
+def _columnar_ok(sim) -> bool:
+    """May this side of the plane emit columnar batches right now?
+
+    Requires the fault veto to be clear (``sim.columnar_ok``), a
+    channel that accepts batches, a server built for them, and no
+    active protocol tracer — traced runs stay fully scalar so the
+    Jsonl event stream is bit-identical to the reference path.
+    """
+    tel = sim.telemetry
+    return (
+        sim.columnar_ok
+        and getattr(sim.channel, "supports_columnar", False)
+        and getattr(sim.server, "columnar", False)
+        and not (tel.enabled and tel.tracer.enabled)
+    )
+
+
 class DknnSilentPhase(ClientPhase):
     """Batched tick-start for the point-to-point protocol (DKNN/-P/-FT).
 
@@ -84,6 +123,16 @@ class DknnSilentPhase(ClientPhase):
     as a candidate) before each mask evaluation, and syncs the node's
     local clock at dispatch time — the only observable effect of the
     scalar tick-start on a silent node.
+
+    On columnar builds (see :mod:`repro.net.plane`) the phase also
+    splits the candidates: the *drift-only* ones — no installed region,
+    so their whole tick-start is one ``LOCATION_UPDATE`` — are sent as
+    a single columnar batch without ever invoking the nodes, and probe
+    batches from the server are answered with one ``PROBE_REPLY``
+    batch. Nodes handled this way are **desynced**: the phase's mirrors
+    are newer than ``node._last_sent``, and :meth:`_sync_node` flushes
+    the mirror back onto the node before any scalar code path (message
+    dispatch, scalar candidate run) can read it.
     """
 
     #: message kinds whose handler can change the silence predicate
@@ -118,9 +167,35 @@ class DknnSilentPhase(ClientPhase):
             self._active[oid] = True
             self._theta[oid] = node.theta
         self._touched: Set[int] = set(node.oid for node in sim.mobiles)
+        #: batched-uplink state: tick of the last (batched) uplink and
+        #: whether the mirror is newer than the node (see _sync_node).
+        self._uplink_tick = np.zeros(n, dtype=np.int64)
+        self._desynced = np.zeros(n, dtype=bool)
+
+    def _sync_node(self, oid: int) -> None:
+        """Flush mirror-authoritative uplink state back onto the node.
+
+        Columnar sends update the mirrors in place without invoking the
+        node; until synced, ``node._last_sent`` is stale. Called before
+        every scalar read of that state (message dispatch, scalar
+        candidate run), so no scalar code ever observes the staleness.
+        """
+        if not self._desynced[oid]:
+            return
+        node = self._node_of[oid]
+        node._last_sent = (
+            float(self._sent_x[oid]), float(self._sent_y[oid])
+        )
+        node._last_uplink_tick = int(self._uplink_tick[oid])
+        self._desynced[oid] = False
 
     def _refresh(self, oid: int) -> None:
         node = self._node_of[oid]
+        if self._desynced[oid]:
+            # Mirror is newer than the node (columnar sends): keep the
+            # drift origin; only attention can have changed underneath.
+            self._attention[oid] = bool(node.regions)
+            return
         ls = node._last_sent
         if ls is None:
             self._sent_x[oid] = math.nan
@@ -135,36 +210,98 @@ class DknnSilentPhase(ClientPhase):
             for oid in self._touched:
                 self._refresh(oid)
             self._touched.clear()
-        xs, ys = _fleet_xy(self.sim.fleet)
+        sim = self.sim
+        xs, ys = _fleet_xy(sim.fleet)
         dx = xs - self._sent_x
         dy = ys - self._sent_y
         drift = np.sqrt(dx * dx + dy * dy)
         cand = self._active & (
             np.isnan(self._sent_x) | (drift > self._theta) | self._attention
         )
-        is_down = self.sim._is_down if self.sim.faults is not None else None
+        n_cand = int(cand.sum())
+        if _columnar_ok(sim):
+            # Drift-only candidates (no installed region) do exactly
+            # one thing scalar: send a LOCATION_UPDATE. Ship them all
+            # as one batch; region holders still run the scalar path.
+            quiet = cand & ~self._attention
+            idx = np.nonzero(quiet)[0]
+            if idx.shape[0] >= _MIN_BATCH:
+                bx = xs[idx]  # fancy indexing copies: latency-safe
+                by = ys[idx]
+                sim.channel.send_batch(
+                    ColumnarBatch(
+                        MessageKind.LOCATION_UPDATE,
+                        srcs=idx,
+                        dst=SERVER_ID,
+                        xs=bx,
+                        ys=by,
+                        payload_nbytes=_LU_NBYTES,
+                        payload_ctor=LocationUpdate,
+                    )
+                )
+                self._sent_x[idx] = bx
+                self._sent_y[idx] = by
+                self._uplink_tick[idx] = tick
+                self._desynced[idx] = True
+                cand &= self._attention
+        is_down = sim._is_down if sim.faults is not None else None
         touched = self._touched
         candidates = np.nonzero(cand)[0].tolist()
         for oid in candidates:
             node = self._node_of[oid]
             if is_down is not None and is_down(node.node_id):
                 continue  # blacked out/crashed: no checks, no sends
+            self._sync_node(oid)
             node.on_tick_start(tick)
             touched.add(oid)
-        tel = self.sim.telemetry
+        tel = sim.telemetry
         if tel.enabled and tel.tracer.enabled:
             tel.tracer.emit(
                 tick,
                 "fastpath.candidates",
-                candidates=len(candidates),
+                candidates=n_cand,
                 population=int(self._active.sum()),
             )
+
+    def deliver_batch(self, batch: ColumnarBatch) -> bool:
+        """Answer a columnar PROBE batch with one PROBE_REPLY batch.
+
+        Replicates the scalar handler per receiver: read own position,
+        reply, reset the dead-reckoning origin (``_mark_sent``) — all
+        on the mirrors, leaving the nodes desynced.
+        """
+        sim = self.sim
+        if batch.kind is not MessageKind.PROBE or not _columnar_ok(sim):
+            return False
+        idx = batch.dsts
+        xs, ys = _fleet_xy(sim.fleet)
+        px = xs[idx]
+        py = ys[idx]
+        sim.channel.send_batch(
+            ColumnarBatch(
+                MessageKind.PROBE_REPLY,
+                srcs=idx,
+                dst=SERVER_ID,
+                xs=px,
+                ys=py,
+                payload_nbytes=_PR_NBYTES,
+                payload_ctor=ProbeReply,
+            )
+        )
+        self._sent_x[idx] = px
+        self._sent_y[idx] = py
+        self._uplink_tick[idx] = sim.tick
+        self._desynced[idx] = True
+        return True
 
     def before_dispatch(self, node: Node, msg: Message) -> None:
         # Scalar invariant: on_tick_start ran before any delivery, so
         # handlers always see a fresh local clock. Skipped nodes never
-        # ran it this tick — restore the clock here.
+        # ran it this tick — restore the clock here. Desynced nodes get
+        # their drift origin flushed back first: the handler may update
+        # it (_mark_sent) and the touched-refresh will re-read it.
         node._cur_tick = self.sim.tick
+        self._sync_node(node.oid)
         if msg.kind in self._MUTATING:
             self._touched.add(node.oid)
 

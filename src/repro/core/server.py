@@ -55,7 +55,8 @@ from repro.errors import ProtocolError
 from repro.geometry import Rect, dist
 from repro.index.knn import knn_search, range_search
 from repro.metrics.cost import CostMeter
-from repro.net.message import Message, MessageKind
+from repro.net.message import SERVER_ID, Message, MessageKind, payload_size
+from repro.net.plane import ColumnarBatch
 from repro.server.engine import BaseServer
 from repro.server.object_table import ObjectTable
 from repro.server.query_table import QuerySpec
@@ -241,6 +242,57 @@ class DknnServer(BaseServer):
                     ).labels(kind=event.split(".", 1)[1]).inc()
         else:
             raise ProtocolError(f"server cannot handle {kind}")
+
+    # -- columnar ingest ------------------------------------------------------
+
+    def on_uplink_batch(self, batch: ColumnarBatch) -> bool:
+        """Ingest one columnar uplink batch; False declines (the caller
+        materializes scalar messages instead).
+
+        Only positional report kinds are batchable — they touch the
+        object table and probe bookkeeping, and their per-message
+        handling commutes across sources, so one vectorized
+        ``report_batch`` in column order is indistinguishable from the
+        scalar per-message path. Everything that can mutate query state
+        (violations, query moves, acks) always arrives scalar.
+        """
+        if batch.kind not in (
+            MessageKind.LOCATION_UPDATE, MessageKind.PROBE_REPLY
+        ):
+            return False
+        if not self.table._dense:
+            return False
+        srcs = batch.srcs
+        if self._ft:
+            tick = self._tick
+            heard = self._last_heard
+            for src in srcs.tolist():
+                heard[src] = tick
+                if src in self._suspected:
+                    self._revive(src)
+        self.table.report_batch(srcs, batch.xs, batch.ys, self._tick)
+        if self._probes_in_flight or self._probe_sent:
+            inflight = self._probes_in_flight
+            ps_pop = self._probe_sent.pop
+            pf_pop = self._probe_first.pop
+            for src in srcs.tolist():
+                inflight.discard(src)
+                ps_pop(src, None)
+                pf_pop(src, None)
+        return True
+
+    def _columnar_ok(self) -> bool:
+        """May this server emit columnar downlink batches right now?
+
+        Traced runs stay scalar end to end so the protocol Jsonl
+        streams match the reference path event for event.
+        """
+        tel = self.telemetry
+        return (
+            self.columnar
+            and getattr(self.channel, "supports_columnar", False)
+            and not (tel.enabled and tel.tracer.enabled)
+        )
 
     # -- per-subround driving -----------------------------------------------
 
@@ -576,6 +628,78 @@ class DknnServer(BaseServer):
             self._probe_first[oid] = self._tick
         self.send(oid, MessageKind.PROBE, ProbeRequest())
 
+    def _probe_all(self, oids) -> None:
+        """:meth:`_probe` each id, sending one PROBE batch when allowed.
+
+        Same skip rules (fresh / already in flight) and the same
+        bookkeeping per id; the only difference is transport — a
+        contiguous run of probe sends collapses into one columnar
+        batch, accounted identically.
+        """
+        if not self._columnar_ok() or len(oids) < 8:
+            for oid in oids:
+                self._probe(oid)
+            return
+        import numpy as np
+
+        tick = self._tick
+        fresh = self.table.is_fresh
+        inflight = self._probes_in_flight
+        todo: List[int] = []
+        for oid in oids:
+            if fresh(oid, tick) or oid in inflight:
+                continue
+            inflight.add(oid)
+            todo.append(oid)
+        if not todo:
+            return
+        if self._ft:
+            for oid in todo:
+                self._probe_sent[oid] = tick
+                self._probe_first[oid] = tick
+        self.channel.send_batch(
+            ColumnarBatch(
+                MessageKind.PROBE,
+                src=SERVER_ID,
+                dsts=np.array(todo, dtype=np.int64),
+                payload_nbytes=0,
+                payload_ctor=ProbeRequest,
+            )
+        )
+
+    def _send_bands_batch(
+        self,
+        oids,
+        qid: int,
+        band: int,
+        ax: float,
+        ay: float,
+        radius: float,
+    ) -> None:
+        """Install the same band on many objects, batched when allowed.
+
+        All recipients of one call share identical payload fields, so
+        the batch carries a single prototype payload. Fault-tolerant
+        installs always stay scalar: each carries a distinct epoch and
+        registers for retransmission.
+        """
+        if self._ft or not self._columnar_ok() or len(oids) < 8:
+            for oid in oids:
+                self._send_band(oid, qid, band, ax, ay, radius)
+            return
+        import numpy as np
+
+        payload = InstallBand(qid, band, ax, ay, radius)
+        self.channel.send_batch(
+            ColumnarBatch(
+                MessageKind.INSTALL_REGION,
+                src=SERVER_ID,
+                dsts=np.array(list(oids), dtype=np.int64),
+                payload_nbytes=payload_size(payload),
+                payload_ctor=lambda p=payload: p,
+            )
+        )
+
     def _select_candidates(self, st: _QueryState, tick: int) -> bool:
         """Choose the probe set; returns False when blocked or trivial.
 
@@ -605,8 +729,7 @@ class DknnServer(BaseServer):
         st.cand_ids = [oid for _, oid in cands]
         stale = [o for o in st.cand_ids if not table.is_fresh(o, tick)]
         if stale:
-            for oid in stale:
-                self._probe(oid)
+            self._probe_all(stale)
             st.pending = set(stale)
             st.phase = _WAIT_CANDS
             return False
@@ -638,12 +761,25 @@ class DknnServer(BaseServer):
         spec = st.spec
         table = self.table
         qx, qy = table.last_position(spec.focal_oid)
-        exact: List[Tuple[float, int]] = []
-        for oid in st.cand_ids:
-            ox, oy = table.last_position(oid)
-            exact.append((dist(ox, oy, qx, qy), oid))
-            self.meter.charge(CostMeter.DIST_CALC)
-        exact.sort()
+        if table._dense and len(st.cand_ids) >= 16:
+            # Same distances (one shared sqrt recipe), same charges,
+            # same ascending (d, oid) order — just over arrays.
+            import numpy as np
+
+            idx = np.array(st.cand_ids, dtype=np.int64)
+            ddx = table.grid._dx[idx] - qx
+            ddy = table.grid._dy[idx] - qy
+            d = np.sqrt(ddx * ddx + ddy * ddy)
+            self.meter.charge(CostMeter.DIST_CALC, idx.shape[0])
+            order = np.lexsort((idx, d))
+            exact = list(zip(d[order].tolist(), idx[order].tolist()))
+        else:
+            exact = []
+            for oid in st.cand_ids:
+                ox, oy = table.last_position(oid)
+                exact.append((dist(ox, oy, qx, qy), oid))
+                self.meter.charge(CostMeter.DIST_CALC)
+            exact.sort()
         inst = plan_installation((qx, qy), exact, spec.k, self.params.s_cap)
         self._install(st, inst, tick)
         st.phase = _IDLE
@@ -670,14 +806,14 @@ class DknnServer(BaseServer):
             set() if trivial else set(inst.answer_ids) | set(banded_outsiders)
         )
         if not trivial:
-            for oid in inst.answer_ids:
-                self._send_band(
-                    oid, qid, BAND_ANSWER, ax, ay, inst.answer_band_radius
-                )
-            for oid in banded_outsiders:
-                self._send_band(
-                    oid, qid, BAND_OUTSIDER, ax, ay, inst.outsider_band_radius
-                )
+            self._send_bands_batch(
+                inst.answer_ids, qid, BAND_ANSWER, ax, ay,
+                inst.answer_band_radius,
+            )
+            self._send_bands_batch(
+                banded_outsiders, qid, BAND_OUTSIDER, ax, ay,
+                inst.outsider_band_radius,
+            )
             self._send_band(
                 focal, qid, BAND_QUERY_CIRCLE, ax, ay, inst.s_eff
             )
@@ -745,8 +881,7 @@ class DknnServer(BaseServer):
             if not self.table.is_fresh(o, tick)
         ]
         if stale:
-            for oid in stale:
-                self._probe(oid)
+            self._probe_all(stale)
             st.pending = set(stale)
             st.phase = _WAIT_LIGHT
             return False
@@ -872,8 +1007,7 @@ class DknnServer(BaseServer):
         st.planner_new = new
         stale = [o for o in new if not table.is_fresh(o, tick)]
         if stale:
-            for oid in stale:
-                self._probe(oid)
+            self._probe_all(stale)
             st.pending = set(stale)
             st.phase = _WAIT_PLANNER
             return False

@@ -384,6 +384,22 @@ def run_once(
         if tel.tracer.enabled:
             tel.tracer.emit(
                 sim.tick,
+                "comm.rate",
+                ticks=measured,
+                msgs_per_tick=round(m.msgs_per_tick, 6),
+                by_kind={
+                    kind: round(rate, 6)
+                    for kind, rate in sorted(m.per_kind_msgs.items())
+                },
+                # Traced runs route the plane scalar for bit-identical
+                # event streams, so these are normally zero here; they
+                # are the plane's own ledger when stats are merged from
+                # an untraced run.
+                columnar_msgs=comm.columnar_messages,
+                materialized_msgs=comm.materialized_messages,
+            )
+            tel.tracer.emit(
+                sim.tick,
                 "run.end",
                 algorithm=cfg.algorithm,
                 ticks_measured=measured,

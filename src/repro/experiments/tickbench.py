@@ -13,10 +13,14 @@ convention) so successive PRs accumulate a perf trajectory::
     python -m repro.experiments.tickbench                    # full suite
     python -m repro.experiments.tickbench --out BENCH.json   # elsewhere
     python -m repro.experiments.tickbench --check            # CI smoke
+    python -m repro.experiments.tickbench --gate BENCH_tick.json
 
 ``--check`` runs one small configuration and exits nonzero if the fast
 path is slower than the scalar path — the guard against a silently dead
 fast path (e.g. a builder that stops passing ``fast`` through).
+``--gate`` is the perf-regression gate: it re-measures the small suite
+configs against the committed benchmark and trips when a speedup falls
+below the tolerance band (dumping a cProfile artifact via ``--profile``).
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ __all__ = [
     "compare_tick_loop",
     "run_suite",
     "shard_overhead_rows",
+    "check_regression",
     "main",
 ]
 
@@ -175,7 +180,10 @@ def check_smoke(n_objects: int = 2000, ticks: int = 20) -> int:
     """
     spec = _make_spec(dict(n_objects=n_objects, n_queries=8, k=8), ticks)
     failed = False
-    for algorithm, bar in (("DKNN-B", 1.0), ("DKNN-P", 0.8)):
+    # CPM's bar is above 1x: its fast path (columnar TICK_REPORT ingest
+    # + vectorized dirty detection) wins big even at smoke scale, so a
+    # dead batch path shows up as a hard ratio collapse, not noise.
+    for algorithm, bar in (("DKNN-B", 1.0), ("DKNN-P", 0.8), ("CPM", 1.5)):
         row = compare_tick_loop(algorithm, spec)
         print(
             f"perf smoke {algorithm} n={n_objects}: "
@@ -225,9 +233,11 @@ def shard_overhead_rows(n_objects: int = 2000, ticks: int = 20) -> List[Dict]:
     return rows
 
 
-#: CI bar on the S=1 coordinator tax (wall ratio vs the plain server).
-#: The ledger adds pure-Python per-uplink work, so the bar is loose
-#: enough for shared-runner noise yet catches accidental O(N) blowups.
+#: CI bar on the sharded-tier tax (wall ratio vs the plain server) —
+#: applied to S=1 (pure coordinator cost) *and* S=4, which the columnar
+#: uplink/downlink ledger keeps affordable (batches skip the per-message
+#: home/ownership lookups). The bar is loose enough for shared-runner
+#: noise yet catches accidental O(N) blowups or a dead batch ledger.
 _SHARD_OVERHEAD_BAR = 2.0
 
 
@@ -236,8 +246,8 @@ def check_shard_smoke(n_objects: int = 2000, ticks: int = 20) -> int:
 
     For S in {1, 4}: the sharded run's message totals must equal the
     plain run's (bit-identity at the accounting level — the answer-level
-    pin lives in tests/test_sharding.py), and the S=1 wall overhead must
-    stay under ``_SHARD_OVERHEAD_BAR``.
+    pin lives in tests/test_sharding.py), and the wall overhead at both
+    grid sizes must stay under ``_SHARD_OVERHEAD_BAR``.
     """
     failed = False
     for row in shard_overhead_rows(n_objects, ticks):
@@ -255,13 +265,104 @@ def check_shard_smoke(n_objects: int = 2000, ticks: int = 20) -> int:
                 f"{row['plain']['msgs_total']})"
             )
             failed = True
-        if side == 1 and row["overhead"] > _SHARD_OVERHEAD_BAR:
+        if row["overhead"] > _SHARD_OVERHEAD_BAR:
             print(
-                f"FAIL: S=1 overhead {row['overhead']}x above the "
+                f"FAIL: S={side} overhead {row['overhead']}x above the "
                 f"{_SHARD_OVERHEAD_BAR}x bar"
             )
             failed = True
     if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+#: A gated configuration may lose up to half of its committed speedup
+#: before the gate trips. Ratios (fast vs scalar on the *same* box),
+#: not wall times, so shared-runner speed never matters; the message
+#: totals are compared exactly (the workload is seeded).
+_GATE_TOLERANCE = 0.5
+#: Suite configs re-measured by ``--gate`` — the small ones, so the
+#: gate stays a minutes-scale CI job rather than a benchmark rerun.
+_GATE_CONFIGS = ("E1-n2000", "E6-n20000")
+
+
+def _profile_fast_run(config: str, algorithm: str, out_path: str) -> None:
+    """cProfile the fast tick loop of one suite config to a text file."""
+    import cProfile
+    import io
+    import pstats
+
+    entry = {e["config"]: e for e in SUITE}[config]
+    spec = _make_spec(entry["spec"], entry["ticks"])
+    fleet, queries = build_workload(spec, fast=True)
+    sim = build_system(RunConfig(algorithm, fast=True), fleet, queries)
+    sim.run(spec.warmup_ticks)
+    prof = cProfile.Profile()
+    prof.enable()
+    sim.run(spec.ticks - spec.warmup_ticks)
+    prof.disable()
+    buf = io.StringIO()
+    pstats.Stats(prof, stream=buf).sort_stats("cumulative").print_stats(40)
+    with open(out_path, "w") as fh:
+        fh.write(f"# {algorithm} @ {config}, fast tick loop\n")
+        fh.write(buf.getvalue())
+    print(f"wrote cProfile of {algorithm} @ {config} to {out_path}")
+
+
+def check_regression(
+    baseline_path: str, profile_out: Optional[str] = None
+) -> int:
+    """CI gate: the fast path must hold its committed speedup.
+
+    Re-measures the small suite configs and compares each against the
+    committed ``BENCH_tick.json``:
+
+    * the fast run's ``msgs_total`` must equal the baseline's exactly —
+      a protocol change that alters the message stream must refresh the
+      committed benchmark in the same PR, keeping the perf trajectory
+      honest;
+    * the measured speedup must stay above ``_GATE_TOLERANCE`` of the
+      committed speedup.
+
+    On a trip, the first offending configuration is re-run under
+    cProfile and dumped to ``profile_out`` for artifact upload.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    by_key = {(r["config"], r["algorithm"]): r for r in baseline["results"]}
+    suite_by_config = {e["config"]: e for e in SUITE}
+    tripped: List[Tuple[str, str]] = []
+    for (config, algorithm), base in sorted(by_key.items()):
+        if config not in _GATE_CONFIGS:
+            continue
+        entry = suite_by_config[config]
+        spec = _make_spec(entry["spec"], entry["ticks"])
+        row = compare_tick_loop(algorithm, spec)
+        floor = round(_GATE_TOLERANCE * base["speedup"], 2)
+        print(
+            f"perf gate {config} {algorithm}: speedup {row['speedup']}x "
+            f"(committed {base['speedup']}x, floor {floor}x), "
+            f"msgs {row['fast']['msgs_total']}"
+        )
+        if row["fast"]["msgs_total"] != base["fast"]["msgs_total"]:
+            print(
+                f"FAIL: message stream diverged from the committed "
+                f"benchmark ({row['fast']['msgs_total']} vs "
+                f"{base['fast']['msgs_total']}) — re-run "
+                f"`python -m repro.experiments.tickbench` and commit "
+                f"the refreshed {baseline_path}"
+            )
+            tripped.append((config, algorithm))
+        elif row["speedup"] < floor:
+            print(
+                f"FAIL: speedup {row['speedup']}x below the {floor}x "
+                f"floor"
+            )
+            tripped.append((config, algorithm))
+    if tripped:
+        if profile_out:
+            _profile_fast_run(*tripped[0], profile_out)
         return 1
     print("OK")
     return 0
@@ -341,6 +442,19 @@ def main(argv=None) -> int:
         help="with --check: also smoke-test the observability layer "
         "(trace/metrics correctness and overhead)",
     )
+    parser.add_argument(
+        "--gate",
+        metavar="BASELINE",
+        help="CI perf-regression gate: re-measure the small suite "
+        "configs against a committed BENCH_tick.json, exit 1 when a "
+        "speedup falls below the tolerance band",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="with --gate: on a trip, cProfile the first offending "
+        "configuration into PATH (for CI artifact upload)",
+    )
     args = parser.parse_args(argv)
     if args.check:
         rc = check_smoke()
@@ -348,6 +462,8 @@ def main(argv=None) -> int:
         if args.obs:
             rc = rc or check_obs_overhead()
         return rc
+    if args.gate:
+        return check_regression(args.gate, profile_out=args.profile)
     doc = run_suite()
     doc["shard_overhead"] = shard_overhead_rows()
     with open(args.out, "w") as fh:

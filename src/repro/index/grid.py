@@ -6,6 +6,20 @@ The standard server-side structure of the continuous-query literature
 currently inside it, and a reverse map gives each object's position.
 Updates are O(1); range and kNN searches visit cells in order of
 distance from the query point.
+
+The grid has two interchangeable storage backends:
+
+* the default **dict backend** (``_positions`` / ``_cells`` maps),
+  used by the scalar reference path;
+* an opt-in **dense backend** (:meth:`enable_dense`): positions and
+  linear cell ids live in flat numpy arrays indexed by oid, which is
+  what the columnar fast path needs — :meth:`update_batch` moves a
+  whole tick's reports in O(arrays) and the vectorized range search in
+  :mod:`repro.index.knn` masks the cell-id column directly. Cell
+  buckets (dict of sets) are maintained identically by both backends,
+  so the scalar kNN search runs unchanged on either. Every operation
+  charges the same :class:`CostMeter` units on both backends; the
+  bit-identity suite relies on that.
 """
 
 from __future__ import annotations
@@ -45,6 +59,59 @@ class UniformGrid:
         # Each object's current cell, so update() re-buckets without
         # re-deriving (and re-validating) the old position's cell.
         self._cells: Dict[int, Cell] = {}
+        # Dense backend (enable_dense): oid-indexed flat arrays. While
+        # dense, the two dicts above stay empty and _dcell[oid] >= 0
+        # marks presence (value = linear cell id ci * cells + cj).
+        self._dense = False
+        self._dx = self._dy = self._dcell = None
+        self._count = 0
+
+    # -- dense backend --------------------------------------------------------
+
+    def enable_dense(self, capacity: int) -> None:
+        """Switch to oid-indexed array storage (fast-path builds only).
+
+        Requires non-negative object ids; ``capacity`` hints the id
+        range (arrays grow on demand). Existing contents migrate.
+        Idempotent.
+        """
+        import numpy as np
+
+        if self._dense:
+            self._ensure_dense(capacity - 1)
+            return
+        cap = max(int(capacity), 1, *(o + 1 for o in self._positions or [0]))
+        self._dx = np.zeros(cap, dtype=np.float64)
+        self._dy = np.zeros(cap, dtype=np.float64)
+        self._dcell = np.full(cap, -1, dtype=np.int64)
+        for oid, (x, y) in self._positions.items():
+            if oid < 0:
+                raise IndexError_(
+                    f"dense grid backend needs oids >= 0, got {oid}"
+                )
+            ci, cj = self._cells[oid]
+            self._dx[oid] = x
+            self._dy[oid] = y
+            self._dcell[oid] = ci * self.cells + cj
+        self._count = len(self._positions)
+        self._positions = {}
+        self._cells = {}
+        self._dense = True
+
+    def _ensure_dense(self, max_oid: int) -> None:
+        """Grow the dense arrays to cover ``max_oid``."""
+        import numpy as np
+
+        cap = self._dcell.shape[0]
+        if max_oid < cap:
+            return
+        new_cap = max(max_oid + 1, 2 * cap)
+        for name in ("_dx", "_dy", "_dcell"):
+            old = getattr(self, name)
+            fill = -1 if name == "_dcell" else 0
+            grown = np.full(new_cap, fill, dtype=old.dtype)
+            grown[:cap] = old
+            setattr(self, name, grown)
 
     # -- geometry -----------------------------------------------------------
 
@@ -91,27 +158,50 @@ class UniformGrid:
     # -- maintenance ----------------------------------------------------------
 
     def __len__(self) -> int:
+        if self._dense:
+            return self._count
         return len(self._positions)
 
     def __contains__(self, oid: int) -> bool:
+        if self._dense:
+            return 0 <= oid < self._dcell.shape[0] and self._dcell[oid] >= 0
         return oid in self._positions
 
     def insert(self, oid: int, x: float, y: float) -> None:
         """Add a new object; raises if the id is already present."""
-        if oid in self._positions:
+        if oid in self:
             raise IndexError_(f"object {oid} already indexed")
         cell = self.cell_of(x, y)
         self._buckets.setdefault(cell, set()).add(oid)
-        self._positions[oid] = (x, y)
-        self._cells[oid] = cell
+        if self._dense:
+            if oid < 0:
+                raise IndexError_(
+                    f"dense grid backend needs oids >= 0, got {oid}"
+                )
+            self._ensure_dense(oid)
+            self._dx[oid] = x
+            self._dy[oid] = y
+            self._dcell[oid] = cell[0] * self.cells + cell[1]
+            self._count += 1
+        else:
+            self._positions[oid] = (x, y)
+            self._cells[oid] = cell
         charge(self.meter, CostMeter.INDEX_UPDATE)
 
     def remove(self, oid: int) -> None:
         """Remove an object; raises if absent."""
-        pos = self._positions.pop(oid, None)
-        if pos is None:
-            raise IndexError_(f"object {oid} not indexed")
-        cell = self._cells.pop(oid)
+        if self._dense:
+            if oid not in self:
+                raise IndexError_(f"object {oid} not indexed")
+            lin = int(self._dcell[oid])
+            cell = (lin // self.cells, lin % self.cells)
+            self._dcell[oid] = -1
+            self._count -= 1
+        else:
+            pos = self._positions.pop(oid, None)
+            if pos is None:
+                raise IndexError_(f"object {oid} not indexed")
+            cell = self._cells.pop(oid)
         bucket = self._buckets[cell]
         bucket.discard(oid)
         if not bucket:
@@ -120,9 +210,15 @@ class UniformGrid:
 
     def update(self, oid: int, x: float, y: float) -> None:
         """Move an object to a new position; raises if absent."""
-        old_cell = self._cells.get(oid)
-        if old_cell is None:
-            raise IndexError_(f"object {oid} not indexed")
+        if self._dense:
+            if oid not in self:
+                raise IndexError_(f"object {oid} not indexed")
+            lin = int(self._dcell[oid])
+            old_cell = (lin // self.cells, lin % self.cells)
+        else:
+            old_cell = self._cells.get(oid)
+            if old_cell is None:
+                raise IndexError_(f"object {oid} not indexed")
         new_cell = self.cell_of(x, y)
         if old_cell != new_cell:
             bucket = self._buckets[old_cell]
@@ -130,16 +226,99 @@ class UniformGrid:
             if not bucket:
                 del self._buckets[old_cell]
             self._buckets.setdefault(new_cell, set()).add(oid)
-            self._cells[oid] = new_cell
-        self._positions[oid] = (x, y)
+            if not self._dense:
+                self._cells[oid] = new_cell
+        if self._dense:
+            self._dx[oid] = x
+            self._dy[oid] = y
+            self._dcell[oid] = new_cell[0] * self.cells + new_cell[1]
+        else:
+            self._positions[oid] = (x, y)
         charge(self.meter, CostMeter.INDEX_UPDATE)
 
     def upsert(self, oid: int, x: float, y: float) -> None:
         """Insert or update, whichever applies."""
-        if oid in self._positions:
+        if oid in self:
             self.update(oid, x, y)
         else:
             self.insert(oid, x, y)
+
+    def update_batch(self, oids, xs, ys):
+        """Vectorized upsert of many objects (dense backend only).
+
+        Equivalent to ``upsert`` per object in column order — same
+        bucketing, same total :data:`CostMeter.INDEX_UPDATE` charge,
+        same out-of-universe errors — but touches the interpreter only
+        for objects that changed cell. Object ids must be unique within
+        one call. Returns ``(old_lin, new_lin)`` linear cell-id arrays
+        (``old_lin`` is -1 where the object was new), which is exactly
+        what cell-keyed monitoring servers (CPM) need to find dirtied
+        cells without re-deriving them.
+        """
+        import numpy as np
+
+        if not self._dense:
+            raise IndexError_("update_batch needs the dense grid backend")
+        oid_arr = np.ascontiguousarray(oids, dtype=np.int64)
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        ys = np.ascontiguousarray(ys, dtype=np.float64)
+        n = oid_arr.shape[0]
+        if xs.shape[0] != n or ys.shape[0] != n:
+            raise IndexError_(
+                f"update_batch length mismatch: {n} ids, "
+                f"{xs.shape[0]} xs, {ys.shape[0]} ys"
+            )
+        if n == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        u = self.universe
+        inside = (
+            (xs >= u.xmin) & (xs <= u.xmax) & (ys >= u.ymin) & (ys <= u.ymax)
+        )
+        if not inside.all():
+            bad = int(np.nonzero(~inside)[0][0])
+            raise IndexError_(
+                f"point ({xs[bad]}, {ys[bad]}) outside universe {u}"
+            )
+        if int(oid_arr.min()) < 0:
+            raise IndexError_("dense grid backend needs oids >= 0")
+        self._ensure_dense(int(oid_arr.max()))
+        # float division then int truncation — identical to cell_of.
+        last = self.cells - 1
+        ci = np.minimum(
+            ((xs - u.xmin) / self._cell_w).astype(np.int64), last
+        )
+        cj = np.minimum(
+            ((ys - u.ymin) / self._cell_h).astype(np.int64), last
+        )
+        new_lin = ci * self.cells + cj
+        old_lin = self._dcell[oid_arr].copy()
+        moved = old_lin != new_lin  # includes first-time inserts
+        if moved.any():
+            idx = np.nonzero(moved)[0]
+            C = self.cells
+            buckets = self._buckets
+            inserts = 0
+            for o, a, b in zip(
+                oid_arr[idx].tolist(),
+                old_lin[idx].tolist(),
+                new_lin[idx].tolist(),
+            ):
+                if a >= 0:
+                    old_cell = (a // C, a % C)
+                    bucket = buckets[old_cell]
+                    bucket.discard(o)
+                    if not bucket:
+                        del buckets[old_cell]
+                else:
+                    inserts += 1
+                buckets.setdefault((b // C, b % C), set()).add(o)
+            self._count += inserts
+        self._dcell[oid_arr] = new_lin
+        self._dx[oid_arr] = xs
+        self._dy[oid_arr] = ys
+        charge(self.meter, CostMeter.INDEX_UPDATE, n)
+        return old_lin, new_lin
 
     def bulk_load(self, oids, xs, ys) -> None:
         """Insert many objects in one vectorized pass.
@@ -175,9 +354,18 @@ class UniformGrid:
             )
         if len(np.unique(oid_arr)) != n:
             raise IndexError_("bulk_load got duplicate object ids")
-        for oid in oid_arr:
-            if int(oid) in self._positions:
-                raise IndexError_(f"object {int(oid)} already indexed")
+        if self._dense:
+            if int(oid_arr.min()) < 0:
+                raise IndexError_("dense grid backend needs oids >= 0")
+            self._ensure_dense(int(oid_arr.max()))
+            clash = self._dcell[oid_arr] >= 0
+            if clash.any():
+                bad = int(oid_arr[np.nonzero(clash)[0][0]])
+                raise IndexError_(f"object {bad} already indexed")
+        else:
+            for oid in oid_arr:
+                if int(oid) in self._positions:
+                    raise IndexError_(f"object {int(oid)} already indexed")
         # float division then int truncation — identical to cell_of
         # (coordinates are >= the universe minimum, so truncation is
         # floor) — then clamp boundary points inward.
@@ -198,16 +386,26 @@ class UniformGrid:
         starts = np.nonzero(new_run)[0]
         ends = np.append(starts[1:], n)
         oid_sorted = oid_arr[order]
+        dense = self._dense
         cells = self._cells
         for a, b in zip(starts.tolist(), ends.tolist()):
             cell = (int(ci_s[a]), int(cj_s[a]))
             members = self._buckets.setdefault(cell, set())
-            for o in oid_sorted[a:b].tolist():
-                members.add(o)
-                cells[o] = cell
-        pos = self._positions
-        for i, o in enumerate(oid_arr.tolist()):
-            pos[o] = (float(xs[i]), float(ys[i]))
+            if dense:
+                members.update(oid_sorted[a:b].tolist())
+            else:
+                for o in oid_sorted[a:b].tolist():
+                    members.add(o)
+                    cells[o] = cell
+        if dense:
+            self._dcell[oid_arr] = ci * self.cells + cj
+            self._dx[oid_arr] = xs
+            self._dy[oid_arr] = ys
+            self._count += n
+        else:
+            pos = self._positions
+            for i, o in enumerate(oid_arr.tolist()):
+                pos[o] = (float(xs[i]), float(ys[i]))
         charge(self.meter, CostMeter.INDEX_UPDATE, n)
 
     def rebuild(self, oids, xs, ys) -> None:
@@ -215,17 +413,28 @@ class UniformGrid:
         self._buckets.clear()
         self._positions.clear()
         self._cells.clear()
+        if self._dense:
+            self._dcell.fill(-1)
+            self._count = 0
         self.bulk_load(oids, xs, ys)
 
     def position_of(self, oid: int) -> Tuple[float, float]:
         """The indexed position of ``oid``; raises if absent."""
+        if self._dense:
+            if oid not in self:
+                raise IndexError_(f"object {oid} not indexed")
+            return (float(self._dx[oid]), float(self._dy[oid]))
         pos = self._positions.get(oid)
         if pos is None:
             raise IndexError_(f"object {oid} not indexed")
         return pos
 
     def ids(self) -> Iterator[int]:
-        """All indexed object ids."""
+        """All indexed object ids (ascending on the dense backend)."""
+        if self._dense:
+            import numpy as np
+
+            return iter(np.nonzero(self._dcell >= 0)[0].tolist())
         return iter(self._positions)
 
     def objects_in_cell(self, cell: Cell) -> Set[int]:

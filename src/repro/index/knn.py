@@ -139,11 +139,19 @@ def range_search(
 
     Returns ``(distance, oid)`` pairs in ascending ``(distance, oid)``
     order.
+
+    On the dense grid backend the whole search runs vectorized with
+    the exact same answer and the exact same meter charges (CELL_VISIT
+    per bounding-box cell, DIST_CALC per non-excluded member of every
+    intersecting cell); on the dict backend it runs the scalar loop
+    below. ``tests/test_index_vectorized.py`` pins the equivalence.
     """
     if r < 0:
         raise IndexError_(f"negative radius {r}")
     if meter is None:
         meter = grid.meter
+    if grid._dense:
+        return _range_search_dense(grid, cx, cy, r, exclude, meter)
     hits: NeighborList = []
     for cell in grid.cells_intersecting_circle(cx, cy, r):
         for oid in grid.objects_in_cell(cell):
@@ -162,3 +170,70 @@ def range_search(
                 hits.append((d, oid))
     hits.sort()
     return hits
+
+
+def _range_search_dense(
+    grid: UniformGrid,
+    cx: float,
+    cy: float,
+    r: float,
+    exclude: AbstractSet[int],
+    meter: Optional[CostMeter],
+) -> NeighborList:
+    """Vectorized range search over the dense grid backend.
+
+    Replicates the scalar path charge for charge: the bounding box of
+    the disk contributes one CELL_VISIT per cell (that is what
+    ``cells_intersecting_circle`` charges while being consumed), cell
+    intersection uses the same ``sqrt(dx*dx + dy*dy) <= r`` decision
+    as ``cell_min_dist``, and every non-excluded member of an
+    intersecting cell costs one DIST_CALC whether or not it lands
+    within ``r`` — then the same distance recipe decides membership.
+    """
+    import numpy as np
+
+    u = grid.universe
+    cw, ch = grid._cell_w, grid._cell_h
+    last = grid.cells - 1
+    lo_i = min(max(int((cx - r - u.xmin) / cw), 0), last)
+    hi_i = min(max(int((cx + r - u.xmin) / cw), 0), last)
+    lo_j = min(max(int((cy - r - u.ymin) / ch), 0), last)
+    hi_j = min(max(int((cy + r - u.ymin) / ch), 0), last)
+    # cells_intersecting_circle charges its CELL_VISITs to the grid's
+    # own meter (not the caller's), one per bounding-box cell.
+    charge(
+        grid.meter, CostMeter.CELL_VISIT, (hi_i - lo_i + 1) * (hi_j - lo_j + 1)
+    )
+    ci = np.arange(lo_i, hi_i + 1, dtype=np.int64)
+    cj = np.arange(lo_j, hi_j + 1, dtype=np.int64)
+    xmin = u.xmin + ci * cw
+    ymin = u.ymin + cj * ch
+    dx = np.where(
+        cx < xmin, xmin - cx, np.where(cx > xmin + cw, cx - (xmin + cw), 0.0)
+    )
+    dy = np.where(
+        cy < ymin, ymin - cy, np.where(cy > ymin + ch, cy - (ymin + ch), 0.0)
+    )
+    keep = np.sqrt(np.add.outer(dx * dx, dy * dy)) <= r
+    buckets = grid._buckets
+    members: List[int] = []
+    ki, kj = np.nonzero(keep)
+    for a, b in zip((ki + lo_i).tolist(), (kj + lo_j).tolist()):
+        bucket = buckets.get((a, b))
+        if bucket:
+            members.extend(bucket)
+    if exclude:
+        members = [o for o in members if o not in exclude]
+    n = len(members)
+    charge(meter, CostMeter.DIST_CALC, n)
+    if not n:
+        return []
+    idx = np.array(members, dtype=np.int64)
+    ddx = grid._dx[idx] - cx
+    ddy = grid._dy[idx] - cy
+    d = np.sqrt(ddx * ddx + ddy * ddy)
+    within = d <= r
+    d = d[within]
+    idx = idx[within]
+    order = np.lexsort((idx, d))
+    return list(zip(d[order].tolist(), idx[order].tolist()))

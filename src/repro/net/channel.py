@@ -13,27 +13,42 @@ share that semantic; ``tests/test_net_simulator.py`` pins it.
 Lossy/faulty behavior lives in :class:`~repro.net.faults.FaultyChannel`,
 a subclass that perturbs ``send`` and overrides the per-message
 delivery-accounting hooks; this base class is perfectly reliable.
+
+The queue also carries :class:`~repro.net.plane.ColumnarBatch` entries
+(one queue slot per batch, see :mod:`repro.net.plane`): ``send_batch``
+accounts a batch exactly as the scalar messages it replaces, and the
+drain/latency paths treat a batch as one unit stamped with one
+``sent_tick``. ``supports_columnar`` advertises whether senders may
+batch at all — :class:`FaultyChannel` turns it off because per-message
+fault decisions must consume the fault RNG stream message by message.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Set
+from typing import Any, Deque, List, Set, Union
 
 from repro.errors import NetworkError
 from repro.net.message import BROADCAST_ID, GEOCAST_ID, Message, MessageKind
+from repro.net.plane import ColumnarBatch
 from repro.net.stats import CommStats
 from repro.obs.telemetry import NULL_TELEMETRY
 
 __all__ = ["Channel"]
 
+#: what the delivery loop receives from a drain
+Transportable = Union[Message, ColumnarBatch]
+
 
 class Channel:
     """Message queue with accounting between server and mobile nodes."""
 
+    #: senders may use ``send_batch`` (FaultyChannel sets this False).
+    supports_columnar = True
+
     def __init__(self) -> None:
         self.stats = CommStats()
-        self._queue: Deque[Message] = deque()
+        self._queue: Deque[Transportable] = deque()
         self._registered: Set[int] = set()
         self._tick = 0
         #: observability handle; the simulator installs its own on
@@ -78,29 +93,50 @@ class Channel:
         self._queue.append(msg)
         return msg
 
+    def send_batch(self, batch: ColumnarBatch) -> ColumnarBatch:
+        """Queue one columnar batch (one queue slot) and account it.
+
+        The batch must replace a run of messages that would have been
+        *contiguous* in the scalar send order — the queue position of
+        the batch is the queue position of that run. Accounting matches
+        ``count`` scalar sends exactly.
+        """
+        batch.sent_tick = self._tick
+        self.stats.record_send_batch(
+            batch.kind, batch.direction(), batch.count, batch.total_bytes
+        )
+        self._queue.append(batch)
+        return batch
+
     def pending(self) -> int:
         """Number of queued, undelivered messages."""
-        return len(self._queue)
+        total = 0
+        for item in self._queue:
+            total += item.count if isinstance(item, ColumnarBatch) else 1
+        return total
 
-    def collect(self) -> List[Message]:
+    def collect(self) -> List[Transportable]:
         """Drain and return all queued messages (delivery accounting).
 
         Broadcast messages are returned once; the delivery loop is
         responsible for handing them to every node. Reception counts
-        are recorded here.
+        are recorded here. Columnar batches come out as single entries,
+        in queue position.
         """
         drained = list(self._queue)
         self._queue.clear()
         self._record_collected(drained)
         return drained
 
-    def collect_sent_before(self, tick: int) -> List[Message]:
+    def collect_sent_before(self, tick: int) -> List[Transportable]:
         """Drain only messages sent strictly before ``tick``.
 
         Used by latency mode: messages take one full tick to arrive.
+        A batch carries one ``sent_tick`` for all its messages, so it
+        is held back or released whole.
         """
-        ready: List[Message] = []
-        later: Deque[Message] = deque()
+        ready: List[Transportable] = []
+        later: Deque[Transportable] = deque()
         for msg in self._queue:
             if msg.sent_tick < tick:
                 ready.append(msg)
@@ -110,10 +146,14 @@ class Channel:
         self._record_collected(ready)
         return ready
 
-    def _record_collected(self, msgs: List[Message]) -> None:
+    def _record_collected(self, msgs: List[Transportable]) -> None:
         """Reception accounting for a batch of drained messages."""
         for msg in msgs:
-            if msg.dst == BROADCAST_ID:
+            if isinstance(msg, ColumnarBatch):
+                # batches are always unicast flights: one reception per
+                # column entry, same integer the scalar path records.
+                self.stats.record_delivery_batch(msg.count)
+            elif msg.dst == BROADCAST_ID:
                 self.stats.record_delivery(
                     msg, receivers=self._broadcast_receivers(msg)
                 )

@@ -202,6 +202,11 @@ class FaultyChannel(Channel):
     only in the drop counter.
     """
 
+    #: per-message drop/dup/delay decisions consume the fault RNG
+    #: stream message by message — columnar batches would skip draws
+    #: and change every later decision, so senders must stay scalar.
+    supports_columnar = False
+
     def __init__(self, plan: FaultPlan) -> None:
         super().__init__()
         if not isinstance(plan, FaultPlan):

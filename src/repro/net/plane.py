@@ -1,0 +1,192 @@
+"""The columnar message plane: struct-of-arrays message batches.
+
+Per-message :class:`~repro.net.message.Message` objects dominate the
+fast path of the message-bound protocols (DKNN-P, CPM): every location
+update costs a payload object, a ``Message``, a ``payload_size`` walk
+and two ``Counter`` updates. A :class:`ColumnarBatch` carries one whole
+homogeneous flight of messages — same kind, same tick, same wire size —
+as numpy columns (source/destination ids, payload coordinates), so the
+channel, the stats layer, the sharded router and the server ingest it
+in O(columns) vectorized passes instead of O(messages) interpreter
+work.
+
+Semantics contract (pinned by ``tests/test_plane.py``):
+
+* a batch occupies exactly one queue slot in the channel, at the
+  position where the scalar path would have queued its **contiguous**
+  run of messages — senders may only batch runs that are contiguous in
+  the scalar send order, so delivery order around the batch is
+  unchanged;
+* accounting is identical in every legacy :class:`CommStats` counter:
+  ``record_send_batch`` adds the same per-kind / per-direction counts
+  and bytes the per-message path would, and delivery adds the same
+  reception counts (batches are never broadcast);
+* :meth:`ColumnarBatch.materialize` lazily expands the batch into the
+  exact scalar ``Message`` objects it replaced — the fallback for any
+  receiver without a batch handler. Materialization is counted in
+  ``CommStats.materialized_by_kind`` (a transport diagnostic, not
+  radio traffic).
+
+Batches only exist on fault-free runs: radio :class:`~repro.net.faults.
+FaultPlan` channels advertise ``supports_columnar = False`` (per-message
+drop/dup/delay decisions need per-message sends to keep the fault RNG
+stream identical), the sharded tier refuses batches while a
+``ShardFaultPlan`` is active, and an attached protocol tracer vetoes
+the plane too — traced runs stay scalar end to end so the Jsonl event
+streams match the reference path event for event.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.net.message import HEADER_BYTES, Message, MessageKind, SERVER_ID
+
+__all__ = ["ColumnarBatch"]
+
+
+class ColumnarBatch:
+    """One homogeneous flight of messages as struct-of-arrays columns.
+
+    Exactly one of ``srcs`` / ``dsts`` is an array:
+
+    * **uplink batch** — ``srcs`` is an int array, ``dst`` is the
+      scalar receiver (``SERVER_ID``);
+    * **downlink batch** — ``src`` is the scalar sender (``SERVER_ID``),
+      ``dsts`` is an int array of mobile receivers.
+
+    ``xs`` / ``ys`` carry per-message payload coordinates (or are
+    ``None`` for coordinate-free payloads like probe requests);
+    ``payload_ctor`` rebuilds one scalar payload on materialization —
+    called as ``ctor(x, y)`` when coordinates are present, ``ctor()``
+    otherwise. ``payload_nbytes`` is the uniform wire size of one
+    payload, so ``size_each`` matches ``Message.size`` exactly.
+    """
+
+    __slots__ = (
+        "kind",
+        "src",
+        "dst",
+        "srcs",
+        "dsts",
+        "xs",
+        "ys",
+        "payload_nbytes",
+        "payload_ctor",
+        "sent_tick",
+        "size_each",
+    )
+
+    def __init__(
+        self,
+        kind: MessageKind,
+        *,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        srcs: Optional[np.ndarray] = None,
+        dsts: Optional[np.ndarray] = None,
+        xs: Optional[np.ndarray] = None,
+        ys: Optional[np.ndarray] = None,
+        payload_nbytes: int = 0,
+        payload_ctor: Optional[Callable[..., Any]] = None,
+        sent_tick: int = 0,
+    ) -> None:
+        if (srcs is None) == (dsts is None):
+            raise NetworkError(
+                "a columnar batch needs exactly one of srcs / dsts"
+            )
+        if srcs is not None and dst is None:
+            raise NetworkError("uplink batch needs a scalar dst")
+        if dsts is not None and src is None:
+            raise NetworkError("downlink batch needs a scalar src")
+        if (xs is None) != (ys is None):
+            raise NetworkError("xs and ys must be given together")
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.srcs = srcs
+        self.dsts = dsts
+        self.xs = xs
+        self.ys = ys
+        self.payload_nbytes = int(payload_nbytes)
+        self.payload_ctor = payload_ctor
+        self.sent_tick = sent_tick
+        self.size_each = HEADER_BYTES + self.payload_nbytes
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        arr = self.srcs if self.srcs is not None else self.dsts
+        return int(arr.shape[0])
+
+    @property
+    def total_bytes(self) -> int:
+        return self.count * self.size_each
+
+    def direction(self) -> str:
+        """Same vocabulary as :meth:`Message.direction` (never area)."""
+        if self.srcs is not None and self.dst == SERVER_ID:
+            return "uplink"
+        return "downlink"
+
+    def endpoints_of(self, i: int) -> tuple:
+        if self.srcs is not None:
+            return (int(self.srcs[i]), self.dst)
+        return (self.src, int(self.dsts[i]))
+
+    # -- lazy materialization -----------------------------------------------
+
+    def materialize(self) -> List[Message]:
+        """Expand into the scalar messages this batch replaced.
+
+        Order matches the scalar send order (the column order). The
+        caller is responsible for counting the expansion in
+        ``CommStats.materialized_by_kind`` — the batch cannot see the
+        stats object.
+        """
+        ctor = self.payload_ctor
+        xs, ys = self.xs, self.ys
+        out: List[Message] = []
+        n = self.count
+        if self.srcs is not None:
+            srcs = self.srcs.tolist()
+            dst = self.dst
+            for i in range(n):
+                payload = (
+                    None
+                    if ctor is None
+                    else (ctor(xs[i], ys[i]) if xs is not None else ctor())
+                )
+                out.append(
+                    Message(
+                        self.kind, srcs[i], dst, payload,
+                        sent_tick=self.sent_tick,
+                    )
+                )
+        else:
+            dsts = self.dsts.tolist()
+            src = self.src
+            for i in range(n):
+                payload = (
+                    None
+                    if ctor is None
+                    else (ctor(xs[i], ys[i]) if xs is not None else ctor())
+                )
+                out.append(
+                    Message(
+                        self.kind, src, dsts[i], payload,
+                        sent_tick=self.sent_tick,
+                    )
+                )
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarBatch({self.kind.value} x{self.count}, "
+            f"{self.direction()}, {self.size_each}B each, "
+            f"t={self.sent_tick})"
+        )

@@ -28,6 +28,7 @@ from repro.net.channel import Channel
 from repro.net.faults import FaultPlan, FaultyChannel
 from repro.net.message import BROADCAST_ID, GEOCAST_ID, SERVER_ID, Message
 from repro.net.node import MobileNode, Node, ServerNodeBase
+from repro.net.plane import ColumnarBatch
 from repro.obs.telemetry import Telemetry, active_telemetry
 
 __all__ = ["ClientPhase", "RoundSimulator", "ZERO_LATENCY", "ONE_TICK_LATENCY"]
@@ -87,6 +88,17 @@ class ClientPhase:
         """
         return False
 
+    def deliver_batch(self, batch: ColumnarBatch) -> bool:
+        """Optionally take over delivering one downlink columnar batch.
+
+        Return True to claim it: the phase must then produce exactly
+        the observable effects the scalar per-message dispatch would
+        (same reply sends in the same relative order, same node state
+        at the next scalar touch). Returning False makes the simulator
+        materialize the batch and dispatch scalar messages.
+        """
+        return False
+
 
 class RoundSimulator:
     """Drives the fleet, the nodes and the channel in lockstep."""
@@ -142,6 +154,12 @@ class RoundSimulator:
                 raise NetworkError(f"duplicate node id {node.node_id}")
             self._nodes_by_id[node.node_id] = node
         self.tick = 0
+        #: may senders use the columnar plane on this run? The channel
+        #: has its own veto (``supports_columnar``); this flag lets the
+        #: tiers above the radio (the sharded server under an active
+        #: ShardFaultPlan) turn batching off for the whole run. Senders
+        #: check both.
+        self.columnar_ok = self.faults is None
         #: optional vectorized client phase (``repro.core.fastpath``):
         #: replaces the per-mobile ``on_tick_start`` loop with a batched
         #: predicate pass that only touches candidate nodes.
@@ -159,7 +177,9 @@ class RoundSimulator:
 
     def _deliver(self, messages: List[Message]) -> None:
         for msg in messages:
-            if msg.dst == BROADCAST_ID:
+            if isinstance(msg, ColumnarBatch):
+                self._deliver_batch(msg)
+            elif msg.dst == BROADCAST_ID:
                 if self.client_phase is not None and self.client_phase.deliver_area(
                     msg
                 ):
@@ -197,6 +217,38 @@ class RoundSimulator:
                 if self._is_down(msg.dst):
                     continue  # receiver down; the channel counted the drop
                 self._dispatch(node, msg)
+
+    def _deliver_batch(self, batch: ColumnarBatch) -> None:
+        """Deliver one columnar batch, materializing only on fallback.
+
+        An uplink batch goes to the server's ``on_uplink_batch`` (timed
+        as server work like ``on_message``); a downlink batch goes to
+        the client phase's ``deliver_batch``. Either handler may
+        decline (return False) — then the batch is expanded into the
+        scalar messages it replaced and dispatched one by one, counted
+        in ``CommStats.materialized_by_kind``.
+        """
+        if batch.srcs is not None and batch.dst == SERVER_ID:
+            handler = getattr(self.server, "on_uplink_batch", None)
+            if handler is not None:
+                t0 = time.perf_counter()
+                handled = handler(batch)
+                self.server_seconds += time.perf_counter() - t0
+                if handled:
+                    return
+        elif batch.dsts is not None:
+            if self.client_phase is not None and self.client_phase.deliver_batch(
+                batch
+            ):
+                return
+        self.channel.stats.record_materialized(batch.kind, batch.count)
+        for msg in batch.materialize():
+            node = self._nodes_by_id.get(msg.dst)
+            if node is None:
+                raise NetworkError(f"message to unknown node {msg.dst}")
+            if self._is_down(msg.dst):
+                continue
+            self._dispatch(node, msg)
 
     def _dispatch(self, node: Node, msg: Message) -> None:
         if node.node_id == SERVER_ID:

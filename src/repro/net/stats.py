@@ -47,6 +47,16 @@ class CommStats:
         # total above by construction.
         self.s2s_by_kind: Counter = Counter()
         self.s2s_bytes_by_kind: Counter = Counter()
+        # Columnar-plane transport diagnostics (see repro.net.plane).
+        # ``columnar_by_kind`` counts messages that travelled as batch
+        # columns (each already counted normally in ``sent_by_kind``);
+        # ``materialized_by_kind`` counts the subset expanded back into
+        # scalar Messages at a handler boundary. Both describe *how*
+        # traffic moved through the transport, not how much moved, so
+        # the bit-identity suite compares every counter above but
+        # exempts these two.
+        self.columnar_by_kind: Counter = Counter()
+        self.materialized_by_kind: Counter = Counter()
 
     # -- recording --------------------------------------------------------
 
@@ -61,6 +71,29 @@ class CommStats:
         self.delivered += receivers
         if msg.direction() in ("broadcast", "geocast"):
             self.broadcast_receptions += receivers
+
+    def record_send_batch(
+        self, kind: MessageKind, direction: str, count: int, nbytes: int
+    ) -> None:
+        """Account one columnar batch exactly as ``count`` scalar sends.
+
+        The legacy counters receive the same integer increments the
+        per-message path would have produced; ``columnar_by_kind``
+        additionally notes that these messages travelled as columns.
+        """
+        self.sent_by_kind[kind] += count
+        self.bytes_by_kind[kind] += nbytes
+        self.sent_by_direction[direction] += count
+        self.bytes_by_direction[direction] += nbytes
+        self.columnar_by_kind[kind] += count
+
+    def record_delivery_batch(self, count: int) -> None:
+        """Batch deliveries are always unicast: one reception each."""
+        self.delivered += count
+
+    def record_materialized(self, kind: MessageKind, count: int) -> None:
+        """``count`` batched messages were expanded back to scalars."""
+        self.materialized_by_kind[kind] += count
 
     def record_drop(self, msg: Message) -> None:
         """A message the network lost (or a receiver that was down)."""
@@ -133,6 +166,16 @@ class CommStats:
         return sum(self.retransmits_by_kind.values())
 
     @property
+    def columnar_messages(self) -> int:
+        """Messages that travelled as batch columns (diagnostic)."""
+        return sum(self.columnar_by_kind.values())
+
+    @property
+    def materialized_messages(self) -> int:
+        """Batched messages expanded back to scalars (diagnostic)."""
+        return sum(self.materialized_by_kind.values())
+
+    @property
     def server_to_server_messages(self) -> int:
         """Backbone messages between shard servers (not radio traffic)."""
         return sum(self.s2s_by_kind.values())
@@ -185,6 +228,8 @@ class CommStats:
         self.retransmits_by_kind.update(other.retransmits_by_kind)
         self.s2s_by_kind.update(other.s2s_by_kind)
         self.s2s_bytes_by_kind.update(other.s2s_bytes_by_kind)
+        self.columnar_by_kind.update(other.columnar_by_kind)
+        self.materialized_by_kind.update(other.materialized_by_kind)
 
     def snapshot(self) -> "CommStats":
         """An independent copy (for per-window deltas)."""
@@ -216,6 +261,10 @@ class CommStats:
         d.s2s_by_kind = self.s2s_by_kind - earlier.s2s_by_kind
         d.s2s_bytes_by_kind = (
             self.s2s_bytes_by_kind - earlier.s2s_bytes_by_kind
+        )
+        d.columnar_by_kind = self.columnar_by_kind - earlier.columnar_by_kind
+        d.materialized_by_kind = (
+            self.materialized_by_kind - earlier.materialized_by_kind
         )
         return d
 

@@ -5,6 +5,8 @@
 ``--trace`` run emitted and prints:
 
 * one row per run (``run.start`` / ``run.end`` markers);
+* per-tick message rates (``comm.rate``): total and by-kind msgs/tick,
+  plus the columnar plane's batched-vs-materialized ledger;
 * the per-phase tick cost table aggregated from ``tick.phase`` events
   (mean / max milliseconds per phase, share of the tick);
 * protocol event counts by kind (repairs by mode, fault events, ...);
@@ -164,6 +166,37 @@ def _fastpath_section(events: List[TraceEvent]) -> Optional[str]:
     )
 
 
+def _comm_section(events: List[TraceEvent]) -> Optional[str]:
+    """Per-tick message rates from ``comm.rate`` events (one per run):
+    total and per-kind msgs/tick, plus the columnar plane's ledger
+    (messages that travelled as batch columns vs. the subset expanded
+    back to scalars at a handler/fault/trace boundary)."""
+    rates = [e for e in events if e.kind == "comm.rate"]
+    if not rates:
+        return None
+    lines = ["Message rates:"]
+    for e in rates:
+        f = e.fields
+        by_kind = f.get("by_kind", {}) or {}
+        kinds = ", ".join(
+            f"{kind} {rate:g}" for kind, rate in sorted(by_kind.items())
+        )
+        line = f"  {f.get('msgs_per_tick', 0):g} msgs/tick"
+        if kinds:
+            line += f" ({kinds})"
+        columnar = f.get("columnar_msgs", 0)
+        materialized = f.get("materialized_msgs", 0)
+        if columnar:
+            line += (
+                f"; columnar plane: {columnar} msgs batched, "
+                f"{materialized} materialized"
+            )
+        else:
+            line += "; columnar plane: inactive (traced runs go scalar)"
+        lines.append(line)
+    return "\n".join(lines)
+
+
 def _shard_section(events: List[TraceEvent]) -> Optional[str]:
     """Sharded-tier view: per-shard load plus handoff/borrow traffic.
 
@@ -317,6 +350,7 @@ def summarize_text(events: List[TraceEvent], source: str = "") -> str:
     for section in (
         _runs_section(events),
         _phase_section(events),
+        _comm_section(events),
         _protocol_section(events),
         _fastpath_section(events),
         _shard_section(events),

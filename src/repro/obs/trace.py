@@ -99,7 +99,9 @@ PERF_KINDS = frozenset(
 )
 
 #: Run lifecycle markers emitted by the harness, not the protocols.
-META_KINDS = frozenset({"run.start", "run.end"})
+#: ``comm.rate`` is the end-of-run message-rate roll-up (msgs/tick by
+#: kind plus the columnar plane's batched/materialized ledger).
+META_KINDS = frozenset({"run.start", "run.end", "comm.rate"})
 
 
 class TraceEvent:

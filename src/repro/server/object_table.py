@@ -45,14 +45,69 @@ class ObjectTable:
         self._report_tick: Dict[int, int] = {}
         self._previous: Dict[int, Tuple[float, float]] = {}
         self._fresh_tick: Dict[int, int] = {}
+        # Dense backend (enable_dense): oid-indexed arrays replacing
+        # the three dicts above; presence is tracked by the grid.
+        self._dense = False
+        self._rt = self._ft = self._px = self._py = None
+
+    def enable_dense(self, capacity: int) -> None:
+        """Switch to oid-indexed array storage (fast-path builds only).
+
+        Turns on the grid's dense backend too, which is what unlocks
+        :meth:`report_batch` and the vectorized range search. Existing
+        contents migrate; idempotent.
+        """
+        import numpy as np
+
+        self.grid.enable_dense(capacity)
+        if self._dense:
+            self._ensure_dense(capacity - 1)
+            return
+        cap = self.grid._dcell.shape[0]
+        self._rt = np.full(cap, -1, dtype=np.int64)
+        self._ft = np.full(cap, -1, dtype=np.int64)
+        self._px = np.zeros(cap, dtype=np.float64)
+        self._py = np.zeros(cap, dtype=np.float64)
+        for oid, tick in self._report_tick.items():
+            self._rt[oid] = tick
+        for oid, tick in self._fresh_tick.items():
+            self._ft[oid] = tick
+        for oid, (x, y) in self._previous.items():
+            self._px[oid] = x
+            self._py[oid] = y
+        self._report_tick = {}
+        self._fresh_tick = {}
+        self._previous = {}
+        self._dense = True
+
+    def _ensure_dense(self, max_oid: int) -> None:
+        import numpy as np
+
+        cap = self._rt.shape[0]
+        if max_oid < cap:
+            return
+        new_cap = max(max_oid + 1, 2 * cap)
+        for name, fill in (
+            ("_rt", -1), ("_ft", -1), ("_px", 0), ("_py", 0)
+        ):
+            old = getattr(self, name)
+            grown = np.full(new_cap, fill, dtype=old.dtype)
+            grown[:cap] = old
+            setattr(self, name, grown)
 
     def __len__(self) -> int:
+        if self._dense:
+            return len(self.grid)
         return len(self._report_tick)
 
     def __contains__(self, oid: int) -> bool:
+        if self._dense:
+            return oid in self.grid
         return oid in self._report_tick
 
     def ids(self) -> Iterator[int]:
+        if self._dense:
+            return self.grid.ids()
         return iter(self._report_tick)
 
     # -- updates ----------------------------------------------------------
@@ -63,24 +118,73 @@ class ObjectTable:
         A report carries the object's exact position, so it also marks
         the object fresh for this tick.
         """
-        if oid in self._report_tick:
+        if self._dense:
+            if oid in self.grid:
+                px, py = self.grid.position_of(oid)
+                self.grid.update(oid, x, y)
+            else:
+                px, py = x, y
+                self.grid.insert(oid, x, y)
+            self._ensure_dense(oid)
+            self._px[oid] = px
+            self._py[oid] = py
+            self._rt[oid] = tick
+            self._ft[oid] = tick
+        elif oid in self._report_tick:
             self._previous[oid] = self.grid.position_of(oid)
             self.grid.update(oid, x, y)
+            self._report_tick[oid] = tick
+            self._fresh_tick[oid] = tick
         else:
             self._previous[oid] = (x, y)
             self.grid.insert(oid, x, y)
-        self._report_tick[oid] = tick
-        self._fresh_tick[oid] = tick
+            self._report_tick[oid] = tick
+            self._fresh_tick[oid] = tick
         charge(self.meter, CostMeter.BOOKKEEPING)
+
+    def report_batch(self, oids, xs, ys, tick: int) -> None:
+        """Vectorized :meth:`report` of one columnar uplink batch.
+
+        Equivalent to ``report`` per column entry (ids unique within a
+        batch): same grid effects, same previous-position bookkeeping,
+        same total BOOKKEEPING + INDEX_UPDATE charges. Dense backend
+        only — the columnar fast path enables it at build time.
+        """
+        import numpy as np
+
+        if not self._dense:
+            raise IndexError_("report_batch needs the dense backend")
+        oid_arr = np.ascontiguousarray(oids, dtype=np.int64)
+        n = oid_arr.shape[0]
+        if n == 0:
+            return
+        self._ensure_dense(int(oid_arr.max()))
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        ys = np.ascontiguousarray(ys, dtype=np.float64)
+        grid = self.grid
+        grid._ensure_dense(int(oid_arr.max()))
+        known = grid._dcell[oid_arr] >= 0
+        px = np.where(known, grid._dx[oid_arr], xs)
+        py = np.where(known, grid._dy[oid_arr], ys)
+        grid.update_batch(oid_arr, xs, ys)
+        self._px[oid_arr] = px
+        self._py[oid_arr] = py
+        self._rt[oid_arr] = tick
+        self._ft[oid_arr] = tick
+        charge(self.meter, CostMeter.BOOKKEEPING, n)
 
     def forget(self, oid: int) -> None:
         """Drop an object (de-registration)."""
-        if oid not in self._report_tick:
+        if oid not in self:
             raise IndexError_(f"object {oid} not known to server")
         self.grid.remove(oid)
-        del self._report_tick[oid]
-        del self._previous[oid]
-        self._fresh_tick.pop(oid, None)
+        if self._dense:
+            self._rt[oid] = -1
+            self._ft[oid] = -1
+        else:
+            del self._report_tick[oid]
+            del self._previous[oid]
+            self._fresh_tick.pop(oid, None)
 
     # -- views ------------------------------------------------------------
 
@@ -90,12 +194,20 @@ class ObjectTable:
 
     def previous_position(self, oid: int) -> Tuple[float, float]:
         """The reported position before the latest one."""
+        if self._dense:
+            if oid not in self:
+                raise IndexError_(f"object {oid} not known to server")
+            return (float(self._px[oid]), float(self._py[oid]))
         pos = self._previous.get(oid)
         if pos is None:
             raise IndexError_(f"object {oid} not known to server")
         return pos
 
     def report_tick_of(self, oid: int) -> int:
+        if self._dense:
+            if oid not in self:
+                raise IndexError_(f"object {oid} not known to server")
+            return int(self._rt[oid])
         tick = self._report_tick.get(oid)
         if tick is None:
             raise IndexError_(f"object {oid} not known to server")
@@ -103,6 +215,10 @@ class ObjectTable:
 
     def is_fresh(self, oid: int, tick: int) -> bool:
         """True if an exact position for ``tick`` is already known."""
+        if self._dense:
+            return (
+                0 <= oid < self._ft.shape[0] and self._ft[oid] == tick
+            )
         return self._fresh_tick.get(oid) == tick
 
     def mark_fresh(self, oid: int, x: float, y: float, tick: int) -> None:

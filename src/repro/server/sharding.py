@@ -290,6 +290,13 @@ class _InnerChannelProxy:
         self._tier._note_inner_send(dst, msg)
         return msg
 
+    def send_batch(self, batch):
+        # Explicit (not via __getattr__ passthrough) so columnar
+        # downlink flights hit the per-shard ledger like scalar sends.
+        batch = self._real.send_batch(batch)
+        self._tier._note_inner_send_batch(batch)
+        return batch
+
     @property
     def stats(self):
         return self._real.stats
@@ -363,6 +370,11 @@ class ShardedServer(ServerNodeBase):
         self._tick = 0
         #: oid -> home shard (from the last routed positional uplink).
         self._home: Dict[int, int] = {}
+        #: dense int64 mirror of ``_home`` (-1 = absent), built lazily
+        #: by the columnar uplink path and kept in sync by every scalar
+        #: home update. Only ever consulted on fault-free runs (plans
+        #: veto the plane), so amnesia restarts need not touch it.
+        self._home_arr = None
         #: qid -> owning shard; a qid is absent until its focal object
         #: first reports a position. Single map = single owner, always.
         self._owner: Dict[int, int] = {}
@@ -480,6 +492,88 @@ class ShardedServer(ServerNodeBase):
     def on_message(self, msg: Message) -> None:
         if self._route_uplink(msg):
             self.inner.on_message(msg)
+
+    def on_uplink_batch(self, batch) -> bool:
+        """Ingest one columnar uplink batch and ledger it per shard.
+
+        Without this override, ``__getattr__`` would leak the batch
+        straight to the inner engine and the routing ledger (uplink
+        counts, home table, migrations, ownership bootstraps) would
+        silently miss the whole flight. The inner engine ingests
+        first; if it declines, the simulator materializes the batch
+        and every message takes the scalar ``on_message`` route, so
+        nothing is ledgered here either.
+
+        Only fault-free runs ever see batches (``shard_attach`` vetoes
+        the plane under an active plan), and the plane only carries
+        qid-free uplink kinds, so the per-message serving/shedding and
+        forward branches of ``_route_uplink`` cannot apply — the whole
+        ledger reduces to vectorized home assignment plus a sparse
+        loop over boundary crossings.
+        """
+        if self._fault_plan is not None:
+            return False
+        handler = getattr(self.inner, "on_uplink_batch", None)
+        if handler is None or not handler(batch):
+            return False
+        import numpy as np
+
+        router = self.router
+        srcs = batch.srcs
+        n = srcs.shape[0]
+        if batch.xs is None or n == 0:
+            # Position-free uplinks keep their last home (get(src, 0)).
+            arr = self._ensure_home_arr(int(srcs.max()) if n else 0)
+            homes = np.maximum(arr[srcs], 0)
+        else:
+            u = router.universe
+            side = router.side
+            col = ((batch.xs - u.xmin) / router._cell_w).astype(np.int64)
+            row = ((batch.ys - u.ymin) / router._cell_h).astype(np.int64)
+            np.clip(col, 0, side - 1, out=col)
+            np.clip(row, 0, side - 1, out=row)
+            homes = row * side + col
+            arr = self._ensure_home_arr(int(srcs.max()))
+            prev = arr[srcs]
+            changed = np.nonzero(prev != homes)[0]
+            for i, p in zip(changed.tolist(), prev[changed].tolist()):
+                src = int(srcs[i])
+                home = int(homes[i])
+                self._set_home(src, home)
+                if p < 0:
+                    self._journal_home(home, src, True)
+                    continue
+                self._journal_home(p, src, False)
+                self._journal_home(home, src, True)
+                self.shard_stats.migrations += 1
+                self.link.send(SHARD_MIGRATE, p, home, _MIGRATE_BYTES)
+                for qid in self._qids_by_focal.get(src, ()):
+                    self._maybe_handoff(qid, home)
+            if any(
+                qid not in self._owner and qid not in self._handoff_pending
+                for qid in self._focal_of
+            ):
+                # First focal reports: bootstrap ownership on the home
+                # shard, walking focals in batch (ascending-oid) order
+                # exactly as the scalar loop would.
+                for foid in sorted(self._qids_by_focal):
+                    i = int(np.searchsorted(srcs, foid))
+                    if i >= n or int(srcs[i]) != foid:
+                        continue
+                    serving = int(homes[i])
+                    for qid in self._qids_by_focal[foid]:
+                        if (
+                            qid not in self._owner
+                            and qid not in self._handoff_pending
+                        ):
+                            self._owner[qid] = serving
+                            self._journal_own(serving, qid, True)
+        up = self.shard_stats.uplinks
+        counts = np.bincount(homes, minlength=router.n_shards)
+        for s, c in enumerate(counts.tolist()):
+            if c:
+                up[s] += c
+        return True
 
     def on_subround(self, tick: int) -> None:
         self.inner.on_subround(tick)
@@ -974,6 +1068,35 @@ class ShardedServer(ServerNodeBase):
 
     # -- routing ------------------------------------------------------------
 
+    def _ensure_home_arr(self, max_oid: int):
+        """The dense home mirror, built from the dict on first use and
+        grown (fill -1) to cover ``max_oid``."""
+        import numpy as np
+
+        arr = self._home_arr
+        if arr is None:
+            top = max(self._home, default=0)
+            arr = np.full(max(max_oid, top) + 1, -1, dtype=np.int64)
+            for oid, home in self._home.items():
+                arr[oid] = home
+            self._home_arr = arr
+        elif max_oid >= arr.shape[0]:
+            grown = np.full(
+                max(max_oid + 1, arr.shape[0] * 2), -1, dtype=np.int64
+            )
+            grown[: arr.shape[0]] = arr
+            self._home_arr = arr = grown
+        return arr
+
+    def _set_home(self, src: int, home: int) -> None:
+        """Update one home-table entry, keeping the dense mirror true."""
+        self._home[src] = home
+        arr = self._home_arr
+        if arr is not None:
+            if src >= arr.shape[0]:
+                arr = self._ensure_home_arr(src)
+            arr[src] = home
+
     def _route_uplink(self, msg: Message) -> bool:
         """Route one client uplink to its home shard; ledger the load,
         migrations, ownership changes and cross-shard forwards.
@@ -1028,12 +1151,12 @@ class ShardedServer(ServerNodeBase):
         if x is not None:
             prev = self._home.get(src)
             if prev is None:
-                self._home[src] = home
+                self._set_home(src, home)
                 self._journal_home(home, src, True)
             elif prev != home:
                 # The object crossed a shard boundary: its dead-
                 # reckoning entry migrates over the backbone.
-                self._home[src] = home
+                self._set_home(src, home)
                 self._journal_home(prev, src, False)
                 self._journal_home(home, src, True)
                 self.shard_stats.migrations += 1
@@ -1098,6 +1221,27 @@ class ShardedServer(ServerNodeBase):
             self.shard_stats.downlinks[home] += 1
         else:
             self.shard_stats.area_sends += 1
+
+    def _note_inner_send_batch(self, batch) -> None:
+        """Ledger one columnar downlink flight of the inner engine.
+
+        Batches exist only fault-free, so this is the plan-less arm of
+        :meth:`_note_inner_send` vectorized: one downlink per recipient,
+        attributed to the recipient's home shard (unknown homes ledger
+        to shard 0, matching ``_home.get(dst, 0)``).
+        """
+        import numpy as np
+
+        dsts = batch.dsts
+        if dsts is None or dsts.shape[0] == 0:
+            return  # inner engines only batch downlinks
+        arr = self._ensure_home_arr(int(dsts.max()))
+        homes = np.maximum(arr[dsts], 0)
+        dl = self.shard_stats.downlinks
+        counts = np.bincount(homes, minlength=self.router.n_shards)
+        for s, c in enumerate(counts.tolist()):
+            if c:
+                dl[s] += c
 
     # -- query handoff -------------------------------------------------------
 
@@ -1240,20 +1384,44 @@ class ShardedServer(ServerNodeBase):
             return
         # Count each remote shard's members actually inside the circle
         # (sizes the reply like a collect: 20 bytes per position).
-        counts = {sid: 0 for sid in remote}
         r2 = radius * radius
         table = getattr(self.inner, "table", None)
-        for oid, home in self._home.items():
-            if home not in counts:
-                continue
-            if table is not None and oid in table:
-                ox, oy = table.last_position(oid)
-            else:
-                continue
-            dx = ox - cx
-            dy = oy - cy
-            if dx * dx + dy * dy <= r2:
-                counts[home] += 1
+        if (
+            self._fault_plan is None
+            and table is not None
+            and getattr(table, "_dense", False)
+            and self._home
+        ):
+            # Fault-free dense runs: the home mirror is exact (homes
+            # are only ever deleted by amnesia recovery, a plan-only
+            # path) and the table's positions are columns, so one
+            # masked bincount replaces the O(N) dict walk. No lookup
+            # here charges the meter, so the bill is unchanged.
+            import numpy as np
+
+            grid = table.grid
+            arr = self._ensure_home_arr(0)
+            n = min(arr.shape[0], grid._dcell.shape[0])
+            homes = arr[:n]
+            dx = grid._dx[:n] - cx
+            dy = grid._dy[:n] - cy
+            mask = (homes >= 0) & (grid._dcell[:n] >= 0)
+            mask &= dx * dx + dy * dy <= r2
+            cnt = np.bincount(homes[mask], minlength=self.router.n_shards)
+            counts = {sid: int(cnt[sid]) for sid in remote}
+        else:
+            counts = {sid: 0 for sid in remote}
+            for oid, home in self._home.items():
+                if home not in counts:
+                    continue
+                if table is not None and oid in table:
+                    ox, oy = table.last_position(oid)
+                else:
+                    continue
+                dx = ox - cx
+                dy = oy - cy
+                if dx * dx + dy * dy <= r2:
+                    counts[home] += 1
         tel = self._telemetry
         for sid in remote:
             n = counts[sid]
@@ -1327,4 +1495,10 @@ def shard_attach(
     tier.telemetry = sim.telemetry
     sim.server = tier
     sim._nodes_by_id[SERVER_ID] = tier
+    if tier._fault_plan is not None:
+        # Shard faults are adjudicated one message at a time (serving
+        # shard, shedding, downlink loss): veto the columnar plane on
+        # both sides so every uplink/downlink routes scalar.
+        inner.columnar = False
+        sim.columnar_ok = False
     return tier

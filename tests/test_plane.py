@@ -1,0 +1,333 @@
+"""The columnar message plane: batch semantics and bit-identity.
+
+Three layers of pinning:
+
+* :class:`~repro.net.plane.ColumnarBatch` itself — construction
+  invariants, the one-queue-slot channel contract, accounting parity
+  with the scalar sends the batch replaces, and exact lazy
+  materialization;
+* whole-system bit-identity — scalar vs columnar fast runs for every
+  algorithm, under the sharded tier at S in {1, 4}, and with a
+  ShardFaultPlan active (which must veto the plane entirely): per-tick
+  answers, every legacy CommStats counter, and the shard ledger agree,
+  while ``columnar_by_kind`` proves the plane actually carried traffic
+  on the fault-free fast runs;
+* trace streams — tracing vetoes the plane, and the resulting Jsonl
+  protocol event stream is byte-identical between scalar and fast
+  builds.
+
+The radio-FaultPlan identity matrix lives in ``tests/test_fastpath.py``
+(FaultyChannel advertises ``supports_columnar = False``, so those runs
+exercise the scalar fallback of every fast build).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import LocationUpdate, ProbeRequest
+from repro.errors import NetworkError
+from repro.experiments.algorithms import ALGORITHMS, build_system
+from repro.experiments.config import RunConfig
+from repro.net.channel import Channel
+from repro.net.faults import ShardFaultPlan
+from repro.net.message import (
+    HEADER_BYTES,
+    SERVER_ID,
+    Message,
+    MessageKind,
+    payload_size,
+)
+from repro.net.plane import ColumnarBatch
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import PERF_KINDS, PROTOCOL_KINDS, JsonlSink, Tracer
+from repro.server.sharding import ShardedServer
+from repro.workloads.generator import build_workload
+from repro.workloads.spec import WorkloadSpec
+
+LU_NBYTES = payload_size(LocationUpdate(0.0, 0.0))
+
+
+def _uplink_batch(n=4, kind=MessageKind.LOCATION_UPDATE):
+    oids = np.arange(n, dtype=np.int64)
+    return ColumnarBatch(
+        kind,
+        srcs=oids,
+        dst=SERVER_ID,
+        xs=np.arange(n, dtype=np.float64),
+        ys=np.arange(n, dtype=np.float64) * 2.0,
+        payload_nbytes=LU_NBYTES,
+        payload_ctor=LocationUpdate,
+    )
+
+
+class TestColumnarBatch:
+    def test_needs_exactly_one_of_srcs_dsts(self):
+        oids = np.arange(3, dtype=np.int64)
+        with pytest.raises(NetworkError):
+            ColumnarBatch(MessageKind.PROBE)
+        with pytest.raises(NetworkError):
+            ColumnarBatch(
+                MessageKind.PROBE, srcs=oids, dsts=oids, src=0, dst=0
+            )
+
+    def test_uplink_needs_scalar_dst(self):
+        with pytest.raises(NetworkError):
+            ColumnarBatch(
+                MessageKind.LOCATION_UPDATE,
+                srcs=np.arange(3, dtype=np.int64),
+            )
+
+    def test_downlink_needs_scalar_src(self):
+        with pytest.raises(NetworkError):
+            ColumnarBatch(
+                MessageKind.PROBE, dsts=np.arange(3, dtype=np.int64)
+            )
+
+    def test_xs_ys_together(self):
+        with pytest.raises(NetworkError):
+            ColumnarBatch(
+                MessageKind.LOCATION_UPDATE,
+                srcs=np.arange(3, dtype=np.int64),
+                dst=SERVER_ID,
+                xs=np.zeros(3),
+            )
+
+    def test_views(self):
+        batch = _uplink_batch(5)
+        assert batch.count == 5
+        assert batch.size_each == HEADER_BYTES + LU_NBYTES
+        assert batch.total_bytes == 5 * batch.size_each
+        assert batch.direction() == "uplink"
+        assert batch.endpoints_of(3) == (3, SERVER_ID)
+        down = ColumnarBatch(
+            MessageKind.PROBE,
+            src=SERVER_ID,
+            dsts=np.array([7, 9], dtype=np.int64),
+            payload_ctor=ProbeRequest,
+        )
+        assert down.direction() == "downlink"
+        assert down.endpoints_of(1) == (SERVER_ID, 9)
+
+    def test_materialize_matches_scalar_messages(self):
+        batch = _uplink_batch(4)
+        batch.sent_tick = 6
+        msgs = batch.materialize()
+        assert len(msgs) == 4
+        for i, msg in enumerate(msgs):
+            assert isinstance(msg, Message)
+            assert msg.kind is MessageKind.LOCATION_UPDATE
+            assert (msg.src, msg.dst) == (i, SERVER_ID)
+            assert msg.sent_tick == 6
+            assert (msg.payload.x, msg.payload.y) == (float(i), 2.0 * i)
+            assert msg.size == batch.size_each
+
+    def test_materialize_coordinate_free_and_bare(self):
+        down = ColumnarBatch(
+            MessageKind.PROBE,
+            src=SERVER_ID,
+            dsts=np.array([3, 1], dtype=np.int64),
+            payload_ctor=ProbeRequest,
+        )
+        msgs = down.materialize()
+        assert [m.dst for m in msgs] == [3, 1]
+        assert all(isinstance(m.payload, ProbeRequest) for m in msgs)
+        bare = ColumnarBatch(
+            MessageKind.PROBE,
+            src=SERVER_ID,
+            dsts=np.array([2], dtype=np.int64),
+        )
+        assert bare.materialize()[0].payload is None
+
+
+class TestChannelIntegration:
+    def _channel(self, n=8):
+        ch = Channel()
+        ch.register(SERVER_ID)
+        for oid in range(n):
+            ch.register(oid)
+        return ch
+
+    def test_one_queue_slot_in_run_position(self):
+        ch = self._channel()
+        before = ch.send(MessageKind.VIOLATION, 0, SERVER_ID)
+        batch = ch.send_batch(_uplink_batch(4))
+        after = ch.send(MessageKind.QUERY_MOVE, 1, SERVER_ID)
+        assert ch.pending() == 6  # 1 + batch.count + 1
+        drained = ch.collect()
+        assert drained == [before, batch, after]
+
+    def test_accounting_parity_with_scalar_sends(self):
+        scalar = self._channel()
+        scalar.begin_tick(3)
+        for i in range(4):
+            scalar.send(
+                MessageKind.LOCATION_UPDATE,
+                i,
+                SERVER_ID,
+                LocationUpdate(float(i), 2.0 * i),
+            )
+        scalar.collect()
+        columnar = self._channel()
+        columnar.begin_tick(3)
+        columnar.send_batch(_uplink_batch(4))
+        columnar.collect()
+        s, c = scalar.stats, columnar.stats
+        assert dict(c.sent_by_kind) == dict(s.sent_by_kind)
+        assert dict(c.bytes_by_kind) == dict(s.bytes_by_kind)
+        assert dict(c.sent_by_direction) == dict(s.sent_by_direction)
+        assert dict(c.bytes_by_direction) == dict(s.bytes_by_direction)
+        assert c.delivered == s.delivered
+        # The plane's own ledger is the only divergence — diagnostic,
+        # deliberately outside the legacy counters.
+        assert c.columnar_by_kind[MessageKind.LOCATION_UPDATE] == 4
+        assert not s.columnar_by_kind
+
+    def test_one_tick_latency_holds_batch_whole(self):
+        ch = self._channel()
+        ch.begin_tick(2)
+        ch.send_batch(_uplink_batch(3))
+        assert ch.collect_sent_before(2) == []
+        released = ch.collect_sent_before(3)
+        assert len(released) == 1 and released[0].count == 3
+
+
+def _spec(n=300, ticks=22):
+    return WorkloadSpec(
+        ticks=ticks, warmup_ticks=0, seed=42, n_objects=n, n_queries=6, k=5
+    )
+
+
+def _run(algorithm, fast, shards=None, shard_faults=None, telemetry=None,
+         n=300, ticks=22):
+    spec = _spec(n, ticks)
+    fleet, queries = build_workload(spec, fast=fast)
+    cfg = RunConfig(
+        algorithm,
+        record_history=True,
+        fast=fast,
+        shards=shards,
+        shard_faults=shard_faults,
+    )
+    sim = build_system(cfg, fleet, queries, telemetry=telemetry)
+    answers = []
+
+    def snap(s):
+        answers.append(
+            {
+                qid: tuple(a[-1]) if a else None
+                for qid, a in s.server.answer_history.items()
+            }
+        )
+
+    sim.run(ticks, on_tick=snap)
+    stats = sim.channel.stats
+    out = {
+        "answers": answers,
+        "messages": dict(stats.sent_by_kind),
+        "bytes": dict(stats.bytes_by_kind),
+        "delivered": (stats.delivered, stats.broadcast_receptions),
+        "meter": dict(sim.server.meter.units),
+        "columnar": dict(stats.columnar_by_kind),
+    }
+    if isinstance(sim.server, ShardedServer):
+        ss = sim.server.shard_stats
+        out["shard_ledger"] = (
+            list(ss.uplinks),
+            list(ss.downlinks),
+            ss.migrations,
+            ss.forwards,
+            ss.area_sends,
+        )
+    return out
+
+
+def _assert_identical(fast, scalar):
+    assert fast["answers"] == scalar["answers"]
+    assert fast["messages"] == scalar["messages"]
+    assert fast["bytes"] == scalar["bytes"]
+    assert fast["delivered"] == scalar["delivered"]
+    assert fast["meter"] == scalar["meter"]
+    if "shard_ledger" in scalar:
+        assert fast["shard_ledger"] == scalar["shard_ledger"]
+
+
+#: algorithms whose fast build routes hot-path traffic through the
+#: plane (DKNN-B/DKNN-G use broadcast/geocast delivery, which never
+#: batches — their identity matrix lives in test_fastpath.py).
+COLUMNAR_ALGS = ("DKNN-P", "CPM", "PER", "SEA")
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("algorithm", COLUMNAR_ALGS)
+    def test_columnar_fast_run_is_identical_and_actually_batches(
+        self, algorithm
+    ):
+        scalar = _run(algorithm, fast=False)
+        fast = _run(algorithm, fast=True)
+        _assert_identical(fast, scalar)
+        assert not scalar["columnar"]
+        # the guard against a silently dead plane: the fast run must
+        # have moved real traffic through batch columns.
+        assert sum(fast["columnar"].values()) > 0
+
+    @pytest.mark.parametrize("algorithm", ("DKNN-P", "CPM"))
+    @pytest.mark.parametrize("shards", (1, 4))
+    def test_sharded_tier_identity(self, algorithm, shards):
+        scalar = _run(algorithm, fast=False, shards=shards)
+        fast = _run(algorithm, fast=True, shards=shards)
+        _assert_identical(fast, scalar)
+        assert sum(fast["columnar"].values()) > 0
+
+    @pytest.mark.parametrize("algorithm", ("DKNN-P", "CPM"))
+    def test_shard_fault_plan_vetoes_the_plane(self, algorithm):
+        plan = ShardFaultPlan(
+            seed=3, link_drop=0.05, crashes=((2, 8, 14),)
+        )
+        scalar = _run(algorithm, fast=False, shards=4, shard_faults=plan)
+        fast = _run(algorithm, fast=True, shards=4, shard_faults=plan)
+        _assert_identical(fast, scalar)
+        # an active plan adjudicates faults per message: no batches.
+        assert not fast["columnar"]
+
+    def test_all_registered_algorithms_have_identity_coverage(self):
+        """Every algorithm is pinned either here or in test_fastpath."""
+        assert set(COLUMNAR_ALGS) <= set(ALGORITHMS)
+
+
+class TestTraceStreams:
+    @pytest.mark.parametrize("algorithm", COLUMNAR_ALGS)
+    def test_traced_runs_go_scalar_with_identical_jsonl(
+        self, algorithm, tmp_path
+    ):
+        """Tracing vetoes the plane and the event streams agree.
+
+        The Jsonl files are compared on everything except ``PERF_KINDS``
+        — timing (``tick.phase``) and dispatch (``fastpath.candidates``)
+        events are explicitly allowed to differ between the scalar and
+        fast builds; every other kind must be byte-for-byte identical.
+        """
+        streams = {}
+        for fast in (False, True):
+            path = tmp_path / f"trace_{fast}.jsonl"
+            tel = Telemetry(tracer=Tracer(JsonlSink(str(path))))
+            out = _run(algorithm, fast=fast, telemetry=tel, ticks=15)
+            tel.tracer.close()
+            assert not out["columnar"]  # tracing vetoes the plane
+            lines = path.read_text().strip().splitlines()
+            assert lines
+            events = [json.loads(line) for line in lines]
+            streams[fast] = [
+                e for e in events if e["kind"] not in PERF_KINDS
+            ]
+        assert streams[True] == streams[False]
+        if algorithm == "DKNN-P":
+            # The distributed protocol emits server.* events every run;
+            # the centralized baselines legitimately emit none, so only
+            # DKNN-P pins a non-empty comparison.
+            assert any(
+                e["kind"] in PROTOCOL_KINDS for e in streams[True]
+            )
