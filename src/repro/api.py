@@ -6,11 +6,11 @@ paths (``repro.core.server``, ``repro.experiments.algorithms``, ...)
 may move without notice. Examples, experiment scripts, and downstream
 users should import from this module only::
 
-    from repro.api import RunConfig, WorkloadSpec, run_once
+    from repro.api import RunConfig, ShardConfig, WorkloadSpec, run_once
 
     spec = WorkloadSpec(n_objects=500, n_queries=4, k=8,
                         ticks=60, warmup_ticks=10, seed=7)
-    m = run_once(RunConfig("DKNN-B", shards=2), spec)
+    m = run_once(RunConfig("DKNN-B", shard=ShardConfig(shards=2)), spec)
     print(m.as_row())
 
 The groups below mirror the library's layers: the typed entry points
@@ -45,7 +45,7 @@ from repro.baselines import (
     build_periodic_system,
     build_seacnn_system,
 )
-from repro.errors import ExperimentError, ReproError
+from repro.errors import ConfigError, ExperimentError, ReproError
 from repro.experiments import (
     ALGORITHMS,
     EXPERIMENTS,
@@ -62,6 +62,7 @@ from repro.metrics import AccuracyTracker, CostMeter, is_valid_knn
 from repro.mobility import (
     Fleet,
     GaussianClusterModel,
+    HotspotDriftModel,
     RandomDirectionModel,
     RandomWaypointModel,
     RoadNetworkModel,
@@ -80,8 +81,11 @@ from repro.obs import (
     use_telemetry,
 )
 from repro.server import (
+    AdmissionPolicy,
     DurabilityManager,
     QuerySpec,
+    RebalancePolicy,
+    ShardConfig,
     ShardedServer,
     ShardRouter,
     ShardStats,
@@ -103,6 +107,7 @@ __all__ = [
     # errors
     "ReproError",
     "ExperimentError",
+    "ConfigError",
     # workloads & mobility
     "WorkloadSpec",
     "MOBILITY_MODELS",
@@ -111,6 +116,7 @@ __all__ = [
     "RandomWaypointModel",
     "RandomDirectionModel",
     "GaussianClusterModel",
+    "HotspotDriftModel",
     "RoadNetworkModel",
     # geometry & queries
     "Point",
@@ -130,6 +136,9 @@ __all__ = [
     "build_cpm_system",
     "build_range_system",
     # sharded server tier
+    "ShardConfig",
+    "RebalancePolicy",
+    "AdmissionPolicy",
     "ShardRouter",
     "ShardStats",
     "ShardedServer",

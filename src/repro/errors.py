@@ -14,6 +14,7 @@ is shallow and layer-aligned::
     +-- ProtocolError       DKNN protocol state-machine violations
     +-- WorkloadError       invalid workload specification
     +-- ExperimentError     experiment-harness configuration errors
+        +-- ConfigError     invalid typed-config field (ShardConfig, ...)
 
 :class:`FaultError` is deliberately *not* a :class:`NetworkError`: a
 malformed :class:`~repro.net.faults.FaultPlan` is a configuration bug
@@ -63,3 +64,16 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Experiment-harness configuration error."""
+
+
+class ConfigError(ExperimentError):
+    """Invalid value for a typed configuration field.
+
+    Raised by the frozen config dataclasses (:class:`~repro.server.config.ShardConfig`,
+    :class:`~repro.experiments.config.RunConfig`, ...) during validation.
+    The message always names the offending field and the accepted range,
+    so the fix is actionable without reading the source.
+
+    Subclasses :class:`ExperimentError` so existing ``except
+    ExperimentError`` handlers keep catching configuration mistakes.
+    """

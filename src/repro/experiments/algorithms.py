@@ -157,7 +157,7 @@ def build_system(
 ) -> RoundSimulator:
     """Build any registered algorithm from a :class:`RunConfig`.
 
-    When ``config.shards`` is set, the built simulator's server is
+    When ``config.shard`` is set, the built simulator's server is
     wrapped in the sharded tier before the simulator is returned.
     """
     if isinstance(config, str):
@@ -169,8 +169,8 @@ def build_system(
             f"expected a RunConfig, got {config!r}"
         )
     sim = _BUILDERS[config.algorithm](fleet, list(specs), config, telemetry)
-    if config.shards is not None:
-        shard_attach(sim, config.shards, faults=config.shard_faults)
+    if config.shard is not None:
+        shard_attach(sim, config.shard)
     return sim
 
 

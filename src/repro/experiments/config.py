@@ -16,22 +16,29 @@ see one. Import the supported surface from :mod:`repro.api`.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Any, Dict, Mapping, Optional
 
-from repro.errors import ExperimentError
+from repro.errors import ConfigError, ExperimentError
 from repro.experiments.catalog import CATALOG, suggest_name
 from repro.net.faults import FaultPlan, ShardFaultPlan
 from repro.net.simulator import ONE_TICK_LATENCY, ZERO_LATENCY
+from repro.server.config import MAX_SHARDS_PER_SIDE, ShardConfig
 
 __all__ = ["RunConfig"]
 
 _LATENCIES = (ZERO_LATENCY, ONE_TICK_LATENCY)
 
-#: Upper bound on shards-per-side; 64 x 64 = 4096 shard servers is
-#: already far past anything the experiments sweep.
-_MAX_SHARDS_PER_SIDE = 64
+# Kept as an alias: the bound now lives with ShardConfig.
+_MAX_SHARDS_PER_SIDE = MAX_SHARDS_PER_SIDE
+
+_LEGACY_SHARD_KWARGS_MSG = (
+    "RunConfig(shards=..., shard_faults=...) is deprecated; pass "
+    "shard=ShardConfig(shards=..., faults=...) instead (see README, "
+    '"Configuring the shard tier")'
+)
 
 
 @dataclass(frozen=True)
@@ -53,26 +60,22 @@ class RunConfig:
     warmup, ticks:
         Optional overrides of the workload spec's ``warmup_ticks`` /
         ``ticks`` — ``run_once`` applies them via ``spec.but(...)``.
-    shards:
-        ``None`` (the default) runs the plain single server. An integer
-        S >= 1 wraps the server in the sharded tier
+    shard:
+        Optional :class:`~repro.server.config.ShardConfig` — the
+        canonical shard-tier configuration (shard count, rebalance
+        policy, admission policy, fault plan, durability cadence).
+        ``None`` (the default) runs the plain single server;
+        ``ShardConfig(shards=S)`` wraps the server in the sharded tier
         (:mod:`repro.server.sharding`) over an S x S grid — per-tick
         answers stay bit-identical; the run additionally reports
-        per-shard load, handoffs, and backbone traffic. ``shards=1``
-        is the tier with a single shard (useful for overhead and
-        accounting regressions), still distinct from ``None``.
-    shard_faults:
-        Optional :class:`~repro.net.faults.ShardFaultPlan`: the
-        server-tier failure model (shard crashes — single, correlated
-        groups, whole-tier restarts — backbone drop / delay /
-        partitions, admission control, checkpoint/WAL durability).
-        An enabled plan requires ``shards >= 2``: a single-shard tier
-        has no buddy to fail over to and no backbone to partition, so
-        the plan could never act — validation rejects it instead of
-        silently ignoring it. ``None`` or a disabled plan leaves the
-        tier on the fault-free, bit-identical code paths. The backbone
-        knobs (``link_drop``, ``link_delay``, ``seed``) ride inside
-        the plan.
+        per-shard load, handoffs, and backbone traffic.
+    shards, shard_faults:
+        **Deprecated** loose forms of ``shard=``; kept as a shim that
+        emits :class:`DeprecationWarning` and synthesizes
+        ``ShardConfig(shards=shards, faults=shard_faults)``. After
+        construction both attributes mirror the resolved ``shard``
+        config (so legacy readers keep working); first-party use fails
+        CI via the ``filterwarnings`` error filter.
     params:
         Per-algorithm parameters; names validated against the catalog.
     """
@@ -84,6 +87,7 @@ class RunConfig:
     fast: bool = False
     warmup: Optional[int] = None
     ticks: Optional[int] = None
+    shard: Optional[ShardConfig] = None
     shards: Optional[int] = None
     shard_faults: Optional[ShardFaultPlan] = None
     params: Mapping[str, Any] = field(default_factory=dict)
@@ -109,34 +113,7 @@ class RunConfig:
         for bound, name in ((self.warmup, "warmup"), (self.ticks, "ticks")):
             if bound is not None and bound < 0:
                 raise ExperimentError(f"negative {name} {bound}")
-        if self.shards is not None and not (
-            1 <= self.shards <= _MAX_SHARDS_PER_SIDE
-        ):
-            raise ExperimentError(
-                f"shards must be None or in [1, {_MAX_SHARDS_PER_SIDE}] "
-                f"(shards-per-side), got {self.shards!r}"
-            )
-        if self.shard_faults is not None:
-            if not isinstance(self.shard_faults, ShardFaultPlan):
-                raise ExperimentError(
-                    "shard_faults must be None or a ShardFaultPlan, got "
-                    f"{self.shard_faults!r} (radio faults go in faults=)"
-                )
-            if self.shard_faults.enabled and (
-                self.shards is None or self.shards == 1
-            ):
-                detail = (
-                    "shards=1 is a single shard server"
-                    if self.shards == 1
-                    else "shards is unset"
-                )
-                raise ExperimentError(
-                    "shard_faults needs a sharded tier: pass shards=S "
-                    "with S >= 2 (shards-per-side) so there are shard "
-                    "servers to crash, a buddy to fail over to, and a "
-                    f"backbone to partition — here {detail}, so the "
-                    "plan could never act and would be silently ignored"
-                )
+        self._resolve_shard()
         unknown = set(self.params) - set(info.params)
         if unknown:
             hints = []
@@ -154,6 +131,62 @@ class RunConfig:
         object.__setattr__(
             self, "params", MappingProxyType(dict(self.params))
         )
+
+    def _resolve_shard(self) -> None:
+        """Normalize ``shard`` vs the deprecated ``shards``/``shard_faults``.
+
+        After this runs, ``self.shard`` is the single source of truth
+        and the legacy attributes mirror it, so ``dataclasses.replace``
+        (``but()``) round-trips without re-warning and legacy readers
+        keep working.
+        """
+        shard = self.shard
+        if shard is not None and not isinstance(shard, ShardConfig):
+            raise ConfigError(
+                f"shard must be a ShardConfig or None, got {shard!r}"
+            )
+        legacy = self.shards is not None or self.shard_faults is not None
+        if shard is not None and legacy:
+            # but() / replace passes the synced mirrors back in; only a
+            # genuine conflict (both forms, different values) is an error.
+            if (self.shards is not None and self.shards != shard.shards) or (
+                self.shard_faults is not None
+                and self.shard_faults is not shard.faults
+            ):
+                raise ConfigError(
+                    "pass shard=ShardConfig(...) or the legacy shards=/"
+                    "shard_faults= kwargs, not both (they disagree here)"
+                )
+        elif legacy:
+            warnings.warn(
+                _LEGACY_SHARD_KWARGS_MSG, DeprecationWarning, stacklevel=4
+            )
+            if self.shard_faults is not None and not isinstance(
+                self.shard_faults, ShardFaultPlan
+            ):
+                raise ConfigError(
+                    "shard_faults must be None or a ShardFaultPlan, got "
+                    f"{self.shard_faults!r} (radio faults go in faults=)"
+                )
+            if self.shards is None:
+                # Legacy accepted a *disabled* plan with no tier at all.
+                if self.shard_faults.enabled:
+                    raise ConfigError(
+                        "shard_faults needs a sharded tier: pass "
+                        "shard=ShardConfig(shards=S, faults=plan) with "
+                        "S >= 2 so there are shard servers to crash, a "
+                        "buddy to fail over to, and a backbone to "
+                        "partition — here shards is unset, so the plan "
+                        "could never act and would be silently ignored"
+                    )
+            else:
+                shard = ShardConfig(
+                    shards=self.shards, faults=self.shard_faults
+                )
+        object.__setattr__(self, "shard", shard)
+        if shard is not None:
+            object.__setattr__(self, "shards", shard.shards)
+            object.__setattr__(self, "shard_faults", shard.faults)
 
     # -- derived views -------------------------------------------------------
 
@@ -173,6 +206,13 @@ class RunConfig:
             changes["params"] = dict(changes["params"])
         else:
             changes.setdefault("params", dict(self.params))
+        # Changing either shard form resets the other so the replace
+        # does not carry stale mirrors into validation.
+        if "shard" in changes:
+            changes.setdefault("shards", None)
+            changes.setdefault("shard_faults", None)
+        elif "shards" in changes or "shard_faults" in changes:
+            changes.setdefault("shard", None)
         return dataclasses.replace(self, **changes)
 
     def describe(self) -> Dict[str, Any]:
@@ -185,6 +225,9 @@ class RunConfig:
             "fast": self.fast,
             "warmup": self.warmup,
             "ticks": self.ticks,
+            "shard": (
+                self.shard.describe() if self.shard is not None else None
+            ),
             "shards": self.shards,
             "shard_faults": (
                 repr(self.shard_faults)
@@ -204,6 +247,7 @@ class RunConfig:
                 self.fast,
                 self.warmup,
                 self.ticks,
+                self.shard,
                 self.shards,
                 tuple(sorted(self.params.items())),
                 id(self.faults) if self.faults is not None else None,

@@ -16,6 +16,7 @@ from repro.experiments.runner import Measurement, run_once
 from repro.experiments.tables import ResultTable
 from repro.net.faults import FaultPlan, ShardFaultPlan
 from repro.net.simulator import ONE_TICK_LATENCY, ZERO_LATENCY
+from repro.server.config import AdmissionPolicy, RebalancePolicy, ShardConfig
 from repro.workloads.spec import WorkloadSpec
 
 __all__ = ["EXPERIMENTS", "run_experiment", "DEFAULT_SPEC", "QUICK_SPEC"]
@@ -668,7 +669,7 @@ def e15_sharding(quick: bool = False) -> ResultTable:
         for side in shard_sides:
             for name in algorithms:
                 m = run_once(
-                    RunConfig(name, shards=side),
+                    RunConfig(name, shard=ShardConfig(shards=side)),
                     spec,
                     accuracy_every=10,
                 )
@@ -788,8 +789,7 @@ def e16_shard_faults(quick: bool = False) -> ResultTable:
             m = run_once(
                 RunConfig(
                     "DKNN-P",
-                    shards=side,
-                    shard_faults=plan,
+                    shard=ShardConfig(shards=side, faults=plan),
                     params=dict(ft_params),
                 ),
                 base,
@@ -886,8 +886,7 @@ def e17_durability(quick: bool = False) -> ResultTable:
         m = run_once(
             RunConfig(
                 "DKNN-P",
-                shards=2,
-                shard_faults=plan,
+                shard=ShardConfig(shards=2, faults=plan),
                 params=dict(ft_params),
             ),
             base,
@@ -911,6 +910,166 @@ def e17_durability(quick: bool = False) -> ResultTable:
     return table
 
 
+def e18_rebalancing(quick: bool = False) -> ResultTable:
+    """Elastic rebalancing vs a static grid under drifting hotspots.
+
+    The stressor is ``hotspot_drift``: dense Gaussian hotspots whose
+    centers orbit, dragging the crowd across shard boundaries, so the
+    hot shard *changes* over the run. A static S x S grid rides the
+    skew wherever it goes; the rebalancer watches per-cell windowed
+    uplink counts and migrates fine cells hot -> cold through the
+    ownership-transfer protocol (WAL-fenced home moves + query
+    handoffs, DESIGN.md §14).
+
+    For S in {4, 16, 64} shards (grid sides 2, 4, 8), three scenarios
+    per side:
+
+    * ``static`` — the PR7 tier unchanged (control; also the
+      bit-identity anchor — the rebalancer is config-gated off);
+    * ``rebalancing`` — a :class:`RebalancePolicy` migrating up to a
+      few cells per cycle;
+    * ``rebalance+admission`` — the same policy plus per-shard
+      :class:`AdmissionPolicy` backpressure (defer over shed), with
+      hardened DKNN-P so deferred protocol replies are retried; the
+      degraded channel keeps ``healthy_exactness`` honest.
+
+    Reported: windowed load imbalance (mean and peak of the per-cycle
+    max/mean per-shard uplink ratio — the whole-run ratio understates
+    a *moving* skew, each shard gets its turn), migration volume, and
+    the accuracy ledger. Expected: imbalance drops by >= 2x at S=16
+    with exactness untouched (rebalancing is invisible to clients);
+    admission trades a bounded degraded window for a load ceiling.
+    The final row is the scale pin: N=1,000,000 objects through the
+    rebalancing tier on the vectorized path.
+    """
+    # Tight hotspots (generator default sigma, ~3% of the universe)
+    # that each complete one full orbit inside the measured window, so
+    # every run sees the skew traverse shard boundaries.
+    base = _base(quick)
+    base = base.but(
+        mobility="hotspot_drift",
+        seed=42,
+        mobility_options={
+            "n_hotspots": 3,
+            "zipf_s": 1.0,
+            "drift_period": max(20, base.ticks - base.warmup_ticks),
+        },
+    )
+    ft_params = {
+        "fault_tolerant": True,
+        "ack_timeout": 2,
+        "lease_ticks": 8,
+        "violation_retry": 2,
+    }
+    policy = RebalancePolicy(
+        check_interval=5,
+        trigger=1.2,
+        max_moves_per_cycle=6,
+        cells_per_shard=8,
+        min_window_uplinks=16,
+    )
+    shard_sides = (2,) if quick else (2, 4, 8)
+    table = ResultTable(
+        "E18: elastic rebalancing under drifting hotspots",
+        (
+            "N",
+            "S",
+            "scenario",
+            "imbalance",
+            "imb_peak",
+            "rebalances",
+            "cells_moved",
+            "rehomed",
+            "handoffs/tick",
+            "deferred/tick",
+            "degraded_frac",
+            "exactness",
+            "healthy_exactness",
+        ),
+    )
+
+    def row(spec, side, scenario, m):
+        table.add_row(
+            {
+                "N": spec.n_objects,
+                "S": side * side,
+                "scenario": scenario,
+                "imbalance": m.extra.get("imbalance_windowed", ""),
+                "imb_peak": m.extra.get("imbalance_peak", ""),
+                "rebalances": m.extra.get("rebalances", 0),
+                "cells_moved": m.extra.get("cells_moved", 0),
+                "rehomed": m.extra.get("rehomed", 0),
+                "handoffs/tick": m.extra.get("handoffs/tick", 0.0),
+                "deferred/tick": m.extra.get("deferred/tick", 0.0),
+                "degraded_frac": m.extra.get("degraded_frac", 0.0),
+                "exactness": m.exactness,
+                "healthy_exactness": m.extra.get("healthy_exactness", ""),
+            }
+        )
+
+    for side in shard_sides:
+        spec = base
+        m = run_once(
+            RunConfig("DKNN-P", shard=ShardConfig(shards=side)),
+            spec,
+            accuracy_every=10,
+        )
+        row(spec, side, "static", m)
+        m = run_once(
+            RunConfig(
+                "DKNN-P",
+                shard=ShardConfig(shards=side, rebalance=policy),
+            ),
+            spec,
+            accuracy_every=10,
+        )
+        row(spec, side, "rebalancing", m)
+        admission = AdmissionPolicy(
+            max_uplinks_per_tick=max(
+                40, (2 * spec.population) // (side * side)
+            ),
+            defer=True,
+            settle_ticks=8,
+        )
+        m = run_once(
+            RunConfig(
+                "DKNN-P",
+                shard=ShardConfig(
+                    shards=side, rebalance=policy, admission=admission
+                ),
+                params=dict(ft_params),
+            ),
+            spec,
+            accuracy_every=10,
+        )
+        row(spec, side, "rebalance+admission", m)
+    if not quick:
+        # The scale pin: one million objects through the rebalancing
+        # tier on the vectorized path. Few ticks, accuracy off — the
+        # row exists to prove the tier completes at this N, and to
+        # record its migration volume.
+        big = base.but(
+            n_objects=1_000_000,
+            n_queries=16,
+            ticks=8,
+            warmup_ticks=2,
+            mobility_options=dict(
+                base.mobility_options, drift_period=6
+            ),
+        )
+        m = run_once(
+            RunConfig(
+                "DKNN-B",
+                fast=True,
+                shard=ShardConfig(shards=4, rebalance=policy),
+            ),
+            big,
+            accuracy_every=0,
+        )
+        row(big, 4, "rebalancing-1M", m)
+    return table
+
+
 EXPERIMENTS: Dict[str, Tuple[Callable[[bool], ResultTable], str]] = {
     "E1": (e1_comm_vs_n, "communication vs population size"),
     "E2": (e2_comm_vs_k, "communication vs k"),
@@ -929,6 +1088,7 @@ EXPERIMENTS: Dict[str, Tuple[Callable[[bool], ResultTable], str]] = {
     "E15": (e15_sharding, "sharded server tier vs shard count"),
     "E16": (e16_shard_faults, "shard-tier fault tolerance at scale"),
     "E17": (e17_durability, "durable recovery vs checkpoint cadence"),
+    "E18": (e18_rebalancing, "elastic rebalancing under drifting hotspots"),
 }
 
 

@@ -218,6 +218,11 @@ def run_once(
             shard_stats.borrows,
             shard_stats.migrations,
             list(shard_stats.uplinks),
+            shard_stats.rebalances,
+            shard_stats.cells_moved,
+            shard_stats.rehomed_objects,
+            shard_stats.deferred_uplinks,
+            shard_stats.shed_uplinks,
         )
 
     tracker = AccuracyTracker()
@@ -296,7 +301,7 @@ def run_once(
         # Measured-window deltas of the sharded tier's ledger. Backbone
         # traffic lives in its own CommStats bucket, so the radio
         # per-tick rates above are untouched by sharding.
-        h0, f0, b0, mig0, up0 = shard_mark
+        h0, f0, b0, mig0, up0, reb0, cm0, rh0, def0, shd0 = shard_mark
         s2s = comm.server_to_server_messages
         radio = comm.total_messages
         extra["shards"] = shard_stats.n_shards
@@ -315,6 +320,31 @@ def run_once(
             if total_up
             else 1.0
         )
+        # Windowed imbalance: mean of the tier's periodic peak/mean
+        # samples over the measured ticks. The whole-window aggregate
+        # above understates skew that *moves* (a drifting hotspot loads
+        # every shard in turn); the windowed mean is what rebalancing
+        # actually improves.
+        samples = [
+            v
+            for t, v in getattr(server, "imbalance_samples", ())
+            if t > spec.warmup_ticks
+        ]
+        if samples:
+            extra["imbalance_windowed"] = sum(samples) / len(samples)
+            extra["imbalance_peak"] = max(samples)
+        shard_cfg = cfg.shard
+        if shard_cfg is not None and shard_cfg.rebalance is not None:
+            extra["rebalances"] = shard_stats.rebalances - reb0
+            extra["cells_moved"] = shard_stats.cells_moved - cm0
+            extra["rehomed"] = shard_stats.rehomed_objects - rh0
+        if shard_cfg is not None and shard_cfg.admission is not None:
+            extra["deferred/tick"] = (
+                shard_stats.deferred_uplinks - def0
+            ) / measured
+            extra["shed/tick"] = (
+                shard_stats.shed_uplinks - shd0
+            ) / measured
     if (
         shard_stats is not None
         and cfg.shard_faults is not None

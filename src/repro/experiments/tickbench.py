@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.experiments.algorithms import build_system
 from repro.experiments.config import RunConfig
 from repro.obs.telemetry import Telemetry
+from repro.server.config import RebalancePolicy, ShardConfig
 from repro.workloads.generator import build_workload
 from repro.workloads.spec import WorkloadSpec
 
@@ -41,6 +42,7 @@ __all__ = [
     "compare_tick_loop",
     "run_suite",
     "shard_overhead_rows",
+    "rebalance_overhead_rows",
     "check_regression",
     "main",
 ]
@@ -89,12 +91,12 @@ def time_tick_loop(
     fast: bool,
     alg_params: Optional[Dict] = None,
     telemetry: Optional[Telemetry] = None,
-    shards: Optional[int] = None,
+    shard: Optional[ShardConfig] = None,
 ) -> Dict:
     """Build one system, warm it up, and time the measured window."""
     fleet, queries = build_workload(spec, fast=fast)
     cfg = RunConfig(
-        algorithm, fast=fast, shards=shards, params=dict(alg_params or {})
+        algorithm, fast=fast, shard=shard, params=dict(alg_params or {})
     )
     sim = build_system(cfg, fleet, queries, telemetry=telemetry)
     sim.run(spec.warmup_ticks)
@@ -204,17 +206,20 @@ def shard_overhead_rows(n_objects: int = 2000, ticks: int = 20) -> List[Dict]:
     """Time the sharded tier at S in {1, 4} against the plain server.
 
     Same workload, same seed, same fast path — the only difference is
-    ``RunConfig(shards=S)``. The tier is bit-identical by construction,
-    so ``msgs_total`` must agree; the interesting number is the wall
-    overhead of the routing/ownership ledger, with S=1 as the pure
-    coordinator tax (no cross-shard traffic at all).
+    ``RunConfig(shard=ShardConfig(shards=S))``. The tier is
+    bit-identical by construction, so ``msgs_total`` must agree; the
+    interesting number is the wall overhead of the routing/ownership
+    ledger, with S=1 as the pure coordinator tax (no cross-shard
+    traffic at all).
     """
     spec = _make_spec(dict(n_objects=n_objects, n_queries=8, k=8), ticks)
     rows: List[Dict] = []
     for algorithm in ("DKNN-B", "DKNN-P"):
         plain = time_tick_loop(algorithm, spec, fast=True)
         for side in (1, 4):
-            sharded = time_tick_loop(algorithm, spec, fast=True, shards=side)
+            sharded = time_tick_loop(
+                algorithm, spec, fast=True, shard=ShardConfig(shards=side)
+            )
             rows.append(
                 {
                     "config": f"shard-S{side}-n{n_objects}",
@@ -231,6 +236,98 @@ def shard_overhead_rows(n_objects: int = 2000, ticks: int = 20) -> List[Dict]:
                 }
             )
     return rows
+
+
+def rebalance_overhead_rows(
+    n_objects: int = 2000, ticks: int = 30
+) -> List[Dict]:
+    """Time elastic rebalancing against a static grid, same workload.
+
+    Drifting-hotspot mobility at S=2, fast path, accuracy off — the
+    static tier vs the same tier with a :class:`RebalancePolicy`
+    attached. Rebalancing routes uplinks through the fine cell map and
+    runs the migration cycle, so it costs wall time; the ``overhead``
+    ratio bounds that tax. The radio message stream must still agree —
+    migrations move *homes*, not answers, so uplink/downlink traffic
+    is untouched.
+    """
+    spec = _make_spec(
+        dict(
+            n_objects=n_objects,
+            n_queries=8,
+            k=8,
+            mobility="hotspot_drift",
+            mobility_options={"drift_period": 60},
+        ),
+        ticks,
+    )
+    rows: List[Dict] = []
+    for algorithm in ("DKNN-B",):
+        static = time_tick_loop(
+            algorithm, spec, fast=True, shard=ShardConfig(shards=2)
+        )
+        rebal = time_tick_loop(
+            algorithm,
+            spec,
+            fast=True,
+            shard=ShardConfig(
+                shards=2,
+                rebalance=RebalancePolicy(
+                    check_interval=5, min_window_uplinks=8
+                ),
+            ),
+        )
+        rows.append(
+            {
+                "config": f"rebalance-S2-n{n_objects}",
+                "algorithm": algorithm,
+                "n_objects": n_objects,
+                "static": static,
+                "rebalancing": rebal,
+                "overhead": round(
+                    rebal["wall_s"] / max(static["wall_s"], 1e-9), 2
+                ),
+                "msgs_match": rebal["msgs_total"] == static["msgs_total"],
+            }
+        )
+    return rows
+
+
+#: CI bar on the elastic-rebalancing tax (wall ratio, rebalancing vs
+#: static tier on the same drifting-hotspot workload). The fine cell
+#: map adds a per-uplink lookup and the cycle runs every few ticks, so
+#: some cost is expected; the bar catches an accidental per-tick O(N)
+#: scan or a migration loop that never converges.
+_REBALANCE_OVERHEAD_BAR = 1.6
+
+
+def check_rebalance_smoke(n_objects: int = 2000, ticks: int = 30) -> int:
+    """CI guard for the rebalancer: unchanged radio stream, bounded tax."""
+    failed = False
+    for row in rebalance_overhead_rows(n_objects, ticks):
+        print(
+            f"rebalance smoke {row['algorithm']} S=2 n={n_objects}: "
+            f"static {row['static']['ms_per_tick']} ms/tick, rebalancing "
+            f"{row['rebalancing']['ms_per_tick']} ms/tick "
+            f"({row['overhead']}x, bar {_REBALANCE_OVERHEAD_BAR}x)"
+        )
+        if not row["msgs_match"]:
+            print(
+                f"FAIL: rebalancing changed the radio message stream "
+                f"({row['rebalancing']['msgs_total']} vs "
+                f"{row['static']['msgs_total']})"
+            )
+            failed = True
+        if row["overhead"] > _REBALANCE_OVERHEAD_BAR:
+            print(
+                f"FAIL: rebalancing overhead {row['overhead']}x above "
+                f"the {_REBALANCE_OVERHEAD_BAR}x bar"
+            )
+            failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
 
 
 #: CI bar on the sharded-tier tax (wall ratio vs the plain server) —
@@ -463,9 +560,11 @@ def main(argv=None) -> int:
             rc = rc or check_obs_overhead()
         return rc
     if args.gate:
-        return check_regression(args.gate, profile_out=args.profile)
+        rc = check_regression(args.gate, profile_out=args.profile)
+        return rc or check_rebalance_smoke()
     doc = run_suite()
     doc["shard_overhead"] = shard_overhead_rows()
+    doc["rebalance_overhead"] = rebalance_overhead_rows()
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")

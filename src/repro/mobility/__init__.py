@@ -4,6 +4,7 @@ from repro.mobility.base import MobilityModel, Mover
 from repro.mobility.fleet import Fleet
 from repro.mobility.soa import FastFleet, FastReplayFleet, SoAPositions
 from repro.mobility.gaussian_cluster import GaussianClusterModel, GaussianClusterMover
+from repro.mobility.hotspot_drift import HotspotDriftModel, HotspotDriftMover
 from repro.mobility.random_direction import RandomDirectionModel, RandomDirectionMover
 from repro.mobility.random_waypoint import RandomWaypointModel, RandomWaypointMover
 from repro.mobility.road_network import (
@@ -27,6 +28,8 @@ __all__ = [
     "RandomDirectionMover",
     "GaussianClusterModel",
     "GaussianClusterMover",
+    "HotspotDriftModel",
+    "HotspotDriftMover",
     "RoadNetworkModel",
     "RoadNetworkMover",
     "build_grid_network",

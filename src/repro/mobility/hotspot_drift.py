@@ -1,0 +1,160 @@
+"""Drifting-hotspot mobility: Gaussian clusters whose centers orbit.
+
+The ``hotspot`` model (:mod:`repro.mobility.gaussian_cluster` with
+concentrated defaults) produces a *static* skew: the same shards stay
+hot for the whole run, so a static shard assignment merely suffers a
+constant imbalance. This model makes the skew *move*: each hotspot
+center orbits a fixed base point on a circle of ``drift_radius``,
+completing one revolution every ``drift_period`` ticks. The crowd
+follows its hotspot across shard boundaries, so which shard is hot
+changes continuously — the workload elastic rebalancing (E18) exists
+for, and one a static partition cannot win against.
+
+The orbit is a pure function of the tick counter — no randomness — so
+the drift adds zero RNG draws over the parent model and the usual
+scalar/fast bit-identity carries over (the SoA kernel advances the
+same counter; see :mod:`repro.mobility.soa`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from repro.errors import MobilityError
+from repro.geometry import Rect
+from repro.mobility.base import MobilityModel
+from repro.mobility.gaussian_cluster import GaussianClusterMover
+
+__all__ = ["HotspotDriftModel", "HotspotDriftMover"]
+
+
+class HotspotDriftMover(GaussianClusterMover):
+    """Waypoint motion toward a Gaussian around an orbiting center.
+
+    Inherits the parent's trip machinery (same RNG draw pattern:
+    ``gauss, gauss, uniform`` per trip) and only changes where the
+    Gaussian is centered: at the hotspot's orbital position for the
+    mover's current tick ``_t``.
+    """
+
+    def __init__(
+        self,
+        universe: Rect,
+        base: Tuple[float, float],
+        sigma: float,
+        speed_min: float,
+        speed_max: float,
+        drift_radius: float,
+        drift_period: int,
+        phase: float,
+    ) -> None:
+        self.base = base
+        self.drift_radius = drift_radius
+        self.drift_period = drift_period
+        self.phase = phase
+        self._t = 0
+        super().__init__(universe, base, sigma, speed_min, speed_max)
+
+    def _center(self) -> Tuple[float, float]:
+        ang = self.phase + (2.0 * math.pi * self._t) / self.drift_period
+        u = self.universe
+        x = self.base[0] + self.drift_radius * math.cos(ang)
+        y = self.base[1] + self.drift_radius * math.sin(ang)
+        return (min(max(x, u.xmin), u.xmax), min(max(y, u.ymin), u.ymax))
+
+    def _draw_target(self, rng: random.Random) -> Tuple[float, float]:
+        cx, cy = self._center()
+        u = self.universe
+        x = rng.gauss(cx, self.sigma)
+        y = rng.gauss(cy, self.sigma)
+        return (min(max(x, u.xmin), u.xmax), min(max(y, u.ymin), u.ymax))
+
+    def step(
+        self, x: float, y: float, rng: random.Random
+    ) -> Tuple[float, float]:
+        self._t += 1
+        return super().step(x, y, rng)
+
+
+class HotspotDriftModel(MobilityModel):
+    """Factory assigning objects to orbiting Gaussian hotspots.
+
+    Parameters mirror :class:`~repro.mobility.gaussian_cluster.
+    GaussianClusterModel` (centers drawn once from ``seed``, Zipf
+    popularity weights) plus the orbit:
+
+    drift_radius:
+        Radius of each center's circular orbit.
+    drift_period:
+        Ticks per revolution. Hotspot ``i`` starts at phase
+        ``2*pi*i / n_hotspots``, so multiple hotspots stay spread out
+        while they circle.
+    """
+
+    def __init__(
+        self,
+        universe: Rect,
+        n_hotspots: int = 3,
+        sigma: float = 300.0,
+        speed_min: float = 25.0,
+        speed_max: float = 50.0,
+        zipf_s: float = 1.0,
+        drift_radius: float = 2500.0,
+        drift_period: int = 240,
+        seed: int = 7,
+    ) -> None:
+        super().__init__(universe)
+        if n_hotspots < 1:
+            raise MobilityError(f"need at least one hotspot, got {n_hotspots}")
+        if sigma <= 0:
+            raise MobilityError(f"non-positive sigma {sigma}")
+        if speed_min < 0 or speed_max < speed_min:
+            raise MobilityError(
+                f"invalid speed range [{speed_min}, {speed_max}]"
+            )
+        if zipf_s < 0:
+            raise MobilityError(f"negative zipf_s {zipf_s}")
+        if drift_radius < 0:
+            raise MobilityError(f"negative drift_radius {drift_radius}")
+        if drift_period < 1:
+            raise MobilityError(
+                f"drift_period must be >= 1, got {drift_period}"
+            )
+        self.sigma = float(sigma)
+        self.speed_min = float(speed_min)
+        self.speed_max = float(speed_max)
+        self.drift_radius = float(drift_radius)
+        self.drift_period = int(drift_period)
+        rng = random.Random(seed)
+        self.bases: List[Tuple[float, float]] = [
+            (
+                rng.uniform(universe.xmin, universe.xmax),
+                rng.uniform(universe.ymin, universe.ymax),
+            )
+            for _ in range(n_hotspots)
+        ]
+        self.phases: List[float] = [
+            (2.0 * math.pi * i) / n_hotspots for i in range(n_hotspots)
+        ]
+        self._weights = [1.0 / (i + 1) ** zipf_s for i in range(n_hotspots)]
+
+    @property
+    def max_speed(self) -> float:
+        return self.speed_max
+
+    def make_mover(self, rng: random.Random) -> HotspotDriftMover:
+        idx = rng.choices(
+            range(len(self.bases)), weights=self._weights, k=1
+        )[0]
+        return HotspotDriftMover(
+            self.universe,
+            self.bases[idx],
+            self.sigma,
+            self.speed_min,
+            self.speed_max,
+            self.drift_radius,
+            self.drift_period,
+            self.phases[idx],
+        )

@@ -40,6 +40,7 @@ from repro.geometry import Rect
 from repro.mobility.base import Mover
 from repro.mobility.fleet import Fleet, _SPEED_TOLERANCE
 from repro.mobility.gaussian_cluster import GaussianClusterMover
+from repro.mobility.hotspot_drift import HotspotDriftMover
 from repro.mobility.random_direction import RandomDirectionMover
 from repro.mobility.random_waypoint import RandomWaypointMover
 from repro.mobility.stationary import LinearMover, StationaryMover
@@ -281,6 +282,34 @@ class _GaussianKernel(_Kernel):
         self.speed[i] = mover._speed
 
 
+class _DriftKernel(_GaussianKernel):
+    """Drifting-hotspot waypointing: the Gaussian kernel plus a tick
+    counter.
+
+    The orbit only matters when a *new trip* is drawn, which is always
+    a scalar (RNG-consuming) event — so the vector step is exactly the
+    Gaussian glide. The kernel advances one shared tick counter and
+    ``pull`` rewinds the mover's ``_t`` to ``t - 1`` so the scalar
+    ``step`` (which increments ``_t``) lands on the kernel's tick:
+    silent ticks never touch the movers, yet every event sees the same
+    ``_t`` the scalar fleet would have counted up to.
+    """
+
+    def __init__(self, universe, oids, movers) -> None:
+        super().__init__(universe, oids, movers)
+        # All movers of one fleet share the fleet's tick; kernels are
+        # built at fleet construction, before any advance.
+        self.t = movers[0]._t if movers else 0
+
+    def step(self, xs, ys, nxs, nys) -> np.ndarray:
+        self.t += 1
+        return super().step(xs, ys, nxs, nys)
+
+    def pull(self, oid, mover) -> None:
+        super().pull(oid, mover)
+        mover._t = self.t - 1
+
+
 class _DirectionKernel(_Kernel):
     """Random direction: silent except at leg renewals."""
 
@@ -327,6 +356,7 @@ _KERNELS: Dict[Type[Mover], Type[_Kernel]] = {
     LinearMover: _LinearKernel,
     RandomWaypointMover: _WaypointKernel,
     GaussianClusterMover: _GaussianKernel,
+    HotspotDriftMover: _DriftKernel,
     RandomDirectionMover: _DirectionKernel,
 }
 

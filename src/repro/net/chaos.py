@@ -46,6 +46,7 @@ import argparse
 import random
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.errors import ConfigError
 from repro.net.faults import FaultPlan, ShardFaultPlan
 
 __all__ = [
@@ -56,6 +57,7 @@ __all__ = [
     "WalBoundChecker",
     "ReplicationLagChecker",
     "HealthyExactnessChecker",
+    "CellPartitionChecker",
     "default_checkers",
     "chaos_plans",
     "run_chaos",
@@ -76,7 +78,7 @@ def chaos_plans(
     durability so the correlated failures are survivable.
     """
     if ticks < 60:
-        raise ValueError(f"chaos runs need >= 60 ticks, got {ticks}")
+        raise ConfigError(f"ticks: chaos runs need >= 60 ticks, got {ticks}")
     rng = random.Random(seed)
     n = side * side
 
@@ -334,6 +336,42 @@ class HealthyExactnessChecker(InvariantChecker):
         return out
 
 
+class CellPartitionChecker(InvariantChecker):
+    """With rebalancing enabled, the fine cell→shard map stays a
+    partition: every cell has exactly one owner and it is a valid
+    shard id, every tick — including ticks a migration lands on and
+    ticks shards are down."""
+
+    name = "cell-partition"
+
+    def check(self, sim, tick: int) -> List[Dict[str, Any]]:
+        tier = sim.server
+        owner = getattr(tier, "_cell_owner", None)
+        if owner is None:
+            return []
+        n = tier.router.n_shards
+        out = []
+        bad = (owner < 0) | (owner >= n)
+        if bad.any():
+            cells = [int(c) for c in bad.nonzero()[0][:8]]
+            out.append(
+                dict(
+                    cells=cells,
+                    owners=[int(owner[c]) for c in cells],
+                    why="cell owned by invalid shard",
+                )
+            )
+        if len(owner) != tier._cell_side * tier._cell_side:
+            out.append(
+                dict(
+                    n_cells=len(owner),
+                    expected=tier._cell_side**2,
+                    why="cell map lost entries",
+                )
+            )
+        return out
+
+
 def default_checkers() -> List[InvariantChecker]:
     return [
         SingleOwnerChecker(),
@@ -341,6 +379,7 @@ def default_checkers() -> List[InvariantChecker]:
         WalBoundChecker(),
         ReplicationLagChecker(),
         HealthyExactnessChecker(),
+        CellPartitionChecker(),
     ]
 
 
@@ -389,16 +428,21 @@ def run_chaos(
     n_objects: int = 120,
     n_queries: int = 3,
     k: int = 4,
+    rebalance: bool = False,
     checkers: Optional[List[InvariantChecker]] = None,
     trace_path: Optional[str] = None,
 ) -> ChaosResult:
     """One deterministic chaos run; see the module docstring.
 
     Identical arguments produce identical runs, violations included.
-    When ``trace_path`` is given the full protocol trace (fault
-    interventions, failovers, checkpoints, recoveries, and any
-    ``chaos.violation`` events) is written there as JSONL for
-    post-mortem with ``python -m repro.experiments summarize``.
+    ``rebalance=True`` turns on elastic cell migration *under* the
+    fault schedule, so ownership transfers race crashes, partitions
+    and the full-tier restart — the cell-partition and single-owner
+    checkers then cover the migration path too. When ``trace_path``
+    is given the full protocol trace (fault interventions, failovers,
+    checkpoints, recoveries, and any ``chaos.violation`` events) is
+    written there as JSONL for post-mortem with
+    ``python -m repro.experiments summarize``.
     """
     # Imported here: repro.experiments imports repro.net.faults, so a
     # module-level import would be cyclic through the package facade.
@@ -406,6 +450,7 @@ def run_chaos(
     from repro.experiments.config import RunConfig
     from repro.obs.trace import JsonlSink, RingSink, Tracer
     from repro.obs.telemetry import Telemetry
+    from repro.server.config import RebalancePolicy, ShardConfig
     from repro.workloads import WorkloadSpec, build_workload
 
     radio, shard_plan = chaos_plans(seed, side, ticks)
@@ -419,11 +464,17 @@ def run_chaos(
         universe_size=3_000.0,
     )
     fleet, queries = build_workload(spec)
+    policy = (
+        RebalancePolicy(check_interval=5, min_window_uplinks=8, seed=seed)
+        if rebalance
+        else None
+    )
     cfg = RunConfig(
         algorithm,
         faults=radio,
-        shards=side,
-        shard_faults=shard_plan,
+        shard=ShardConfig(
+            shards=side, faults=shard_plan, rebalance=policy
+        ),
         params={
             "fault_tolerant": True,
             "ack_timeout": 2,
@@ -464,6 +515,12 @@ def run_chaos(
         checkpoints=dm.checkpoints if dm else 0,
         wal_replayed=dm.replayed_records if dm else 0,
     )
+    if rebalance:
+        result.counters.update(
+            rebalances=st.rebalances,
+            cells_moved=st.cells_moved,
+            rehomed_objects=st.rehomed_objects,
+        )
     tel.close()
     return result
 
@@ -484,6 +541,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--objects", type=int, default=120)
     parser.add_argument("--queries", type=int, default=3)
     parser.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="enable elastic cell migration under the fault schedule",
+    )
+    parser.add_argument(
         "--trace", default=None, help="write the JSONL protocol trace here"
     )
     args = parser.parse_args(argv)
@@ -494,6 +556,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         algorithm=args.algorithm,
         n_objects=args.objects,
         n_queries=args.queries,
+        rebalance=args.rebalance,
         trace_path=args.trace,
     )
     print(result.report())

@@ -25,7 +25,7 @@ node never disappears. This module supplies the adversary:
     shedding) thresholds. Consumed by
     :class:`~repro.server.sharding.ShardedServer` and
     :class:`~repro.net.shardlink.ShardLink`; plumbed through
-    ``RunConfig(shard_faults=...)``. A disabled plan (the default
+    ``RunConfig(shard=ShardConfig(faults=...))``. A disabled plan (the default
     ``ShardFaultPlan()``) takes exactly the fault-free code paths, so
     the sharded tier's bit-identity contract is preserved.
 

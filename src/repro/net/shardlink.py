@@ -33,6 +33,12 @@ Message kinds are plain strings (they never ride the radio
     An uplink that landed on a non-owning shard, relayed to the owner.
 ``migrate``
     An object's dead-reckoning entry moving to its new home shard.
+``rebalance``
+    A cell migration of the elastic rebalancer (DESIGN.md §14): the
+    donor shard ships a fine cell's home-table rows to the receiving
+    shard in one bulk transfer, sized by the rows moved. Never sent
+    when no :class:`~repro.server.config.RebalancePolicy` is installed,
+    so a static tier's backbone byte counts are unchanged.
 ``heartbeat`` / ``replicate``
     The fault-tolerance traffic of :class:`~repro.net.faults.
     ShardFaultPlan` runs: each shard pings its replication buddy every
@@ -66,6 +72,7 @@ __all__ = [
     "SHARD_BORROW_REPLY",
     "SHARD_FORWARD",
     "SHARD_MIGRATE",
+    "SHARD_REBALANCE",
     "SHARD_HEARTBEAT",
     "SHARD_REPLICATE",
     "SHARD_KINDS",
@@ -79,6 +86,7 @@ SHARD_BORROW = "borrow"
 SHARD_BORROW_REPLY = "borrow_reply"
 SHARD_FORWARD = "forward"
 SHARD_MIGRATE = "migrate"
+SHARD_REBALANCE = "rebalance"
 SHARD_HEARTBEAT = "heartbeat"
 SHARD_REPLICATE = "replicate"
 
@@ -89,6 +97,7 @@ SHARD_KINDS = (
     SHARD_BORROW_REPLY,
     SHARD_FORWARD,
     SHARD_MIGRATE,
+    SHARD_REBALANCE,
     SHARD_HEARTBEAT,
     SHARD_REPLICATE,
 )

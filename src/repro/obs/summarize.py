@@ -244,6 +244,9 @@ def _shard_section(events: List[TraceEvent]) -> Optional[str]:
         f"handoffs: {handoffs}, forwards: {forwards}, "
         f"borrows: {len(borrows)} ({borrowed} candidates)"
     )
+    rebalance_section = _rebalance_lines(events)
+    if rebalance_section:
+        lines.extend(rebalance_section)
     fault_section = _shard_fault_lines(events)
     if fault_section:
         lines.extend(fault_section)
@@ -251,6 +254,41 @@ def _shard_section(events: List[TraceEvent]) -> Optional[str]:
     if durability_section:
         lines.extend(durability_section)
     return "\n".join(lines)
+
+
+def _rebalance_lines(events: List[TraceEvent]) -> List[str]:
+    """Elastic-rebalancing view (RebalancePolicy runs only): migration
+    cycles, cells and homes moved, and backpressure deferrals."""
+    cycles = [e for e in events if e.kind == "shard.rebalance"]
+    migrates = [e for e in events if e.kind == "shard.migrate"]
+    defers = [e for e in events if e.kind == "shard.defer"]
+    if not cycles and not migrates and not defers:
+        return []
+    lines = []
+    if cycles:
+        moves = sum(e.fields.get("moves", 0) for e in cycles)
+        imb = [
+            e.fields.get("imbalance", 0.0)
+            for e in cycles
+            if e.fields.get("imbalance") is not None
+        ]
+        line = f"rebalance cycles: {len(cycles)} ({moves} cell moves"
+        if imb:
+            line += (
+                f"; pre-move imbalance mean "
+                f"{sum(imb) / len(imb):.2f} max {max(imb):.2f}"
+            )
+        lines.append(line + ")")
+    if migrates:
+        homes = sum(e.fields.get("homes", 0) for e in migrates)
+        queries = sum(e.fields.get("queries", 0) for e in migrates)
+        lines.append(
+            f"cell migrations: {len(migrates)} — {homes} objects "
+            f"rehomed, {queries} queries handed off"
+        )
+    if defers:
+        lines.append(f"backpressure: {len(defers)} uplinks deferred")
+    return lines
 
 
 def _shard_fault_lines(events: List[TraceEvent]) -> List[str]:

@@ -34,6 +34,8 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
+from repro.errors import ConfigError
+
 __all__ = [
     "TraceEvent",
     "TraceSink",
@@ -84,6 +86,14 @@ PROTOCOL_KINDS = frozenset(
         "shard.checkpoint",
         "shard.recover",
         "chaos.violation",
+        # Elastic rebalancing + admission control (DESIGN §14): cell
+        # migrations are pure functions of the windowed load counters
+        # and the policy seed, and defers of the admission queue are
+        # functions of the per-tick arrival order — deterministic
+        # scalar-vs-fast, and never emitted when the policies are off.
+        "shard.rebalance",
+        "shard.migrate",
+        "shard.defer",
     }
 )
 
@@ -171,7 +181,9 @@ class RingSink(TraceSink):
 
     def __init__(self, capacity: int = 65536) -> None:
         if capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
+            raise ConfigError(
+                f"RingSink capacity must be positive, got {capacity}"
+            )
         self.capacity = capacity
         self._events: List[TraceEvent] = []
 

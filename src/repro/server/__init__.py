@@ -6,6 +6,7 @@ from repro.server.durability import (
     ShardStore,
     WalRecord,
 )
+from repro.server.config import AdmissionPolicy, RebalancePolicy, ShardConfig
 from repro.server.engine import BaseServer
 from repro.server.object_table import ObjectTable
 from repro.server.query_table import QuerySpec, QueryTable
@@ -21,6 +22,9 @@ __all__ = [
     "QuerySpec",
     "QueryTable",
     "BaseServer",
+    "ShardConfig",
+    "RebalancePolicy",
+    "AdmissionPolicy",
     "ShardRouter",
     "ShardStats",
     "ShardedServer",

@@ -1,0 +1,299 @@
+"""Typed configuration for the sharded server tier.
+
+:class:`ShardConfig` is the canonical way to configure the shard tier
+(DESIGN.md §10–§14): shard count, the elastic-rebalancing policy, the
+admission-control policy, the fault plan, and the durability cadence all
+live in one frozen, validated dataclass. ``RunConfig(shard=ShardConfig(...))``
+and ``shard_attach(sim, ShardConfig(...))`` both accept it; the loose
+``shards=`` / ``shard_faults=`` keyword arguments are deprecated shims.
+
+Every validation failure raises :class:`~repro.errors.ConfigError` with a
+message naming the offending field, so misconfiguration fails loudly at
+construction time instead of deep inside a run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..errors import ConfigError
+from ..net.faults import _SHARD_PLAN_FIELDS, ShardFaultPlan
+
+__all__ = [
+    "MAX_SHARDS_PER_SIDE",
+    "RebalancePolicy",
+    "AdmissionPolicy",
+    "ShardConfig",
+]
+
+#: Upper bound on the shard-grid side (the tier is an SxS grid, so the
+#: shard *count* tops out at ``MAX_SHARDS_PER_SIDE ** 2``).
+MAX_SHARDS_PER_SIDE = 64
+
+
+def _require_int(name: str, value: Any, minimum: int) -> int:
+    """Validate an integer field, raising ConfigError naming the field."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError(
+            f"{name} must be an int, got {type(value).__name__}: {value!r}"
+        )
+    if value < minimum:
+        raise ConfigError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class RebalancePolicy:
+    """Knobs of the elastic shard-boundary rebalancer (DESIGN.md §14).
+
+    The rebalancer overlays the static SxS shard grid with a finer cell
+    grid (``cells_per_shard`` fine cells per shard side) and, every
+    ``check_interval`` ticks, migrates the best-fitting hot cells from
+    the most-loaded shard to the least-loaded one until the windowed
+    peak/mean uplink imbalance falls under ``trigger``. All decisions
+    are pure functions of the load window and ``seed``, so runs are
+    deterministic and scalar/fast bit-identity is preserved.
+
+    Fields
+    ------
+    check_interval:
+        Ticks between rebalance cycles (also the load-window length).
+    trigger:
+        Peak-shard load threshold, as a multiple of the mean windowed
+        per-shard load, below which no cells move.
+    max_moves_per_cycle:
+        Upper bound on cell migrations per rebalance cycle — the
+        backpressure knob that keeps a cycle's handoff/migration burst
+        bounded.
+    cells_per_shard:
+        Fine-grid subdivision: each shard cell is split into
+        ``cells_per_shard x cells_per_shard`` migratable cells.
+    min_window_uplinks:
+        Ignore windows with fewer total uplinks than this (don't
+        rebalance on noise during quiet periods).
+    seed:
+        Seed of the tie-break RNG used when several cells fit a move
+        equally well.
+    """
+
+    check_interval: int = 10
+    trigger: float = 1.5
+    max_moves_per_cycle: int = 4
+    cells_per_shard: int = 4
+    min_window_uplinks: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require_int("rebalance.check_interval", self.check_interval, 1)
+        _require_int(
+            "rebalance.max_moves_per_cycle", self.max_moves_per_cycle, 1
+        )
+        _require_int("rebalance.cells_per_shard", self.cells_per_shard, 1)
+        if self.cells_per_shard > 16:
+            raise ConfigError(
+                "rebalance.cells_per_shard must be <= 16, got "
+                f"{self.cells_per_shard}"
+            )
+        _require_int(
+            "rebalance.min_window_uplinks", self.min_window_uplinks, 0
+        )
+        _require_int("rebalance.seed", self.seed, 0)
+        if not isinstance(self.trigger, (int, float)) or isinstance(
+            self.trigger, bool
+        ):
+            raise ConfigError(
+                "rebalance.trigger must be a number, got "
+                f"{type(self.trigger).__name__}"
+            )
+        if self.trigger < 1.0:
+            raise ConfigError(
+                f"rebalance.trigger must be >= 1.0, got {self.trigger}"
+            )
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe manifest form."""
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Per-shard ingestion thresholds (admission control / backpressure).
+
+    Once a shard has accepted ``max_uplinks_per_tick`` uplinks in one
+    tick, further query-carrying uplinks (repair traffic — the
+    lowest-priority class) are deferred to the next tick (``defer=True``)
+    or shed outright; at twice the threshold every further uplink is
+    deferred/shed. Deferred and shed answers are flagged through the
+    E14/E16 degraded-answer channel, so ``healthy_exactness`` stays
+    honest under overload.
+
+    Fields
+    ------
+    max_uplinks_per_tick:
+        Per-shard accepted-uplink budget per tick.
+    defer:
+        Queue overflow uplinks for delivery at the next tick (bounded by
+        ``max_deferred``) instead of dropping them immediately.
+    max_deferred:
+        Per-shard deferred-queue bound; overflow beyond it is shed.
+        ``None`` means ``2 * max_uplinks_per_tick``.
+    settle_ticks:
+        Upper bound on the degraded window opened by a defer/shed: the
+        annotation clears when the answer is next republished, or after
+        this many ticks, whichever comes first.
+    """
+
+    max_uplinks_per_tick: int
+    defer: bool = True
+    max_deferred: Optional[int] = None
+    settle_ticks: int = 8
+
+    def __post_init__(self) -> None:
+        _require_int(
+            "admission.max_uplinks_per_tick", self.max_uplinks_per_tick, 1
+        )
+        if self.max_deferred is not None:
+            _require_int("admission.max_deferred", self.max_deferred, 0)
+        _require_int("admission.settle_ticks", self.settle_ticks, 1)
+        if not isinstance(self.defer, bool):
+            raise ConfigError(
+                "admission.defer must be a bool, got "
+                f"{type(self.defer).__name__}"
+            )
+
+    @property
+    def deferred_cap(self) -> int:
+        """Effective deferred-queue bound."""
+        if self.max_deferred is not None:
+            return self.max_deferred
+        return 2 * self.max_uplinks_per_tick
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe manifest form."""
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Canonical configuration of the sharded server tier.
+
+    Fields
+    ------
+    shards:
+        Shards per grid side (the tier is ``shards x shards``); 1 means
+        a single-shard tier (useful for ledger-overhead measurements).
+    rebalance:
+        Elastic-rebalancing policy, or ``None`` (static boundaries —
+        the bit-identity-pinned default).
+    admission:
+        Admission-control policy, or ``None`` (accept everything).
+    faults:
+        Shard-tier fault plan, or ``None`` (no backbone faults).
+    checkpoint_interval:
+        Durability cadence override, or ``None``. Overrides
+        ``faults.checkpoint_interval`` when both are set; like the plan
+        field, it only takes effect when the fault plan is enabled.
+    wal_replay_per_tick:
+        WAL replay-throughput override, or ``None``. Overrides
+        ``faults.wal_replay_per_tick`` when both are set.
+    """
+
+    shards: int = 1
+    rebalance: Optional[RebalancePolicy] = None
+    admission: Optional[AdmissionPolicy] = None
+    faults: Optional[ShardFaultPlan] = None
+    checkpoint_interval: Optional[int] = None
+    wal_replay_per_tick: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _require_int("shards", self.shards, 1)
+        if self.shards > MAX_SHARDS_PER_SIDE:
+            raise ConfigError(
+                f"shards must be in [1, {MAX_SHARDS_PER_SIDE}] shards per "
+                f"grid side, got {self.shards}"
+            )
+        if self.rebalance is not None:
+            if not isinstance(self.rebalance, RebalancePolicy):
+                raise ConfigError(
+                    "rebalance must be a RebalancePolicy or None, got "
+                    f"{type(self.rebalance).__name__}"
+                )
+            if self.shards < 2:
+                raise ConfigError(
+                    "rebalance needs a multi-shard tier: got shards="
+                    f"{self.shards}; a 1-shard grid has no boundary to move "
+                    "(pass shards >= 2 or drop the rebalance policy)"
+                )
+        if self.admission is not None and not isinstance(
+            self.admission, AdmissionPolicy
+        ):
+            raise ConfigError(
+                "admission must be an AdmissionPolicy or None, got "
+                f"{type(self.admission).__name__}"
+            )
+        if self.faults is not None:
+            if not isinstance(self.faults, ShardFaultPlan):
+                raise ConfigError(
+                    "faults must be a ShardFaultPlan or None, got "
+                    f"{type(self.faults).__name__}"
+                )
+            if self.faults.enabled and self.shards < 2:
+                raise ConfigError(
+                    "faults (ShardFaultPlan) needs a multi-shard tier: got "
+                    f"shards={self.shards}; crash/partition plans are "
+                    "meaningless on a single shard (pass shards >= 2 or "
+                    "drop the fault plan)"
+                )
+            if (
+                self.admission is not None
+                and self.faults.shed_uplinks_per_tick is not None
+            ):
+                raise ConfigError(
+                    "admission and faults.shed_uplinks_per_tick are both "
+                    "set: pick one admission controller — the typed "
+                    "AdmissionPolicy or the fault plan's shed threshold"
+                )
+        if self.checkpoint_interval is not None:
+            _require_int(
+                "checkpoint_interval", self.checkpoint_interval, 1
+            )
+        if self.wal_replay_per_tick is not None:
+            _require_int(
+                "wal_replay_per_tick", self.wal_replay_per_tick, 1
+            )
+
+    def resolved_faults(self) -> Optional[ShardFaultPlan]:
+        """The fault plan with the config's durability overrides applied.
+
+        Returns ``faults`` unchanged when no override is set. When
+        ``checkpoint_interval`` / ``wal_replay_per_tick`` are set they
+        replace the plan's values (building a disabled default plan if
+        ``faults`` is None — durability knobs alone never *enable* a
+        plan, so zero-fault bit-identity is preserved).
+        """
+        if self.checkpoint_interval is None and self.wal_replay_per_tick is None:
+            return self.faults
+        plan = self.faults if self.faults is not None else ShardFaultPlan()
+        kwargs = {f: getattr(plan, f) for f in _SHARD_PLAN_FIELDS}
+        if self.checkpoint_interval is not None:
+            kwargs["checkpoint_interval"] = self.checkpoint_interval
+        if self.wal_replay_per_tick is not None:
+            kwargs["wal_replay_per_tick"] = self.wal_replay_per_tick
+        return ShardFaultPlan(**kwargs)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe manifest form (mirrors RunConfig.describe)."""
+        return {
+            "shards": self.shards,
+            "rebalance": (
+                None if self.rebalance is None else self.rebalance.describe()
+            ),
+            "admission": (
+                None if self.admission is None else self.admission.describe()
+            ),
+            "faults": None if self.faults is None else repr(self.faults),
+            "checkpoint_interval": self.checkpoint_interval,
+            "wal_replay_per_tick": self.wal_replay_per_tick,
+        }

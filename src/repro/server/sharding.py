@@ -86,6 +86,26 @@ stay degraded until their focals' next reports re-bootstrap them.
 Either way the recovery lag flows through the same degraded-answer
 channel as every other fault.
 
+**Elastic rebalancing + backpressure** (DESIGN.md §14). With a
+:class:`~repro.server.config.RebalancePolicy` installed the static
+S x S grid becomes the *coarse* layer of a two-level partition: each
+shard's cell is subdivided into ``cells_per_shard ** 2`` fine cells,
+each owned by exactly one shard (initially its geometric parent).
+Routing goes through the fine-cell owner map; every
+``check_interval`` ticks the rebalancer compares windowed per-shard
+uplink loads and migrates the best-fitting hot cells from the peak
+shard to the least-loaded one (``rebalance`` bulk transfers on the
+backbone, home rows journaled as loss + gain so the §12 WAL fences
+migrations against crashes, queries re-owned through the normal
+handoff protocol). With an
+:class:`~repro.server.config.AdmissionPolicy` installed, a shard past
+its accepted-uplink budget defers (bounded queue, drained next tick)
+or sheds further low-priority uplinks, flagged through the same
+degraded-answer channel the fault model uses. Both policies default
+to off, and off takes exactly the static code paths: no fine grid,
+no window counters beyond the always-on imbalance gauge, no extra
+traces — ``tests/test_rebalance.py`` pins that bit-identity.
+
 A disabled plan (or ``fault_plan=None``) takes exactly the code paths
 above this paragraph: no heartbeats, no replication, no journal, no
 RNG draws, no extra trace events — ``tests/test_shard_faults.py`` pins
@@ -95,9 +115,10 @@ that bit-identity next to the sharded-vs-unsharded contract.
 from __future__ import annotations
 
 import random
+from collections import deque
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.errors import NetworkError
+from repro.errors import ConfigError, NetworkError
 from repro.geometry import Rect
 from repro.metrics.cost import CostMeter
 from repro.net.message import HEADER_BYTES, Message, SERVER_ID, payload_size
@@ -110,14 +131,28 @@ from repro.net.shardlink import (
     SHARD_HANDOFF_ACK,
     SHARD_HEARTBEAT,
     SHARD_MIGRATE,
+    SHARD_REBALANCE,
     SHARD_REPLICATE,
     ShardLink,
     ShardMessage,
 )
 from repro.obs.telemetry import NULL_TELEMETRY
+from repro.server.config import (
+    AdmissionPolicy,
+    RebalancePolicy,
+    ShardConfig,
+)
 from repro.server.durability import DurabilityManager
 
-__all__ = ["ShardRouter", "ShardStats", "ShardedServer", "shard_attach"]
+__all__ = [
+    "ShardRouter",
+    "ShardStats",
+    "ShardedServer",
+    "shard_attach",
+    "ShardConfig",
+    "RebalancePolicy",
+    "AdmissionPolicy",
+]
 
 #: Wire sizes of the small fixed-shape backbone payloads (the handoff
 #: state snapshot is sized by payload_size over the exported dict).
@@ -125,6 +160,13 @@ _ACK_BYTES = 8  # qid + generation
 _BORROW_REQ_BYTES = 28  # qid + circle (cx, cy, r)
 _MIGRATE_BYTES = 20  # oid + last reported position
 _HEARTBEAT_BYTES = 4  # shard id
+#: A rebalancer cell migration: cell id + epoch, plus one home-table
+#: row (oid + last position) per object re-homed with the cell.
+_REBALANCE_BYTES = 12
+_REBALANCE_ROW_BYTES = 20
+#: Load-window length (ticks) of the imbalance gauge on static tiers
+#: (rebalancing tiers sample on their policy's check_interval).
+_IMBALANCE_WINDOW = 10
 #: Handoff-retry backoff doubles up to this many ticks between sends.
 _RETRY_GAP_CAP = 8
 
@@ -211,6 +253,16 @@ class ShardStats:
         self.borrowed_candidates = 0
         self.forwards = 0
         self.migrations = 0
+        # -- elastic rebalancing (stay 0 without a RebalancePolicy) ----
+        #: rebalance cycles that migrated at least one cell.
+        self.rebalances = 0
+        #: fine cells migrated hot -> cold.
+        self.cells_moved = 0
+        #: home-table rows bulk-moved with their cells.
+        self.rehomed_objects = 0
+        # -- admission control (stay 0 without an AdmissionPolicy) -----
+        #: uplinks deferred to the next tick by admission control.
+        self.deferred_uplinks = 0
         # -- fault-tolerance counters (all stay 0 in fault-free runs) --
         #: buddy takeovers of a suspected-crashed shard.
         self.failovers = 0
@@ -335,6 +387,8 @@ class ShardedServer(ServerNodeBase):
         link_drop: float = 0.0,
         link_seed: int = 0,
         fault_plan=None,
+        rebalance: Optional[RebalancePolicy] = None,
+        admission: Optional[AdmissionPolicy] = None,
     ) -> None:
         super().__init__()
         self.inner = inner
@@ -363,9 +417,9 @@ class ShardedServer(ServerNodeBase):
             fault_plan=plan,
         )
         #: tells the simulator the tier tolerates dead-air subrounds
-        #: (shard-fault losses can stall a protocol exchange without a
-        #: radio FaultPlan being installed).
-        self.stall_tolerant = plan is not None
+        #: (shard-fault losses — and admission deferrals — can stall a
+        #: protocol exchange without a radio FaultPlan being installed).
+        self.stall_tolerant = plan is not None or admission is not None
         self._telemetry = NULL_TELEMETRY
         self._tick = 0
         #: oid -> home shard (from the last routed positional uplink).
@@ -443,6 +497,64 @@ class ShardedServer(ServerNodeBase):
             )
             self._focal_of[spec.qid] = spec.focal_oid
         inner.ownership_probe = _OwnershipProbe(self)
+        # -- elastic rebalancing (DESIGN §14; inert when policy=None) --
+        #: the :class:`~repro.server.config.RebalancePolicy`, or None.
+        #: Without one the tier never builds the fine-cell overlay and
+        #: every routing lookup is the static router math — the
+        #: bit-identity gate of the rebalancer.
+        self._rebalance = rebalance
+        self._cell_side = 0
+        self._cell_w2 = 0.0
+        self._cell_h2 = 0.0
+        #: fine cell -> owning shard (int64 array), and the windowed
+        #: per-cell uplink counters the rebalancer decides from.
+        self._cell_owner = None
+        self._cell_window = None
+        self._rebalance_rng = (
+            random.Random(rebalance.seed ^ 0x5EBA)
+            if rebalance is not None
+            else None
+        )
+        if rebalance is not None:
+            self._init_cells(rebalance)
+        #: windowed peak/mean uplink imbalance samples ``(tick, value)``
+        #: — pure arithmetic over the uplink counters, kept for every
+        #: sharded run so static and rebalancing tiers report the same
+        #: gauge.
+        self.imbalance_samples: List[Tuple[int, float]] = []
+        self._imb_interval = (
+            rebalance.check_interval
+            if rebalance is not None
+            else _IMBALANCE_WINDOW
+        )
+        self._imb_mark: List[int] = [0] * router.n_shards
+        # -- admission control (inert when policy=None) ----------------
+        #: the :class:`~repro.server.config.AdmissionPolicy`, or None.
+        self._admission = admission
+        #: per-shard FIFO of uplinks deferred to the next tick.
+        self._deferred: Optional[List[Any]] = (
+            [deque() for _ in range(router.n_shards)]
+            if admission is not None
+            else None
+        )
+
+    def _init_cells(self, policy: RebalancePolicy) -> None:
+        """Build the fine-cell overlay grid in its static assignment."""
+        import numpy as np
+
+        router = self.router
+        cps = policy.cells_per_shard
+        side = router.side
+        self._cell_side = side * cps
+        self._cell_w2 = router.universe.width / self._cell_side
+        self._cell_h2 = router.universe.height / self._cell_side
+        shard_row = np.arange(self._cell_side, dtype=np.int64) // cps
+        self._cell_owner = (
+            shard_row[:, None] * side + shard_row[None, :]
+        ).reshape(-1)
+        self._cell_window = np.zeros(
+            self._cell_side * self._cell_side, dtype=np.int64
+        )
 
     # -- telemetry plumbing -------------------------------------------------
 
@@ -486,8 +598,13 @@ class ShardedServer(ServerNodeBase):
         self.link.begin_tick(tick)
         if self._fault_plan is not None:
             self._fault_tick_start(tick)
+        elif self._admission is not None:
+            # The plan path resets the window in _fault_tick_start.
+            self._tick_uplinks = [0] * self.router.n_shards
         self._retry_pending_handoffs()
         self.inner.on_tick_start(tick)
+        if self._admission is not None:
+            self._drain_deferred(tick)
 
     def on_message(self, msg: Message) -> None:
         if self._route_uplink(msg):
@@ -504,14 +621,17 @@ class ShardedServer(ServerNodeBase):
         and every message takes the scalar ``on_message`` route, so
         nothing is ledgered here either.
 
-        Only fault-free runs ever see batches (``shard_attach`` vetoes
-        the plane under an active plan), and the plane only carries
-        qid-free uplink kinds, so the per-message serving/shedding and
-        forward branches of ``_route_uplink`` cannot apply — the whole
-        ledger reduces to vectorized home assignment plus a sparse
-        loop over boundary crossings.
+        Only fault-free, admission-free runs ever see batches
+        (``shard_attach`` vetoes the plane under an active plan or an
+        AdmissionPolicy), and the plane only carries qid-free uplink
+        kinds, so the per-message serving/shedding and forward branches
+        of ``_route_uplink`` cannot apply — the whole ledger reduces to
+        vectorized home assignment plus a sparse loop over boundary
+        crossings. Rebalancing composes: homes map through the
+        fine-cell assignment array instead of the static grid math,
+        still fully vectorized.
         """
-        if self._fault_plan is not None:
+        if self._fault_plan is not None or self._admission is not None:
             return False
         handler = getattr(self.inner, "on_uplink_batch", None)
         if handler is None or not handler(batch):
@@ -527,12 +647,24 @@ class ShardedServer(ServerNodeBase):
             homes = np.maximum(arr[srcs], 0)
         else:
             u = router.universe
-            side = router.side
-            col = ((batch.xs - u.xmin) / router._cell_w).astype(np.int64)
-            row = ((batch.ys - u.ymin) / router._cell_h).astype(np.int64)
-            np.clip(col, 0, side - 1, out=col)
-            np.clip(row, 0, side - 1, out=row)
-            homes = row * side + col
+            if self._rebalance is not None:
+                cside = self._cell_side
+                col = ((batch.xs - u.xmin) / self._cell_w2).astype(np.int64)
+                row = ((batch.ys - u.ymin) / self._cell_h2).astype(np.int64)
+                np.clip(col, 0, cside - 1, out=col)
+                np.clip(row, 0, cside - 1, out=row)
+                cells = row * cside + col
+                self._cell_window += np.bincount(
+                    cells, minlength=self._cell_window.shape[0]
+                )
+                homes = self._cell_owner[cells]
+            else:
+                side = router.side
+                col = ((batch.xs - u.xmin) / router._cell_w).astype(np.int64)
+                row = ((batch.ys - u.ymin) / router._cell_h).astype(np.int64)
+                np.clip(col, 0, side - 1, out=col)
+                np.clip(row, 0, side - 1, out=row)
+                homes = row * side + col
             arr = self._ensure_home_arr(int(srcs.max()))
             prev = arr[srcs]
             changed = np.nonzero(prev != homes)[0]
@@ -586,7 +718,15 @@ class ShardedServer(ServerNodeBase):
         if self._fault_plan is not None:
             self._replicate(tick)
             self._checkpoint(tick)
+        if (
+            self._rebalance is not None
+            and tick > 0
+            and tick % self._rebalance.check_interval == 0
+        ):
+            self._run_rebalance(tick)
+        if self._fault_plan is not None or self._admission is not None:
             self._settle_degraded(tick)
+        self._sample_imbalance(tick)
         stats = self.shard_stats
         stats.homed = [0] * self.router.n_shards
         for home in self._home.values():
@@ -633,6 +773,321 @@ class ShardedServer(ServerNodeBase):
                 self._durability.wal_records_by_shard()
             ):
                 fam.labels(shard=sid).set(records)
+
+    # -- elastic rebalancing + admission control (DESIGN §14) ----------------
+
+    def _sample_imbalance(self, tick: int) -> None:
+        """Append one windowed peak/mean uplink-imbalance sample.
+
+        Pure arithmetic over counters already kept — no traces, no RNG
+        — so running it unconditionally keeps disabled-rebalancing runs
+        bit-identical while giving every sharded run the instantaneous
+        skew the whole-run aggregate hides under drifting hotspots.
+        """
+        if tick <= 0 or tick % self._imb_interval != 0:
+            return
+        up = self.shard_stats.uplinks
+        window = [a - b for a, b in zip(up, self._imb_mark)]
+        self._imb_mark = list(up)
+        total = sum(window)
+        if total == 0:
+            return
+        value = max(window) / (total / self.router.n_shards)
+        self.imbalance_samples.append((tick, value))
+        tel = self._telemetry
+        if tel.enabled and tel.metrics is not None:
+            tel.metrics.gauge(
+                "shard_imbalance",
+                "windowed peak/mean per-shard uplink load",
+            ).set(value)
+
+    def _cell_of(self, x: float, y: float) -> int:
+        """The fine cell containing ``(x, y)`` (edges clamp in)."""
+        cside = self._cell_side
+        u = self.router.universe
+        col = int((x - u.xmin) / self._cell_w2)
+        row = int((y - u.ymin) / self._cell_h2)
+        col = min(max(col, 0), cside - 1)
+        row = min(max(row, 0), cside - 1)
+        return row * cside + col
+
+    def _shard_at(self, x: float, y: float) -> int:
+        """The shard whose region contains ``(x, y)``: static router
+        math, or the rebalancer's live cell assignment."""
+        if self._rebalance is None:
+            return self.router.shard_of(x, y)
+        return int(self._cell_owner[self._cell_of(x, y)])
+
+    def _shards_overlapping_circle(
+        self, cx: float, cy: float, radius: float
+    ) -> List[int]:
+        """Owners of every region the circle intersects, ascending —
+        the rebalancing-aware twin of the router's method."""
+        if self._rebalance is None:
+            return self.router.shards_overlapping_circle(cx, cy, radius)
+        if radius < 0:
+            return []
+        u = self.router.universe
+        cside = self._cell_side
+        w, h = self._cell_w2, self._cell_h2
+        col0 = min(max(int((cx - radius - u.xmin) / w), 0), cside - 1)
+        col1 = min(max(int((cx + radius - u.xmin) / w), 0), cside - 1)
+        row0 = min(max(int((cy - radius - u.ymin) / h), 0), cside - 1)
+        row1 = min(max(int((cy + radius - u.ymin) / h), 0), cside - 1)
+        out: Set[int] = set()
+        r2 = radius * radius
+        for row in range(row0, row1 + 1):
+            y0 = u.ymin + row * h
+            ny = min(max(cy, y0), y0 + h)
+            for col in range(col0, col1 + 1):
+                x0 = u.xmin + col * w
+                nx = min(max(cx, x0), x0 + w)
+                dx = nx - cx
+                dy = ny - cy
+                if dx * dx + dy * dy <= r2:
+                    out.add(int(self._cell_owner[row * cside + col]))
+        return sorted(out)
+
+    def _run_rebalance(self, tick: int) -> None:
+        """One rebalance cycle: migrate the best-fitting hot cells from
+        the most-loaded shard to the least-loaded one.
+
+        Deterministic given the load window and the policy seed (the
+        RNG only breaks exact score ties). Composes with a fault plan:
+        down / failed / covering / recovering shards neither donate nor
+        receive cells this cycle.
+        """
+        import numpy as np
+
+        policy = self._rebalance
+        win = self._cell_window
+        total = int(win.sum())
+        if total < policy.min_window_uplinks:
+            win[:] = 0
+            return
+        n = self.router.n_shards
+        loads = np.zeros(n, dtype=np.int64)
+        np.add.at(loads, self._cell_owner, win)
+        mean = total / n
+        pre_imbalance = float(loads.max()) / mean
+        plan = self._fault_plan
+        if plan is not None:
+            avail = np.array(
+                [
+                    s not in self._failed
+                    and s not in self._covered_by
+                    and not plan.is_down(s, tick)
+                    and not self._is_recovering(s)
+                    for s in range(n)
+                ],
+                dtype=bool,
+            )
+        else:
+            avail = np.ones(n, dtype=bool)
+        moves = 0
+        for _ in range(policy.max_moves_per_cycle):
+            if int(avail.sum()) < 2:
+                break
+            hot = int(np.where(avail, loads, -1).argmax())
+            cold = int(np.where(avail, loads, total + 1).argmin())
+            if loads[hot] < policy.trigger * mean:
+                break
+            gap = int(loads[hot] - loads[cold])
+            if gap <= 0:
+                break
+            cells = np.nonzero(self._cell_owner == hot)[0]
+            if cells.shape[0] <= 1:
+                # Never strip a shard of its last cell.
+                avail[hot] = False
+                continue
+            heat = win[cells]
+            cand = cells[(heat > 0) & (heat < gap)]
+            if cand.shape[0] == 0:
+                avail[hot] = False
+                continue
+            # The cell whose window load is closest to half the gap
+            # narrows the imbalance the most; seeded tie-break.
+            score = np.abs(win[cand].astype(np.float64) - gap / 2.0)
+            best = cand[score == score.min()]
+            if best.shape[0] == 1:
+                cell = int(best[0])
+            else:
+                cell = int(self._rebalance_rng.choice(best.tolist()))
+            self._move_cell(cell, hot, cold, tick)
+            shift = int(win[cell])
+            loads[hot] -= shift
+            loads[cold] += shift
+            moves += 1
+        if moves:
+            self.shard_stats.rebalances += 1
+            tel = self._telemetry
+            if tel.enabled and tel.tracer.enabled:
+                tel.tracer.emit(
+                    tick,
+                    "shard.rebalance",
+                    moves=moves,
+                    window_total=total,
+                    imbalance=round(pre_imbalance, 4),
+                )
+        win[:] = 0
+
+    def _move_cell(self, cell: int, src: int, dst: int, tick: int) -> int:
+        """Migrate one fine cell ``src -> dst``: flip the assignment,
+        bulk-move the home-table rows of objects last seen inside it —
+        journaled as home loss + gain so a crash interleaved with the
+        migration recovers through the WAL (§12 fencing) — and hand off
+        the queries whose focal objects rode along through the normal
+        ownership-transfer protocol. Returns the rows re-homed."""
+        self._cell_owner[cell] = dst
+        moved = self._oids_in_cell(cell, src)
+        for oid in moved:
+            self._set_home(oid, dst)
+            self._journal_home(src, oid, False)
+            self._journal_home(dst, oid, True)
+        handed = 0
+        for oid in moved:
+            for qid in self._qids_by_focal.get(oid, ()):
+                if self._owner.get(qid) == src:
+                    self._maybe_handoff(qid, dst)
+                    handed += 1
+        stats = self.shard_stats
+        stats.cells_moved += 1
+        stats.rehomed_objects += len(moved)
+        self.link.send(
+            SHARD_REBALANCE,
+            src,
+            dst,
+            _REBALANCE_BYTES + _REBALANCE_ROW_BYTES * len(moved),
+        )
+        tel = self._telemetry
+        if tel.enabled and tel.tracer.enabled:
+            tel.tracer.emit(
+                tick,
+                "shard.migrate",
+                cell=cell,
+                src_shard=src,
+                dst_shard=dst,
+                homes=len(moved),
+                queries=handed,
+            )
+        return len(moved)
+
+    def _oids_in_cell(self, cell: int, shard: int) -> List[int]:
+        """Objects homed at ``shard`` whose last reported position lies
+        in the fine cell, ascending oid.
+
+        Dense fast path mirrors :meth:`_borrow`'s (fault-free dense
+        tables only); the scalar walk selects the identical row set, so
+        scalar and fast runs migrate the same rows in the same order.
+        """
+        table = getattr(self.inner, "table", None)
+        if (
+            self._fault_plan is None
+            and table is not None
+            and getattr(table, "_dense", False)
+            and self._home
+        ):
+            import numpy as np
+
+            grid = table.grid
+            arr = self._ensure_home_arr(0)
+            n = min(arr.shape[0], grid._dcell.shape[0])
+            u = self.router.universe
+            cside = self._cell_side
+            col = ((grid._dx[:n] - u.xmin) / self._cell_w2).astype(np.int64)
+            row = ((grid._dy[:n] - u.ymin) / self._cell_h2).astype(np.int64)
+            np.clip(col, 0, cside - 1, out=col)
+            np.clip(row, 0, cside - 1, out=row)
+            mask = (arr[:n] == shard) & (grid._dcell[:n] >= 0)
+            mask &= (row * cside + col) == cell
+            return [int(i) for i in np.nonzero(mask)[0]]
+        out: List[int] = []
+        for oid, home in self._home.items():
+            if home != shard:
+                continue
+            if table is None or oid not in table:
+                continue
+            ox, oy = table.last_position(oid)
+            if self._cell_of(ox, oy) == cell:
+                out.append(oid)
+        return sorted(out)
+
+    def _admit(self, msg: Message, serving: int, qid: Optional[int]) -> bool:
+        """Admission control: True admits the uplink into the engine;
+        False deferred it to the next tick or shed it (ledgered,
+        degraded-flagged, traced either way)."""
+        adm = self._admission
+        plan = self._fault_plan
+        # The plan path already counted this uplink; back it out of the
+        # acceptance check (and of the window, on rejection).
+        counted = 1 if plan is not None else 0
+        accepted = self._tick_uplinks[serving] - counted
+        maxu = adm.max_uplinks_per_tick
+        if accepted < maxu or (qid is None and accepted < 2 * maxu):
+            if plan is None:
+                self._tick_uplinks[serving] += 1
+            return True
+        if plan is not None:
+            self._tick_uplinks[serving] -= 1
+        stats = self.shard_stats
+        q = self._deferred[serving]
+        deferred = adm.defer and len(q) < adm.deferred_cap
+        if deferred:
+            q.append(msg)
+            stats.deferred_uplinks += 1
+        else:
+            stats.shed_uplinks += 1
+        if qid is not None:
+            self._flag_degraded(qid)
+        else:
+            # A deferred/shed position report can silently stale any
+            # answer the shard owns (the k-th neighbor that approached
+            # unseen): flag them all for a settle window.
+            for other in sorted(self._owner):
+                if self._owner[other] == serving:
+                    self._flag_degraded(other)
+        tel = self._telemetry
+        if tel.enabled and tel.tracer.enabled:
+            tel.tracer.emit(
+                self._tick,
+                "shard.defer" if deferred else "shard.shed",
+                shard=serving,
+                qid=qid,
+                kind=msg.kind.value,
+                overloaded=accepted >= 2 * maxu,
+            )
+        return False
+
+    def _drain_deferred(self, tick: int) -> None:
+        """Deliver uplinks deferred by admission control, oldest first,
+        within (and counted against) the new tick's budget."""
+        adm = self._admission
+        stats = self.shard_stats
+        tel = self._telemetry
+        for s in range(self.router.n_shards):
+            q = self._deferred[s]
+            while q and self._tick_uplinks[s] < adm.max_uplinks_per_tick:
+                msg = q.popleft()
+                self._tick_uplinks[s] += 1
+                stats.uplinks[s] += 1
+                qid = getattr(msg.payload, "qid", None)
+                if qid is not None:
+                    owner = self._owner.get(qid)
+                    if owner is not None and owner != s:
+                        stats.forwards += 1
+                        self.link.send(
+                            SHARD_FORWARD, s, owner, msg.size - HEADER_BYTES
+                        )
+                        if tel.enabled and tel.tracer.enabled:
+                            tel.tracer.emit(
+                                tick,
+                                "shard.forward",
+                                qid=qid,
+                                kind=msg.kind.value,
+                                src_shard=s,
+                                dst_shard=owner,
+                            )
+                self.inner.on_message(msg)
 
     # -- fault machinery (every entry point gated on the plan) ---------------
 
@@ -1045,6 +1500,11 @@ class ShardedServer(ServerNodeBase):
         if tick < self._suspect_until:
             return
         plan = self._fault_plan
+        settle = (
+            plan.recovery_settle_ticks
+            if plan is not None
+            else self._admission.settle_ticks
+        )
         stats = self.shard_stats
         tel = self._telemetry
         for qid in list(self._degraded_overlay):
@@ -1054,7 +1514,7 @@ class ShardedServer(ServerNodeBase):
             flagged, snap = self._degraded_overlay[qid]
             current = tuple(self.inner.answers.get(qid, ()))
             republished = current != snap and bool(current)
-            if republished or tick - flagged >= plan.recovery_settle_ticks:
+            if republished or tick - flagged >= settle:
                 del self._degraded_overlay[qid]
                 stats.recovery_latencies.append(tick - flagged)
                 if tel.enabled and tel.tracer.enabled:
@@ -1112,7 +1572,12 @@ class ShardedServer(ServerNodeBase):
         plan = self._fault_plan
         x = getattr(payload, "x", None)
         if x is not None:
-            home = self.router.shard_of(x, payload.y)
+            if self._rebalance is not None:
+                cell = self._cell_of(x, payload.y)
+                self._cell_window[cell] += 1
+                home = int(self._cell_owner[cell])
+            else:
+                home = self.router.shard_of(x, payload.y)
         else:
             home = self._home.get(src, 0)
         qid_attr = getattr(payload, "qid", None)
@@ -1170,6 +1635,10 @@ class ShardedServer(ServerNodeBase):
                     # needed.
                     self._owner[qid] = serving
                     self._journal_own(serving, qid, True)
+        if self._admission is not None and not self._admit(
+            msg, serving, qid_attr
+        ):
+            return False
         self.shard_stats.uplinks[serving] += 1
         qid = qid_attr
         if qid is None:
@@ -1377,8 +1846,8 @@ class ShardedServer(ServerNodeBase):
         of every other shard the circle overlaps."""
         owner = self._owner.get(qid)
         if owner is None:
-            owner = self.router.shard_of(cx, cy)
-        overlapped = self.router.shards_overlapping_circle(cx, cy, radius)
+            owner = self._shard_at(cx, cy)
+        overlapped = self._shards_overlapping_circle(cx, cy, radius)
         remote = [sid for sid in overlapped if sid != owner]
         if not remote:
             return
@@ -1458,7 +1927,7 @@ class ShardedServer(ServerNodeBase):
 
 def shard_attach(
     sim,
-    shards_per_side: int,
+    config,
     link_delay: int = 0,
     link_drop: float = 0.0,
     link_seed: int = 0,
@@ -1466,15 +1935,34 @@ def shard_attach(
 ) -> ShardedServer:
     """Wrap a built simulator's server in a sharded tier, in place.
 
+    ``config`` is the canonical :class:`~repro.server.config.ShardConfig`
+    (shard count plus rebalance/admission policies, fault plan and
+    durability cadence); a bare int is still accepted as the shard-grid
+    side for the legacy ``shard_attach(sim, S, faults=plan)`` form.
+
     The inner server keeps its channel registration (same SERVER_ID
     address); the wrapper takes its place in the simulator's dispatch
     tables and interposes the downlink-ledger proxy on the inner
     engine's channel slot. Returns the installed :class:`ShardedServer`.
 
-    ``faults`` is an optional :class:`~repro.net.faults.ShardFaultPlan`;
-    when enabled it supersedes the raw ``link_*`` knobs (the backbone
-    drop/delay/seed come from the plan).
+    ``faults`` is an optional :class:`~repro.net.faults.ShardFaultPlan`
+    (legacy int form only); when enabled it supersedes the raw
+    ``link_*`` knobs (the backbone drop/delay/seed come from the plan).
     """
+    rebalance = None
+    admission = None
+    if isinstance(config, ShardConfig):
+        if faults is not None:
+            raise ConfigError(
+                "pass the fault plan inside ShardConfig(faults=...), not "
+                "as a separate faults= kwarg"
+            )
+        shards_per_side = config.shards
+        faults = config.resolved_faults()
+        rebalance = config.rebalance
+        admission = config.admission
+    else:
+        shards_per_side = config
     inner = sim.server
     if isinstance(inner, ShardedServer):
         raise NetworkError("simulator already has a sharded server tier")
@@ -1487,6 +1975,8 @@ def shard_attach(
         link_drop=link_drop,
         link_seed=link_seed,
         fault_plan=faults,
+        rebalance=rebalance,
+        admission=admission,
     )
     # Share the already-registered SERVER_ID address: assign the channel
     # slot directly (attach() would re-register and raise).
@@ -1495,10 +1985,12 @@ def shard_attach(
     tier.telemetry = sim.telemetry
     sim.server = tier
     sim._nodes_by_id[SERVER_ID] = tier
-    if tier._fault_plan is not None:
-        # Shard faults are adjudicated one message at a time (serving
-        # shard, shedding, downlink loss): veto the columnar plane on
-        # both sides so every uplink/downlink routes scalar.
+    if tier._fault_plan is not None or tier._admission is not None:
+        # Shard faults and admission control are adjudicated one message
+        # at a time (serving shard, shedding, deferral, downlink loss):
+        # veto the columnar plane on both sides so every uplink/downlink
+        # routes scalar. Rebalancing alone keeps the plane — cell
+        # lookups vectorize.
         inner.columnar = False
         sim.columnar_ok = False
     return tier

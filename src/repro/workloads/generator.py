@@ -11,6 +11,7 @@ from repro.mobility import (
     FastFleet,
     Fleet,
     GaussianClusterModel,
+    HotspotDriftModel,
     MobilityModel,
     Mover,
     RandomDirectionModel,
@@ -42,6 +43,20 @@ def make_mobility_model(spec: WorkloadSpec, universe: Rect) -> MobilityModel:
         hotspot = dict(n_hotspots=3, sigma=0.03 * universe.width, zipf_s=2.0)
         hotspot.update(opts)
         return GaussianClusterModel(universe, **common, **hotspot)
+    if spec.mobility == "hotspot_drift":
+        # Orbiting hotspots: the dense clusters of "hotspot", but each
+        # center circles its base point, dragging the crowd across
+        # shard boundaries — the load skew *moves*, which is what
+        # elastic rebalancing (E18) is for.
+        drift = dict(
+            n_hotspots=3,
+            sigma=0.03 * universe.width,
+            zipf_s=1.0,
+            drift_radius=0.25 * universe.width,
+            drift_period=240,
+        )
+        drift.update(opts)
+        return HotspotDriftModel(universe, **common, **drift)
     if spec.mobility == "road_network":
         return RoadNetworkModel(universe, **common, **opts)
     raise WorkloadError(f"unknown mobility {spec.mobility!r}")

@@ -12,12 +12,15 @@ __all__ = ["WorkloadSpec", "MOBILITY_MODELS"]
 #: Mobility model names accepted by the generator. ``hotspot`` is the
 #: gaussian-cluster model with concentrated defaults (few dense, skewed
 #: hotspots) — the load-imbalance stressor of the sharded-tier sweep
-#: (E15); its defaults can still be overridden via mobility_options.
+#: (E15); ``hotspot_drift`` makes those hotspots orbit so the skew
+#: *moves* across shard boundaries (the rebalancing stressor, E18).
+#: Both models' defaults can be overridden via mobility_options.
 MOBILITY_MODELS = (
     "random_waypoint",
     "random_direction",
     "gaussian_cluster",
     "hotspot",
+    "hotspot_drift",
     "road_network",
 )
 

@@ -56,7 +56,9 @@ class TestChaosPlans:
         assert plan.checkpoint_interval is not None
 
     def test_too_short_run_rejected(self):
-        with pytest.raises(ValueError, match=">= 60"):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match=">= 60"):
             chaos_plans(0, 2, 59)
 
 

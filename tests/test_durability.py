@@ -26,6 +26,7 @@ import pytest
 
 from repro.api import (
     RunConfig,
+    ShardConfig,
     ShardFaultPlan,
     WorkloadSpec,
     build_system,
@@ -187,7 +188,9 @@ def _durable_plan(**over):
 
 def _measure(plan):
     cfg = RunConfig(
-        "DKNN-P", shards=2, shard_faults=plan, params=dict(FT_PARAMS)
+        "DKNN-P",
+        shard=ShardConfig(shards=2, faults=plan),
+        params=dict(FT_PARAMS),
     )
     return run_once(cfg, SPEC, accuracy_every=1)
 
@@ -229,8 +232,9 @@ class TestCorrelatedRecovery:
         fleet, queries = build_workload(SPEC)
         cfg = RunConfig(
             "DKNN-P",
-            shards=2,
-            shard_faults=_durable_plan(wal_replay_per_tick=1),
+            shard=ShardConfig(
+                shards=2, faults=_durable_plan(wal_replay_per_tick=1)
+            ),
             params=dict(FT_PARAMS),
         )
         sim = build_system(cfg, fleet, queries, telemetry=tel)
@@ -267,8 +271,7 @@ class TestDurabilityKnobsBitIdentity:
         cfg = RunConfig(
             "DKNN-P",
             record_history=True,
-            shards=2,
-            shard_faults=shard_faults,
+            shard=ShardConfig(shards=2, faults=shard_faults),
         )
         sim = build_system(cfg, fleet, queries, telemetry=tel)
         sim.run(SPEC.ticks)

@@ -34,6 +34,7 @@ from repro.experiments.algorithms import ALGORITHMS, build_system
 from repro.experiments.config import RunConfig
 from repro.net.channel import Channel
 from repro.net.faults import ShardFaultPlan
+from repro.server.config import ShardConfig
 from repro.net.message import (
     HEADER_BYTES,
     SERVER_ID,
@@ -205,12 +206,16 @@ def _run(algorithm, fast, shards=None, shard_faults=None, telemetry=None,
          n=300, ticks=22):
     spec = _spec(n, ticks)
     fleet, queries = build_workload(spec, fast=fast)
+    shard = (
+        None
+        if shards is None and shard_faults is None
+        else ShardConfig(shards=shards or 1, faults=shard_faults)
+    )
     cfg = RunConfig(
         algorithm,
         record_history=True,
         fast=fast,
-        shards=shards,
-        shard_faults=shard_faults,
+        shard=shard,
     )
     sim = build_system(cfg, fleet, queries, telemetry=telemetry)
     answers = []

@@ -33,6 +33,7 @@ from repro.index.bruteforce import brute_knn_ids
 from repro.net.chaos import default_checkers
 from repro.net.faults import FaultPlan, ShardFaultPlan
 from repro.net.message import MessageKind
+from repro.server.config import ShardConfig
 from repro.workloads import WorkloadSpec, build_workload
 
 CRASH_T0 = 20
@@ -81,7 +82,9 @@ def _owner_at_crash_tick(spec):
     watcher's timeout fires).
     """
     fleet, queries = build_workload(spec)
-    cfg = RunConfig("DKNN-P", shards=2, params=dict(FT_PARAMS))
+    cfg = RunConfig(
+        "DKNN-P", shard=ShardConfig(shards=2), params=dict(FT_PARAMS)
+    )
     sim = build_system(cfg, fleet, queries)
     sim.run(CRASH_T0 - 1)
     return sim.server._owner[queries[0].qid]
@@ -106,8 +109,7 @@ def test_crashed_owner_fails_over_and_reconverges(s):
     cfg = RunConfig(
         "DKNN-P",
         record_history=True,
-        shards=2,
-        shard_faults=plan,
+        shard=ShardConfig(shards=2, faults=plan),
         params=dict(FT_PARAMS),
     )
     sim = build_system(cfg, fleet, queries)
@@ -200,8 +202,7 @@ def _composed_cfg(s):
     return RunConfig(
         "DKNN-P",
         faults=radio,
-        shards=2,
-        shard_faults=shard,
+        shard=ShardConfig(shards=2, faults=shard),
         params=dict(FT_PARAMS),
     )
 

@@ -11,12 +11,14 @@ from repro.api import (
     ALGORITHMS,
     FaultPlan,
     RunConfig,
+    ShardConfig,
+    ShardFaultPlan,
     WorkloadSpec,
     build_system,
     build_workload,
     run_once,
 )
-from repro.errors import ExperimentError
+from repro.errors import ConfigError, ExperimentError
 from repro.experiments.catalog import CENTRALIZED, DISTRIBUTED
 
 SPEC = WorkloadSpec(
@@ -167,19 +169,25 @@ class TestLegacyApiRemoved:
         assert m.spec.ticks == 9 and m.spec.warmup_ticks == 3
 
 
-class TestShardsField:
+class TestShardField:
     def test_default_is_unsharded(self):
-        assert RunConfig("DKNN-P").shards is None
+        cfg = RunConfig("DKNN-P")
+        assert cfg.shard is None
+        assert cfg.shards is None and cfg.shard_faults is None
 
     def test_validation(self):
-        assert RunConfig("DKNN-P", shards=1).shards == 1
-        with pytest.raises(ExperimentError, match="shards"):
-            RunConfig("DKNN-P", shards=0)
-        with pytest.raises(ExperimentError, match="shards"):
-            RunConfig("DKNN-P", shards=65)
+        assert RunConfig("DKNN-P", shard=ShardConfig(shards=1)).shards == 1
+        with pytest.raises(ConfigError, match="shards"):
+            ShardConfig(shards=0)
+        with pytest.raises(ConfigError, match="shards"):
+            ShardConfig(shards=65)
+        with pytest.raises(ConfigError, match="ShardConfig"):
+            RunConfig("DKNN-P", shard=2)
 
     def test_in_describe_and_hash(self):
-        sharded = RunConfig("DKNN-P", shards=2)
+        sharded = RunConfig("DKNN-P", shard=ShardConfig(shards=2))
+        assert sharded.describe()["shard"]["shards"] == 2
+        # The deprecated mirror keeps legacy manifest readers working.
         assert sharded.describe()["shards"] == 2
         assert sharded != RunConfig("DKNN-P")
         assert hash(sharded) != hash(RunConfig("DKNN-P"))
@@ -188,6 +196,64 @@ class TestShardsField:
         from repro.api import ShardedServer
 
         fleet, queries = build_workload(SPEC)
-        sim = build_system(RunConfig("DKNN-P", shards=2), fleet, queries)
+        sim = build_system(
+            RunConfig("DKNN-P", shard=ShardConfig(shards=2)), fleet, queries
+        )
         assert isinstance(sim.server, ShardedServer)
         assert sim.server.router.n_shards == 4
+
+    def test_but_roundtrips_without_warning(self):
+        cfg = RunConfig("DKNN-P", shard=ShardConfig(shards=2))
+        copy = cfg.but(fast=True)
+        assert copy.shard == cfg.shard
+        assert copy.shards == 2
+        swapped = cfg.but(shard=ShardConfig(shards=4))
+        assert swapped.shards == 4
+
+
+class TestLegacyShardKwargsShim:
+    """``shards=`` / ``shard_faults=`` still work but warn; first-party
+    code must use ``shard=ShardConfig(...)`` (the warning is an error
+    under the repo's filterwarnings config, so these tests opt in via
+    ``pytest.warns``)."""
+
+    def test_legacy_shards_warns_and_synthesizes(self):
+        with pytest.warns(DeprecationWarning, match="ShardConfig"):
+            cfg = RunConfig("DKNN-P", shards=2)
+        assert cfg.shard == ShardConfig(shards=2)
+        assert cfg.shards == 2
+
+    def test_legacy_shard_faults_warns_and_synthesizes(self):
+        plan = ShardFaultPlan(crashes=((0, 5, 9),))
+        with pytest.warns(DeprecationWarning, match="ShardConfig"):
+            cfg = RunConfig("DKNN-P", shards=2, shard_faults=plan)
+        assert cfg.shard == ShardConfig(shards=2, faults=plan)
+        assert cfg.shard_faults is plan
+
+    def test_legacy_validation_still_actionable(self):
+        plan = ShardFaultPlan(crashes=((0, 5, 9),))
+        # An enabled plan with no tier at all: the shim refuses with
+        # the migration in the message instead of silently ignoring it.
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError, match="shards is unset"):
+                RunConfig("DKNN-P", shard_faults=plan)
+        # Wrong type still names the sibling parameter.
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError, match="radio faults go in"):
+                RunConfig(
+                    "DKNN-P", shards=2, shard_faults=FaultPlan(seed=1)
+                )
+        # Legacy bounds route through ShardConfig validation.
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError, match="shards"):
+                RunConfig("DKNN-P", shards=0)
+
+    def test_both_forms_disagreeing_is_an_error(self):
+        with pytest.raises(ConfigError, match="not both"):
+            RunConfig("DKNN-P", shard=ShardConfig(shards=2), shards=4)
+
+    def test_both_forms_agreeing_is_allowed_silently(self):
+        # but()/replace passes the synced mirrors back in; that must
+        # not warn or raise.
+        cfg = RunConfig("DKNN-P", shard=ShardConfig(shards=2), shards=2)
+        assert cfg.shard.shards == 2

@@ -29,6 +29,7 @@ import pytest
 from repro.api import (
     FaultPlan,
     RunConfig,
+    ShardConfig,
     ShardFaultPlan,
     WorkloadSpec,
     build_system,
@@ -36,7 +37,7 @@ from repro.api import (
     run_once,
     shard_attach,
 )
-from repro.errors import ExperimentError, FaultError
+from repro.errors import ConfigError, FaultError
 from repro.net.shardlink import SHARD_HEARTBEAT, SHARD_REPLICATE, ShardLink
 from repro.net.stats import CommStats
 from repro.obs import RingSink, Telemetry, Tracer, protocol_events
@@ -118,29 +119,28 @@ class TestShardFaultPlan:
 
     def test_runconfig_plumbs_and_validates(self):
         plan = ShardFaultPlan(crashes=((0, 5, 9),))
-        cfg = RunConfig("DKNN-P", shards=2, shard_faults=plan)
+        cfg = RunConfig("DKNN-P", shard=ShardConfig(shards=2, faults=plan))
+        assert cfg.shard.faults is plan
+        # The deprecated attributes mirror the resolved config, so
+        # legacy readers keep working.
+        assert cfg.shards == 2
         assert cfg.shard_faults is plan
-        assert "ShardFaultPlan" in cfg.describe()["shard_faults"]
-        # An enabled plan without a sharded tier is a config error...
-        with pytest.raises(ExperimentError, match="shards=S"):
-            RunConfig("DKNN-P", shard_faults=plan)
-        # ... a wrong type names the sibling parameter...
-        with pytest.raises(ExperimentError, match="radio faults go in"):
-            RunConfig("DKNN-P", shards=2, shard_faults=RADIO_FAULTS)
+        assert "ShardFaultPlan" in cfg.describe()["shard"]["faults"]
+        # ... a wrong type names the expected one...
+        with pytest.raises(ConfigError, match="ShardFaultPlan"):
+            ShardConfig(shards=2, faults=RADIO_FAULTS)
         # ... and a disabled plan is allowed anywhere.
-        RunConfig("DKNN-P", shard_faults=ShardFaultPlan())
+        RunConfig("DKNN-P", shard=ShardConfig(faults=ShardFaultPlan()))
 
     def test_single_shard_rejected_with_actionable_message(self):
         # shards=1 is a single shard server: no buddy to fail over to,
         # no backbone to partition — an enabled plan could never act.
         # The error must say so instead of silently ignoring the plan.
         plan = ShardFaultPlan(crashes=((0, 5, 9),))
-        with pytest.raises(ExperimentError, match="single shard server"):
-            RunConfig("DKNN-P", shards=1, shard_faults=plan)
-        with pytest.raises(ExperimentError, match="shards is unset"):
-            RunConfig("DKNN-P", shard_faults=plan)
+        with pytest.raises(ConfigError, match="multi-shard tier"):
+            ShardConfig(shards=1, faults=plan)
         # Disabled plans stay allowed: nothing to act on either way.
-        RunConfig("DKNN-P", shards=1, shard_faults=ShardFaultPlan())
+        ShardConfig(shards=1, faults=ShardFaultPlan())
 
 
 def _run(algorithm, shards, shard_faults=None, faults=None, params=None):
@@ -151,8 +151,7 @@ def _run(algorithm, shards, shard_faults=None, faults=None, params=None):
         algorithm,
         record_history=True,
         faults=faults,
-        shards=shards,
-        shard_faults=shard_faults,
+        shard=ShardConfig(shards=shards, faults=shard_faults),
         params=dict(params or {}),
     )
     sim = build_system(cfg, fleet, queries, telemetry=tel)
@@ -425,8 +424,7 @@ class TestFailover:
         cfg = RunConfig(
             "DKNN-P",
             record_history=True,
-            shards=shards,
-            shard_faults=plan,
+            shard=ShardConfig(shards=shards, faults=plan),
             params=dict(params),
         )
         sim = build_system(cfg, fleet, queries, telemetry=tel)
@@ -500,7 +498,9 @@ class TestFailover:
         )
         m = run_once(
             RunConfig(
-                "DKNN-P", shards=2, shard_faults=plan, params=dict(FT_PARAMS)
+                "DKNN-P",
+                shard=ShardConfig(shards=2, faults=plan),
+                params=dict(FT_PARAMS),
             ),
             spec,
             accuracy_every=2,
@@ -515,7 +515,9 @@ class TestAdmissionControl:
         plan = ShardFaultPlan(seed=7, shed_uplinks_per_tick=5)
         fleet, queries = build_workload(SPEC)
         cfg = RunConfig(
-            "DKNN-P", shards=2, shard_faults=plan, params=dict(FT_PARAMS)
+            "DKNN-P",
+            shard=ShardConfig(shards=2, faults=plan),
+            params=dict(FT_PARAMS),
         )
         sim = build_system(cfg, fleet, queries)
         sim.run(SPEC.ticks)
@@ -531,7 +533,7 @@ class TestAdmissionControl:
     def test_no_shedding_without_threshold(self):
         plan = ShardFaultPlan(seed=7, link_delay=1)
         fleet, queries = build_workload(SPEC)
-        cfg = RunConfig("DKNN-P", shards=2, shard_faults=plan)
+        cfg = RunConfig("DKNN-P", shard=ShardConfig(shards=2, faults=plan))
         sim = build_system(cfg, fleet, queries)
         sim.run(SPEC.ticks)
         assert sim.server.shard_stats.shed_uplinks == 0

@@ -18,6 +18,7 @@ import pytest
 from repro.api import (
     FaultPlan,
     RunConfig,
+    ShardConfig,
     ShardedServer,
     ShardRouter,
     WorkloadSpec,
@@ -48,7 +49,7 @@ def _history(algorithm, shards, faults=None, spec=SPEC, params=None):
         algorithm,
         record_history=True,
         faults=faults,
-        shards=shards,
+        shard=None if shards is None else ShardConfig(shards=shards),
         params=dict(params or {}),
     )
     sim = build_system(cfg, fleet, queries)
@@ -220,7 +221,9 @@ class TestOwnershipAndHandoff:
 
     def test_double_wrap_rejected(self):
         fleet, queries = build_workload(SPEC)
-        sim = build_system(RunConfig("DKNN-P", shards=2), fleet, queries)
+        sim = build_system(
+            RunConfig("DKNN-P", shard=ShardConfig(shards=2)), fleet, queries
+        )
         with pytest.raises(NetworkError):
             shard_attach(sim, 2)
 
@@ -254,7 +257,7 @@ class TestHandoffUnderBlackout:
             "DKNN-P",
             record_history=True,
             faults=plan,
-            shards=3,
+            shard=ShardConfig(shards=3),
             params={"fault_tolerant": True, "lease_ticks": lease},
         )
         sim = build_system(cfg, fleet, queries)
@@ -366,13 +369,17 @@ class TestFacade:
             assert hasattr(api, name), name
 
     def test_sharded_run_through_facade_only(self):
-        from repro.api import RunConfig, WorkloadSpec, run_once
+        from repro.api import RunConfig, ShardConfig, WorkloadSpec, run_once
 
         spec = WorkloadSpec(
             n_objects=120, n_queries=2, k=3, ticks=12, warmup_ticks=2,
             seed=3,
         )
-        m = run_once(RunConfig("DKNN-B", shards=2), spec, accuracy_every=0)
+        m = run_once(
+            RunConfig("DKNN-B", shard=ShardConfig(shards=2)),
+            spec,
+            accuracy_every=0,
+        )
         assert m.extra["shards"] == 4
         assert "s2s/tick" in m.extra
         assert "shard_imbalance" in m.extra
