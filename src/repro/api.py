@@ -63,11 +63,20 @@ from repro.mobility import (
     Fleet,
     GaussianClusterModel,
     HotspotDriftModel,
+    MostlyStationaryModel,
     RandomDirectionModel,
     RandomWaypointModel,
     RoadNetworkModel,
 )
-from repro.net import CommStats, FaultPlan, RoundSimulator, ShardFaultPlan
+from repro.net import (
+    CommStats,
+    EngineConfig,
+    FaultPlan,
+    ReplayConfig,
+    RoundSimulator,
+    ShardFaultPlan,
+    engine_attach,
+)
 from repro.net.chaos import (
     ChaosResult,
     chaos_plans,
@@ -76,8 +85,10 @@ from repro.net.chaos import (
 )
 from repro.obs import (
     MetricsRegistry,
+    ReplayStats,
     Telemetry,
     Tracer,
+    stream_replay,
     use_telemetry,
 )
 from repro.server import (
@@ -117,6 +128,7 @@ __all__ = [
     "RandomDirectionModel",
     "GaussianClusterModel",
     "HotspotDriftModel",
+    "MostlyStationaryModel",
     "RoadNetworkModel",
     # geometry & queries
     "Point",
@@ -149,6 +161,12 @@ __all__ = [
     "CommStats",
     "FaultPlan",
     "ShardFaultPlan",
+    # event engine & replay
+    "EngineConfig",
+    "ReplayConfig",
+    "engine_attach",
+    "stream_replay",
+    "ReplayStats",
     # chaos harness
     "run_chaos",
     "chaos_plans",

@@ -334,6 +334,20 @@ class DknnServer(BaseServer):
             for st in self._states.values()
         )
 
+    def event_idle(self, tick: int) -> bool:
+        # With all repairs settled, a delivery-free tick only touches
+        # ``degraded`` (which stays all-False: focal_down/_unacked/
+        # _suspected are FT-only) and ``answers`` (unchanged) — a
+        # provable no-op. FT mode runs per-tick lease sweeps and
+        # retransmit timers, and ``record_history`` appends per tick;
+        # both need every tick, so they veto skipping.
+        if self._ft or self.record_history:
+            return False
+        return not any(
+            st.dirty or st.phase != _IDLE
+            for st in self._states.values()
+        )
+
     # -- fault tolerance ---------------------------------------------------
 
     def _ft_tick(self, tick: int) -> None:

@@ -1,0 +1,165 @@
+"""Wakeup planning for DKNN mobiles under the event engine.
+
+Maps a :class:`~repro.core.client.DknnMobileNode`'s protocol state —
+dead-reckoning origin, installed safe regions, lease heartbeat and
+violation-retry timers — onto the closed-form crossing solvers of
+:mod:`repro.mobility.crossing`, producing the node's next *act* tick
+(the tick must run in full: the node would send, or mutate protocol
+state) or *re-solve* tick (a motion claim horizon expired; recompute
+cheaply, no full tick needed).
+
+Soundness contract (what ``tests/test_crossing.py`` pins): the act
+tick is **never later** than the first tick on which the node's
+``on_tick_start`` would do anything. Early is fine — an early wakeup
+runs a full tick in which the node does nothing, which is exactly what
+tick mode does every tick.
+
+Two float-safety measures keep "never later" honest:
+
+* crossing ticks are floored (a predicted crossing inside tick ``k``
+  wakes at ``k``, which is at or before the first violating position);
+* check radii carry a one-part-in-10^12 conservative bias
+  (:data:`_RADIUS_BIAS`) toward firing early, absorbing the ulp
+  disagreement between the solver's ``d^2 > R^2`` form and the region
+  classes' squared-slack predicates (``REGION_EPS`` slack is ~1e-9,
+  three orders larger, so boundary-installed objects stay solidly
+  inside their biased radii and do not thrash).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.client import DknnMobileNode
+from repro.core.fastpath import DknnSilentPhase
+from repro.geometry.region import (
+    REGION_EPS,
+    AnswerBand,
+    OutsiderBand,
+    QuerySafeCircle,
+)
+from repro.mobility.crossing import ENTER, EXIT, Check, plan_wakeup
+
+__all__ = ["DknnWakeupPlanner", "planner_for"]
+
+#: Conservative relative bias on check radii: EXIT radii shrink by it,
+#: ENTER radii grow by it, so float rounding can only make the solver
+#: fire a tick early (a no-op full tick), never late (a missed report).
+_RADIUS_BIAS = 1e-12
+_EXIT_SCALE = (1.0 + REGION_EPS) * (1.0 - _RADIUS_BIAS)
+_ENTER_SCALE = (1.0 - REGION_EPS) * (1.0 + _RADIUS_BIAS)
+_THETA_SCALE = 1.0 - _RADIUS_BIAS
+
+
+class DknnWakeupPlanner:
+    """Computes per-node wakeups for one simulator's DKNN fleet."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        phase = sim.client_phase
+        #: the vectorized client phase mirrors ``_last_sent`` /
+        #: ``_last_uplink_tick`` in arrays; nodes it touched must be
+        #: synced back before their protocol state is read.
+        self._phase = phase if isinstance(phase, DknnSilentPhase) else None
+
+    def wakeup(
+        self, node: DknnMobileNode, tick: int
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """``(act, resolve)`` absolute ticks for ``node`` as of ``tick``.
+
+        At most one is non-None; ``(None, None)`` means the node can
+        stay asleep until a message touches it.
+        """
+        if self._phase is not None:
+            self._phase._sync_node(node.oid)
+        if node._last_sent is None:
+            return tick + 1, None  # first report is unconditional
+        oid = node.oid
+        fleet = self.sim.fleet
+        x, y = fleet.positions[oid]
+        sx, sy = node._last_sent
+        checks: List[Check] = [
+            Check(float(sx), float(sy), node.theta * _THETA_SCALE, EXIT)
+        ]
+        for qid, region in node.regions.items():
+            if qid in node._reported:
+                # Muted: a reported violation stays quiet until the
+                # server repairs it (message -> replan) or the retry
+                # timer below re-arms it.
+                continue
+            cls = type(region)
+            if cls is OutsiderBand:
+                checks.append(
+                    Check(
+                        region.ax,
+                        region.ay,
+                        region.radius * _ENTER_SCALE,
+                        ENTER,
+                    )
+                )
+            elif cls is AnswerBand or cls is QuerySafeCircle:
+                checks.append(
+                    Check(
+                        region.ax,
+                        region.ay,
+                        region.radius * _EXIT_SCALE,
+                        EXIT,
+                    )
+                )
+            else:
+                # Unknown region type: no closed form — stay awake.
+                return tick + 1, None
+        wake = plan_wakeup(
+            fleet.motion_state(oid), float(x), float(y), checks
+        )
+        act = tick + wake.act if wake.act is not None else None
+        resolve = (
+            tick + wake.resolve if wake.resolve is not None else None
+        )
+        act = self._merge_timers(node, tick, act)
+        if act is not None:
+            return act, None
+        return None, resolve
+
+    def _merge_timers(
+        self, node: DknnMobileNode, tick: int, act: Optional[int]
+    ) -> Optional[int]:
+        """Fold the protocol's countdown timers into the act tick.
+
+        Timer ticks must be *full* ticks even when nothing ends up on
+        the wire: the retry sweep's drifted-back-inside branch re-arms
+        an episode without sending, which is a protocol state change.
+        """
+        if node._lease > 0 and node.regions:
+            beat = node._last_uplink_tick + max(1, node._lease // 2)
+            act = _min_tick(act, max(beat, tick + 1))
+        if node.violation_retry:
+            for qid in node._reported:
+                if node.regions.get(qid) is None:
+                    continue
+                sent = node._violation_sent.get(qid)
+                if sent is None:
+                    continue
+                retry = sent + node.violation_retry
+                act = _min_tick(act, max(retry, tick + 1))
+        return act
+
+
+def _min_tick(a: Optional[int], b: int) -> int:
+    return b if a is None or b < a else a
+
+
+def planner_for(sim) -> Optional[DknnWakeupPlanner]:
+    """A planner for ``sim``, or None when its fleet has no closed form.
+
+    Only plain :class:`DknnMobileNode` clients are plannable — the
+    baselines (and any subclass with a different tick-start) get no
+    planner, which makes the event engine run every tick in full:
+    slower, never wrong.
+    """
+    if not sim.mobiles:
+        return None
+    for node in sim.mobiles:
+        if type(node) is not DknnMobileNode:
+            return None
+    return DknnWakeupPlanner(sim)

@@ -48,6 +48,7 @@ from repro.experiments.catalog import (
     render_param_table,
 )
 from repro.experiments.config import RunConfig
+from repro.net.engine import engine_attach
 from repro.net.simulator import RoundSimulator
 from repro.obs.telemetry import Telemetry
 from repro.server.query_table import QuerySpec
@@ -158,7 +159,9 @@ def build_system(
     """Build any registered algorithm from a :class:`RunConfig`.
 
     When ``config.shard`` is set, the built simulator's server is
-    wrapped in the sharded tier before the simulator is returned.
+    wrapped in the sharded tier before the simulator is returned; when
+    ``config.engine`` is set, the event-engine driver is attached last
+    (it inspects the final server/channel stack).
     """
     if isinstance(config, str):
         raise ExperimentError(
@@ -171,6 +174,8 @@ def build_system(
     sim = _BUILDERS[config.algorithm](fleet, list(specs), config, telemetry)
     if config.shard is not None:
         shard_attach(sim, config.shard)
+    if config.engine is not None:
+        engine_attach(sim, config.engine)
     return sim
 
 

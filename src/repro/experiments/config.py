@@ -10,20 +10,24 @@ can be reused across runs, stored in a manifest, or keyed in a dict.
 The legacy string-algorithm call forms were removed in the sharding
 release; ``build_system`` / ``run_once`` raise an
 :class:`~repro.errors.ExperimentError` naming the migration when they
-see one. Import the supported surface from :mod:`repro.api`.
+see one. The deprecated ``shards=``/``shard_faults=`` kwargs were
+retired in the engine release: passing either raises a
+:class:`~repro.errors.ConfigError` naming the ``shard=ShardConfig(...)``
+replacement. Import the supported surface from :mod:`repro.api`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
+import functools
 from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Any, Dict, Mapping, Optional
 
 from repro.errors import ConfigError, ExperimentError
 from repro.experiments.catalog import CATALOG, suggest_name
-from repro.net.faults import FaultPlan, ShardFaultPlan
+from repro.net.engine import EngineConfig
+from repro.net.faults import FaultPlan
 from repro.net.simulator import ONE_TICK_LATENCY, ZERO_LATENCY
 from repro.server.config import MAX_SHARDS_PER_SIDE, ShardConfig
 
@@ -34,8 +38,10 @@ _LATENCIES = (ZERO_LATENCY, ONE_TICK_LATENCY)
 # Kept as an alias: the bound now lives with ShardConfig.
 _MAX_SHARDS_PER_SIDE = MAX_SHARDS_PER_SIDE
 
-_LEGACY_SHARD_KWARGS_MSG = (
-    "RunConfig(shards=..., shard_faults=...) is deprecated; pass "
+_RETIRED_SHARD_KWARGS = ("shards", "shard_faults")
+
+_RETIRED_SHARD_KWARGS_MSG = (
+    "RunConfig no longer accepts {names}; pass "
     "shard=ShardConfig(shards=..., faults=...) instead (see README, "
     '"Configuring the shard tier")'
 )
@@ -69,13 +75,14 @@ class RunConfig:
         (:mod:`repro.server.sharding`) over an S x S grid — per-tick
         answers stay bit-identical; the run additionally reports
         per-shard load, handoffs, and backbone traffic.
-    shards, shard_faults:
-        **Deprecated** loose forms of ``shard=``; kept as a shim that
-        emits :class:`DeprecationWarning` and synthesizes
-        ``ShardConfig(shards=shards, faults=shard_faults)``. After
-        construction both attributes mirror the resolved ``shard``
-        config (so legacy readers keep working); first-party use fails
-        CI via the ``filterwarnings`` error filter.
+    engine:
+        Optional :class:`~repro.net.engine.EngineConfig` — how the
+        loop is driven. ``None`` (the default) is the plain
+        synchronous tick loop; ``EngineConfig(mode="event")`` skips
+        provably-empty ticks (answers stay identical at every tick
+        boundary, DESIGN §15); ``EngineConfig(replay=ReplayConfig())``
+        additionally records ``replay.snapshot`` trace events for
+        wall-clock playback.
     params:
         Per-algorithm parameters; names validated against the catalog.
     """
@@ -88,8 +95,7 @@ class RunConfig:
     warmup: Optional[int] = None
     ticks: Optional[int] = None
     shard: Optional[ShardConfig] = None
-    shards: Optional[int] = None
-    shard_faults: Optional[ShardFaultPlan] = None
+    engine: Optional[EngineConfig] = None
     params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -113,7 +119,16 @@ class RunConfig:
         for bound, name in ((self.warmup, "warmup"), (self.ticks, "ticks")):
             if bound is not None and bound < 0:
                 raise ExperimentError(f"negative {name} {bound}")
-        self._resolve_shard()
+        if self.shard is not None and not isinstance(self.shard, ShardConfig):
+            raise ConfigError(
+                f"shard must be a ShardConfig or None, got {self.shard!r}"
+            )
+        if self.engine is not None and not isinstance(
+            self.engine, EngineConfig
+        ):
+            raise ConfigError(
+                f"engine must be an EngineConfig or None, got {self.engine!r}"
+            )
         unknown = set(self.params) - set(info.params)
         if unknown:
             hints = []
@@ -132,62 +147,6 @@ class RunConfig:
             self, "params", MappingProxyType(dict(self.params))
         )
 
-    def _resolve_shard(self) -> None:
-        """Normalize ``shard`` vs the deprecated ``shards``/``shard_faults``.
-
-        After this runs, ``self.shard`` is the single source of truth
-        and the legacy attributes mirror it, so ``dataclasses.replace``
-        (``but()``) round-trips without re-warning and legacy readers
-        keep working.
-        """
-        shard = self.shard
-        if shard is not None and not isinstance(shard, ShardConfig):
-            raise ConfigError(
-                f"shard must be a ShardConfig or None, got {shard!r}"
-            )
-        legacy = self.shards is not None or self.shard_faults is not None
-        if shard is not None and legacy:
-            # but() / replace passes the synced mirrors back in; only a
-            # genuine conflict (both forms, different values) is an error.
-            if (self.shards is not None and self.shards != shard.shards) or (
-                self.shard_faults is not None
-                and self.shard_faults is not shard.faults
-            ):
-                raise ConfigError(
-                    "pass shard=ShardConfig(...) or the legacy shards=/"
-                    "shard_faults= kwargs, not both (they disagree here)"
-                )
-        elif legacy:
-            warnings.warn(
-                _LEGACY_SHARD_KWARGS_MSG, DeprecationWarning, stacklevel=4
-            )
-            if self.shard_faults is not None and not isinstance(
-                self.shard_faults, ShardFaultPlan
-            ):
-                raise ConfigError(
-                    "shard_faults must be None or a ShardFaultPlan, got "
-                    f"{self.shard_faults!r} (radio faults go in faults=)"
-                )
-            if self.shards is None:
-                # Legacy accepted a *disabled* plan with no tier at all.
-                if self.shard_faults.enabled:
-                    raise ConfigError(
-                        "shard_faults needs a sharded tier: pass "
-                        "shard=ShardConfig(shards=S, faults=plan) with "
-                        "S >= 2 so there are shard servers to crash, a "
-                        "buddy to fail over to, and a backbone to "
-                        "partition — here shards is unset, so the plan "
-                        "could never act and would be silently ignored"
-                    )
-            else:
-                shard = ShardConfig(
-                    shards=self.shards, faults=self.shard_faults
-                )
-        object.__setattr__(self, "shard", shard)
-        if shard is not None:
-            object.__setattr__(self, "shards", shard.shards)
-            object.__setattr__(self, "shard_faults", shard.faults)
-
     # -- derived views -------------------------------------------------------
 
     @property
@@ -202,17 +161,17 @@ class RunConfig:
 
     def but(self, **changes: Any) -> "RunConfig":
         """A copy with ``changes`` applied (validated afresh)."""
+        retired = [k for k in _RETIRED_SHARD_KWARGS if k in changes]
+        if retired:
+            raise ConfigError(
+                _RETIRED_SHARD_KWARGS_MSG.format(
+                    names=", ".join(f"{k}=" for k in retired)
+                )
+            )
         if "params" in changes and changes["params"] is not None:
             changes["params"] = dict(changes["params"])
         else:
             changes.setdefault("params", dict(self.params))
-        # Changing either shard form resets the other so the replace
-        # does not carry stale mirrors into validation.
-        if "shard" in changes:
-            changes.setdefault("shards", None)
-            changes.setdefault("shard_faults", None)
-        elif "shards" in changes or "shard_faults" in changes:
-            changes.setdefault("shard", None)
         return dataclasses.replace(self, **changes)
 
     def describe(self) -> Dict[str, Any]:
@@ -228,11 +187,8 @@ class RunConfig:
             "shard": (
                 self.shard.describe() if self.shard is not None else None
             ),
-            "shards": self.shards,
-            "shard_faults": (
-                repr(self.shard_faults)
-                if self.shard_faults is not None
-                else None
+            "engine": (
+                self.engine.describe() if self.engine is not None else None
             ),
             "params": dict(self.params),
             "resolved_params": self.resolved_params(),
@@ -248,11 +204,35 @@ class RunConfig:
                 self.warmup,
                 self.ticks,
                 self.shard,
-                self.shards,
+                self.engine,
                 tuple(sorted(self.params.items())),
                 id(self.faults) if self.faults is not None else None,
-                id(self.shard_faults)
-                if self.shard_faults is not None
-                else None,
             )
         )
+
+
+def _reject_retired_kwargs(init):
+    """Make the retired ``shards=``/``shard_faults=`` kwargs fail loudly.
+
+    The deprecation shim is gone; a stale caller now gets a
+    :class:`ConfigError` naming the exact replacement instead of a
+    ``TypeError`` about an unexpected keyword. ``functools.wraps``
+    preserves the dataclass ``__init__`` signature for introspection
+    (``tests/test_api_surface.py`` pins it).
+    """
+
+    @functools.wraps(init)
+    def wrapper(self, *args, **kwargs):
+        retired = [k for k in _RETIRED_SHARD_KWARGS if k in kwargs]
+        if retired:
+            raise ConfigError(
+                _RETIRED_SHARD_KWARGS_MSG.format(
+                    names=", ".join(f"{k}=" for k in retired)
+                )
+            )
+        init(self, *args, **kwargs)
+
+    return wrapper
+
+
+RunConfig.__init__ = _reject_retired_kwargs(RunConfig.__init__)

@@ -14,6 +14,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from repro.experiments.config import RunConfig
 from repro.experiments.runner import Measurement, run_once
 from repro.experiments.tables import ResultTable
+from repro.net.engine import EngineConfig, ReplayConfig
 from repro.net.faults import FaultPlan, ShardFaultPlan
 from repro.net.simulator import ONE_TICK_LATENCY, ZERO_LATENCY
 from repro.server.config import AdmissionPolicy, RebalancePolicy, ShardConfig
@@ -1070,6 +1071,110 @@ def e18_rebalancing(quick: bool = False) -> ResultTable:
     return table
 
 
+def e19_event_engine(quick: bool = False) -> ResultTable:
+    """Event-scheduled engine vs the synchronous tick loop (E19).
+
+    The stressor is the engine's home turf: a ``mostly_stationary``
+    fleet (1% of objects commuting on a 10% duty cycle) with static
+    queries, so most ticks are provable protocol no-ops. For each N,
+    the same workload runs twice on the vectorized path — once under
+    the plain tick loop, once under ``EngineConfig(mode="event")`` —
+    and the table reports both walls, the skip ledger, and the
+    equivalence pin (``msgs_match``: per-tick message rates must agree
+    exactly; the answer-level pin is tests/test_engine.py).
+
+    Expected: speedup grows with N (the skipped O(N) client phase is
+    what's saved) and clears 2x at N=100k; the headline wall-clock
+    number also lands in BENCH_tick.json via ``tickbench``.
+    """
+    base = WorkloadSpec(
+        n_objects=2000,
+        n_queries=16,
+        k=8,
+        mobility="mostly_stationary",
+        mobility_options={
+            "moving_fraction": 0.01,
+            "period": 200,
+            "active_ticks": 20,
+        },
+        query_speed=0,
+        ticks=60 if quick else 300,
+        warmup_ticks=5,
+        seed=42,
+    )
+    sizes = (2000,) if quick else (5_000, 20_000, 100_000)
+    table = ResultTable(
+        "E19: event-scheduled engine vs tick loop",
+        (
+            "N",
+            "mode",
+            "wall_s",
+            "ms/tick",
+            "skipped",
+            "full",
+            "speedup",
+            "msgs/tick",
+            "msgs_match",
+            "exactness",
+        ),
+    )
+    for n in sizes:
+        spec = base.but(n_objects=n)
+        # Brute-force accuracy is O(N) per query per check; keep it on
+        # at small N as a correctness spot check, off at the wall-clock
+        # sizes so the timing compares loop overheads, not the checker.
+        accuracy_every = 10 if n <= 5_000 else 0
+        rows = {}
+        for mode in ("tick", "event"):
+            # The first size's event run also carries a replay stream —
+            # it documents what the engine elided, and its emission is
+            # telemetry-gated, so an untraced run (the timing setting)
+            # pays nothing for it. Only one run may emit snapshots per
+            # trace (the replayer requires monotone ticks).
+            replay = (
+                ReplayConfig(max_objects=64)
+                if mode == "event" and n == sizes[0]
+                else None
+            )
+            m = run_once(
+                RunConfig(
+                    "DKNN-P",
+                    fast=True,
+                    engine=EngineConfig(mode=mode, replay=replay),
+                ),
+                spec,
+                accuracy_every=accuracy_every,
+            )
+            rows[mode] = m
+        for mode in ("tick", "event"):
+            m = rows[mode]
+            ticks = m.ticks_measured
+            table.add_row(
+                {
+                    "N": n,
+                    "mode": mode,
+                    "wall_s": round(m.wall_seconds, 3),
+                    "ms/tick": round(1000.0 * m.wall_seconds / ticks, 3),
+                    "skipped": m.extra.get("skipped_ticks", 0),
+                    "full": m.extra.get("full_ticks", ticks),
+                    "speedup": (
+                        round(
+                            rows["tick"].wall_seconds
+                            / max(m.wall_seconds, 1e-9),
+                            2,
+                        )
+                        if mode == "event"
+                        else 1.0
+                    ),
+                    "msgs/tick": m.msgs_per_tick,
+                    "msgs_match": rows["event"].msgs_per_tick
+                    == rows["tick"].msgs_per_tick,
+                    "exactness": m.exactness,
+                }
+            )
+    return table
+
+
 EXPERIMENTS: Dict[str, Tuple[Callable[[bool], ResultTable], str]] = {
     "E1": (e1_comm_vs_n, "communication vs population size"),
     "E2": (e2_comm_vs_k, "communication vs k"),
@@ -1089,6 +1194,7 @@ EXPERIMENTS: Dict[str, Tuple[Callable[[bool], ResultTable], str]] = {
     "E16": (e16_shard_faults, "shard-tier fault tolerance at scale"),
     "E17": (e17_durability, "durable recovery vs checkpoint cadence"),
     "E18": (e18_rebalancing, "elastic rebalancing under drifting hotspots"),
+    "E19": (e19_event_engine, "event-scheduled engine vs tick loop"),
 }
 
 

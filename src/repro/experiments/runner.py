@@ -153,8 +153,9 @@ def run_once(
     """Build, warm up, run, and measure one configuration.
 
     ``config`` is a :class:`RunConfig`; its optional ``ticks`` /
-    ``warmup`` override the spec's via ``spec.but(...)``, and its
-    ``shards`` field routes the run through the sharded server tier.
+    ``warmup`` override the spec's via ``spec.but(...)``, its ``shard``
+    config routes the run through the sharded server tier, and its
+    ``engine`` config selects the event-scheduled loop.
     ``accuracy_every`` controls how often (in ticks) the published
     answers are checked against brute force over ground truth; 0
     disables checking (exactness/overlap report as 1.0). ``profile``,
@@ -192,6 +193,9 @@ def run_once(
             latency=cfg.latency,
             fast=cfg.fast,
             faults=repr(cfg.faults) if cfg.faults is not None else None,
+            engine=(
+                cfg.engine.describe() if cfg.engine is not None else None
+            ),
             n_objects=spec.n_objects,
             n_queries=spec.n_queries,
             k=spec.k,
@@ -347,8 +351,9 @@ def run_once(
             ) / measured
     if (
         shard_stats is not None
-        and cfg.shard_faults is not None
-        and cfg.shard_faults.enabled
+        and cfg.shard is not None
+        and cfg.shard.faults is not None
+        and cfg.shard.faults.enabled
     ):
         # The fault-tolerance ledger (full-run totals: the counters are
         # zero through warmup unless the plan schedules faults there).
@@ -381,6 +386,13 @@ def run_once(
             extra["checkpoints"] = dm.checkpoints
             extra["wal_bytes/tick"] = dm.wal_bytes_total / measured
             extra["replayed"] = dm.replayed_records
+
+    driver = getattr(sim, "_driver", None)
+    if driver is not None:
+        engine_stats = driver.stats()
+        extra["engine"] = engine_stats["mode"]
+        extra["skipped_ticks"] = engine_stats["skipped_ticks"]
+        extra["full_ticks"] = engine_stats["full_ticks"]
 
     m = Measurement(
         algorithm=cfg.algorithm,
@@ -428,6 +440,8 @@ def run_once(
                 columnar_msgs=comm.columnar_messages,
                 materialized_msgs=comm.materialized_messages,
             )
+            if driver is not None:
+                tel.tracer.emit(sim.tick, "engine.stats", **driver.stats())
             tel.tracer.emit(
                 sim.tick,
                 "run.end",

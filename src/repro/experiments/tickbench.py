@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.algorithms import build_system
 from repro.experiments.config import RunConfig
+from repro.net.engine import EngineConfig
 from repro.obs.telemetry import Telemetry
 from repro.server.config import RebalancePolicy, ShardConfig
 from repro.workloads.generator import build_workload
@@ -43,6 +44,8 @@ __all__ = [
     "run_suite",
     "shard_overhead_rows",
     "rebalance_overhead_rows",
+    "event_speedup_rows",
+    "check_event_smoke",
     "check_regression",
     "main",
 ]
@@ -92,11 +95,16 @@ def time_tick_loop(
     alg_params: Optional[Dict] = None,
     telemetry: Optional[Telemetry] = None,
     shard: Optional[ShardConfig] = None,
+    engine: Optional[EngineConfig] = None,
 ) -> Dict:
     """Build one system, warm it up, and time the measured window."""
     fleet, queries = build_workload(spec, fast=fast)
     cfg = RunConfig(
-        algorithm, fast=fast, shard=shard, params=dict(alg_params or {})
+        algorithm,
+        fast=fast,
+        shard=shard,
+        engine=engine,
+        params=dict(alg_params or {}),
     )
     sim = build_system(cfg, fleet, queries, telemetry=telemetry)
     sim.run(spec.warmup_ticks)
@@ -104,12 +112,15 @@ def time_tick_loop(
     t0 = time.perf_counter()
     sim.run(measured)
     wall = time.perf_counter() - t0
-    return {
+    row = {
         "ticks": measured,
         "wall_s": round(wall, 4),
         "ms_per_tick": round(1000.0 * wall / measured, 3),
         "msgs_total": sim.channel.stats.total_messages,
     }
+    if sim._driver is not None:
+        row["skipped_ticks"] = sim._driver.skipped_ticks
+    return row
 
 
 def compare_tick_loop(
@@ -374,6 +385,111 @@ def check_shard_smoke(n_objects: int = 2000, ticks: int = 20) -> int:
     return 0
 
 
+def _event_spec(n_objects: int, ticks: int) -> WorkloadSpec:
+    """The E19 workload: a mostly-silent fleet with stationary queries.
+
+    ``mostly_stationary`` mobility (1% commuting on a 10% duty cycle)
+    with ``query_speed=0`` — moving focal objects would violate their
+    safe circles every tick and no tick would ever be silent.
+    """
+    return _make_spec(
+        dict(
+            n_objects=n_objects,
+            n_queries=16,
+            k=8,
+            mobility="mostly_stationary",
+            mobility_options=dict(
+                moving_fraction=0.01, period=200, active_ticks=20
+            ),
+            query_speed=0,
+        ),
+        ticks,
+    )
+
+
+def event_speedup_rows(
+    n_objects: int = 100_000, ticks: int = 300
+) -> List[Dict]:
+    """Time the event engine against the tick loop, same workload.
+
+    Fast path both ways — the only difference is
+    ``RunConfig(engine=EngineConfig(mode="event"))``. The two runs are
+    bit-identical by construction (the DESIGN §15 equivalence
+    contract), so ``msgs_total`` must agree; the speedup is what
+    skipping the silent ticks buys (the E19 headline number).
+    """
+    spec = _event_spec(n_objects, ticks)
+    rows: List[Dict] = []
+    for algorithm in ("DKNN-P",):
+        tick_row = time_tick_loop(algorithm, spec, fast=True)
+        event_row = time_tick_loop(
+            algorithm, spec, fast=True, engine=EngineConfig(mode="event")
+        )
+        rows.append(
+            {
+                "config": f"event-E19-n{n_objects}",
+                "algorithm": algorithm,
+                "n_objects": n_objects,
+                "tick": tick_row,
+                "event": event_row,
+                "speedup": round(
+                    tick_row["wall_s"] / max(event_row["wall_s"], 1e-9), 2
+                ),
+                "skipped_ticks": event_row.get("skipped_ticks", 0),
+                "msgs_match": event_row["msgs_total"]
+                == tick_row["msgs_total"],
+            }
+        )
+    return rows
+
+
+#: CI bar on the event engine at smoke scale. Even at small N the
+#: mostly-silent workload skips ~80% of its ticks, so a dead driver
+#: (skipped_ticks == 0) or a skip that fails to pay for its heap
+#: bookkeeping shows up as a hard miss, not noise. The full-size >= 2x
+#: acceptance number lives in the benchmark document (E19), not here.
+_EVENT_SMOKE_BAR = 1.1
+
+
+def check_event_smoke(n_objects: int = 20_000, ticks: int = 120) -> int:
+    """CI guard for the event engine: identity plus a real win.
+
+    The event run's message totals must equal the tick run's (the
+    answer-level pin lives in tests/test_engine.py), a healthy share of
+    ticks must actually be skipped, and the wall speedup must clear
+    ``_EVENT_SMOKE_BAR``.
+    """
+    failed = False
+    for row in event_speedup_rows(n_objects, ticks):
+        print(
+            f"event smoke {row['algorithm']} n={n_objects}: "
+            f"tick {row['tick']['ms_per_tick']} ms/tick, event "
+            f"{row['event']['ms_per_tick']} ms/tick "
+            f"({row['speedup']}x, bar {_EVENT_SMOKE_BAR}x), "
+            f"skipped {row['skipped_ticks']}/{row['tick']['ticks']}"
+        )
+        if not row["msgs_match"]:
+            print(
+                f"FAIL: event mode changed the message stream "
+                f"({row['event']['msgs_total']} vs "
+                f"{row['tick']['msgs_total']})"
+            )
+            failed = True
+        if row["skipped_ticks"] == 0:
+            print("FAIL: event mode never skipped a tick (dead driver?)")
+            failed = True
+        if row["speedup"] < _EVENT_SMOKE_BAR:
+            print(
+                f"FAIL: event speedup {row['speedup']}x below the "
+                f"{_EVENT_SMOKE_BAR}x bar"
+            )
+            failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
 #: A gated configuration may lose up to half of its committed speedup
 #: before the gate trips. Ratios (fast vs scalar on the *same* box),
 #: not wall times, so shared-runner speed never matters; the message
@@ -556,15 +672,18 @@ def main(argv=None) -> int:
     if args.check:
         rc = check_smoke()
         rc = rc or check_shard_smoke()
+        rc = rc or check_event_smoke(n_objects=2000, ticks=60)
         if args.obs:
             rc = rc or check_obs_overhead()
         return rc
     if args.gate:
         rc = check_regression(args.gate, profile_out=args.profile)
-        return rc or check_rebalance_smoke()
+        rc = rc or check_rebalance_smoke()
+        return rc or check_event_smoke()
     doc = run_suite()
     doc["shard_overhead"] = shard_overhead_rows()
     doc["rebalance_overhead"] = rebalance_overhead_rows()
+    doc["event_speedup"] = event_speedup_rows()
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")

@@ -5,6 +5,7 @@ from repro.mobility.fleet import Fleet
 from repro.mobility.soa import FastFleet, FastReplayFleet, SoAPositions
 from repro.mobility.gaussian_cluster import GaussianClusterModel, GaussianClusterMover
 from repro.mobility.hotspot_drift import HotspotDriftModel, HotspotDriftMover
+from repro.mobility.mostly_stationary import CommuteMover, MostlyStationaryModel
 from repro.mobility.random_direction import RandomDirectionModel, RandomDirectionMover
 from repro.mobility.random_waypoint import RandomWaypointModel, RandomWaypointMover
 from repro.mobility.road_network import (
@@ -30,6 +31,8 @@ __all__ = [
     "GaussianClusterMover",
     "HotspotDriftModel",
     "HotspotDriftMover",
+    "CommuteMover",
+    "MostlyStationaryModel",
     "RoadNetworkModel",
     "RoadNetworkMover",
     "build_grid_network",

@@ -41,6 +41,7 @@ from repro.mobility.base import Mover
 from repro.mobility.fleet import Fleet, _SPEED_TOLERANCE
 from repro.mobility.gaussian_cluster import GaussianClusterMover
 from repro.mobility.hotspot_drift import HotspotDriftMover
+from repro.mobility.mostly_stationary import CommuteMover
 from repro.mobility.random_direction import RandomDirectionMover
 from repro.mobility.random_waypoint import RandomWaypointMover
 from repro.mobility.stationary import LinearMover, StationaryMover
@@ -118,6 +119,17 @@ class _Kernel:
 
     def push(self, oid: int, mover: Mover) -> None:
         """Mover attributes -> array state (after a scalar step)."""
+
+    def sync(self, oid: int, mover: Mover) -> None:
+        """Array state -> mover for out-of-band reads (crossing solvers).
+
+        Unlike :meth:`pull`, which prepares a mover for a scalar
+        ``step`` *inside* the current advance, ``sync`` runs between
+        ticks and must leave the mover exactly as the scalar fleet
+        would have it after the same number of advances. The two only
+        differ for kernels that mirror a per-step counter.
+        """
+        self.pull(oid, mover)
 
 
 class _ScalarKernel(_Kernel):
@@ -349,6 +361,76 @@ class _DirectionKernel(_Kernel):
         self.leg[i] = mover._leg_left
 
 
+class _CommuteKernel(_Kernel):
+    """Duty-cycled waypointing: a no-op outside the active window.
+
+    The shared step counter advances every tick (mirroring each
+    mover's ``_t``); during the parked phase no object moves and no
+    randomness is drawn, so the whole kernel is one vectorized window
+    test. Inside the window this is the waypoint glide with arrivals
+    (RNG-drawing new trips) as scalar events. Period/active bounds are
+    kept per object so fleets mixing differently-parameterized models
+    stay correct (the fast path just degrades to per-object masks).
+    """
+
+    _EMPTY = np.empty(0, dtype=np.int64)
+
+    def __init__(self, universe, oids, movers) -> None:
+        super().__init__(universe, oids, movers)
+        self.tx = np.array([m._target[0] for m in movers], dtype=np.float64)
+        self.ty = np.array([m._target[1] for m in movers], dtype=np.float64)
+        self.speed = np.array([m._speed for m in movers], dtype=np.float64)
+        self.periods = np.array([m.period for m in movers], dtype=np.int64)
+        self.actives = np.array(
+            [m.active_ticks for m in movers], dtype=np.int64
+        )
+        # Kernels are built at fleet construction, before any advance.
+        self.t = movers[0]._t if movers else 0
+
+    def step(self, xs, ys, nxs, nys) -> np.ndarray:
+        active = (self.t % self.periods) < self.actives
+        self.t += 1
+        if not active.any():
+            return self._EMPTY
+        o = self.oids[active]
+        x = xs[o]
+        y = ys[o]
+        tx = self.tx[active]
+        ty = self.ty[active]
+        sp = self.speed[active]
+        dx = x - tx
+        dy = y - ty
+        d = np.sqrt(dx * dx + dy * dy)
+        arrive = d <= sp
+        glide = ~arrive
+        f = np.where(glide, sp / np.where(glide, d, 1.0), 0.0)
+        nx = x + (tx - x) * f
+        ny = y + (ty - y) * f
+        landed = glide & (nx == tx) & (ny == ty)
+        arrive |= landed
+        glide &= ~landed
+        nxs[o[glide]] = nx[glide]
+        nys[o[glide]] = ny[glide]
+        return o[arrive]
+
+    def pull(self, oid, mover) -> None:
+        i = self._local[oid]
+        mover._target = (float(self.tx[i]), float(self.ty[i]))
+        mover._speed = float(self.speed[i])
+        # The scalar ``step`` about to run re-increments onto the
+        # kernel's (already advanced) count.
+        mover._t = self.t - 1
+
+    def push(self, oid, mover) -> None:
+        i = self._local[oid]
+        self.tx[i], self.ty[i] = mover._target
+        self.speed[i] = mover._speed
+
+    def sync(self, oid, mover) -> None:
+        self.pull(oid, mover)
+        mover._t = self.t  # between ticks: the count stands as-is
+
+
 #: Exact-type kernel registry. Subclasses fall back to scalar stepping
 #: (their overridden ``step`` could do anything).
 _KERNELS: Dict[Type[Mover], Type[_Kernel]] = {
@@ -358,6 +440,7 @@ _KERNELS: Dict[Type[Mover], Type[_Kernel]] = {
     GaussianClusterMover: _GaussianKernel,
     HotspotDriftMover: _DriftKernel,
     RandomDirectionMover: _DirectionKernel,
+    CommuteMover: _CommuteKernel,
 }
 
 
@@ -397,6 +480,19 @@ class FastFleet(Fleet):
                 self._kernel_of[oid] = kern
         self.positions = SoAPositions(self)  # type: ignore[assignment]
 
+    def motion_state(self, mover_oid: int) -> Mover:
+        """The mover of ``mover_oid``, synced from its kernel's state.
+
+        ``sync`` copies the kernel's per-object arrays back onto the
+        mover — the same state sync the scalar-event path performs
+        before stepping a mover — so the crossing solvers read exactly
+        the state the next :meth:`advance` will act on. Syncing is
+        idempotent and consumed-state-free (no RNG).
+        """
+        mover = self._movers[mover_oid]
+        self._kernel_of[mover_oid].sync(mover_oid, mover)
+        return mover
+
     def advance(self) -> None:
         """Move every object one tick; vectorized where silent."""
         xs = self._xs
@@ -424,27 +520,37 @@ class FastFleet(Fleet):
         self.tick += 1
 
     def _validate(self, xs, ys, nxs, nys) -> None:
-        """Vectorized form of the scalar fleet's per-tick safety check."""
+        """Vectorized form of the scalar fleet's per-tick safety check.
+
+        Only objects whose position changed this tick are checked: an
+        unchanged position was inside the universe last tick and moved
+        a distance of exactly zero, so both predicates hold trivially.
+        On mostly-stationary fleets this turns the per-tick cost from
+        O(N) into O(moved).
+        """
+        changed = np.nonzero((nxs != xs) | (nys != ys))[0]
+        if changed.size == 0:
+            return
+        cx = nxs[changed]
+        cy = nys[changed]
         u = self.universe
         inside = (
-            (nxs >= u.xmin)
-            & (nxs <= u.xmax)
-            & (nys >= u.ymin)
-            & (nys <= u.ymax)
+            (cx >= u.xmin) & (cx <= u.xmax) & (cy >= u.ymin) & (cy <= u.ymax)
         )
         if not inside.all():
-            oid = int(np.nonzero(~inside)[0][0])
+            oid = int(changed[int(np.nonzero(~inside)[0][0])])
             raise MobilityError(
                 f"object {oid} left universe: ({nxs[oid]}, {nys[oid]})"
             )
-        ddx = nxs - xs
-        ddy = nys - ys
+        ddx = cx - xs[changed]
+        ddy = cy - ys[changed]
         moved = np.sqrt(ddx * ddx + ddy * ddy)
-        bad = moved > self._speed_limit
+        bad = moved > self._speed_limit[changed]
         if bad.any():
-            oid = int(np.nonzero(bad)[0][0])
+            k = int(np.nonzero(bad)[0][0])
+            oid = int(changed[k])
             raise MobilityError(
-                f"object {oid} moved {float(moved[oid]):.6f} > declared "
+                f"object {oid} moved {float(moved[k]):.6f} > declared "
                 f"max_speed {self._speeds[oid]:.6f}"
             )
 

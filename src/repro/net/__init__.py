@@ -7,6 +7,13 @@ cyclic. Import it as ``repro.net.chaos`` or through :mod:`repro.api`.
 """
 
 from repro.net.channel import Channel
+from repro.net.engine import (
+    ENGINE_MODES,
+    EngineConfig,
+    EventDriver,
+    ReplayConfig,
+    engine_attach,
+)
 from repro.net.faults import FaultPlan, FaultyChannel, ShardFaultPlan
 from repro.net.message import (
     BROADCAST_ID,
@@ -44,4 +51,9 @@ __all__ = [
     "RoundSimulator",
     "ZERO_LATENCY",
     "ONE_TICK_LATENCY",
+    "ENGINE_MODES",
+    "EngineConfig",
+    "EventDriver",
+    "ReplayConfig",
+    "engine_attach",
 ]

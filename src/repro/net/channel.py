@@ -115,6 +115,15 @@ class Channel:
             total += item.count if isinstance(item, ColumnarBatch) else 1
         return total
 
+    def idle(self) -> bool:
+        """True when no transportable is queued or otherwise in flight.
+
+        The event engine only skips a tick when the channel is idle —
+        a queued item means the next tick must run its delivery phase.
+        Subclasses holding extra flights (delays) must account for them.
+        """
+        return not self._queue
+
     def collect(self) -> List[Transportable]:
         """Drain and return all queued messages (delivery accounting).
 

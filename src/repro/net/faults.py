@@ -303,6 +303,10 @@ class FaultyChannel(Channel):
         """Queued plus held-back (delayed) messages."""
         return len(self._queue) + len(self._held)
 
+    def idle(self) -> bool:
+        """Held-back (delayed) flights keep the channel busy too."""
+        return not self._queue and not self._held
+
     # -- delivery accounting hooks -----------------------------------------
 
     def _broadcast_receivers(self, msg: Message) -> int:

@@ -103,3 +103,15 @@ class ServerNodeBase(Node):
         """One area-scoped radio message: the physical layer delivers
         it to every mobile node inside ``payload.covers(x, y)``."""
         return self.send(GEOCAST_ID, kind, payload)
+
+    def event_idle(self, tick: int) -> bool:
+        """May the event engine skip ``tick`` as far as this server cares?
+
+        True asserts that running ``on_tick_start`` / ``on_subround`` /
+        ``on_tick_end`` at ``tick`` with zero deliveries would send
+        nothing and leave all observable server state (answers, query
+        table, shard placement) unchanged. The base class answers False
+        — any server that has not proven its per-tick hooks are no-ops
+        simply never skips, which is slow but never wrong.
+        """
+        return False

@@ -166,6 +166,10 @@ class RoundSimulator:
         self.client_phase = client_phase
         if client_phase is not None:
             client_phase.bind(self)
+        #: optional event-engine driver (``repro.net.engine``): when
+        #: attached and in event mode, ``step`` skips ticks the driver
+        #: proves are protocol no-ops. None means pure tick mode.
+        self._driver = None
 
     # -- delivery -------------------------------------------------------------
 
@@ -237,6 +241,11 @@ class RoundSimulator:
                 if handled:
                     return
         elif batch.dsts is not None:
+            if self._driver is not None:
+                # Batch receivers may change protocol state (PROBE moves
+                # `_last_sent`) without a scalar dispatch — their
+                # wakeups must be recomputed after this tick.
+                self._driver.note_ids(batch.dsts)
             if self.client_phase is not None and self.client_phase.deliver_batch(
                 batch
             ):
@@ -258,11 +267,33 @@ class RoundSimulator:
         else:
             if self.client_phase is not None:
                 self.client_phase.before_dispatch(node, msg)
+            if self._driver is not None:
+                self._driver.note_node(node.oid)
             node.on_message(msg)
 
     # -- stepping ---------------------------------------------------------------
 
     def step(self) -> None:
+        """Advance one tick — a full protocol round, or a skip.
+
+        Without an engine driver (or in tick mode) this is exactly
+        :meth:`_full_step`. With an event-mode driver attached
+        (:func:`repro.net.engine.engine_attach`), ticks the driver
+        proves are protocol no-ops advance ground truth only — the
+        client phase, delivery machinery and server hooks are elided;
+        answers and message streams stay bit-identical (DESIGN §15).
+        """
+        driver = self._driver
+        if driver is None:
+            self._full_step()
+            return
+        if driver.can_skip(self.tick + 1):
+            driver.skip_tick()
+            return
+        self._full_step()
+        driver.after_full_step()
+
+    def _full_step(self) -> None:
         """Advance ground truth and run one full protocol round.
 
         When telemetry is enabled, the tick is split into wall-clock

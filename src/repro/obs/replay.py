@@ -1,0 +1,296 @@
+"""Wall-clock replay of ``replay.snapshot`` trace streams.
+
+A run configured with ``EngineConfig(replay=ReplayConfig(...))`` emits
+one ``replay.snapshot`` event per (sampled) full tick: a bounded
+position sample plus the published answers. :func:`stream_replay`
+plays such a stream back at a configurable wall pace, *interpolating*
+the frames between consecutive snapshots — in event mode, skipped
+ticks produce no snapshot, so the gaps are exactly where the replayer
+has to dead-reckon.
+
+Two error figures come with the playback. For every gap the replayer
+first *holds* the previous snapshot's positions (what a live viewer
+would have shown without hindsight) and, once the next snapshot
+arrives, measures how far that dead-reckoned guess drifted from the
+truth; the rendered frames themselves use hindsight interpolation
+(linear between the two snapshots), which is exact at both endpoints.
+
+Like the rest of :mod:`repro.obs`, the module is import-cheap: pure
+Python, no numpy, no simulator imports.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["ReplayFrame", "ReplayStats", "stream_replay", "main"]
+
+SNAPSHOT_KIND = "replay.snapshot"
+
+
+@dataclass(frozen=True)
+class ReplayFrame:
+    """One rendered playback frame.
+
+    ``tick`` is fractional between snapshots; ``interpolated`` marks
+    frames that were synthesized rather than observed. ``answers``
+    always carries the most recent *observed* answers (answers are
+    protocol state — they never interpolate).
+    """
+
+    tick: float
+    xs: List[float]
+    ys: List[float]
+    answers: Dict[int, List[int]]
+    interpolated: bool
+
+
+@dataclass
+class ReplayStats:
+    """What a playback covered and how well the gaps dead-reckoned."""
+
+    snapshots: int = 0
+    frames: int = 0
+    first_tick: Optional[int] = None
+    last_tick: Optional[int] = None
+    #: largest tick gap between consecutive snapshots (1 = none skipped)
+    max_gap: int = 0
+    #: per-gap mean position drift of the hold-last-snapshot guess,
+    #: averaged over all gaps (0.0 when every object sat still)
+    mean_drift: float = 0.0
+    #: worst single-object drift seen across all gaps
+    max_drift: float = 0.0
+    _gap_drifts: List[float] = field(default_factory=list, repr=False)
+
+    @property
+    def ticks_covered(self) -> int:
+        if self.first_tick is None or self.last_tick is None:
+            return 0
+        return self.last_tick - self.first_tick + 1
+
+
+def _snapshot_fields(event: Any) -> Optional[Dict[str, Any]]:
+    """Extract (tick, fields) from a TraceEvent or a plain dict."""
+    kind = getattr(event, "kind", None)
+    if kind is not None:
+        if kind != SNAPSHOT_KIND:
+            return None
+        fields = dict(event.fields)
+        fields["tick"] = event.tick
+        return fields
+    if isinstance(event, dict):
+        if event.get("kind", SNAPSHOT_KIND) != SNAPSHOT_KIND:
+            return None
+        return event
+    raise ConfigError(
+        f"expected TraceEvent or dict, got {type(event).__name__}"
+    )
+
+
+def _lerp_frame(
+    a: Dict[str, Any], b: Dict[str, Any], f: float
+) -> "tuple[List[float], List[float]]":
+    axs, ays = a["xs"], a["ys"]
+    bxs, bys = b["xs"], b["ys"]
+    n = min(len(axs), len(bxs))
+    xs = [axs[i] + (bxs[i] - axs[i]) * f for i in range(n)]
+    ys = [ays[i] + (bys[i] - ays[i]) * f for i in range(n)]
+    return xs, ys
+
+
+def _gap_drift(a: Dict[str, Any], b: Dict[str, Any]) -> "tuple[float, float]":
+    """Mean and max drift of holding snapshot ``a`` until ``b``."""
+    axs, ays = a["xs"], a["ys"]
+    bxs, bys = b["xs"], b["ys"]
+    n = min(len(axs), len(bxs))
+    if n == 0:
+        return (0.0, 0.0)
+    total = worst = 0.0
+    for i in range(n):
+        d = math.hypot(bxs[i] - axs[i], bys[i] - ays[i])
+        total += d
+        if d > worst:
+            worst = d
+    return (total / n, worst)
+
+
+def _answers(fields: Dict[str, Any]) -> Dict[int, List[int]]:
+    return {
+        int(qid): [int(o) for o in ans]
+        for qid, ans in (fields.get("answers") or {}).items()
+    }
+
+
+def stream_replay(
+    events: Iterable[Any],
+    *,
+    frames_per_tick: int = 2,
+    tick_seconds: float = 0.0,
+    emit: Optional[Callable[[ReplayFrame], None]] = None,
+) -> ReplayStats:
+    """Play a trace stream back in wall time; return coverage stats.
+
+    Parameters
+    ----------
+    events:
+        Any iterable of :class:`~repro.obs.trace.TraceEvent` or plain
+        dicts (``read_jsonl`` output, a ``RingSink``'s events, ...).
+        Non-snapshot events are passed over, so a whole run trace can
+        be fed in unfiltered.
+    frames_per_tick:
+        Frames rendered per simulated tick; between snapshots ``t0``
+        and ``t1`` the replayer emits ``(t1 - t0) * frames_per_tick``
+        interpolated frames plus the observed endpoint.
+    tick_seconds:
+        Wall seconds per simulated tick; ``0`` renders as fast as
+        possible (the test/CI setting).
+    emit:
+        Frame consumer (a renderer, a websocket, a collecting list's
+        ``append``); ``None`` plays back silently for the stats.
+    """
+    if isinstance(frames_per_tick, bool) or not isinstance(
+        frames_per_tick, int
+    ):
+        raise ConfigError(
+            f"frames_per_tick must be an int, got {frames_per_tick!r}"
+        )
+    if frames_per_tick < 1:
+        raise ConfigError(
+            f"frames_per_tick must be >= 1, got {frames_per_tick}"
+        )
+    if tick_seconds < 0:
+        raise ConfigError(
+            f"tick_seconds must be >= 0, got {tick_seconds}"
+        )
+
+    stats = ReplayStats()
+    prev: Optional[Dict[str, Any]] = None
+
+    def _out(frame: ReplayFrame) -> None:
+        stats.frames += 1
+        if emit is not None:
+            emit(frame)
+
+    for event in events:
+        cur = _snapshot_fields(event)
+        if cur is None:
+            continue
+        tick = int(cur["tick"])
+        stats.snapshots += 1
+        if stats.first_tick is None:
+            stats.first_tick = tick
+        stats.last_tick = tick
+        if prev is None:
+            _out(
+                ReplayFrame(
+                    tick=float(tick),
+                    xs=list(cur["xs"]),
+                    ys=list(cur["ys"]),
+                    answers=_answers(cur),
+                    interpolated=False,
+                )
+            )
+            prev = cur
+            continue
+        gap = tick - int(prev["tick"])
+        if gap <= 0:
+            raise ConfigError(
+                f"snapshots out of order: tick {tick} after {prev['tick']}"
+            )
+        stats.max_gap = max(stats.max_gap, gap)
+        mean_d, max_d = _gap_drift(prev, cur)
+        stats._gap_drifts.append(mean_d)
+        stats.mean_drift = sum(stats._gap_drifts) / len(stats._gap_drifts)
+        stats.max_drift = max(stats.max_drift, max_d)
+        held = _answers(prev)
+        steps = gap * frames_per_tick
+        pace = tick_seconds / frames_per_tick if tick_seconds > 0 else 0.0
+        for s in range(1, steps):
+            if pace > 0:
+                time.sleep(pace)
+            f = s / steps
+            xs, ys = _lerp_frame(prev, cur, f)
+            _out(
+                ReplayFrame(
+                    tick=int(prev["tick"]) + gap * f,
+                    xs=xs,
+                    ys=ys,
+                    answers=held,
+                    interpolated=True,
+                )
+            )
+        if pace > 0:
+            time.sleep(pace)
+        _out(
+            ReplayFrame(
+                tick=float(tick),
+                xs=list(cur["xs"]),
+                ys=list(cur["ys"]),
+                answers=_answers(cur),
+                interpolated=False,
+            )
+        )
+        prev = cur
+    return stats
+
+
+def main(argv=None) -> int:
+    """``python -m repro.experiments replay trace.jsonl [options]``."""
+    import argparse
+
+    from repro.obs.trace import read_jsonl
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments replay",
+        description=(
+            "Play back the replay.snapshot stream of a JSONL trace, "
+            "interpolating the gaps, and report coverage plus "
+            "dead-reckoning drift."
+        ),
+    )
+    parser.add_argument("trace", help="trace file written by --trace")
+    parser.add_argument(
+        "--frames-per-tick", type=int, default=2, metavar="N",
+        help="interpolated frames per simulated tick (default 2)",
+    )
+    parser.add_argument(
+        "--tick-seconds", type=float, default=0.0, metavar="S",
+        help="wall seconds per simulated tick (default 0: no pacing)",
+    )
+    parser.add_argument(
+        "--frames", action="store_true",
+        help="print one line per rendered frame",
+    )
+    args = parser.parse_args(argv)
+
+    def _print_frame(frame: ReplayFrame) -> None:
+        marker = "~" if frame.interpolated else "="
+        print(
+            f"  t{marker}{frame.tick:8.2f}  {len(frame.xs)} objects, "
+            f"{len(frame.answers)} answers"
+        )
+
+    stats = stream_replay(
+        read_jsonl(args.trace),
+        frames_per_tick=args.frames_per_tick,
+        tick_seconds=args.tick_seconds,
+        emit=_print_frame if args.frames else None,
+    )
+    if stats.snapshots == 0:
+        print(
+            "no replay.snapshot events in trace — run with "
+            "RunConfig(engine=EngineConfig(replay=ReplayConfig(...)))"
+        )
+        return 1
+    print(
+        f"replayed {stats.snapshots} snapshots over "
+        f"{stats.ticks_covered} ticks as {stats.frames} frames; "
+        f"max snapshot gap {stats.max_gap} ticks, dead-reckoning "
+        f"drift mean {stats.mean_drift:.3f} max {stats.max_drift:.3f}"
+    )
+    return 0

@@ -5,6 +5,9 @@
 ``--trace`` run emitted and prints:
 
 * one row per run (``run.start`` / ``run.end`` markers);
+* the event engine's mode and event-queue gauge (``engine.stats``:
+  ticks skipped vs. run in full, events scheduled/fired/cancelled),
+  when a run carried an ``EngineConfig``;
 * per-tick message rates (``comm.rate``): total and by-kind msgs/tick,
   plus the columnar plane's batched-vs-materialized ledger;
 * the per-phase tick cost table aggregated from ``tick.phase`` events
@@ -127,6 +130,54 @@ def _runs_section(events: List[TraceEvent]) -> Optional[str]:
                 f"{e.get('wall_seconds', float('nan')):.2f}s"
             )
         lines.append(desc)
+    return "\n".join(lines)
+
+
+def _engine_section(events: List[TraceEvent]) -> Optional[str]:
+    """Event-engine view: mode plus the event-queue gauge.
+
+    ``engine.stats`` is emitted once per run at ``run.end`` time;
+    ``run.start`` carries the engine config. A tick-mode run with an
+    attached engine still gets a line (mode ``tick``, nothing
+    skipped), a run with no engine config gets no section at all.
+    """
+    stats = [e for e in events if e.kind == "engine.stats"]
+    configs = [
+        e.fields.get("engine")
+        for e in events
+        if e.kind == "run.start" and e.fields.get("engine") is not None
+    ]
+    if not stats and not configs:
+        return None
+    lines = ["Event engine:"]
+    for i, e in enumerate(stats):
+        f = e.fields
+        total = f.get("skipped_ticks", 0) + f.get("full_ticks", 0)
+        share = (
+            100.0 * f.get("skipped_ticks", 0) / total if total else 0.0
+        )
+        lines.append(
+            f"  mode={f.get('mode', '?')} "
+            f"skipped {f.get('skipped_ticks', 0)}/{total} ticks "
+            f"({share:.1f}%)"
+        )
+        lines.append(
+            f"  events: {f.get('scheduled', 0)} scheduled, "
+            f"{f.get('fired', 0)} fired, "
+            f"{f.get('cancelled', 0)} cancelled, "
+            f"{f.get('pending', 0)} pending at end"
+        )
+        if not f.get("skipping", True):
+            lines.append(
+                "  (skipping disabled: no wakeup planner for this "
+                "client/server pair — every tick ran in full)"
+            )
+    if not stats:
+        for cfg in configs:
+            lines.append(f"  configured: {cfg} (no engine.stats in trace)")
+    snapshots = sum(1 for e in events if e.kind == "replay.snapshot")
+    if snapshots:
+        lines.append(f"  replay snapshots: {snapshots}")
     return "\n".join(lines)
 
 
@@ -387,6 +438,7 @@ def summarize_text(events: List[TraceEvent], source: str = "") -> str:
                 f"{len(events)} events"]
     for section in (
         _runs_section(events),
+        _engine_section(events),
         _phase_section(events),
         _comm_section(events),
         _protocol_section(events),

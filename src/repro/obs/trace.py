@@ -105,13 +105,15 @@ PERF_KINDS = frozenset(
         "shard.load",
         "shard.health",
         "shard.wal",
+        "replay.snapshot",
     }
 )
 
 #: Run lifecycle markers emitted by the harness, not the protocols.
 #: ``comm.rate`` is the end-of-run message-rate roll-up (msgs/tick by
-#: kind plus the columnar plane's batched/materialized ledger).
-META_KINDS = frozenset({"run.start", "run.end", "comm.rate"})
+#: kind plus the columnar plane's batched/materialized ledger);
+#: ``engine.stats`` is the event engine's end-of-run queue gauge.
+META_KINDS = frozenset({"run.start", "run.end", "comm.rate", "engine.stats"})
 
 
 class TraceEvent:

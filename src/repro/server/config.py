@@ -5,7 +5,8 @@
 admission-control policy, the fault plan, and the durability cadence all
 live in one frozen, validated dataclass. ``RunConfig(shard=ShardConfig(...))``
 and ``shard_attach(sim, ShardConfig(...))`` both accept it; the loose
-``shards=`` / ``shard_faults=`` keyword arguments are deprecated shims.
+``shards=`` / ``shard_faults=`` keyword arguments are retired and raise
+:class:`~repro.errors.ConfigError` naming the replacement.
 
 Every validation failure raises :class:`~repro.errors.ConfigError` with a
 message naming the offending field, so misconfiguration fails loudly at

@@ -713,6 +713,33 @@ class ShardedServer(ServerNodeBase):
     def busy(self) -> bool:
         return self.inner.busy()
 
+    def event_idle(self, tick: int) -> bool:
+        # Per-tick machinery on this tier vetoes skipping: a fault
+        # plan (heartbeats, replication, checkpoints) or admission
+        # policy runs every tick; pending handoff retries and delayed
+        # backbone flights need their tick-start; a rebalance check
+        # tick may move cells (and draws RNG); an imbalance-sample
+        # tick must run in full whenever the window would be nonzero
+        # (uplinks landed since the last mark), or the sample series
+        # would diverge from tick mode.
+        if self._fault_plan is not None or self._admission is not None:
+            return False
+        if self._handoff_pending or self.link.pending():
+            return False
+        if (
+            self._rebalance is not None
+            and tick > 0
+            and tick % self._rebalance.check_interval == 0
+        ):
+            return False
+        if (
+            tick > 0
+            and tick % self._imb_interval == 0
+            and list(self.shard_stats.uplinks) != self._imb_mark
+        ):
+            return False
+        return self.inner.event_idle(tick)
+
     def on_tick_end(self, tick: int) -> None:
         self.inner.on_tick_end(tick)
         if self._fault_plan is not None:

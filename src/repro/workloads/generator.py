@@ -13,6 +13,7 @@ from repro.mobility import (
     GaussianClusterModel,
     HotspotDriftModel,
     MobilityModel,
+    MostlyStationaryModel,
     Mover,
     RandomDirectionModel,
     RandomWaypointModel,
@@ -59,6 +60,11 @@ def make_mobility_model(spec: WorkloadSpec, universe: Rect) -> MobilityModel:
         return HotspotDriftModel(universe, **common, **drift)
     if spec.mobility == "road_network":
         return RoadNetworkModel(universe, **common, **opts)
+    if spec.mobility == "mostly_stationary":
+        # A sparse set of waypoint movers in a still crowd — the
+        # event-engine stressor (E19): most ticks are provable no-ops,
+        # so the tick-vs-event wall-clock gap is at its widest.
+        return MostlyStationaryModel(universe, **common, **opts)
     raise WorkloadError(f"unknown mobility {spec.mobility!r}")
 
 

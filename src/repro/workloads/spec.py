@@ -22,6 +22,7 @@ MOBILITY_MODELS = (
     "hotspot",
     "hotspot_drift",
     "road_network",
+    "mostly_stationary",
 )
 
 

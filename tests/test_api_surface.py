@@ -29,7 +29,7 @@ EXPECTED = {
     # workloads & mobility
     "WorkloadSpec", "MOBILITY_MODELS", "build_workload", "Fleet",
     "RandomWaypointModel", "RandomDirectionModel", "GaussianClusterModel",
-    "HotspotDriftModel", "RoadNetworkModel",
+    "HotspotDriftModel", "MostlyStationaryModel", "RoadNetworkModel",
     # geometry & queries
     "Point", "Rect", "Circle", "QuerySpec", "RangeQuerySpec",
     # direct system builders (scripted scenarios)
@@ -43,6 +43,9 @@ EXPECTED = {
     "DurabilityManager",
     # network & faults
     "RoundSimulator", "CommStats", "FaultPlan", "ShardFaultPlan",
+    # event engine & replay
+    "EngineConfig", "ReplayConfig", "engine_attach",
+    "stream_replay", "ReplayStats",
     # chaos harness
     "run_chaos", "chaos_plans", "default_checkers", "ChaosResult",
     # observability
@@ -90,11 +93,38 @@ class TestEntryPointSignatures:
             "algorithm", "latency", "record_history", "faults", "fast",
             "warmup", "ticks",
             "shard",
-            # deprecated mirrors of shard= — kept until the shim is
-            # dropped; first-party use is an error via filterwarnings.
-            "shards", "shard_faults",
+            "engine",
             "params",
         ]
+
+    def test_retired_shard_kwargs_raise_config_error(self):
+        # The pre-ShardConfig kwargs are gone for good; the failure
+        # mode is a ConfigError naming the replacement, not a bare
+        # TypeError, so stale scripts get a migration pointer.
+        import pytest
+
+        for kwargs in ({"shards": 2}, {"shard_faults": None}):
+            with pytest.raises(
+                api.ConfigError, match=r"shard=ShardConfig"
+            ):
+                api.RunConfig("DKNN-P", **kwargs)
+
+    def test_engine_config_fields(self):
+        assert _params(api.EngineConfig) == ["mode", "replay"]
+
+    def test_replay_config_fields(self):
+        assert _params(api.ReplayConfig) == [
+            "snapshot_every", "frames_per_tick", "tick_seconds",
+            "max_objects",
+        ]
+
+    def test_stream_replay_signature(self):
+        assert _params(api.stream_replay) == [
+            "events", "frames_per_tick", "tick_seconds", "emit",
+        ]
+
+    def test_engine_attach_signature(self):
+        assert _params(api.engine_attach) == ["sim", "config"]
 
     def test_shard_config_fields(self):
         assert _params(api.ShardConfig) == [
@@ -125,7 +155,8 @@ class TestEntryPointSignatures:
 
     def test_typed_configs_are_frozen(self):
         for cls in (api.RunConfig, api.ShardConfig, api.RebalancePolicy,
-                    api.AdmissionPolicy, api.WorkloadSpec):
+                    api.AdmissionPolicy, api.WorkloadSpec,
+                    api.EngineConfig, api.ReplayConfig):
             assert dataclasses.is_dataclass(cls), cls
             assert cls.__dataclass_params__.frozen, f"{cls} not frozen"
 

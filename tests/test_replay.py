@@ -1,0 +1,198 @@
+"""Wall-clock replay: stream_replay framing, drift stats, validation.
+
+The replay pipeline is two halves: the engine's ``replay.snapshot``
+emission (full ticks only, per :class:`ReplayConfig`) and
+:func:`repro.obs.replay.stream_replay`, which interpolates the gaps
+and measures how far a hold-last-snapshot viewer would have drifted.
+The synthetic-stream tests pin the framing math exactly; the
+end-to-end test runs a real event-mode simulation and replays its
+trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.algorithms import build_system
+from repro.experiments.config import RunConfig
+from repro.net.engine import EngineConfig, ReplayConfig
+from repro.obs import (
+    ReplayFrame,
+    ReplayStats,
+    RingSink,
+    Telemetry,
+    Tracer,
+    stream_replay,
+)
+from repro.obs.trace import TraceEvent
+from repro.workloads import WorkloadSpec, build_workload
+
+
+def _snap(tick, xs, ys, answers=None):
+    return {
+        "kind": "replay.snapshot",
+        "tick": tick,
+        "count": len(xs),
+        "population": len(xs),
+        "xs": xs,
+        "ys": ys,
+        "answers": answers or {},
+    }
+
+
+def _collect(events, **kwargs):
+    frames = []
+    stats = stream_replay(events, emit=frames.append, **kwargs)
+    return frames, stats
+
+
+class TestFraming:
+    def test_single_snapshot_single_frame(self):
+        frames, stats = _collect([_snap(5, [1.0], [2.0])])
+        assert len(frames) == 1
+        assert frames[0] == ReplayFrame(
+            tick=5.0, xs=[1.0], ys=[2.0], answers={}, interpolated=False
+        )
+        assert stats.snapshots == 1
+        assert stats.ticks_covered == 1
+        assert stats.max_gap == 0
+
+    def test_gap_interpolates(self):
+        frames, stats = _collect(
+            [_snap(0, [0.0], [0.0]), _snap(4, [8.0], [0.0])],
+            frames_per_tick=2,
+        )
+        # 1 first frame + (4 ticks * 2 - 1) interpolated + 1 endpoint.
+        assert len(frames) == 9
+        mid = frames[1:-1]
+        assert all(f.interpolated for f in mid)
+        assert not frames[0].interpolated and not frames[-1].interpolated
+        # Linear in x: frame ticks and xs advance together.
+        assert [round(f.tick, 3) for f in frames] == [
+            0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0
+        ]
+        assert [round(f.xs[0], 3) for f in frames] == [
+            0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0
+        ]
+        assert stats.max_gap == 4
+        assert stats.frames == 9
+
+    def test_interpolated_frames_hold_previous_answers(self):
+        frames, _ = _collect(
+            [
+                _snap(0, [0.0], [0.0], {"0": [1, 2]}),
+                _snap(2, [2.0], [0.0], {"0": [3, 4]}),
+            ]
+        )
+        assert frames[0].answers == {0: [1, 2]}
+        for f in frames[1:-1]:
+            assert f.answers == {0: [1, 2]}, "answers must not interpolate"
+        assert frames[-1].answers == {0: [3, 4]}
+
+    def test_drift_stats(self):
+        # One object moves 3-4-5; the other sits still.
+        _, stats = _collect(
+            [_snap(0, [0.0, 9.0], [0.0, 9.0]), _snap(5, [3.0, 9.0], [4.0, 9.0])]
+        )
+        assert stats.max_drift == pytest.approx(5.0)
+        assert stats.mean_drift == pytest.approx(2.5)
+
+    def test_non_snapshot_events_are_skipped(self):
+        frames, stats = _collect(
+            [
+                {"kind": "run.start", "tick": 0},
+                _snap(1, [0.0], [0.0]),
+                {"kind": "tick.phase", "tick": 2},
+                _snap(3, [1.0], [1.0]),
+            ]
+        )
+        assert stats.snapshots == 2
+        assert frames[0].tick == 1.0 and frames[-1].tick == 3.0
+
+    def test_trace_event_and_dict_inputs_agree(self):
+        dicts = [_snap(0, [0.0], [0.0]), _snap(3, [3.0], [3.0])]
+        events = [
+            TraceEvent(
+                d["tick"],
+                d["kind"],
+                {k: v for k, v in d.items() if k not in ("tick", "kind")},
+            )
+            for d in dicts
+        ]
+        f1, s1 = _collect(dicts)
+        f2, s2 = _collect(events)
+        assert f1 == f2
+        assert s1.mean_drift == s2.mean_drift
+        assert s1.frames == s2.frames
+
+    def test_empty_stream(self):
+        frames, stats = _collect([])
+        assert frames == []
+        assert stats == ReplayStats()
+        assert stats.ticks_covered == 0
+
+
+class TestValidation:
+    def test_out_of_order_snapshots_raise(self):
+        with pytest.raises(ConfigError, match="out of order"):
+            _collect([_snap(5, [0.0], [0.0]), _snap(5, [1.0], [1.0])])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"frames_per_tick": 0},
+            {"frames_per_tick": True},
+            {"frames_per_tick": 1.5},
+            {"tick_seconds": -0.1},
+        ],
+    )
+    def test_bad_args(self, kwargs):
+        with pytest.raises(ConfigError):
+            stream_replay([], **kwargs)
+
+    def test_garbage_event_raises(self):
+        with pytest.raises(ConfigError, match="TraceEvent or dict"):
+            stream_replay([42])
+
+
+class TestEndToEnd:
+    def test_event_run_replays_with_gaps(self):
+        spec = WorkloadSpec(
+            n_objects=200,
+            n_queries=2,
+            k=3,
+            universe_size=2000.0,
+            mobility="mostly_stationary",
+            mobility_options={
+                "moving_fraction": 0.05,
+                "period": 20,
+                "active_ticks": 4,
+            },
+            query_speed=0,
+            seed=3,
+        )
+        fleet, queries = build_workload(spec)
+        sink = RingSink()
+        cfg = RunConfig(
+            "DKNN-P",
+            engine=EngineConfig(
+                mode="event", replay=ReplayConfig(max_objects=32)
+            ),
+        )
+        sim = build_system(
+            cfg, fleet, queries, telemetry=Telemetry(tracer=Tracer(sink))
+        )
+        sim.run(50)
+        driver = sim._driver
+        assert driver.skipped_ticks > 0
+        snaps = sink.events("replay.snapshot")
+        # Snapshots come from full ticks only.
+        assert len(snaps) == driver.full_ticks
+        assert all(len(e.fields["xs"]) <= 32 for e in snaps)
+        frames, stats = _collect(snaps)
+        assert stats.snapshots == len(snaps)
+        # The skipped stretches are exactly the interpolation gaps.
+        assert stats.max_gap > 1
+        assert any(f.interpolated for f in frames)
+        assert stats.ticks_covered <= 50

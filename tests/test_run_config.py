@@ -173,10 +173,10 @@ class TestShardField:
     def test_default_is_unsharded(self):
         cfg = RunConfig("DKNN-P")
         assert cfg.shard is None
-        assert cfg.shards is None and cfg.shard_faults is None
 
     def test_validation(self):
-        assert RunConfig("DKNN-P", shard=ShardConfig(shards=1)).shards == 1
+        cfg = RunConfig("DKNN-P", shard=ShardConfig(shards=1))
+        assert cfg.shard.shards == 1
         with pytest.raises(ConfigError, match="shards"):
             ShardConfig(shards=0)
         with pytest.raises(ConfigError, match="shards"):
@@ -187,8 +187,7 @@ class TestShardField:
     def test_in_describe_and_hash(self):
         sharded = RunConfig("DKNN-P", shard=ShardConfig(shards=2))
         assert sharded.describe()["shard"]["shards"] == 2
-        # The deprecated mirror keeps legacy manifest readers working.
-        assert sharded.describe()["shards"] == 2
+        assert "shards" not in sharded.describe()
         assert sharded != RunConfig("DKNN-P")
         assert hash(sharded) != hash(RunConfig("DKNN-P"))
 
@@ -202,58 +201,45 @@ class TestShardField:
         assert isinstance(sim.server, ShardedServer)
         assert sim.server.router.n_shards == 4
 
-    def test_but_roundtrips_without_warning(self):
+    def test_but_roundtrips(self):
         cfg = RunConfig("DKNN-P", shard=ShardConfig(shards=2))
         copy = cfg.but(fast=True)
         assert copy.shard == cfg.shard
-        assert copy.shards == 2
         swapped = cfg.but(shard=ShardConfig(shards=4))
-        assert swapped.shards == 4
+        assert swapped.shard.shards == 4
 
 
-class TestLegacyShardKwargsShim:
-    """``shards=`` / ``shard_faults=`` still work but warn; first-party
-    code must use ``shard=ShardConfig(...)`` (the warning is an error
-    under the repo's filterwarnings config, so these tests opt in via
-    ``pytest.warns``)."""
+class TestRetiredShardKwargs:
+    """``shards=`` / ``shard_faults=`` were removed after one release
+    as a deprecation shim; passing either now raises a
+    :class:`ConfigError` that names the replacement instead of the
+    generic ``TypeError`` an unknown kwarg would produce."""
 
-    def test_legacy_shards_warns_and_synthesizes(self):
-        with pytest.warns(DeprecationWarning, match="ShardConfig"):
-            cfg = RunConfig("DKNN-P", shards=2)
-        assert cfg.shard == ShardConfig(shards=2)
-        assert cfg.shards == 2
+    def test_shards_raises_and_names_replacement(self):
+        with pytest.raises(ConfigError, match=r"shard=ShardConfig"):
+            RunConfig("DKNN-P", shards=2)
 
-    def test_legacy_shard_faults_warns_and_synthesizes(self):
+    def test_shard_faults_raises_and_names_replacement(self):
         plan = ShardFaultPlan(crashes=((0, 5, 9),))
-        with pytest.warns(DeprecationWarning, match="ShardConfig"):
-            cfg = RunConfig("DKNN-P", shards=2, shard_faults=plan)
-        assert cfg.shard == ShardConfig(shards=2, faults=plan)
-        assert cfg.shard_faults is plan
+        with pytest.raises(ConfigError, match=r"shard=ShardConfig"):
+            RunConfig("DKNN-P", shard_faults=plan)
 
-    def test_legacy_validation_still_actionable(self):
-        plan = ShardFaultPlan(crashes=((0, 5, 9),))
-        # An enabled plan with no tier at all: the shim refuses with
-        # the migration in the message instead of silently ignoring it.
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigError, match="shards is unset"):
-                RunConfig("DKNN-P", shard_faults=plan)
-        # Wrong type still names the sibling parameter.
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigError, match="radio faults go in"):
-                RunConfig(
-                    "DKNN-P", shards=2, shard_faults=FaultPlan(seed=1)
-                )
-        # Legacy bounds route through ShardConfig validation.
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigError, match="shards"):
-                RunConfig("DKNN-P", shards=0)
+    def test_both_retired_kwargs_named_in_message(self):
+        with pytest.raises(ConfigError, match=r"shards=, shard_faults="):
+            RunConfig(
+                "DKNN-P", shards=2, shard_faults=ShardFaultPlan()
+            )
 
-    def test_both_forms_disagreeing_is_an_error(self):
-        with pytest.raises(ConfigError, match="not both"):
-            RunConfig("DKNN-P", shard=ShardConfig(shards=2), shards=4)
+    def test_but_rejects_retired_kwargs_with_same_error(self):
+        cfg = RunConfig("DKNN-P")
+        with pytest.raises(ConfigError, match=r"shard=ShardConfig"):
+            cfg.but(shards=2)
 
-    def test_both_forms_agreeing_is_allowed_silently(self):
-        # but()/replace passes the synced mirrors back in; that must
-        # not warn or raise.
-        cfg = RunConfig("DKNN-P", shard=ShardConfig(shards=2), shards=2)
-        assert cfg.shard.shards == 2
+    def test_fields_are_gone(self):
+        cfg = RunConfig("DKNN-P", shard=ShardConfig(shards=2))
+        assert not hasattr(cfg, "shards")
+        assert not hasattr(cfg, "shard_faults")
+
+    def test_truly_unknown_kwarg_is_still_a_typeerror(self):
+        with pytest.raises(TypeError):
+            RunConfig("DKNN-P", sharding=2)

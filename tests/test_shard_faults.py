@@ -121,10 +121,6 @@ class TestShardFaultPlan:
         plan = ShardFaultPlan(crashes=((0, 5, 9),))
         cfg = RunConfig("DKNN-P", shard=ShardConfig(shards=2, faults=plan))
         assert cfg.shard.faults is plan
-        # The deprecated attributes mirror the resolved config, so
-        # legacy readers keep working.
-        assert cfg.shards == 2
-        assert cfg.shard_faults is plan
         assert "ShardFaultPlan" in cfg.describe()["shard"]["faults"]
         # ... a wrong type names the expected one...
         with pytest.raises(ConfigError, match="ShardFaultPlan"):
